@@ -1,0 +1,66 @@
+// Ablation: the coalescing post-pass (Sec. 5, "Post-processing"). Sweeps the
+// sub-threshold-allocation coalescing threshold and reports, for a mixed-
+// tier workload whose EDF schedule produces fragmented allocations:
+//  - the number of allocations and the serialized table size,
+//  - the shortest allocation (which sets the slice length and hence the
+//    slice-table size),
+//  - the total time donated away from vCPUs (the guarantee cost of the pass).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/planner.h"
+
+using namespace tableau;
+using namespace tableau::bench;
+
+int main() {
+  PrintHeader("Ablation: coalescing threshold sweep (mixed-tier workload, 4 cores)");
+  std::printf("%12s %8s %12s %14s %14s\n", "threshold", "allocs", "table bytes",
+              "min alloc", "donated total");
+
+  for (const TimeNs threshold : {TimeNs{0}, 5 * kMicrosecond, 15 * kMicrosecond,
+                                 30 * kMicrosecond, 60 * kMicrosecond,
+                                 120 * kMicrosecond}) {
+    PlannerConfig config;
+    config.num_cpus = 4;
+    config.coalesce_threshold = threshold;
+    const Planner planner(config);
+    // Mixed tiers fragment the EDF schedule: different periods preempt each
+    // other mid-allocation.
+    std::vector<VcpuRequest> requests;
+    int id = 0;
+    for (int i = 0; i < 3; ++i) {
+      requests.push_back({id++, 0.5, 10 * kMillisecond});
+    }
+    for (int i = 0; i < 6; ++i) {
+      requests.push_back({id++, 0.25, 30 * kMillisecond});
+    }
+    for (int i = 0; i < 9; ++i) {
+      requests.push_back({id++, 0.10, 100 * kMillisecond});
+    }
+    const PlanResult plan = planner.Plan(requests);
+    TABLEAU_CHECK_MSG(plan.success, "%s", plan.error.c_str());
+
+    std::size_t allocations = 0;
+    TimeNs min_alloc = plan.table.length();
+    for (int cpu = 0; cpu < plan.table.num_cpus(); ++cpu) {
+      allocations += plan.table.cpu(cpu).allocations.size();
+      for (const Allocation& alloc : plan.table.cpu(cpu).allocations) {
+        min_alloc = std::min(min_alloc, alloc.Length());
+      }
+    }
+    TimeNs donated = 0;
+    for (const VcpuPlan& vcpu : plan.vcpus) {
+      donated += vcpu.donated_ns;
+    }
+    std::printf("%12s %8zu %12zu %14s %14s\n", FormatDuration(threshold).c_str(),
+                allocations, plan.table.SerializedSizeBytes(),
+                FormatDuration(min_alloc).c_str(), FormatDuration(donated).c_str());
+  }
+  std::printf(
+      "\ninterpretation: higher thresholds shrink the table and lengthen the\n"
+      "shortest allocation (fewer, larger slices => better lookup locality) at\n"
+      "the cost of donated reservation time; sub-threshold slivers cannot be\n"
+      "enforced anyway given context-switch overheads (Sec. 5).\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Ablation: incremental per-core replanning and plan caching — the two
+// Sec. 7.1 reconfiguration-time optimizations ("tables can be incrementally
+// re-computed on a per-core basis"; "centrally cache tables for common
+// configurations"). Measures reconfiguration latency for a single-VM
+// arrival against a full replan, across machine sizes, plus cache hits for
+// a tiered fleet.
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/plan_cache.h"
+#include "src/core/planner.h"
+
+using namespace tableau;
+using namespace tableau::bench;
+
+namespace {
+
+std::vector<VcpuRequest> UniformRequests(int count, TimeNs latency, int first_id = 0) {
+  std::vector<VcpuRequest> requests;
+  for (int i = 0; i < count; ++i) {
+    requests.push_back(VcpuRequest{first_id + i, 0.25, latency});
+  }
+  return requests;
+}
+
+double MeasureMs(const std::function<void()>& fn, int runs) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int run = 0; run < runs; ++run) {
+    fn();
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count() / runs;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation: incremental replanning vs full replan (one VM arrives)");
+  std::printf("%6s %6s %14s %14s %10s\n", "cores", "VMs", "full (ms)", "incr (ms)",
+              "speedup");
+  for (const int cores : {8, 16, 44}) {
+    for (const TimeNs latency : {kMillisecond, 20 * kMillisecond}) {
+      const int vms = cores * 4 - 2;  // Leave room for the arrival.
+      PlannerConfig config;
+      config.num_cpus = cores;
+      const Planner planner(config);
+      const PlanResult base = planner.Plan(UniformRequests(vms, latency));
+      TABLEAU_CHECK(base.success);
+      const auto arrival = UniformRequests(1, latency, vms);
+
+      const double full_ms = MeasureMs(
+          [&] {
+            std::vector<VcpuRequest> all = base.requests;
+            all.push_back(arrival[0]);
+            TABLEAU_CHECK(planner.Plan(all).success);
+          },
+          10);
+      const double incr_ms = MeasureMs(
+          [&] { TABLEAU_CHECK(planner.PlanIncremental(base, arrival, {}).success); },
+          10);
+      std::printf("%6d %6d %11.3f %s %11.3f %s %9.1fx\n", cores, vms, full_ms,
+                  latency == kMillisecond ? "(1ms) " : "(20ms)", incr_ms,
+                  latency == kMillisecond ? "(1ms) " : "(20ms)", full_ms / incr_ms);
+    }
+  }
+
+  PrintHeader("Ablation: plan cache over a tiered fleet");
+  PlannerConfig config;
+  config.num_cpus = 12;
+  PlanCache cache(config, /*capacity=*/16);
+  // A fleet repeatedly provisioning hosts from 4 standard shapes.
+  const std::vector<std::vector<VcpuRequest>> shapes = {
+      UniformRequests(48, 20 * kMillisecond),
+      UniformRequests(24, 30 * kMillisecond),
+      UniformRequests(12, 60 * kMillisecond),
+      UniformRequests(36, 10 * kMillisecond),
+  };
+  const double cold_ms = MeasureMs([&] { cache.GetOrPlan(shapes[0]); }, 1);
+  const double mixed_ms = MeasureMs(
+      [&] {
+        for (const auto& shape : shapes) {
+          TABLEAU_CHECK(cache.GetOrPlan(shape).success);
+        }
+      },
+      25);
+  std::printf("first plan (cold): %.3f ms; steady-state per-host plan: %.3f ms\n",
+              cold_ms, mixed_ms / 4);
+  std::printf("cache: %llu hits / %llu misses\n",
+              static_cast<unsigned long long>(cache.hits()),
+              static_cast<unsigned long long>(cache.misses()));
+  return 0;
+}

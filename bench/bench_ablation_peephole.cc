@@ -1,0 +1,99 @@
+// Ablation: the peephole reordering pass (Sec. 5 "Post-processing" suggests
+// it; future work in the paper, implemented here). Plans mixed-tier
+// workloads with and without the pass and reports table fragmentation, then
+// runs both tables under the simulated hypervisor and reports the measured
+// context-switch counts — the runtime cost the pass removes.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/core/planner.h"
+
+using namespace tableau;
+using namespace tableau::bench;
+
+namespace {
+
+std::vector<VcpuRequest> MixedTiers(int scale) {
+  std::vector<VcpuRequest> requests;
+  int id = 0;
+  for (int i = 0; i < 2 * scale; ++i) {
+    requests.push_back({id++, 0.5, 10 * kMillisecond});
+  }
+  for (int i = 0; i < 4 * scale; ++i) {
+    requests.push_back({id++, 0.25, 30 * kMillisecond});
+  }
+  for (int i = 0; i < 6 * scale; ++i) {
+    requests.push_back({id++, 0.10, 100 * kMillisecond});
+  }
+  return requests;
+}
+
+struct RunStats {
+  std::size_t allocations = 0;
+  std::size_t table_bytes = 0;
+  std::uint64_t context_switches = 0;
+};
+
+RunStats Measure(bool peephole, int cores, TimeNs duration) {
+  PlannerConfig config;
+  config.num_cpus = cores;
+  config.peephole_pass = peephole;
+  const Planner planner(config);
+  PlanResult plan = planner.Plan(MixedTiers(cores / 4));
+  TABLEAU_CHECK_MSG(plan.success, "%s", plan.error.c_str());
+
+  RunStats stats;
+  for (int c = 0; c < cores; ++c) {
+    stats.allocations += plan.table.cpu(c).allocations.size();
+  }
+  stats.table_bytes = plan.table.SerializedSizeBytes();
+
+  // Run the table with every VM CPU-bound (so the dispatcher enacts the
+  // table verbatim) and count real context switches.
+  TableauDispatcher::Config dispatcher;
+  dispatcher.work_conserving = false;
+  auto owned = std::make_unique<TableauScheduler>(dispatcher);
+  TableauScheduler* scheduler = owned.get();
+  MachineConfig machine_config;
+  machine_config.num_cpus = cores;
+  machine_config.cores_per_socket = cores;
+  Machine machine(machine_config, std::move(owned));
+  std::vector<std::unique_ptr<CpuHogWorkload>> hogs;
+  for (const VcpuPlan& vcpu : plan.vcpus) {
+    VcpuParams params;
+    params.cap = vcpu.requested_utilization;
+    params.utilization = vcpu.requested_utilization;
+    params.latency_goal = vcpu.latency_goal;
+    Vcpu* v = machine.AddVcpu(params);
+    hogs.push_back(std::make_unique<CpuHogWorkload>(&machine, v));
+    hogs.back()->Start(0);
+  }
+  scheduler->PushTable(std::make_shared<SchedulingTable>(std::move(plan.table)));
+  machine.Start();
+  machine.RunFor(duration);
+  stats.context_switches = machine.context_switches();
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  const TimeNs duration = MeasureDuration(5 * kSecond);
+  PrintHeader("Ablation: peephole pass (mixed tiers, capped CPU hogs)");
+  std::printf("%6s %-10s %8s %12s %16s\n", "cores", "peephole", "allocs", "table bytes",
+              "ctx switches/s");
+  for (const int cores : {4, 8, 12}) {
+    for (const bool peephole : {false, true}) {
+      const RunStats stats = Measure(peephole, cores, duration);
+      std::printf("%6d %-10s %8zu %12zu %16.0f\n", cores, peephole ? "on" : "off",
+                  stats.allocations, stats.table_bytes,
+                  static_cast<double>(stats.context_switches) / ToSec(duration));
+    }
+  }
+  std::printf(
+      "\ninterpretation: defragmenting jobs within their period windows removes\n"
+      "preemptions from the table, which shows up directly as fewer runtime\n"
+      "context switches at identical guarantees.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation: the second-level scheduler (Sec. 4). Runs the uncapped web
+// scenario with the second-level round-robin scheduler enabled vs. disabled
+// (i.e., first-level table only) and reports the vantage VM's achievable
+// throughput and the machine-wide idle recovery. This isolates the paper's
+// claim that "a naive table-driven scheduler ... results in
+// non-work-conserving behavior", which the second level repairs.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/workloads/web.h"
+
+using namespace tableau;
+using namespace tableau::bench;
+
+namespace {
+
+void Measure(bool work_conserving, TimeNs duration) {
+  ScenarioConfig config;
+  config.scheduler = SchedKind::kTableau;
+  // `capped` toggles the dispatcher's work-conserving mode in the harness;
+  // VMs themselves carry no caps so eligibility is the only difference.
+  config.capped = !work_conserving;
+  Scenario scenario = BuildScenario(config);
+
+  WebServerWorkload::Config web_config;
+  web_config.file_bytes = 100 << 10;
+  WebServerWorkload server(scenario.machine.get(), scenario.vantage, web_config);
+  OpenLoopClient::Config client_config;
+  client_config.requests_per_sec = 1450;
+  client_config.duration = duration;
+  OpenLoopClient client(scenario.machine.get(), &server, client_config);
+  client.Start(0);
+  BackgroundWorkloads background;
+  AttachBackground(scenario, Background::kIo, 1, background);
+  scenario.machine->Start();
+  scenario.machine->RunFor(duration);
+
+  TimeNs busy = 0;
+  for (int cpu = 0; cpu < scenario.machine->num_cpus(); ++cpu) {
+    busy += scenario.machine->cpu_busy_ns(cpu);
+  }
+  std::printf("%-22s tput %7.1f req/s  p99 %8.2f ms  vantage share %5.1f%%  "
+              "machine busy %5.1f%%  2nd-level %5.1f%%\n",
+              work_conserving ? "with second level" : "table-only (disabled)",
+              static_cast<double>(server.completed()) / ToSec(duration),
+              ToMs(server.latencies().Percentile(0.99)),
+              100.0 * static_cast<double>(scenario.vantage->total_service()) /
+                  static_cast<double>(duration),
+              100.0 * static_cast<double>(busy) /
+                  (static_cast<double>(duration) * scenario.machine->num_cpus()),
+              100.0 * scenario.machine->SecondLevelFraction(scenario.vantage->id()));
+}
+
+}  // namespace
+
+int main() {
+  const TimeNs duration = MeasureDuration(4 * kSecond);
+  PrintHeader("Ablation: second-level scheduler on/off (uncapped web, 1450 req/s)");
+  Measure(/*work_conserving=*/false, duration);
+  Measure(/*work_conserving=*/true, duration);
+  std::printf(
+      "\ninterpretation: with the second level disabled the vantage VM is limited\n"
+      "to its table slots (25%%) and cannot sustain the offered load; enabling it\n"
+      "recovers the blocked I/O VMs' idle cycles (paper Sec. 7.4: capped ~600 vs\n"
+      "uncapped ~850 req/s for 100 KiB).\n");
+  return 0;
+}

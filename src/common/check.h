@@ -1,0 +1,32 @@
+// Invariant-checking macros.
+//
+// TABLEAU_CHECK is always on (release and debug): a failed check indicates a
+// broken internal invariant (e.g. an inconsistent scheduling table), and we
+// prefer a crash with context over silently corrupting a schedule.
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define TABLEAU_CHECK(cond)                                                           \
+  do {                                                                                \
+    if (!(cond)) {                                                                    \
+      std::fprintf(stderr, "TABLEAU_CHECK failed at %s:%d: %s\n", __FILE__, __LINE__, \
+                   #cond);                                                            \
+      std::abort();                                                                   \
+    }                                                                                 \
+  } while (0)
+
+#define TABLEAU_CHECK_MSG(cond, ...)                                                  \
+  do {                                                                                \
+    if (!(cond)) {                                                                    \
+      std::fprintf(stderr, "TABLEAU_CHECK failed at %s:%d: %s\n  ", __FILE__,         \
+                   __LINE__, #cond);                                                  \
+      std::fprintf(stderr, __VA_ARGS__);                                              \
+      std::fprintf(stderr, "\n");                                                     \
+      std::abort();                                                                   \
+    }                                                                                 \
+  } while (0)
+
+#endif  // SRC_COMMON_CHECK_H_

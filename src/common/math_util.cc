@@ -1,0 +1,34 @@
+#include "src/common/math_util.h"
+
+#include <algorithm>
+
+namespace tableau {
+
+std::vector<std::int64_t> DivisorsOf(std::int64_t n) {
+  TABLEAU_CHECK(n > 0);
+  std::vector<std::int64_t> small;
+  std::vector<std::int64_t> large;
+  for (std::int64_t d = 1; d <= n / d; ++d) {
+    if (n % d == 0) {
+      small.push_back(d);
+      if (d != n / d) {
+        large.push_back(n / d);
+      }
+    }
+  }
+  small.insert(small.end(), large.rbegin(), large.rend());
+  return small;
+}
+
+std::vector<std::int64_t> DivisorsAtLeast(std::int64_t n, std::int64_t floor) {
+  std::vector<std::int64_t> all = DivisorsOf(n);
+  std::vector<std::int64_t> result;
+  for (auto it = all.rbegin(); it != all.rend(); ++it) {
+    if (*it >= floor) {
+      result.push_back(*it);
+    }
+  }
+  return result;
+}
+
+}  // namespace tableau

@@ -1,0 +1,16 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+namespace tableau {
+
+double Rng::Exponential(double mean) {
+  TABLEAU_CHECK(mean > 0);
+  double u = UniformDouble();
+  if (u <= 0.0) {
+    u = 1e-18;  // Avoid log(0).
+  }
+  return -mean * std::log(u);
+}
+
+}  // namespace tableau

@@ -1,0 +1,26 @@
+#include "src/common/time.h"
+
+#include <cstdio>
+
+namespace tableau {
+
+std::string FormatDuration(TimeNs t) {
+  char buf[64];
+  if (t == kTimeNever) {
+    return "never";
+  }
+  const bool neg = t < 0;
+  const TimeNs a = neg ? -t : t;
+  if (a >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fs", neg ? "-" : "", ToSec(a));
+  } else if (a >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fms", neg ? "-" : "", ToMs(a));
+  } else if (a >= kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fus", neg ? "-" : "", ToUs(a));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%lldns", neg ? "-" : "", static_cast<long long>(a));
+  }
+  return buf;
+}
+
+}  // namespace tableau

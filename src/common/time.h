@@ -1,0 +1,39 @@
+// Time representation used throughout the Tableau reproduction.
+//
+// All times and durations are expressed as signed 64-bit nanosecond counts,
+// mirroring the paper's choice of nanosecond-granularity scheduling tables
+// (the hyperperiod of 102,702,600 ns is specified in ns in Sec. 5).
+#ifndef SRC_COMMON_TIME_H_
+#define SRC_COMMON_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tableau {
+
+// A point in time or a duration, in nanoseconds.
+using TimeNs = std::int64_t;
+
+inline constexpr TimeNs kNanosecond = 1;
+inline constexpr TimeNs kMicrosecond = 1'000;
+inline constexpr TimeNs kMillisecond = 1'000'000;
+inline constexpr TimeNs kSecond = 1'000'000'000;
+
+// Sentinel for "no deadline / never".
+inline constexpr TimeNs kTimeNever = INT64_MAX;
+
+// Converts a nanosecond count to fractional milliseconds.
+constexpr double ToMs(TimeNs t) { return static_cast<double>(t) / kMillisecond; }
+
+// Converts a nanosecond count to fractional microseconds.
+constexpr double ToUs(TimeNs t) { return static_cast<double>(t) / kMicrosecond; }
+
+// Converts a nanosecond count to fractional seconds.
+constexpr double ToSec(TimeNs t) { return static_cast<double>(t) / kSecond; }
+
+// Renders a duration with an adaptive unit, e.g. "13.2ms" or "250us".
+std::string FormatDuration(TimeNs t);
+
+}  // namespace tableau
+
+#endif  // SRC_COMMON_TIME_H_

@@ -1,0 +1,191 @@
+#include "src/core/dispatcher.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace tableau {
+
+TableauDispatcher::TableauDispatcher(int num_cpus, Config config)
+    : num_cpus_(num_cpus), config_(config) {
+  TABLEAU_CHECK(num_cpus_ > 0);
+  TABLEAU_CHECK(config_.second_level_epoch > 0);
+  second_level_.resize(static_cast<std::size_t>(num_cpus_));
+}
+
+void TableauDispatcher::InstallTable(std::shared_ptr<const SchedulingTable> table,
+                                     TimeNs now) {
+  TABLEAU_CHECK(table != nullptr);
+  TABLEAU_CHECK(table->num_cpus() >= num_cpus_);
+  if (current_ == nullptr) {
+    current_ = std::move(table);
+    ++generation_;
+    BuildTimelines();
+    return;
+  }
+  // Time-synchronized switch: the planner times the next_table pointers to
+  // be set in the middle of the next round of the current table, so every
+  // core observes them before the wrap that follows — all cores switch at
+  // that wrap, two rounds out at most.
+  const TimeNs len = current_->length();
+  next_ = std::move(table);
+  switch_at_ = (now / len + 2) * len;
+}
+
+const SchedulingTable& TableauDispatcher::ActiveTable(TimeNs now) {
+  TABLEAU_CHECK_MSG(current_ != nullptr, "no table installed");
+  if (next_ != nullptr && now >= switch_at_) {
+    current_ = std::move(next_);
+    next_ = nullptr;
+    switch_at_ = kTimeNever;
+    ++generation_;
+    BuildTimelines();
+    // The old table is released here: "garbage collected two rounds after
+    // the new table has been uploaded".
+  }
+  return *current_;
+}
+
+void TableauDispatcher::BuildTimelines() {
+  timelines_.clear();
+  for (int c = 0; c < current_->num_cpus(); ++c) {
+    for (const Allocation& alloc : current_->cpu(c).allocations) {
+      timelines_[alloc.vcpu].entries.push_back(
+          VcpuTimeline::Entry{alloc.start, alloc.end, c});
+    }
+  }
+  for (auto& [vcpu, timeline] : timelines_) {
+    std::sort(timeline.entries.begin(), timeline.entries.end(),
+              [](const VcpuTimeline::Entry& a, const VcpuTimeline::Entry& b) {
+                return a.start < b.start;
+              });
+    const int first_cpu = timeline.entries.front().cpu;
+    timeline.split = std::any_of(
+        timeline.entries.begin(), timeline.entries.end(),
+        [first_cpu](const VcpuTimeline::Entry& e) { return e.cpu != first_cpu; });
+  }
+}
+
+TableauDispatcher::SlotInfo TableauDispatcher::LookupSlot(int cpu, TimeNs now) {
+  const SchedulingTable& table = ActiveTable(now);
+  const TimeNs len = table.length();
+  const TimeNs offset = now % len;
+  const LookupResult lookup = table.Lookup(cpu, offset);
+  SlotInfo slot;
+  slot.vcpu = lookup.vcpu;
+  slot.slot_end = now - offset + lookup.interval_end;
+  if (next_ != nullptr && switch_at_ > now) {
+    slot.slot_end = std::min(slot.slot_end, switch_at_);
+  }
+  return slot;
+}
+
+TableauDispatcher::SecondLevelPick TableauDispatcher::PickSecondLevel(
+    int cpu, TimeNs now, TimeNs slot_end, const std::function<bool(VcpuId)>& eligible) {
+  const SchedulingTable& table = ActiveTable(now);
+  const std::vector<VcpuId>& locals = table.cpu(cpu).local_vcpus;
+  SecondLevelState& state = second_level_[static_cast<std::size_t>(cpu)];
+
+  SecondLevelPick pick;
+  pick.vcpu = kIdleVcpu;
+  pick.until = slot_end;
+  if (!config_.work_conserving) {
+    return pick;
+  }
+
+  auto find_best = [&]() {
+    VcpuId best = kIdleVcpu;
+    TimeNs best_budget = 0;
+    for (const VcpuId vcpu : locals) {
+      if (!SecondLevelLocal(vcpu, cpu, now) || !eligible(vcpu)) {
+        continue;
+      }
+      const auto it = state.budgets.find(vcpu);
+      const TimeNs budget = it == state.budgets.end() ? 0 : it->second;
+      if (budget > best_budget) {
+        best = vcpu;
+        best_budget = budget;
+      }
+    }
+    return std::pair<VcpuId, TimeNs>(best, best_budget);
+  };
+
+  auto [best, budget] = find_best();
+  if (best == kIdleVcpu) {
+    // All eligible budgets exhausted (or first use): replenish by dividing
+    // the epoch evenly among the currently eligible vCPUs, then retry.
+    int count = 0;
+    for (const VcpuId vcpu : locals) {
+      if (SecondLevelLocal(vcpu, cpu, now) && eligible(vcpu)) {
+        ++count;
+      }
+    }
+    if (count == 0) {
+      return pick;  // Nothing runnable: idle.
+    }
+    const TimeNs share = config_.second_level_epoch / count;
+    for (const VcpuId vcpu : locals) {
+      if (SecondLevelLocal(vcpu, cpu, now) && eligible(vcpu)) {
+        state.budgets[vcpu] = std::max<TimeNs>(share, 1);
+      }
+    }
+    std::tie(best, budget) = find_best();
+    TABLEAU_CHECK(best != kIdleVcpu);
+  }
+  pick.vcpu = best;
+  // Floor the grant at the enforceability threshold so dispatch overhead can
+  // never outpace budget consumption.
+  pick.until = std::min(slot_end, now + std::max(budget, kMinGrantNs));
+  return pick;
+}
+
+void TableauDispatcher::AccrueSecondLevel(int cpu, VcpuId vcpu, TimeNs amount) {
+  SecondLevelState& state = second_level_[static_cast<std::size_t>(cpu)];
+  const auto it = state.budgets.find(vcpu);
+  if (it != state.budgets.end()) {
+    it->second = std::max<TimeNs>(0, it->second - amount);
+  }
+}
+
+int TableauDispatcher::WakeupTargetCpu(VcpuId vcpu, TimeNs now) {
+  const SchedulingTable& table = ActiveTable(now);
+  const auto it = timelines_.find(vcpu);
+  if (it == timelines_.end() || it->second.entries.empty()) {
+    return -1;
+  }
+  const std::vector<VcpuTimeline::Entry>& entries = it->second.entries;
+  const TimeNs offset = now % table.length();
+  // Last entry with start <= offset; if none, wrap to the final entry of the
+  // previous cycle.
+  auto upper = std::upper_bound(
+      entries.begin(), entries.end(), offset,
+      [](TimeNs t, const VcpuTimeline::Entry& e) { return t < e.start; });
+  if (upper == entries.begin()) {
+    return entries.back().cpu;
+  }
+  return std::prev(upper)->cpu;
+}
+
+bool TableauDispatcher::InOwnSlot(VcpuId vcpu, int cpu, TimeNs now) {
+  const SlotInfo slot = LookupSlot(cpu, now);
+  return slot.vcpu == vcpu;
+}
+
+bool TableauDispatcher::IsSplit(VcpuId vcpu) {
+  const auto it = timelines_.find(vcpu);
+  return it != timelines_.end() && it->second.split;
+}
+
+bool TableauDispatcher::SecondLevelLocal(VcpuId vcpu, int cpu, TimeNs now) {
+  if (!IsSplit(vcpu)) {
+    return true;
+  }
+  if (!config_.split_participation) {
+    return false;
+  }
+  // Trailing-core policy: only where the vCPU last had (or currently has) a
+  // guaranteed allocation, avoiding any cross-core synchronization.
+  return WakeupTargetCpu(vcpu, now) == cpu;
+}
+
+}  // namespace tableau

@@ -1,0 +1,136 @@
+// The Tableau dispatcher (paper Secs. 4 and 6): the hypervisor-resident,
+// core-local, table-driven first-level scheduler plus the epoch-based
+// round-robin second-level scheduler, the lock-free time-synchronized table
+// switch protocol, and table-guided wake-up targeting.
+//
+// This class holds all Tableau runtime policy but is engine-agnostic: the
+// hypervisor adapter (src/schedulers/tableau_scheduler.*) wires it to the
+// simulated machine. Runnability is supplied through callbacks so the
+// dispatcher can also be unit-tested standalone.
+#ifndef SRC_CORE_DISPATCHER_H_
+#define SRC_CORE_DISPATCHER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/table/scheduling_table.h"
+
+namespace tableau {
+
+// Minimum second-level grant (matches the 100 us enforceability threshold).
+inline constexpr TimeNs kMinGrantNs = 100 * kMicrosecond;
+
+class TableauDispatcher {
+ public:
+  struct Config {
+    // Enables the second-level scheduler (the "uncapped" scenario). When
+    // false, idle or blocked table slots stay idle (the "capped" scenario).
+    bool work_conserving = true;
+    // Epoch length of the second-level fair-share scheduler: the epoch is
+    // divided evenly among runnable core-local vCPUs.
+    TimeNs second_level_epoch = 10 * kMillisecond;
+    // Second-level participation of split (migrating) vCPUs via the
+    // "trailing core" policy (Sec. 5): the vCPU takes part only on the pCPU
+    // where it last received a guaranteed allocation. The paper's prototype
+    // omits this ("not a major limitation"); off by default to match.
+    bool split_participation = false;
+  };
+
+  TableauDispatcher(int num_cpus, Config config);
+
+  // Installs a table. The first installation takes effect immediately; later
+  // installations follow the time-synchronized switch protocol: the
+  // next_table pointer is "set" in the middle of the next round of the
+  // current table, and all cores switch together at the wrap after that.
+  void InstallTable(std::shared_ptr<const SchedulingTable> table, TimeNs now);
+
+  // The table currently in effect at `now` (promotes a pending switch).
+  const SchedulingTable& ActiveTable(TimeNs now);
+
+  // Absolute time of the pending table switch, or kTimeNever.
+  TimeNs pending_switch_time() const { return next_ ? switch_at_ : kTimeNever; }
+
+  // First-level lookup: the reserved vCPU (or kIdleVcpu) covering `now` on
+  // `cpu` and the absolute end of the current interval (clamped to a pending
+  // table switch). O(1) via the slice table.
+  struct SlotInfo {
+    VcpuId vcpu = kIdleVcpu;
+    TimeNs slot_end = 0;
+  };
+  SlotInfo LookupSlot(int cpu, TimeNs now);
+
+  // Second-level pick among core-local vCPUs for which `eligible` returns
+  // true: highest remaining budget first; budgets replenish to
+  // epoch / #eligible when all eligible budgets are exhausted. Returns
+  // kIdleVcpu if no eligible vCPU exists. `until` is the absolute time the
+  // pick is valid to (budget depletion or slot end, whichever is first).
+  struct SecondLevelPick {
+    VcpuId vcpu = kIdleVcpu;
+    TimeNs until = 0;
+  };
+  SecondLevelPick PickSecondLevel(int cpu, TimeNs now, TimeNs slot_end,
+                                  const std::function<bool(VcpuId)>& eligible);
+
+  // Burns second-level budget for a vCPU that ran `amount` ns on `cpu` from
+  // a second-level decision.
+  void AccrueSecondLevel(int cpu, VcpuId vcpu, TimeNs amount);
+
+  // Wake-up targeting (Sec. 6, "Efficient wake-ups"): the CPU on which
+  // `vcpu` has an allocation covering `now`, or the CPU of its most recent
+  // allocation (cyclically) otherwise. Returns -1 for unknown vCPUs.
+  int WakeupTargetCpu(VcpuId vcpu, TimeNs now);
+
+  // True if the vCPU's current allocation (in the active table) covers `now`.
+  bool InOwnSlot(VcpuId vcpu, int cpu, TimeNs now);
+
+  // Whether the vCPU has allocations on more than one core (split by C=D or
+  // cluster scheduling). Split vCPUs take part in second-level scheduling
+  // only under the trailing-core policy (config.split_participation).
+  bool IsSplit(VcpuId vcpu);
+
+  // True if `vcpu` may take part in second-level scheduling on `cpu` at
+  // `now`: always for single-core vCPUs; for split vCPUs only with
+  // split_participation enabled and only on the trailing core.
+  bool SecondLevelLocal(VcpuId vcpu, int cpu, TimeNs now);
+
+  const Config& config() const { return config_; }
+
+  // Monotonic count of tables that have taken effect (first install = 1).
+  // Lets callers detect promotions (e.g. to emit a table-switch trace event).
+  std::uint64_t table_generation() const { return generation_; }
+
+ private:
+  struct VcpuTimeline {
+    struct Entry {
+      TimeNs start;
+      TimeNs end;
+      int cpu;
+    };
+    std::vector<Entry> entries;  // Sorted by start.
+    bool split = false;
+  };
+
+  struct SecondLevelState {
+    std::map<VcpuId, TimeNs> budgets;
+  };
+
+  void BuildTimelines();
+
+  const int num_cpus_;
+  const Config config_;
+
+  std::shared_ptr<const SchedulingTable> current_;
+  std::shared_ptr<const SchedulingTable> next_;
+  TimeNs switch_at_ = kTimeNever;
+  std::uint64_t generation_ = 0;
+
+  std::map<VcpuId, VcpuTimeline> timelines_;  // For the active table.
+  std::vector<SecondLevelState> second_level_;
+};
+
+}  // namespace tableau
+
+#endif  // SRC_CORE_DISPATCHER_H_

@@ -1,0 +1,123 @@
+#include "src/core/plan_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace tableau {
+namespace {
+
+std::uint64_t UtilizationBits(double utilization) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(utilization));
+  std::memcpy(&bits, &utilization, sizeof(bits));
+  return bits;
+}
+
+VcpuId Renamed(const std::map<VcpuId, VcpuId>& renaming, VcpuId id) {
+  const auto it = renaming.find(id);
+  return it == renaming.end() ? id : it->second;
+}
+
+}  // namespace
+
+PlanResult RelabelPlan(const PlanResult& plan, const std::map<VcpuId, VcpuId>& renaming) {
+  PlanResult result = plan;
+  for (VcpuPlan& vcpu : result.vcpus) {
+    vcpu.vcpu = Renamed(renaming, vcpu.vcpu);
+  }
+  for (VcpuRequest& request : result.requests) {
+    request.vcpu = Renamed(renaming, request.vcpu);
+  }
+  for (auto& core : result.core_tasks) {
+    for (PeriodicTask& task : core) {
+      task.vcpu = Renamed(renaming, task.vcpu);
+    }
+  }
+  // Rebuild the table with renamed allocations (local_vcpus and slice
+  // structure depend only on layout, so Build reproduces them).
+  std::vector<std::vector<Allocation>> per_cpu(
+      static_cast<std::size_t>(plan.table.num_cpus()));
+  for (int c = 0; c < plan.table.num_cpus(); ++c) {
+    per_cpu[static_cast<std::size_t>(c)] = plan.table.cpu(c).allocations;
+    for (Allocation& alloc : per_cpu[static_cast<std::size_t>(c)]) {
+      alloc.vcpu = Renamed(renaming, alloc.vcpu);
+    }
+  }
+  result.table = SchedulingTable::Build(plan.table.length(), std::move(per_cpu));
+  return result;
+}
+
+PlanCache::PlanCache(PlannerConfig config, std::size_t capacity)
+    : planner_(config), capacity_(capacity) {
+  TABLEAU_CHECK(capacity_ > 0);
+}
+
+PlanCache::Key PlanCache::MakeKey(const std::vector<VcpuRequest>& requests) {
+  Key key;
+  key.reserve(requests.size());
+  for (const VcpuRequest& request : requests) {
+    key.emplace_back(UtilizationBits(request.utilization), request.latency_goal);
+  }
+  std::sort(key.begin(), key.end());
+  return key;
+}
+
+PlanResult PlanCache::GetOrPlan(const std::vector<VcpuRequest>& requests) {
+  const Key key = MakeKey(requests);
+
+  // Canonical order of the caller's requests, matching the key's sort, so a
+  // cached plan (labeled with canonical ids 0..n-1) can be relabeled.
+  std::vector<std::size_t> order(requests.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return std::make_pair(UtilizationBits(requests[a].utilization),
+                          requests[a].latency_goal) <
+           std::make_pair(UtilizationBits(requests[b].utilization),
+                          requests[b].latency_goal);
+  });
+
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // Touch.
+    std::map<VcpuId, VcpuId> renaming;
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+      renaming[static_cast<VcpuId>(rank)] = requests[order[rank]].vcpu;
+    }
+    return RelabelPlan(*it->second->second, renaming);
+  }
+
+  ++misses_;
+  // Plan under canonical ids (rank order), then cache and relabel back.
+  std::vector<VcpuRequest> canonical;
+  canonical.reserve(requests.size());
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    VcpuRequest request = requests[order[rank]];
+    request.vcpu = static_cast<VcpuId>(rank);
+    canonical.push_back(request);
+  }
+  PlanResult planned = planner_.Plan(canonical);
+  if (!planned.success) {
+    return planned;  // Failures are not cached (and carry the error text).
+  }
+
+  auto cached = std::make_shared<const PlanResult>(std::move(planned));
+  lru_.emplace_front(key, cached);
+  entries_[key] = lru_.begin();
+  if (entries_.size() > capacity_) {
+    entries_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+
+  std::map<VcpuId, VcpuId> renaming;
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    renaming[static_cast<VcpuId>(rank)] = requests[order[rank]].vcpu;
+  }
+  return RelabelPlan(*cached, renaming);
+}
+
+}  // namespace tableau

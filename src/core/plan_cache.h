@@ -1,0 +1,56 @@
+// Plan caching (Sec. 7.1: "it is trivially possible to centrally cache
+// tables for common configurations that are frequently reused").
+//
+// Cloud fleets provision from a small set of price-differentiated tiers, so
+// hosts keep seeing the same configurations. The cache keys a plan by the
+// *multiset* of (utilization, latency-goal) reservations — vCPU identity is
+// irrelevant to the schedule's shape — and relabels the cached plan's vCPU
+// ids to the caller's on a hit.
+#ifndef SRC_CORE_PLAN_CACHE_H_
+#define SRC_CORE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/core/planner.h"
+
+namespace tableau {
+
+// Rewrites every vCPU id in `plan` according to `renaming` (old -> new).
+// Ids absent from the map are left unchanged.
+PlanResult RelabelPlan(const PlanResult& plan, const std::map<VcpuId, VcpuId>& renaming);
+
+class PlanCache {
+ public:
+  explicit PlanCache(PlannerConfig config, std::size_t capacity = 64);
+
+  // Returns a plan for the request set, reusing a cached plan for any
+  // configuration with the same reservation multiset. Failed plans are not
+  // cached. The result is always labeled with the caller's vCPU ids.
+  PlanResult GetOrPlan(const std::vector<VcpuRequest>& requests);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  // Reservations sorted by (utilization, latency): the canonical key.
+  using Key = std::vector<std::pair<std::uint64_t, TimeNs>>;
+
+  static Key MakeKey(const std::vector<VcpuRequest>& requests);
+
+  Planner planner_;
+  std::size_t capacity_;
+  // LRU: most recently used at the front.
+  std::list<std::pair<Key, std::shared_ptr<const PlanResult>>> lru_;
+  std::map<Key, decltype(lru_)::iterator> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace tableau
+
+#endif  // SRC_CORE_PLAN_CACHE_H_

@@ -1,0 +1,479 @@
+#include "src/core/planner.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/common/check.h"
+#include "src/rt/cd_split.h"
+#include "src/rt/dpfair.h"
+#include "src/rt/edf_sim.h"
+#include "src/core/peephole.h"
+#include "src/rt/partition.h"
+
+namespace tableau {
+namespace {
+
+PlanResult Fail(std::string error) {
+  PlanResult result;
+  result.success = false;
+  result.error = std::move(error);
+  return result;
+}
+
+}  // namespace
+
+Planner::Planner(PlannerConfig config) : config_(config) {
+  TABLEAU_CHECK(config_.num_cpus > 0);
+  TABLEAU_CHECK(config_.hyperperiod > 0);
+}
+
+PlanResult Planner::Plan(const std::vector<VcpuRequest>& requests) const {
+  const TimeNs h = config_.hyperperiod;
+
+  // --- Validation ---
+  std::set<VcpuId> seen;
+  for (const VcpuRequest& request : requests) {
+    if (request.utilization <= 0.0 || request.utilization > 1.0) {
+      return Fail("vCPU " + std::to_string(request.vcpu) + ": utilization out of (0, 1]");
+    }
+    if (request.latency_goal <= 0) {
+      return Fail("vCPU " + std::to_string(request.vcpu) + ": non-positive latency goal");
+    }
+    if (!seen.insert(request.vcpu).second) {
+      return Fail("duplicate vCPU id " + std::to_string(request.vcpu));
+    }
+  }
+
+  // --- Dedicated cores for U == 1 vCPUs ---
+  std::vector<VcpuId> dedicated;
+  std::vector<VcpuRequest> shared;
+  for (const VcpuRequest& request : requests) {
+    if (request.utilization >= 1.0) {
+      dedicated.push_back(request.vcpu);
+    } else {
+      shared.push_back(request);
+    }
+  }
+  const int shared_cores = config_.num_cpus - static_cast<int>(dedicated.size());
+  if (shared_cores < 0 || (shared_cores == 0 && !shared.empty())) {
+    return Fail("not enough cores: " + std::to_string(dedicated.size()) +
+                " dedicated vCPUs on " + std::to_string(config_.num_cpus) + " cores");
+  }
+
+  // --- Map (U, L) reservations to periodic tasks ---
+  PlanResult result;
+  std::vector<PeriodicTask> tasks;
+  for (const VcpuRequest& request : shared) {
+    const std::optional<TaskMapping> mapping = MapRequestToTask(request);
+    if (!mapping.has_value()) {
+      return Fail("vCPU " + std::to_string(request.vcpu) + ": unmappable reservation");
+    }
+    tasks.push_back(mapping->task);
+    VcpuPlan plan;
+    plan.vcpu = request.vcpu;
+    plan.requested_utilization = request.utilization;
+    plan.latency_goal = request.latency_goal;
+    plan.cost = mapping->task.cost;
+    plan.period = mapping->task.period;
+    plan.effective_utilization = mapping->task.Utilization();
+    plan.blackout_bound = mapping->blackout_bound;
+    plan.latency_goal_met = mapping->latency_goal_met;
+    result.vcpus.push_back(plan);
+  }
+  for (const VcpuId vcpu : dedicated) {
+    VcpuPlan plan;
+    plan.vcpu = vcpu;
+    plan.requested_utilization = 1.0;
+    plan.effective_utilization = 1.0;
+    plan.dedicated = true;
+    plan.latency_goal_met = true;
+    result.vcpus.push_back(plan);
+  }
+
+  // --- Admission control ---
+  // C = ceil(U*T) over-reserves by up to (1 - 1ns/T) per period, so an
+  // exactly fully packed machine (e.g. the fair-share U = m/n setup) can
+  // exceed capacity by a few ns. Shave 1 ns from rounded-up budgets (largest
+  // recovery first) before rejecting: the affected vCPUs still receive their
+  // share up to nanosecond quantization.
+  TimeNs total_demand = TotalDemand(tasks, h);
+  const TimeNs capacity = static_cast<TimeNs>(shared_cores) * h;
+  if (total_demand > capacity) {
+    std::vector<std::size_t> shavable;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const double exact = shared[i].utilization * static_cast<double>(tasks[i].period);
+      if (static_cast<double>(tasks[i].cost) > exact && tasks[i].cost > 1) {
+        shavable.push_back(i);
+      }
+    }
+    std::sort(shavable.begin(), shavable.end(), [&](std::size_t a, std::size_t b) {
+      return h / tasks[a].period > h / tasks[b].period;  // Most ns recovered first.
+    });
+    for (const std::size_t i : shavable) {
+      if (total_demand <= capacity) {
+        break;
+      }
+      tasks[i].cost -= 1;
+      total_demand -= h / tasks[i].period;
+      result.vcpus[i].cost = tasks[i].cost;
+      result.vcpus[i].effective_utilization = tasks[i].Utilization();
+      result.vcpus[i].blackout_bound = 2 * (tasks[i].period - tasks[i].cost);
+    }
+  }
+  if (total_demand > static_cast<TimeNs>(shared_cores) * h) {
+    return Fail("over-utilized: demand " + std::to_string(total_demand) + " ns > " +
+                std::to_string(shared_cores) + " cores x " + std::to_string(h) + " ns");
+  }
+
+  // --- Stage 1: partitioning; Stage 2: C=D semi-partitioning ---
+  std::vector<std::vector<Allocation>> per_core(
+      static_cast<std::size_t>(config_.num_cpus));
+  std::vector<std::vector<PeriodicTask>> core_tasks;
+  std::vector<bool> core_is_clustered(static_cast<std::size_t>(shared_cores), false);
+
+  // NUMA affinity constraints, honored by the partitioning stage.
+  std::map<VcpuId, int> socket_of;
+  const int cores_per_socket =
+      config_.cores_per_socket > 0 ? config_.cores_per_socket : shared_cores;
+  if (config_.cores_per_socket > 0) {
+    for (const VcpuRequest& request : shared) {
+      if (request.socket_affinity >= 0) {
+        const int sockets = (shared_cores + cores_per_socket - 1) / cores_per_socket;
+        if (request.socket_affinity >= sockets) {
+          return Fail("vCPU " + std::to_string(request.vcpu) +
+                      ": socket affinity out of range");
+        }
+        socket_of[request.vcpu] = request.socket_affinity;
+      }
+    }
+  }
+  const auto Partition = [&](const std::vector<PeriodicTask>& task_set) {
+    return WorstFitDecreasingNuma(task_set, socket_of, shared_cores, cores_per_socket,
+                                  h);
+  };
+
+  PartitionResult partition = Partition(tasks);
+  if (!partition.complete) {
+    // Partitioning can fail purely due to ceil-rounding: e.g. four
+    // quarter-share tasks whose C = ceil(T/4) overflow a core by a few ns.
+    // Retry with 1 ns shaved from every rounded-up budget before escalating
+    // to semi-partitioning; the guarantee degrades only by the nanosecond
+    // quantization already inherent in the table format.
+    std::vector<PeriodicTask> shaved = tasks;
+    bool any_shaved = false;
+    for (std::size_t i = 0; i < shaved.size(); ++i) {
+      const double exact = shared[i].utilization * static_cast<double>(shaved[i].period);
+      if (static_cast<double>(shaved[i].cost) > exact && shaved[i].cost > 1) {
+        shaved[i].cost -= 1;
+        any_shaved = true;
+      }
+    }
+    if (any_shaved) {
+      PartitionResult retry = Partition(shaved);
+      if (retry.complete) {
+        partition = std::move(retry);
+        tasks = std::move(shaved);
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+          result.vcpus[i].cost = tasks[i].cost;
+          result.vcpus[i].effective_utilization = tasks[i].Utilization();
+          result.vcpus[i].blackout_bound = 2 * (tasks[i].period - tasks[i].cost);
+        }
+      }
+    }
+  }
+  if (partition.complete) {
+    result.method = PlanMethod::kPartitioned;
+    core_tasks = std::move(partition.core_tasks);
+  } else {
+    SemiPartitionResult semi = SemiPartition(tasks, shared_cores, h,
+                                             config_.split_granularity);
+    if (semi.complete) {
+      result.method = PlanMethod::kSemiPartitioned;
+      core_tasks = std::move(semi.core_tasks);
+    } else {
+      // --- Stage 3: DP-Fair over a growing cluster of cores ---
+      result.method = PlanMethod::kClustered;
+      core_tasks = std::move(semi.core_tasks);
+      // Cores hosting C=D pieces keep their EDF tables; only cores with
+      // purely implicit-deadline assignments may join the cluster.
+      std::vector<int> mergeable;
+      for (int c = 0; c < shared_cores; ++c) {
+        const auto& assigned = core_tasks[static_cast<std::size_t>(c)];
+        const bool has_split_piece =
+            std::any_of(assigned.begin(), assigned.end(), [](const PeriodicTask& t) {
+              return t.offset != 0 || t.deadline != t.period;
+            });
+        if (!has_split_piece) {
+          mergeable.push_back(c);
+        }
+      }
+      // Prefer merging the least-loaded cores first (most spare capacity).
+      std::sort(mergeable.begin(), mergeable.end(), [&](int a, int b) {
+        const TimeNs sa = SpareCapacity(core_tasks[static_cast<std::size_t>(a)], h);
+        const TimeNs sb = SpareCapacity(core_tasks[static_cast<std::size_t>(b)], h);
+        if (sa != sb) return sa > sb;
+        return a < b;
+      });
+
+      bool clustered = false;
+      for (int k = 2; k <= static_cast<int>(mergeable.size()); ++k) {
+        std::vector<PeriodicTask> cluster_tasks = semi.unassigned;
+        for (int i = 0; i < k; ++i) {
+          const auto& assigned = core_tasks[static_cast<std::size_t>(mergeable[i])];
+          cluster_tasks.insert(cluster_tasks.end(), assigned.begin(), assigned.end());
+        }
+        ClusterScheduleResult cluster = DpFairSchedule(cluster_tasks, k, h);
+        if (!cluster.success) {
+          continue;
+        }
+        for (int i = 0; i < k; ++i) {
+          const auto core = static_cast<std::size_t>(mergeable[i]);
+          core_tasks[core].clear();
+          core_is_clustered[core] = true;
+          per_core[core] = std::move(cluster.core_allocations[static_cast<std::size_t>(i)]);
+        }
+        clustered = true;
+        break;
+      }
+      if (!clustered) {
+        // Last resort: DP-Fair over all shared cores with all tasks. This is
+        // guaranteed to succeed for any non-over-utilized configuration of
+        // implicit-deadline tasks (modulo nanosecond-rounding repair).
+        ClusterScheduleResult cluster = DpFairSchedule(tasks, shared_cores, h);
+        if (!cluster.success) {
+          return Fail("cluster scheduling failed (pathological rounding)");
+        }
+        core_tasks.assign(static_cast<std::size_t>(shared_cores), {});
+        for (int c = 0; c < shared_cores; ++c) {
+          const auto core = static_cast<std::size_t>(c);
+          core_is_clustered[core] = true;
+          per_core[core] = std::move(cluster.core_allocations[core]);
+        }
+      }
+    }
+  }
+
+  // --- Simulate per-core EDF schedules for non-clustered cores ---
+  for (int c = 0; c < shared_cores; ++c) {
+    const auto core = static_cast<std::size_t>(c);
+    if (core_is_clustered[core] || core_tasks.empty()) {
+      continue;
+    }
+    if (core_tasks[core].empty()) {
+      continue;
+    }
+    EdfSimResult sim = SimulateEdf(core_tasks[core], h);
+    TABLEAU_CHECK_MSG(sim.schedulable, "EDF simulation failed on core %d for vCPU %d",
+                      c, sim.missed_vcpu);
+    per_core[core] = std::move(sim.allocations);
+  }
+
+  // --- Optional peephole pass: defragment jobs within their windows ---
+  if (config_.peephole_pass) {
+    PeepholeOptimize(per_core, core_tasks);
+  }
+
+  // --- Dedicated cores occupy the tail core indices ---
+  for (std::size_t i = 0; i < dedicated.size(); ++i) {
+    const auto core = static_cast<std::size_t>(shared_cores) + i;
+    per_core[core].push_back(Allocation{dedicated[i], 0, h});
+  }
+
+  // --- Post-processing: coalescing and table construction ---
+  std::vector<std::pair<VcpuId, TimeNs>> donated;
+  per_core = CoalesceAllocations(std::move(per_core), config_.coalesce_threshold, &donated);
+  result.table = SchedulingTable::Build(h, std::move(per_core));
+  const std::string violation = result.table.Validate();
+  TABLEAU_CHECK_MSG(violation.empty(), "planner produced invalid table: %s",
+                    violation.c_str());
+
+  std::map<VcpuId, TimeNs> donated_by_vcpu;
+  for (const auto& [vcpu, amount] : donated) {
+    donated_by_vcpu[vcpu] += amount;
+  }
+  for (VcpuPlan& plan : result.vcpus) {
+    plan.split = result.table.CpusOf(plan.vcpu).size() > 1;
+    const auto it = donated_by_vcpu.find(plan.vcpu);
+    plan.donated_ns = it == donated_by_vcpu.end() ? 0 : it->second;
+  }
+  result.core_tasks = std::move(core_tasks);
+  result.requests = requests;
+  result.dirty_cores.resize(static_cast<std::size_t>(config_.num_cpus));
+  for (int c = 0; c < config_.num_cpus; ++c) {
+    result.dirty_cores[static_cast<std::size_t>(c)] = c;
+  }
+  result.success = true;
+  return result;
+}
+
+PlanResult Planner::PlanIncremental(const PlanResult& previous,
+                                    const std::vector<VcpuRequest>& added,
+                                    const std::vector<VcpuId>& departed) const {
+  const TimeNs h = config_.hyperperiod;
+
+  // Merged request list (used both for fallback and for the result).
+  std::set<VcpuId> departing(departed.begin(), departed.end());
+  std::vector<VcpuRequest> requests;
+  for (const VcpuRequest& request : previous.requests) {
+    if (departing.find(request.vcpu) == departing.end()) {
+      requests.push_back(request);
+    }
+  }
+  requests.insert(requests.end(), added.begin(), added.end());
+
+  // The fast path handles the common fully partitioned case without
+  // dedicated cores; anything else falls back to a full plan.
+  const bool fast_path_applicable =
+      previous.success && previous.method == PlanMethod::kPartitioned &&
+      static_cast<int>(previous.core_tasks.size()) == config_.num_cpus &&
+      std::none_of(added.begin(), added.end(),
+                   [](const VcpuRequest& r) { return r.utilization >= 1.0; });
+  if (!fast_path_applicable) {
+    return Plan(requests);
+  }
+
+  std::vector<std::vector<PeriodicTask>> core_tasks = previous.core_tasks;
+  std::set<int> dirty;
+
+  // Remove departed vCPUs from their cores.
+  for (int c = 0; c < config_.num_cpus; ++c) {
+    auto& assigned = core_tasks[static_cast<std::size_t>(c)];
+    const std::size_t before = assigned.size();
+    assigned.erase(std::remove_if(assigned.begin(), assigned.end(),
+                                  [&](const PeriodicTask& t) {
+                                    return departing.find(t.vcpu) != departing.end();
+                                  }),
+                   assigned.end());
+    if (assigned.size() != before) {
+      dirty.insert(c);
+    }
+  }
+
+  // Place added vCPUs worst-fit over current per-core demand.
+  std::vector<VcpuPlan> added_plans;
+  for (const VcpuRequest& request : added) {
+    const std::optional<TaskMapping> mapping = MapRequestToTask(request);
+    if (!mapping.has_value()) {
+      return Plan(requests);  // Full path produces the proper error.
+    }
+    PeriodicTask task = mapping->task;
+    int best = -1;
+    TimeNs best_load = 0;
+    for (int c = 0; c < config_.num_cpus; ++c) {
+      const TimeNs load = TotalDemand(core_tasks[static_cast<std::size_t>(c)], h);
+      if (load + task.DemandPerHyperperiod(h) > h) {
+        continue;
+      }
+      if (best == -1 || load < best_load) {
+        best = c;
+        best_load = load;
+      }
+    }
+    if (best == -1 && task.cost > 1) {
+      // Quantization retry: a 1 ns shave may make it fit (see Plan()).
+      const double exact =
+          request.utilization * static_cast<double>(task.period);
+      if (static_cast<double>(task.cost) > exact) {
+        task.cost -= 1;
+        for (int c = 0; c < config_.num_cpus; ++c) {
+          const TimeNs load = TotalDemand(core_tasks[static_cast<std::size_t>(c)], h);
+          if (load + task.DemandPerHyperperiod(h) <= h &&
+              (best == -1 || load < best_load)) {
+            best = c;
+            best_load = load;
+          }
+        }
+      }
+    }
+    if (best == -1) {
+      return Plan(requests);  // Needs rebalancing or splitting: full replan.
+    }
+    core_tasks[static_cast<std::size_t>(best)].push_back(task);
+    dirty.insert(best);
+
+    VcpuPlan plan;
+    plan.vcpu = request.vcpu;
+    plan.requested_utilization = request.utilization;
+    plan.latency_goal = request.latency_goal;
+    plan.cost = task.cost;
+    plan.period = task.period;
+    plan.effective_utilization = task.Utilization();
+    plan.blackout_bound = 2 * (task.period - task.cost);
+    plan.latency_goal_met =
+        mapping->latency_goal_met && plan.blackout_bound <= request.latency_goal;
+    added_plans.push_back(plan);
+  }
+
+  // Rebuild only the dirty cores; untouched cores keep their previous
+  // (already coalesced) allocations verbatim.
+  PlanResult result;
+  std::vector<std::vector<Allocation>> per_core(
+      static_cast<std::size_t>(config_.num_cpus));
+  std::vector<std::vector<Allocation>> dirty_alloc(
+      static_cast<std::size_t>(config_.num_cpus));
+  for (int c = 0; c < config_.num_cpus; ++c) {
+    const auto core = static_cast<std::size_t>(c);
+    if (dirty.find(c) == dirty.end()) {
+      per_core[core] = previous.table.cpu(c).allocations;
+      continue;
+    }
+    if (core_tasks[core].empty()) {
+      continue;
+    }
+    EdfSimResult sim = SimulateEdf(core_tasks[core], h);
+    TABLEAU_CHECK_MSG(sim.schedulable, "incremental EDF failed on core %d", c);
+    dirty_alloc[core] = std::move(sim.allocations);
+  }
+  if (config_.peephole_pass) {
+    PeepholeOptimize(dirty_alloc, core_tasks);
+  }
+  std::vector<std::pair<VcpuId, TimeNs>> donated;
+  dirty_alloc = CoalesceAllocations(std::move(dirty_alloc), config_.coalesce_threshold,
+                                    &donated);
+  for (int c = 0; c < config_.num_cpus; ++c) {
+    const auto core = static_cast<std::size_t>(c);
+    if (dirty.find(c) != dirty.end()) {
+      per_core[core] = std::move(dirty_alloc[core]);
+    }
+  }
+
+  result.method = PlanMethod::kPartitioned;
+  result.table = SchedulingTable::Build(h, std::move(per_core));
+  const std::string violation = result.table.Validate();
+  TABLEAU_CHECK_MSG(violation.empty(), "incremental plan invalid: %s", violation.c_str());
+
+  // Carry forward unchanged vCPU plans; append the new ones.
+  std::map<VcpuId, TimeNs> donated_by_vcpu;
+  for (const auto& [vcpu, amount] : donated) {
+    donated_by_vcpu[vcpu] += amount;
+  }
+  for (const VcpuPlan& plan : previous.vcpus) {
+    if (departing.find(plan.vcpu) == departing.end()) {
+      result.vcpus.push_back(plan);
+    }
+  }
+  result.vcpus.insert(result.vcpus.end(), added_plans.begin(), added_plans.end());
+  std::map<VcpuId, int> home_core;
+  for (int c = 0; c < config_.num_cpus; ++c) {
+    for (const PeriodicTask& task : core_tasks[static_cast<std::size_t>(c)]) {
+      home_core[task.vcpu] = c;
+    }
+  }
+  for (VcpuPlan& plan : result.vcpus) {
+    const auto core_it = home_core.find(plan.vcpu);
+    if (core_it != home_core.end() && dirty.find(core_it->second) != dirty.end()) {
+      // Re-coalesced core: replace the donation accounting wholesale.
+      const auto it = donated_by_vcpu.find(plan.vcpu);
+      plan.donated_ns = it == donated_by_vcpu.end() ? 0 : it->second;
+    }
+  }
+
+  result.core_tasks = std::move(core_tasks);
+  result.requests = std::move(requests);
+  result.dirty_cores.assign(dirty.begin(), dirty.end());
+  result.success = true;
+  return result;
+}
+
+}  // namespace tableau

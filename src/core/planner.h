@@ -1,0 +1,127 @@
+// The Tableau planner (paper Sec. 5): turns a set of per-vCPU (utilization,
+// latency) reservations into a concrete cyclic scheduling table.
+//
+// Pipeline:
+//   1. vCPUs with U >= 1 get dedicated cores.
+//   2. Remaining vCPUs are mapped to periodic tasks over the fixed
+//      hyperperiod's divisor set (Sec. 5, "Mapping to periodic tasks").
+//   3. Admission control rejects over-utilized configurations.
+//   4. Worst-fit-decreasing partitioning; per-core EDF simulation yields the
+//      table ("Partitioning").
+//   5. On failure, C=D semi-partitioning ("Semi-partitioning").
+//   6. On failure, DP-Fair cluster scheduling over a growing cluster of
+//      cores ("Localized optimal scheduling").
+//   7. Post-processing: sub-threshold allocation coalescing and slice-table
+//      construction for O(1) dispatch ("Post-processing").
+//
+// The planner is a pure function of its inputs and can run anywhere (in the
+// paper: a dom0 userspace daemon); it shares no state with the dispatcher
+// except the produced table.
+#ifndef SRC_CORE_PLANNER_H_
+#define SRC_CORE_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/rt/hyperperiod.h"
+#include "src/rt/periodic_task.h"
+#include "src/table/scheduling_table.h"
+
+namespace tableau {
+
+struct PlannerConfig {
+  int num_cpus = 16;
+  // Allocations shorter than this are coalesced away (Sec. 5 post-processing;
+  // determined by context-switch overheads).
+  TimeNs coalesce_threshold = 30 * kMicrosecond;
+  // Minimum C=D piece size (the 100 us enforceability threshold).
+  TimeNs split_granularity = kMinPeriodNs;
+  TimeNs hyperperiod = kHyperperiodNs;
+  // Enables the peephole reordering pass (src/core/peephole.h), which
+  // reduces preemptions by defragmenting jobs within their period windows.
+  bool peephole_pass = false;
+  // Socket width for NUMA-affine placement (VcpuRequest::socket_affinity).
+  // 0 disables affinity handling (the machine is treated as flat).
+  int cores_per_socket = 0;
+};
+
+enum class PlanMethod { kPartitioned, kSemiPartitioned, kClustered };
+
+inline const char* PlanMethodName(PlanMethod m) {
+  switch (m) {
+    case PlanMethod::kPartitioned:
+      return "partitioned";
+    case PlanMethod::kSemiPartitioned:
+      return "semi-partitioned";
+    case PlanMethod::kClustered:
+      return "clustered";
+  }
+  return "?";
+}
+
+// Per-vCPU outcome of planning.
+struct VcpuPlan {
+  VcpuId vcpu = kIdleVcpu;
+  double requested_utilization = 0;
+  TimeNs latency_goal = 0;
+  // Chosen periodic-task parameters (0/0 for dedicated vCPUs).
+  TimeNs cost = 0;
+  TimeNs period = 0;
+  double effective_utilization = 0;
+  // Guaranteed upper bound on scheduling latency: 2 * (T - C).
+  TimeNs blackout_bound = 0;
+  bool latency_goal_met = false;
+  bool dedicated = false;
+  bool split = false;  // Received allocations on more than one core.
+  // Time per hyperperiod lost to coalescing of sub-threshold slivers
+  // (Sec. 5 post-processing). The granted share is at least
+  // effective_utilization - donated_ns / hyperperiod.
+  TimeNs donated_ns = 0;
+};
+
+struct PlanResult {
+  bool success = false;
+  std::string error;
+  PlanMethod method = PlanMethod::kPartitioned;
+  SchedulingTable table;
+  std::vector<VcpuPlan> vcpus;
+  // Per-shared-core task assignment (fully populated for partitioned and
+  // semi-partitioned plans; empty entries for clustered cores). Consumed by
+  // PlanIncremental to avoid replanning untouched cores.
+  std::vector<std::vector<PeriodicTask>> core_tasks;
+  // Original requests, keyed by vCPU (for incremental replanning).
+  std::vector<VcpuRequest> requests;
+  // Cores whose allocations changed relative to the previous plan (only set
+  // by PlanIncremental; Plan marks every core dirty).
+  std::vector<int> dirty_cores;
+};
+
+class Planner {
+ public:
+  explicit Planner(PlannerConfig config);
+
+  // Generates a scheduling table for the given reservations. vCPU ids must
+  // be unique. Thread-compatible; Plan() is const and reentrant.
+  PlanResult Plan(const std::vector<VcpuRequest>& requests) const;
+
+  // Incremental replanning (the Sec. 7.1 optimization: "tables can be
+  // incrementally re-computed on a per-core basis"): starting from a
+  // previous successful plan, removes `departed` vCPUs and places `added`
+  // ones, re-simulating only the cores whose assignments changed; untouched
+  // cores keep their previous allocations verbatim. Falls back to a full
+  // Plan() when the previous plan used splitting/clustering, when a new
+  // vCPU does not fit on any single core, or when rebalancing is needed.
+  PlanResult PlanIncremental(const PlanResult& previous,
+                             const std::vector<VcpuRequest>& added,
+                             const std::vector<VcpuId>& departed) const;
+
+  const PlannerConfig& config() const { return config_; }
+
+ private:
+  PlannerConfig config_;
+};
+
+}  // namespace tableau
+
+#endif  // SRC_CORE_PLANNER_H_

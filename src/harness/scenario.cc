@@ -1,0 +1,167 @@
+#include "src/harness/scenario.h"
+
+#include "src/common/check.h"
+#include "src/schedulers/credit.h"
+#include "src/schedulers/credit2.h"
+#include "src/core/coschedule.h"
+#include "src/schedulers/cfs.h"
+#include "src/schedulers/rtds.h"
+
+namespace tableau {
+
+const char* SchedKindName(SchedKind kind) {
+  switch (kind) {
+    case SchedKind::kCredit:
+      return "Credit";
+    case SchedKind::kCredit2:
+      return "Credit2";
+    case SchedKind::kRtds:
+      return "RTDS";
+    case SchedKind::kTableau:
+      return "Tableau";
+    case SchedKind::kCfs:
+      return "CFS";
+  }
+  return "?";
+}
+
+Scenario BuildScenario(const ScenarioConfig& config) {
+  Scenario scenario;
+
+  std::unique_ptr<VcpuScheduler> scheduler;
+  TableauScheduler* tableau = nullptr;
+  switch (config.scheduler) {
+    case SchedKind::kCredit: {
+      CreditScheduler::Options options;
+      options.timeslice = config.credit_timeslice;
+      scheduler = std::make_unique<CreditScheduler>(options);
+      break;
+    }
+    case SchedKind::kCredit2: {
+      TABLEAU_CHECK_MSG(!config.capped, "Credit2 does not support caps (Sec. 7.2)");
+      scheduler = std::make_unique<Credit2Scheduler>(Credit2Scheduler::Options{});
+      break;
+    }
+    case SchedKind::kRtds: {
+      TABLEAU_CHECK_MSG(config.capped, "RTDS reservations are inherently capped");
+      scheduler = std::make_unique<RtdsScheduler>();
+      break;
+    }
+    case SchedKind::kCfs: {
+      scheduler = std::make_unique<CfsScheduler>(CfsScheduler::Options{});
+      break;
+    }
+    case SchedKind::kTableau: {
+      TableauDispatcher::Config dispatcher;
+      dispatcher.work_conserving = !config.capped;
+      auto owned = std::make_unique<TableauScheduler>(dispatcher);
+      tableau = owned.get();
+      scheduler = std::move(owned);
+      break;
+    }
+  }
+
+  MachineConfig machine_config;
+  machine_config.num_cpus = config.guest_cpus;
+  machine_config.cores_per_socket = config.cores_per_socket;
+  machine_config.costs = config.costs;
+  scenario.machine = std::make_unique<Machine>(machine_config, std::move(scheduler));
+  scenario.tableau = tableau;
+
+  const int num_vms = config.guest_cpus * config.vms_per_core;
+  for (int i = 0; i < num_vms; ++i) {
+    VcpuParams params;
+    params.weight = 256;
+    params.cap = config.capped ? config.utilization : 0.0;
+    params.utilization = config.utilization;
+    params.latency_goal = config.latency_goal;
+    params.name = "vm" + std::to_string(i);
+    scenario.vcpus.push_back(scenario.machine->AddVcpu(params));
+    scenario.vm_of.push_back(i);
+  }
+  scenario.vantage = scenario.vcpus.empty() ? nullptr : scenario.vcpus.front();
+
+  if (tableau != nullptr && num_vms > 0) {
+    PlannerConfig planner_config;
+    planner_config.num_cpus = config.guest_cpus;
+    const Planner planner(planner_config);
+    std::vector<VcpuRequest> requests;
+    for (const Vcpu* vcpu : scenario.vcpus) {
+      VcpuRequest request;
+      request.vcpu = vcpu->id();
+      request.utilization = config.utilization;
+      request.latency_goal = config.latency_goal;
+      requests.push_back(request);
+    }
+    scenario.plan = planner.Plan(requests);
+    TABLEAU_CHECK_MSG(scenario.plan.success, "planner failed: %s",
+                      scenario.plan.error.c_str());
+    tableau->PushTable(std::make_shared<SchedulingTable>(scenario.plan.table));
+  }
+  return scenario;
+}
+
+Scenario BuildVmScenario(const ScenarioConfig& config, const std::vector<VmSpec>& vms) {
+  // Build the machine and scheduler via the single-vCPU path with zero VMs;
+  // the table is planned and pushed below, once.
+  ScenarioConfig empty = config;
+  empty.vms_per_core = 0;
+  Scenario scenario = BuildScenario(empty);
+
+  std::vector<VcpuRequest> requests;
+  std::vector<CoscheduleHint> hints;
+  int vm_index = 0;
+  for (const VmSpec& vm : vms) {
+    TABLEAU_CHECK(vm.vcpus >= 1);
+    std::vector<VcpuId> members;
+    for (int i = 0; i < vm.vcpus; ++i) {
+      VcpuParams params;
+      params.weight = 256;
+      params.cap = config.capped ? vm.utilization_each : 0.0;
+      params.utilization = vm.utilization_each;
+      params.latency_goal = vm.latency_goal;
+      params.name = "vm" + std::to_string(vm_index) + "." + std::to_string(i);
+      Vcpu* vcpu = scenario.machine->AddVcpu(params);
+      scenario.vcpus.push_back(vcpu);
+      scenario.vm_of.push_back(vm_index);
+      members.push_back(vcpu->id());
+      requests.push_back(
+          VcpuRequest{vcpu->id(), vm.utilization_each, vm.latency_goal});
+    }
+    if (vm.gang) {
+      for (std::size_t i = 1; i < members.size(); ++i) {
+        hints.push_back(
+            CoscheduleHint{members[0], members[i], CoschedulePreference::kPrefer});
+      }
+    }
+    ++vm_index;
+  }
+  scenario.vantage = scenario.vcpus.empty() ? nullptr : scenario.vcpus.front();
+
+  if (scenario.tableau != nullptr) {
+    PlannerConfig planner_config;
+    planner_config.num_cpus = config.guest_cpus;
+    const Planner planner(planner_config);
+    scenario.plan = planner.Plan(requests);
+    TABLEAU_CHECK_MSG(scenario.plan.success, "planner failed: %s",
+                      scenario.plan.error.c_str());
+    if (!hints.empty() && scenario.plan.method == PlanMethod::kPartitioned) {
+      std::vector<std::vector<Allocation>> per_core(
+          static_cast<std::size_t>(config.guest_cpus));
+      for (int c = 0; c < config.guest_cpus; ++c) {
+        per_core[static_cast<std::size_t>(c)] =
+            scenario.plan.table.cpu(c).allocations;
+      }
+      CoschedulePass(per_core, scenario.plan.core_tasks, hints,
+                     scenario.plan.table.length());
+      scenario.plan.table =
+          SchedulingTable::Build(scenario.plan.table.length(), std::move(per_core));
+      TABLEAU_CHECK(scenario.plan.table.Validate().empty());
+    }
+    scenario.tableau->PushTable(
+        std::make_shared<SchedulingTable>(scenario.plan.table));
+  }
+  return scenario;
+}
+
+}  // namespace tableau

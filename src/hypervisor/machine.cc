@@ -1,0 +1,281 @@
+#include "src/hypervisor/machine.h"
+
+#include <algorithm>
+
+namespace tableau {
+
+Machine::Machine(MachineConfig config, std::unique_ptr<VcpuScheduler> scheduler)
+    : config_(config), scheduler_(std::move(scheduler)) {
+  TABLEAU_CHECK(config_.num_cpus > 0 && config_.cores_per_socket > 0);
+  cpu_.resize(static_cast<std::size_t>(config_.num_cpus));
+  trace_.set_enabled(false);
+  scheduler_->Attach(this);
+}
+
+Vcpu* Machine::AddVcpu(const VcpuParams& params) {
+  const VcpuId id = static_cast<VcpuId>(vcpus_.size());
+  vcpus_.push_back(std::make_unique<Vcpu>(id, params));
+  vcpu_dispatches_.push_back(0);
+  vcpu_second_level_.push_back(0);
+  Vcpu* vcpu = vcpus_.back().get();
+  scheduler_->AddVcpu(vcpu);
+  return vcpu;
+}
+
+void Machine::RunFor(TimeNs duration) {
+  sim_.RunUntil(sim_.Now() + duration);
+  for (CpuId cpu = 0; cpu < config_.num_cpus; ++cpu) {
+    SettleService(cpu);
+  }
+}
+
+void Machine::Start() {
+  scheduler_->Start();
+  for (CpuId cpu = 0; cpu < config_.num_cpus; ++cpu) {
+    sim_.ScheduleAt(sim_.Now(), [this, cpu] { Reschedule(cpu, DeschedReason::kSliceEnd); });
+  }
+}
+
+template <typename Fn>
+auto Machine::TraceOp(SchedOp op, CpuId cpu, Fn&& fn) {
+  TABLEAU_CHECK(!op_active_);
+  op_active_ = true;
+  op_cost_ = carryover_cost_;
+  carryover_cost_ = 0;
+  auto finish = [&]() {
+    op_active_ = false;
+    op_stats_.Record(op, op_cost_);
+    CpuState& state = cpu_[static_cast<std::size_t>(cpu)];
+    state.overhead_debt += op_cost_;
+  };
+  if constexpr (std::is_void_v<decltype(fn())>) {
+    fn();
+    finish();
+  } else {
+    auto result = fn();
+    finish();
+    return result;
+  }
+}
+
+void Machine::AddOpCost(TimeNs cost) {
+  TABLEAU_CHECK(cost >= 0);
+  if (op_active_) {
+    op_cost_ += cost;
+  } else {
+    carryover_cost_ += cost;
+  }
+}
+
+void Machine::ChargeBackground(CpuId cpu, TimeNs cost) {
+  TABLEAU_CHECK(cost >= 0);
+  cpu_[static_cast<std::size_t>(cpu)].overhead_debt += cost;
+}
+
+void Machine::KickCpu(CpuId cpu, bool remote) {
+  CpuState& state = cpu_[static_cast<std::size_t>(cpu)];
+  if (state.kick_pending) {
+    return;
+  }
+  state.kick_pending = true;
+  if (remote) {
+    AddOpCost(config_.costs.ipi_send);
+  }
+  const TimeNs delay = remote ? config_.costs.ipi_latency : 0;
+  sim_.ScheduleAfter(delay, [this, cpu] {
+    cpu_[static_cast<std::size_t>(cpu)].kick_pending = false;
+    Reschedule(cpu, DeschedReason::kPreempted);
+  });
+}
+
+void Machine::SettleService(CpuId cpu) {
+  CpuState& state = cpu_[static_cast<std::size_t>(cpu)];
+  Vcpu* vcpu = state.current;
+  if (vcpu == nullptr) {
+    return;
+  }
+  const TimeNs now = sim_.Now();
+  // Guest-visible service excludes the overhead window before service_start_.
+  const TimeNs served = std::max<TimeNs>(0, now - vcpu->service_start_);
+  if (served > 0) {
+    vcpu->total_service_ += served;
+    state.busy_ns += served;
+    if (vcpu->remaining_burst_ != kTimeNever) {
+      vcpu->remaining_burst_ = std::max<TimeNs>(0, vcpu->remaining_burst_ - served);
+    }
+  }
+  vcpu->service_start_ = std::max(vcpu->service_start_, now);
+  // Scheduler accounting (credits, budgets) burns assigned *wall* time, as
+  // Xen does: overhead and context-switch time are charged to the vCPU that
+  // was scheduled. This also guarantees forward progress when a slice is
+  // shorter than the dispatch overhead.
+  const TimeNs wall = std::max<TimeNs>(0, now - state.last_accrual);
+  state.last_accrual = now;
+  if (wall > 0) {
+    scheduler_->OnServiceAccrued(vcpu, cpu, wall);
+  }
+}
+
+void Machine::Wake(VcpuId id) {
+  Vcpu* vcpu = vcpus_[static_cast<std::size_t>(id)].get();
+  if (vcpu->state_ != VcpuState::kBlocked) {
+    return;
+  }
+  vcpu->state_ = VcpuState::kRunnable;
+  vcpu->wake_time_ = sim_.Now();
+  vcpu->woke_since_dispatch_ = true;
+  trace_.Record(sim_.Now(), TraceEvent::kWakeup, vcpu->last_cpu_, vcpu->id());
+  // Wakeups are processed on the vCPU's last CPU (where the event-channel
+  // interrupt lands); the charged cost lands there as overhead debt.
+  const CpuId processing = vcpu->last_cpu_ == kNoCpu ? 0 : vcpu->last_cpu_;
+  AddOpCost(config_.costs.wakeup_entry);
+  TraceOp(SchedOp::kWakeup, processing, [&] { scheduler_->OnWakeup(vcpu); });
+}
+
+void Machine::Block(Vcpu* vcpu) {
+  const CpuId cpu = vcpu->running_on_;
+  TABLEAU_CHECK_MSG(cpu != kNoCpu, "Block() on a non-running vCPU %d", vcpu->id());
+  CpuState& state = cpu_[static_cast<std::size_t>(cpu)];
+  TABLEAU_CHECK(state.current == vcpu);
+  SettleService(cpu);
+  vcpu->state_ = VcpuState::kBlocked;
+  vcpu->running_on_ = kNoCpu;
+  vcpu->last_cpu_ = cpu;
+  vcpu->last_service_end_ = sim_.Now();
+  trace_.Record(sim_.Now(), TraceEvent::kBlock, cpu, vcpu->id());
+  state.current = nullptr;
+  sim_.Cancel(state.pending);
+  state.pending = kInvalidEvent;
+  scheduler_->OnBlock(vcpu, cpu);
+  Reschedule(cpu, DeschedReason::kBlocked);
+}
+
+void Machine::Reschedule(CpuId cpu, DeschedReason reason) {
+  CpuState& state = cpu_[static_cast<std::size_t>(cpu)];
+  sim_.Cancel(state.pending);
+  state.pending = kInvalidEvent;
+  const TimeNs now = sim_.Now();
+
+  Vcpu* prev = state.current;
+  if (prev != nullptr) {
+    SettleService(cpu);
+    prev->state_ = VcpuState::kRunnable;
+    prev->running_on_ = kNoCpu;
+    prev->last_cpu_ = cpu;
+    prev->last_service_end_ = now;
+    state.current = nullptr;
+    trace_.Record(now, TraceEvent::kDeschedule, cpu, prev->id(),
+                  static_cast<std::int64_t>(reason));
+    TraceOp(SchedOp::kMigrate, cpu, [&] { scheduler_->OnDeschedule(prev, cpu, reason); });
+  }
+
+  ++schedule_invocations_;
+  AddOpCost(config_.costs.sched_entry);
+  Decision decision =
+      TraceOp(SchedOp::kSchedule, cpu, [&] { return scheduler_->PickNext(cpu); });
+  TABLEAU_CHECK_MSG(decision.until > now,
+                    "scheduler returned a non-advancing decision (until=%lld, now=%lld)",
+                    static_cast<long long>(decision.until), static_cast<long long>(now));
+  state.decision_until = decision.until;
+
+  TimeNs start_delay = state.overhead_debt;
+  state.overhead_debt = 0;
+
+  if (decision.vcpu == kIdleVcpu) {
+    trace_.Record(now, TraceEvent::kIdle, cpu, kIdleVcpu);
+    state.overhead_ns += start_delay;
+    if (decision.until != kTimeNever) {
+      state.pending = sim_.ScheduleAt(std::max(now, decision.until), [this, cpu] {
+        Reschedule(cpu, DeschedReason::kSliceEnd);
+      });
+    }
+    return;
+  }
+
+  Vcpu* next = vcpus_[static_cast<std::size_t>(decision.vcpu)].get();
+  TABLEAU_CHECK_MSG(next->runnable(), "scheduler picked blocked vCPU %d", next->id());
+  TABLEAU_CHECK_MSG(next->running_on_ == kNoCpu,
+                    "scheduler picked vCPU %d already running on cpu %d", next->id(),
+                    next->running_on_);
+  if (next != prev) {
+    start_delay += config_.costs.context_switch;
+    ++context_switches_;
+  }
+  state.overhead_ns += start_delay;
+
+  next->state_ = VcpuState::kRunning;
+  next->running_on_ = cpu;
+  next->service_start_ = now + start_delay;
+  state.current = next;
+  state.last_accrual = now;
+  state.dispatches++;
+  vcpu_dispatches_[static_cast<std::size_t>(next->id())]++;
+  if (decision.second_level) {
+    state.second_level_dispatches++;
+    vcpu_second_level_[static_cast<std::size_t>(next->id())]++;
+  }
+
+  if (next->instrumented_) {
+    if (next->woke_since_dispatch_) {
+      next->wakeup_latency_.Record(next->service_start_ - next->wake_time_);
+    } else if (next->dispatch_count_ > 0) {
+      next->service_gaps_.Record(next->service_start_ - next->last_service_end_);
+    }
+  }
+  next->woke_since_dispatch_ = false;
+  next->dispatch_count_++;
+  trace_.Record(now, TraceEvent::kDispatch, cpu, next->id(),
+                decision.second_level ? 1 : 0);
+
+  TimeNs event_time = decision.until;
+  if (next->remaining_burst_ != kTimeNever) {
+    event_time = std::min(event_time, next->service_start_ + next->remaining_burst_);
+  }
+  TABLEAU_CHECK(event_time != kTimeNever);
+  state.pending =
+      sim_.ScheduleAt(std::max(now, event_time), [this, cpu] { OnCpuEvent(cpu); });
+}
+
+void Machine::OnCpuEvent(CpuId cpu) {
+  CpuState& state = cpu_[static_cast<std::size_t>(cpu)];
+  state.pending = kInvalidEvent;
+  Vcpu* vcpu = state.current;
+  const TimeNs now = sim_.Now();
+
+  if (vcpu == nullptr || now >= state.decision_until) {
+    Reschedule(cpu, DeschedReason::kSliceEnd);
+    return;
+  }
+
+  // Burst completion: let the guest decide what happens next.
+  SettleService(cpu);
+  TABLEAU_CHECK(vcpu->remaining_burst_ == 0);
+  TABLEAU_CHECK_MSG(static_cast<bool>(vcpu->on_burst_complete),
+                    "vCPU %d has no on_burst_complete handler", vcpu->id());
+  vcpu->on_burst_complete();
+
+  if (state.current == vcpu && vcpu->state_ == VcpuState::kRunning) {
+    // Guest continued with a new burst; no scheduler involvement needed.
+    TABLEAU_CHECK_MSG(vcpu->remaining_burst_ > 0,
+                      "vCPU %d continued running with an empty burst", vcpu->id());
+    TimeNs event_time = state.decision_until;
+    if (vcpu->remaining_burst_ != kTimeNever) {
+      event_time = std::min(event_time, now + vcpu->remaining_burst_);
+    }
+    TABLEAU_CHECK(event_time != kTimeNever);
+    state.pending =
+        sim_.ScheduleAt(std::max(now, event_time), [this, cpu] { OnCpuEvent(cpu); });
+  }
+  // Otherwise the guest blocked and Block() already rescheduled this CPU.
+}
+
+double Machine::SecondLevelFraction(VcpuId vcpu) const {
+  const auto v = static_cast<std::size_t>(vcpu);
+  if (vcpu_dispatches_[v] == 0) {
+    return 0;
+  }
+  return static_cast<double>(vcpu_second_level_[v]) /
+         static_cast<double>(vcpu_dispatches_[v]);
+}
+
+}  // namespace tableau

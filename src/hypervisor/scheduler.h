@@ -1,0 +1,82 @@
+// The VM-scheduler interface of the hypervisor substrate.
+//
+// Mirrors the shape of Xen's scheduler hooks: a per-CPU pick-next entry
+// point, wake/block notifications, and a post-deschedule hook (the "Migrate"
+// operation of Tables 1-2, where e.g. RTDS does its lock-protected
+// load-balancing and Tableau occasionally sends a hand-off IPI).
+//
+// Implementations charge their runtime costs through Machine::AddOpCost()
+// while inside a hook; the machine turns the charged nanoseconds into
+// consumed CPU time and tracepoint samples.
+#ifndef SRC_HYPERVISOR_SCHEDULER_H_
+#define SRC_HYPERVISOR_SCHEDULER_H_
+
+#include <string>
+
+#include "src/common/time.h"
+#include "src/hypervisor/vcpu.h"
+
+namespace tableau {
+
+class Machine;
+
+// What a scheduler tells a CPU to do next.
+struct Decision {
+  // vCPU to run, or kIdleVcpu to idle.
+  VcpuId vcpu = kIdleVcpu;
+  // Absolute time of the next mandatory scheduler invocation on this CPU
+  // (slice end, budget depletion, table-slot boundary). kTimeNever to wait
+  // for a kick.
+  TimeNs until = kTimeNever;
+  // True if the decision came from a second-level / work-conserving path
+  // (used to reproduce the paper's Sec. 7.4 decision-source trace).
+  bool second_level = false;
+};
+
+// Why a vCPU is being descheduled.
+enum class DeschedReason { kSliceEnd, kPreempted, kBlocked };
+
+class VcpuScheduler {
+ public:
+  virtual ~VcpuScheduler() = default;
+
+  virtual std::string Name() const = 0;
+
+  // Called once, after the machine is constructed.
+  virtual void Attach(Machine* machine) { machine_ = machine; }
+
+  // Registers a vCPU (initially blocked).
+  virtual void AddVcpu(Vcpu* vcpu) = 0;
+
+  // Picks the next vCPU for `cpu`. The previous vCPU (if any) has already
+  // been settled and reported via OnDeschedule.
+  virtual Decision PickNext(CpuId cpu) = 0;
+
+  // `vcpu` transitioned blocked -> runnable.
+  virtual void OnWakeup(Vcpu* vcpu) = 0;
+
+  // `vcpu` blocked while running on `cpu`.
+  virtual void OnBlock(Vcpu* vcpu, CpuId cpu) = 0;
+
+  // `vcpu` was descheduled on `cpu` but remains runnable (slice end or
+  // preemption). Post-schedule work is charged here ("Migrate").
+  virtual void OnDeschedule(Vcpu* vcpu, CpuId cpu, DeschedReason reason) = 0;
+
+  // Service accounting: `vcpu` consumed `amount` ns of CPU on `cpu`.
+  virtual void OnServiceAccrued(Vcpu* vcpu, CpuId cpu, TimeNs amount) {
+    (void)vcpu;
+    (void)cpu;
+    (void)amount;
+  }
+
+  // Called by the machine after all vCPUs are added, before simulation
+  // starts. Schedulers set up periodic timers (accounting ticks) here.
+  virtual void Start() {}
+
+ protected:
+  Machine* machine_ = nullptr;
+};
+
+}  // namespace tableau
+
+#endif  // SRC_HYPERVISOR_SCHEDULER_H_

@@ -1,0 +1,121 @@
+#include "src/hypervisor/trace.h"
+
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace tableau {
+
+const char* TraceEventName(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::kDispatch:
+      return "dispatch";
+    case TraceEvent::kDeschedule:
+      return "deschedule";
+    case TraceEvent::kBlock:
+      return "block";
+    case TraceEvent::kWakeup:
+      return "wakeup";
+    case TraceEvent::kIdle:
+      return "idle";
+    case TraceEvent::kTableSwitch:
+      return "table-switch";
+  }
+  return "?";
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity) {
+  TABLEAU_CHECK(capacity_ > 0);
+  ring_.reserve(capacity_);
+}
+
+void TraceBuffer::Record(TimeNs time, TraceEvent event, int cpu, VcpuId vcpu,
+                         std::int64_t arg) {
+  if (!enabled_) {
+    return;
+  }
+  ++total_;
+  const TraceRecord record{time, event, static_cast<std::int16_t>(cpu), vcpu, arg};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(record);
+  } else {
+    ring_[next_] = record;
+    wrapped_ = true;
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::size_t TraceBuffer::size() const { return ring_.size(); }
+
+void TraceBuffer::ForEach(const std::function<void(const TraceRecord&)>& fn) const {
+  if (!wrapped_) {
+    for (const TraceRecord& record : ring_) {
+      fn(record);
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    fn(ring_[(next_ + i) % capacity_]);
+  }
+}
+
+std::vector<TraceRecord> TraceBuffer::Query(const Filter& filter) const {
+  std::vector<TraceRecord> result;
+  ForEach([&](const TraceRecord& record) {
+    if (filter.event.has_value() && record.event != *filter.event) {
+      return;
+    }
+    if (filter.vcpu != kIdleVcpu && record.vcpu != filter.vcpu) {
+      return;
+    }
+    if (filter.cpu != -1 && record.cpu != filter.cpu) {
+      return;
+    }
+    if (record.time < filter.from || record.time >= filter.to) {
+      return;
+    }
+    result.push_back(record);
+  });
+  return result;
+}
+
+std::vector<TraceBuffer::ServiceInterval> TraceBuffer::ServiceTimeline(
+    VcpuId vcpu) const {
+  std::vector<ServiceInterval> timeline;
+  bool running = false;
+  ServiceInterval current{};
+  ForEach([&](const TraceRecord& record) {
+    if (record.vcpu != vcpu) {
+      return;
+    }
+    if (record.event == TraceEvent::kDispatch) {
+      running = true;
+      current.start = record.time;
+      current.cpu = record.cpu;
+      current.second_level = record.arg != 0;
+    } else if (running && (record.event == TraceEvent::kDeschedule ||
+                           record.event == TraceEvent::kBlock)) {
+      current.end = record.time;
+      timeline.push_back(current);
+      running = false;
+    }
+  });
+  return timeline;
+}
+
+std::string TraceBuffer::Format(const TraceRecord& record) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%14s %-12s cpu%-3d vcpu%-4d arg=%lld",
+                FormatDuration(record.time).c_str(), TraceEventName(record.event),
+                record.cpu, record.vcpu, static_cast<long long>(record.arg));
+  return buf;
+}
+
+void TraceBuffer::Clear() {
+  ring_.clear();
+  next_ = 0;
+  wrapped_ = false;
+  total_ = 0;
+}
+
+}  // namespace tableau

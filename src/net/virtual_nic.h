@@ -1,0 +1,85 @@
+// Virtual NIC model (the SR-IOV virtual function each VM gets in Sec. 7.4).
+//
+// The guest enqueues response bytes into a finite ring buffer; the NIC
+// drains the ring at line rate even while the guest is descheduled, and the
+// guest must wait for ring space to send more. This reproduces the paper's
+// Sec. 7.5 observation: under a rigid table, a VM serving large (1 MiB)
+// responses fills the ring, gets preempted for a long slot gap, the NIC
+// drains and then idles — so I/O device utilization (and hence large-file
+// throughput) suffers compared to schedulers that spread execution out.
+//
+// The ring is modelled lazily by its transmit-completion horizon, so no
+// per-packet events are needed.
+#ifndef SRC_NET_VIRTUAL_NIC_H_
+#define SRC_NET_VIRTUAL_NIC_H_
+
+#include <cstdint>
+
+#include "src/common/check.h"
+#include "src/common/time.h"
+
+namespace tableau {
+
+class VirtualNic {
+ public:
+  struct Config {
+    // Per-VF drain rate. 10 Gbit/s = 1.25 bytes/ns.
+    double bandwidth_bits_per_sec = 10e9;
+    // Ring capacity in bytes (payload queued but not yet on the wire).
+    std::int64_t ring_bytes = 256 * 1024;
+  };
+
+  explicit VirtualNic(Config config) : config_(config) {
+    TABLEAU_CHECK(config_.bandwidth_bits_per_sec > 0 && config_.ring_bytes > 0);
+    // ns per byte = 8 bits / (bits per ns).
+    ns_per_byte_ = 8.0 * 1e9 / config_.bandwidth_bits_per_sec;
+  }
+
+  // Bytes currently queued (enqueued but not yet transmitted) at `now`.
+  std::int64_t QueuedBytes(TimeNs now) const {
+    if (tx_done_at_ <= now) {
+      return 0;
+    }
+    return static_cast<std::int64_t>(static_cast<double>(tx_done_at_ - now) / ns_per_byte_);
+  }
+
+  std::int64_t FreeSpace(TimeNs now) const { return config_.ring_bytes - QueuedBytes(now); }
+
+  // Enqueues up to `bytes`; returns the number accepted (limited by free
+  // ring space).
+  std::int64_t Enqueue(TimeNs now, std::int64_t bytes) {
+    const std::int64_t accepted = bytes < FreeSpace(now) ? bytes : FreeSpace(now);
+    if (accepted <= 0) {
+      return 0;
+    }
+    const TimeNs start = tx_done_at_ > now ? tx_done_at_ : now;
+    tx_done_at_ = start + static_cast<TimeNs>(static_cast<double>(accepted) * ns_per_byte_);
+    total_bytes_ += accepted;
+    return accepted;
+  }
+
+  // Absolute time at which at least `bytes` of ring space will be free
+  // (assuming no further enqueues). `bytes` must be <= ring capacity.
+  TimeNs TimeWhenFree(TimeNs now, std::int64_t bytes) const {
+    TABLEAU_CHECK(bytes <= config_.ring_bytes);
+    const TimeNs needed_horizon = static_cast<TimeNs>(
+        static_cast<double>(config_.ring_bytes - bytes) * ns_per_byte_);
+    const TimeNs when = tx_done_at_ - needed_horizon;
+    return when > now ? when : now;
+  }
+
+  // Absolute time at which everything currently queued is on the wire.
+  TimeNs DrainCompleteTime(TimeNs now) const { return tx_done_at_ > now ? tx_done_at_ : now; }
+
+  std::int64_t total_bytes_transmitted() const { return total_bytes_; }
+
+ private:
+  Config config_;
+  double ns_per_byte_ = 0.8;
+  TimeNs tx_done_at_ = 0;
+  std::int64_t total_bytes_ = 0;
+};
+
+}  // namespace tableau
+
+#endif  // SRC_NET_VIRTUAL_NIC_H_

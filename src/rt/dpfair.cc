@@ -1,0 +1,137 @@
+#include "src/rt/dpfair.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/math_util.h"
+
+namespace tableau {
+namespace {
+
+// Appends [start, end) for `vcpu` to `core`, merging with the previous
+// allocation when contiguous.
+void AppendAllocation(std::vector<Allocation>& core, VcpuId vcpu, TimeNs start, TimeNs end) {
+  if (start == end) {
+    return;
+  }
+  if (!core.empty() && core.back().vcpu == vcpu && core.back().end == start) {
+    core.back().end = end;
+  } else {
+    core.push_back(Allocation{vcpu, start, end});
+  }
+}
+
+}  // namespace
+
+ClusterScheduleResult DpFairSchedule(const std::vector<PeriodicTask>& tasks, int num_cores,
+                                     TimeNs hyperperiod) {
+  ClusterScheduleResult result;
+  result.core_allocations.resize(static_cast<std::size_t>(num_cores));
+  if (tasks.empty()) {
+    result.success = true;
+    return result;
+  }
+
+  TimeNs total_demand = 0;
+  for (const PeriodicTask& task : tasks) {
+    TABLEAU_CHECK(task.offset == 0 && task.deadline == task.period);
+    TABLEAU_CHECK(hyperperiod % task.period == 0);
+    if (task.cost >= task.period) {
+      return result;  // U >= 1 tasks get dedicated cores before this stage.
+    }
+    total_demand += task.DemandPerHyperperiod(hyperperiod);
+  }
+  if (total_demand > static_cast<TimeNs>(num_cores) * hyperperiod) {
+    return result;
+  }
+
+  // Frame boundaries: every job deadline (== period boundary) in (0, H].
+  std::vector<TimeNs> boundaries;
+  boundaries.push_back(0);
+  for (const PeriodicTask& task : tasks) {
+    for (TimeNs t = task.period; t <= hyperperiod; t += task.period) {
+      boundaries.push_back(t);
+    }
+  }
+  std::sort(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()), boundaries.end());
+  TABLEAU_CHECK(boundaries.back() == hyperperiod);
+
+  const std::size_t n = tasks.size();
+  std::vector<TimeNs> done(n, 0);  // Total service received so far per task.
+
+  for (std::size_t f = 0; f + 1 < boundaries.size(); ++f) {
+    const TimeNs a = boundaries[f];
+    const TimeNs b = boundaries[f + 1];
+    const TimeNs len = b - a;
+    const TimeNs capacity = static_cast<TimeNs>(num_cores) * len;
+
+    // Target cumulative service by `b` is floor(C*b/T); at a task's own
+    // deadline this is exactly k*C, so meeting targets meets all deadlines.
+    std::vector<TimeNs> alloc(n, 0);
+    TimeNs sum = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const TimeNs target = MulDivFloor(tasks[i].cost, b, tasks[i].period);
+      alloc[i] = std::max<TimeNs>(0, target - done[i]);
+      if (alloc[i] > len) {
+        return result;  // Rounding debt exceeded one frame; widen the cluster.
+      }
+      sum += alloc[i];
+    }
+
+    // Integer rounding can oversubscribe the frame by < n nanoseconds; defer
+    // the excess to later frames for tasks whose own deadline is not at `b`.
+    if (sum > capacity) {
+      TimeNs excess = sum - capacity;
+      for (std::size_t i = 0; i < n && excess > 0; ++i) {
+        if (b % tasks[i].period == 0) {
+          continue;  // Hard requirement at an own deadline; cannot defer.
+        }
+        // Can defer down to the demand actually due at b (deadlines <= b).
+        const TimeNs due = (b / tasks[i].period) * tasks[i].cost;
+        const TimeNs reducible = std::min(excess, done[i] + alloc[i] - due);
+        if (reducible > 0) {
+          alloc[i] -= reducible;
+          excess -= reducible;
+        }
+      }
+      if (excess > 0) {
+        return result;  // Unrepairable in this frame; widen the cluster.
+      }
+    }
+
+    // McNaughton wrap-around layout. A task split at the core boundary gets
+    // the tail of the frame on one core and the head on the next, and because
+    // per-task allocation <= len those two windows never overlap in time.
+    int core = 0;
+    TimeNs pos = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      TimeNs need = alloc[i];
+      done[i] += alloc[i];
+      while (need > 0) {
+        TABLEAU_CHECK(core < num_cores);
+        const TimeNs room = len - pos;
+        const TimeNs take = std::min(need, room);
+        AppendAllocation(result.core_allocations[static_cast<std::size_t>(core)],
+                         tasks[i].vcpu, a + pos, a + pos + take);
+        pos += take;
+        need -= take;
+        if (pos == len) {
+          ++core;
+          pos = 0;
+        }
+      }
+    }
+  }
+
+  // Final validation: every task must have received exactly its demand.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (done[i] != tasks[i].DemandPerHyperperiod(hyperperiod)) {
+      return result;
+    }
+  }
+  result.success = true;
+  return result;
+}
+
+}  // namespace tableau

@@ -1,0 +1,41 @@
+// Localized optimal multiprocessor scheduling for core clusters (Sec. 5,
+// "Localized optimal scheduling").
+//
+// When partitioning and C=D splitting both fail, the planner merges
+// neighbouring cores into a cluster and schedules the remaining tasks
+// optimally. We use the DP-Fair family approach: time is sliced into frames
+// delimited by consecutive job deadlines (all period boundaries), each task
+// receives its proportional fluid allocation per frame (with exact
+// Bresenham-style integer accounting so every job receives exactly C by its
+// deadline), and allocations within a frame are laid out with McNaughton's
+// wrap-around algorithm, which guarantees that the two pieces of a wrapped
+// task never overlap in time.
+#ifndef SRC_RT_DPFAIR_H_
+#define SRC_RT_DPFAIR_H_
+
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/rt/edf_sim.h"
+#include "src/rt/periodic_task.h"
+
+namespace tableau {
+
+struct ClusterScheduleResult {
+  bool success = false;
+  // Per-cluster-core allocation lists (indices 0..num_cores-1), time-ordered,
+  // non-overlapping, covering [0, hyperperiod).
+  std::vector<std::vector<Allocation>> core_allocations;
+};
+
+// Schedules implicit-deadline tasks on a cluster of `num_cores` cores over
+// one hyperperiod. Requires every task utilization < 1 and total demand
+// <= num_cores * hyperperiod; returns success == false otherwise (or in the
+// measure-zero case where integer rounding cannot be repaired, which the
+// caller handles by widening the cluster).
+ClusterScheduleResult DpFairSchedule(const std::vector<PeriodicTask>& tasks, int num_cores,
+                                     TimeNs hyperperiod);
+
+}  // namespace tableau
+
+#endif  // SRC_RT_DPFAIR_H_

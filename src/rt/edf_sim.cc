@@ -1,0 +1,142 @@
+#include "src/rt/edf_sim.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/common/check.h"
+
+namespace tableau {
+namespace {
+
+struct Job {
+  TimeNs release = 0;
+  TimeNs deadline = 0;
+  TimeNs laxity = 0;  // D - C at release; 0 for C=D subtasks.
+  TimeNs remaining = 0;
+  VcpuId vcpu = kIdleVcpu;
+};
+
+// Heap entry; keys are immutable over the job's lifetime so the heap stays
+// consistent while `remaining` is decremented in the side array.
+struct HeapEntry {
+  TimeNs deadline;
+  TimeNs laxity;
+  VcpuId vcpu;
+  std::size_t job_index;
+};
+
+struct HeapCompare {
+  // std::priority_queue is a max-heap; invert to get earliest-deadline-first
+  // with smaller laxity and then smaller vCPU id breaking ties.
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.deadline != b.deadline) return a.deadline > b.deadline;
+    if (a.laxity != b.laxity) return a.laxity > b.laxity;
+    if (a.vcpu != b.vcpu) return a.vcpu > b.vcpu;
+    return a.job_index > b.job_index;
+  }
+};
+
+EdfSimResult Simulate(const std::vector<PeriodicTask>& tasks, TimeNs hyperperiod,
+                      bool record_allocations) {
+  EdfSimResult result;
+
+  std::vector<Job> jobs;
+  for (const PeriodicTask& task : tasks) {
+    TABLEAU_CHECK_MSG(task.period > 0 && hyperperiod % task.period == 0,
+                      "task period %lld must divide hyperperiod %lld",
+                      static_cast<long long>(task.period),
+                      static_cast<long long>(hyperperiod));
+    TABLEAU_CHECK(task.cost > 0 && task.cost <= task.deadline);
+    TABLEAU_CHECK(task.offset >= 0 && task.offset + task.deadline <= task.period);
+    const TimeNs num_jobs = hyperperiod / task.period;
+    for (TimeNs k = 0; k < num_jobs; ++k) {
+      Job job;
+      job.release = k * task.period + task.offset;
+      job.deadline = job.release + task.deadline;
+      job.laxity = task.deadline - task.cost;
+      job.remaining = task.cost;
+      job.vcpu = task.vcpu;
+      jobs.push_back(job);
+    }
+  }
+  std::sort(jobs.begin(), jobs.end(),
+            [](const Job& a, const Job& b) { return a.release < b.release; });
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCompare> ready;
+  std::size_t next_release_index = 0;
+  TimeNs now = 0;
+
+  auto release_up_to = [&](TimeNs t) {
+    while (next_release_index < jobs.size() && jobs[next_release_index].release <= t) {
+      const Job& j = jobs[next_release_index];
+      ready.push(HeapEntry{j.deadline, j.laxity, j.vcpu, next_release_index});
+      ++next_release_index;
+    }
+  };
+
+  auto record = [&](VcpuId vcpu, TimeNs start, TimeNs end) {
+    if (!record_allocations || start == end) {
+      return;
+    }
+    if (!result.allocations.empty() && result.allocations.back().vcpu == vcpu &&
+        result.allocations.back().end == start) {
+      result.allocations.back().end = end;
+    } else {
+      result.allocations.push_back(Allocation{vcpu, start, end});
+    }
+  };
+
+  release_up_to(now);
+  while (now < hyperperiod) {
+    if (ready.empty()) {
+      if (next_release_index >= jobs.size()) {
+        break;  // No more work: the rest of the table is idle.
+      }
+      now = jobs[next_release_index].release;
+      release_up_to(now);
+      continue;
+    }
+    const HeapEntry top = ready.top();
+    Job& job = jobs[top.job_index];
+    const TimeNs next_release = next_release_index < jobs.size()
+                                    ? jobs[next_release_index].release
+                                    : kTimeNever;
+    const TimeNs run_until = std::min(now + job.remaining, next_release);
+    record(job.vcpu, now, run_until);
+    job.remaining -= run_until - now;
+    now = run_until;
+    if (job.remaining == 0) {
+      ready.pop();
+      if (now > job.deadline) {
+        result.schedulable = false;
+        result.missed_vcpu = job.vcpu;
+        result.missed_deadline = job.deadline;
+        return result;
+      }
+    }
+    release_up_to(now);
+  }
+
+  // Cyclicity requires all work released in [0, H) to be complete by H.
+  if (!ready.empty()) {
+    const HeapEntry top = ready.top();
+    result.schedulable = false;
+    result.missed_vcpu = jobs[top.job_index].vcpu;
+    result.missed_deadline = jobs[top.job_index].deadline;
+    return result;
+  }
+  result.schedulable = true;
+  return result;
+}
+
+}  // namespace
+
+EdfSimResult SimulateEdf(const std::vector<PeriodicTask>& tasks, TimeNs hyperperiod) {
+  return Simulate(tasks, hyperperiod, /*record_allocations=*/true);
+}
+
+bool EdfSchedulable(const std::vector<PeriodicTask>& tasks, TimeNs hyperperiod) {
+  return Simulate(tasks, hyperperiod, /*record_allocations=*/false).schedulable;
+}
+
+}  // namespace tableau

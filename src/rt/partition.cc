@@ -1,0 +1,68 @@
+#include "src/rt/partition.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace tableau {
+
+TimeNs SpareCapacity(const std::vector<PeriodicTask>& core_tasks, TimeNs hyperperiod) {
+  return hyperperiod - TotalDemand(core_tasks, hyperperiod);
+}
+
+PartitionResult WorstFitDecreasing(const std::vector<PeriodicTask>& tasks, int num_cores,
+                                   TimeNs hyperperiod) {
+  return WorstFitDecreasingNuma(tasks, {}, num_cores, /*cores_per_socket=*/num_cores,
+                                hyperperiod);
+}
+
+PartitionResult WorstFitDecreasingNuma(const std::vector<PeriodicTask>& tasks,
+                                       const std::map<VcpuId, int>& socket_of,
+                                       int num_cores, int cores_per_socket,
+                                       TimeNs hyperperiod) {
+  TABLEAU_CHECK(num_cores > 0);
+  TABLEAU_CHECK(cores_per_socket > 0);
+  PartitionResult result;
+  result.core_tasks.resize(static_cast<std::size_t>(num_cores));
+
+  std::vector<PeriodicTask> sorted = tasks;
+  std::sort(sorted.begin(), sorted.end(), [&](const PeriodicTask& a, const PeriodicTask& b) {
+    const TimeNs da = a.DemandPerHyperperiod(hyperperiod);
+    const TimeNs db = b.DemandPerHyperperiod(hyperperiod);
+    if (da != db) return da > db;
+    return a.vcpu < b.vcpu;  // Deterministic order for equal demands.
+  });
+
+  std::vector<TimeNs> load(static_cast<std::size_t>(num_cores), 0);
+  for (const PeriodicTask& task : sorted) {
+    const TimeNs demand = task.DemandPerHyperperiod(hyperperiod);
+    int socket = -1;
+    if (const auto it = socket_of.find(task.vcpu); it != socket_of.end()) {
+      socket = it->second;
+    }
+    int best = -1;
+    for (int core = 0; core < num_cores; ++core) {
+      if (socket >= 0 && core / cores_per_socket != socket) {
+        continue;  // NUMA affinity constraint.
+      }
+      const auto c = static_cast<std::size_t>(core);
+      if (load[c] + demand > hyperperiod) {
+        continue;
+      }
+      if (best == -1 || load[c] < load[static_cast<std::size_t>(best)]) {
+        best = core;
+      }
+    }
+    if (best == -1) {
+      result.unassigned.push_back(task);
+    } else {
+      const auto b = static_cast<std::size_t>(best);
+      result.core_tasks[b].push_back(task);
+      load[b] += demand;
+    }
+  }
+  result.complete = result.unassigned.empty();
+  return result;
+}
+
+}  // namespace tableau

@@ -1,0 +1,71 @@
+// Periodic-task model (Liu & Layland) used by the Tableau planner.
+//
+// Each vCPU with a reserved utilization U and a maximum scheduling latency L
+// is mapped to a periodic task (C, T) with U = C/T and 2*(1-U)*T <= L
+// (Sec. 5 of the paper). Tasks produced by C=D semi-partitioning additionally
+// carry a release offset and a constrained deadline D <= T - offset.
+#ifndef SRC_RT_PERIODIC_TASK_H_
+#define SRC_RT_PERIODIC_TASK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/time.h"
+
+namespace tableau {
+
+// Identifier of the vCPU a task represents. The planner hands tables back to
+// the dispatcher keyed by these ids.
+using VcpuId = std::int32_t;
+inline constexpr VcpuId kIdleVcpu = -1;
+
+struct PeriodicTask {
+  VcpuId vcpu = kIdleVcpu;
+  TimeNs cost = 0;      // C: execution budget per period.
+  TimeNs period = 0;    // T.
+  TimeNs deadline = 0;  // D, relative to release; D <= period - offset.
+  TimeNs offset = 0;    // Release offset within each period window [k*T, (k+1)*T).
+
+  // Implicit-deadline convenience constructor: D = T, offset = 0.
+  static PeriodicTask Implicit(VcpuId vcpu, TimeNs cost, TimeNs period) {
+    PeriodicTask t;
+    t.vcpu = vcpu;
+    t.cost = cost;
+    t.period = period;
+    t.deadline = period;
+    t.offset = 0;
+    return t;
+  }
+
+  double Utilization() const {
+    TABLEAU_CHECK(period > 0);
+    return static_cast<double>(cost) / static_cast<double>(period);
+  }
+
+  // Demand in nanoseconds per `hyperperiod` (exact; `period` must divide it).
+  TimeNs DemandPerHyperperiod(TimeNs hyperperiod) const {
+    TABLEAU_CHECK(period > 0 && hyperperiod % period == 0);
+    return cost * (hyperperiod / period);
+  }
+};
+
+// A vCPU reservation request as given to the planner: a minimum utilization
+// share U in (0, 1] and a maximum acceptable scheduling latency L.
+struct VcpuRequest {
+  VcpuId vcpu = kIdleVcpu;
+  double utilization = 0.0;
+  TimeNs latency_goal = 0;
+  // Optional NUMA placement constraint: restrict this vCPU to cores of the
+  // given socket (-1 = anywhere). Honored by the partitioning stage (the
+  // paper notes memory locality "can be easily incorporated" there); the
+  // rare splitting/cluster fallbacks ignore it.
+  int socket_affinity = -1;
+};
+
+// Sum of exact per-hyperperiod demands of a task set.
+TimeNs TotalDemand(const std::vector<PeriodicTask>& tasks, TimeNs hyperperiod);
+
+}  // namespace tableau
+
+#endif  // SRC_RT_PERIODIC_TASK_H_

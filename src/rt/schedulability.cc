@@ -1,0 +1,92 @@
+#include "src/rt/schedulability.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace tableau {
+
+TimeNs DemandBound(const std::vector<PeriodicTask>& tasks, TimeNs t) {
+  TimeNs demand = 0;
+  for (const PeriodicTask& task : tasks) {
+    if (t >= task.deadline) {
+      demand += ((t - task.deadline) / task.period + 1) * task.cost;
+    }
+  }
+  return demand;
+}
+
+bool DemandBoundSchedulable(const std::vector<PeriodicTask>& tasks, TimeNs hyperperiod) {
+  // Utilization precondition.
+  TimeNs total = 0;
+  for (const PeriodicTask& task : tasks) {
+    TABLEAU_CHECK(hyperperiod % task.period == 0);
+    total += task.DemandPerHyperperiod(hyperperiod);
+  }
+  if (total > hyperperiod) {
+    return false;
+  }
+  // Collect all deadline points in (0, hyperperiod].
+  std::vector<TimeNs> points;
+  for (const PeriodicTask& task : tasks) {
+    for (TimeNs d = task.deadline; d <= hyperperiod; d += task.period) {
+      points.push_back(d);
+    }
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  for (const TimeNs t : points) {
+    if (DemandBound(tasks, t) > t) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Largest absolute deadline strictly smaller than `t` under synchronous
+// release, or 0 if none.
+TimeNs LastDeadlineBefore(const std::vector<PeriodicTask>& tasks, TimeNs t) {
+  TimeNs best = 0;
+  for (const PeriodicTask& task : tasks) {
+    if (task.deadline >= t) {
+      continue;
+    }
+    // Deadlines are task.deadline + k * task.period; the largest below t:
+    const TimeNs k = (t - 1 - task.deadline) / task.period;
+    best = std::max(best, task.deadline + k * task.period);
+  }
+  return best;
+}
+
+}  // namespace
+
+bool QpaSchedulable(const std::vector<PeriodicTask>& tasks, TimeNs hyperperiod) {
+  if (tasks.empty()) {
+    return true;
+  }
+  TimeNs total = 0;
+  TimeNs min_deadline = kTimeNever;
+  for (const PeriodicTask& task : tasks) {
+    TABLEAU_CHECK(hyperperiod % task.period == 0);
+    total += task.DemandPerHyperperiod(hyperperiod);
+    min_deadline = std::min(min_deadline, task.deadline);
+  }
+  if (total > hyperperiod) {
+    return false;
+  }
+  // Since every period divides the hyperperiod and total demand fits in it,
+  // the hyperperiod bounds the analysis interval.
+  TimeNs t = LastDeadlineBefore(tasks, hyperperiod + 1);
+  while (t > min_deadline) {
+    const TimeNs demand = DemandBound(tasks, t);
+    if (demand > t) {
+      return false;
+    }
+    t = demand < t ? demand : LastDeadlineBefore(tasks, t);
+  }
+  return DemandBound(tasks, min_deadline) <= min_deadline;
+}
+
+}  // namespace tableau

@@ -1,0 +1,267 @@
+#include "src/schedulers/cfs.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace tableau {
+
+void CfsScheduler::AddVcpu(Vcpu* vcpu) {
+  const auto id = static_cast<std::size_t>(vcpu->id());
+  if (info_.size() <= id) {
+    info_.resize(id + 1);
+  }
+  VcpuInfo& info = info_[id];
+  info.vcpu = vcpu;
+  info.cpu = static_cast<CpuId>(id) % machine_->num_cpus();
+}
+
+void CfsScheduler::Start() {
+  runq_.assign(static_cast<std::size_t>(machine_->num_cpus()), {});
+  machine_->sim().ScheduleAfter(options_.balance_interval, [this] { PeriodicBalance(); });
+  machine_->sim().ScheduleAfter(options_.bandwidth_period, [this] { BandwidthRefresh(); });
+}
+
+void CfsScheduler::Enqueue(VcpuId id, CpuId cpu) {
+  VcpuInfo& info = info_[static_cast<std::size_t>(id)];
+  if (info.queued) {
+    return;
+  }
+  info.cpu = cpu;
+  info.queued = true;
+  runq_[static_cast<std::size_t>(cpu)].push_back(id);
+}
+
+void CfsScheduler::DequeueIfQueued(VcpuId id) {
+  VcpuInfo& info = info_[static_cast<std::size_t>(id)];
+  if (!info.queued) {
+    return;
+  }
+  auto& queue = runq_[static_cast<std::size_t>(info.cpu)];
+  queue.erase(std::remove(queue.begin(), queue.end(), id), queue.end());
+  info.queued = false;
+}
+
+int CfsScheduler::MinVruntimeInQueue(CpuId cpu) const {
+  const auto& queue = runq_[static_cast<std::size_t>(cpu)];
+  int best = -1;
+  double best_vruntime = 0;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const VcpuInfo& info = info_[static_cast<std::size_t>(queue[i])];
+    if (info.throttled || !info.vcpu->runnable() || info.vcpu->running_on() != kNoCpu) {
+      continue;
+    }
+    if (best == -1 || info.vruntime < best_vruntime) {
+      best = static_cast<int>(i);
+      best_vruntime = info.vruntime;
+    }
+  }
+  return best;
+}
+
+double CfsScheduler::MinVruntime(CpuId cpu) const {
+  double min_vruntime = 0;
+  bool any = false;
+  for (const VcpuId id : runq_[static_cast<std::size_t>(cpu)]) {
+    const VcpuInfo& info = info_[static_cast<std::size_t>(id)];
+    if (!any || info.vruntime < min_vruntime) {
+      min_vruntime = info.vruntime;
+      any = true;
+    }
+  }
+  const Vcpu* running = machine_->RunningOn(cpu);
+  if (running != nullptr) {
+    const VcpuInfo& info = info_[static_cast<std::size_t>(running->id())];
+    if (!any || info.vruntime < min_vruntime) {
+      min_vruntime = info.vruntime;
+      any = true;
+    }
+  }
+  return min_vruntime;
+}
+
+Decision CfsScheduler::PickNext(CpuId cpu) {
+  const OverheadCosts& costs = machine_->config().costs;
+  auto& queue = runq_[static_cast<std::size_t>(cpu)];
+  // rbtree leftmost lookup + accounting updates.
+  machine_->AddOpCost(costs.lock_base + 6 * costs.cache_local +
+                      static_cast<TimeNs>(queue.size()) * costs.runq_entry / 2);
+
+  int best = MinVruntimeInQueue(cpu);
+  if (best == -1) {
+    // Idle balancing: pull the runnable vCPU with the smallest vruntime off
+    // the busiest other runqueue.
+    CpuId busiest = kNoCpu;
+    std::size_t busiest_len = 1;  // Need at least 2 runnable to justify a pull.
+    for (CpuId other = 0; other < machine_->num_cpus(); ++other) {
+      if (other == cpu) {
+        continue;
+      }
+      machine_->AddOpCost(machine_->SocketOf(other) == machine_->SocketOf(cpu)
+                              ? costs.cache_same_socket
+                              : costs.cache_remote_socket);
+      const std::size_t len = runq_[static_cast<std::size_t>(other)].size();
+      if (len > busiest_len) {
+        busiest_len = len;
+        busiest = other;
+      }
+    }
+    if (busiest != kNoCpu) {
+      const int steal = MinVruntimeInQueue(busiest);
+      if (steal != -1) {
+        const VcpuId stolen =
+            runq_[static_cast<std::size_t>(busiest)][static_cast<std::size_t>(steal)];
+        machine_->AddOpCost(costs.lock_base + 2 * costs.cache_remote_socket);
+        DequeueIfQueued(stolen);
+        Enqueue(stolen, cpu);
+        best = MinVruntimeInQueue(cpu);
+      }
+    }
+  }
+
+  Decision decision;
+  if (best == -1) {
+    decision.vcpu = kIdleVcpu;
+    decision.until = kTimeNever;
+    return decision;
+  }
+  const VcpuId picked = queue[static_cast<std::size_t>(best)];
+  DequeueIfQueued(picked);
+
+  // Slice: sched_latency divided among runnable entities, floored at the
+  // minimum granularity. Capped vCPUs additionally stop at their remaining
+  // bandwidth quota (update_curr's per-tick accounting).
+  const std::size_t runnable = queue.size() + 1;
+  TimeNs slice = std::max(options_.min_granularity,
+                          options_.sched_latency / static_cast<TimeNs>(runnable));
+  const VcpuInfo& picked_info = info_[static_cast<std::size_t>(picked)];
+  const double cap = picked_info.vcpu->params().cap;
+  if (cap > 0) {
+    const TimeNs quota =
+        static_cast<TimeNs>(cap * static_cast<double>(options_.bandwidth_period));
+    const TimeNs remaining = quota - picked_info.consumed_in_period;
+    slice = std::max<TimeNs>(100 * kMicrosecond, std::min(slice, remaining));
+  }
+  decision.vcpu = picked;
+  decision.until = machine_->Now() + slice;
+  return decision;
+}
+
+void CfsScheduler::OnWakeup(Vcpu* vcpu) {
+  const OverheadCosts& costs = machine_->config().costs;
+  VcpuInfo& info = info_[static_cast<std::size_t>(vcpu->id())];
+  machine_->AddOpCost(costs.lock_base + 6 * costs.cache_local);
+
+  const CpuId target = vcpu->last_cpu() == kNoCpu ? info.cpu : vcpu->last_cpu();
+  // Sleeper fairness: place the waker no earlier than min_vruntime minus
+  // half a latency period ("gentle fair sleepers"); without the gentle
+  // variant, a long sleeper keeps its (tiny) vruntime and can starve others.
+  if (options_.gentle_fair_sleepers) {
+    const double floor_vruntime =
+        MinVruntime(target) - static_cast<double>(options_.sched_latency) / 2;
+    info.vruntime = std::max(info.vruntime, floor_vruntime);
+  }
+  Enqueue(vcpu->id(), target);
+
+  const Vcpu* running = machine_->RunningOn(target);
+  if (running == nullptr) {
+    machine_->KickCpu(target, /*remote=*/true);
+  } else {
+    // Wakeup preemption: preempt if the waker's vruntime is sufficiently
+    // behind the runner's (wakeup_granularity ~ min_granularity).
+    const VcpuInfo& running_info = info_[static_cast<std::size_t>(running->id())];
+    if (info.vruntime + static_cast<double>(options_.min_granularity) <
+        running_info.vruntime) {
+      machine_->KickCpu(target, /*remote=*/true);
+    }
+  }
+}
+
+void CfsScheduler::OnBlock(Vcpu* vcpu, CpuId cpu) {
+  (void)cpu;
+  machine_->AddOpCost(machine_->config().costs.cache_local);
+  DequeueIfQueued(vcpu->id());
+}
+
+void CfsScheduler::OnDeschedule(Vcpu* vcpu, CpuId cpu, DeschedReason reason) {
+  (void)reason;
+  const OverheadCosts& costs = machine_->config().costs;
+  machine_->AddOpCost(2 * costs.cache_local + costs.runq_entry);
+  VcpuInfo& info = info_[static_cast<std::size_t>(vcpu->id())];
+  if (!info.throttled) {
+    Enqueue(vcpu->id(), cpu);
+  }
+}
+
+void CfsScheduler::OnServiceAccrued(Vcpu* vcpu, CpuId cpu, TimeNs amount) {
+  VcpuInfo& info = info_[static_cast<std::size_t>(vcpu->id())];
+  // vruntime advances inversely to weight (nice-0 load = 256 here).
+  info.vruntime +=
+      static_cast<double>(amount) * 256.0 / static_cast<double>(vcpu->params().weight);
+  const double cap = vcpu->params().cap;
+  if (cap > 0) {
+    info.consumed_in_period += amount;
+    const TimeNs quota =
+        static_cast<TimeNs>(cap * static_cast<double>(options_.bandwidth_period));
+    if (info.consumed_in_period >= quota && !info.throttled) {
+      // CFS bandwidth control: throttled until the next period refresh.
+      info.throttled = true;
+      DequeueIfQueued(vcpu->id());
+      if (vcpu->running_on() != kNoCpu) {
+        machine_->KickCpu(cpu, /*remote=*/false);
+      }
+    }
+  }
+}
+
+void CfsScheduler::PeriodicBalance() {
+  // Active balancing: move one vCPU from the longest to the shortest queue
+  // when the imbalance is at least two (Lozi et al. document how coarse this
+  // heuristic is in practice).
+  const OverheadCosts& costs = machine_->config().costs;
+  CpuId longest = 0;
+  CpuId shortest = 0;
+  for (CpuId cpu = 0; cpu < machine_->num_cpus(); ++cpu) {
+    const std::size_t len = runq_[static_cast<std::size_t>(cpu)].size();
+    if (len > runq_[static_cast<std::size_t>(longest)].size()) {
+      longest = cpu;
+    }
+    if (len < runq_[static_cast<std::size_t>(shortest)].size()) {
+      shortest = cpu;
+    }
+  }
+  if (runq_[static_cast<std::size_t>(longest)].size() >=
+      runq_[static_cast<std::size_t>(shortest)].size() + 2) {
+    const int moved = MinVruntimeInQueue(longest);
+    if (moved != -1) {
+      const VcpuId id =
+          runq_[static_cast<std::size_t>(longest)][static_cast<std::size_t>(moved)];
+      DequeueIfQueued(id);
+      Enqueue(id, shortest);
+      machine_->KickCpu(shortest, /*remote=*/true);
+    }
+  }
+  machine_->ChargeBackground(
+      0, costs.lock_base +
+             static_cast<TimeNs>(machine_->num_cpus()) * costs.cache_same_socket);
+  machine_->sim().ScheduleAfter(options_.balance_interval, [this] { PeriodicBalance(); });
+}
+
+void CfsScheduler::BandwidthRefresh() {
+  for (VcpuInfo& info : info_) {
+    if (info.vcpu == nullptr) {
+      continue;
+    }
+    info.consumed_in_period = 0;
+    if (info.throttled) {
+      info.throttled = false;
+      if (info.vcpu->runnable() && info.vcpu->running_on() == kNoCpu) {
+        Enqueue(info.vcpu->id(), info.cpu);
+        machine_->KickCpu(info.cpu, /*remote=*/true);
+      }
+    }
+  }
+  machine_->sim().ScheduleAfter(options_.bandwidth_period, [this] { BandwidthRefresh(); });
+}
+
+}  // namespace tableau

@@ -1,0 +1,78 @@
+// Model of Linux's Completely Fair Scheduler as used under KVM (paper
+// Sec. 2.1): included as a fifth scheduler because the paper's motivation
+// discusses CFS's heuristics — "gentle fair sleepers" crediting woken tasks
+// half a latency period of virtual runtime, and per-CPU runqueues with
+// periodic load balancing whose "complex and erratic" behaviour can
+// under-utilize cores [Lozi et al., EuroSys'16].
+//
+// Modelled behaviours:
+//  - per-vCPU virtual runtime (vruntime), weighted by the nice-equivalent
+//    weight; the runnable vCPU with the smallest vruntime runs;
+//  - sched_latency / min_granularity slicing: the target latency is divided
+//    among runnable vCPUs, floored at the minimum granularity;
+//  - sleeper fairness: a waking vCPU's vruntime is set back to at most
+//    max(own, cfs_min - sched_latency/2), bounding how much it can starve
+//    the current runner (the "gentle" variant);
+//  - per-CPU runqueues with idle balancing (pull from the busiest CPU) and
+//    periodic active balancing;
+//  - optional bandwidth cap (CFS bandwidth control: quota/period), used for
+//    the capped scenario.
+#ifndef SRC_SCHEDULERS_CFS_H_
+#define SRC_SCHEDULERS_CFS_H_
+
+#include <vector>
+
+#include "src/hypervisor/machine.h"
+#include "src/hypervisor/scheduler.h"
+
+namespace tableau {
+
+class CfsScheduler : public VcpuScheduler {
+ public:
+  struct Options {
+    TimeNs sched_latency = 12 * kMillisecond;   // sched_latency_ns analog.
+    TimeNs min_granularity = 1500 * kMicrosecond;
+    TimeNs balance_interval = 4 * kMillisecond;  // Periodic load balancing.
+    TimeNs bandwidth_period = 100 * kMillisecond;  // CFS bandwidth control.
+    bool gentle_fair_sleepers = true;
+  };
+
+  explicit CfsScheduler(Options options) : options_(options) {}
+
+  std::string Name() const override { return "CFS"; }
+  void AddVcpu(Vcpu* vcpu) override;
+  void Start() override;
+  Decision PickNext(CpuId cpu) override;
+  void OnWakeup(Vcpu* vcpu) override;
+  void OnBlock(Vcpu* vcpu, CpuId cpu) override;
+  void OnDeschedule(Vcpu* vcpu, CpuId cpu, DeschedReason reason) override;
+  void OnServiceAccrued(Vcpu* vcpu, CpuId cpu, TimeNs amount) override;
+
+ private:
+  struct VcpuInfo {
+    Vcpu* vcpu = nullptr;
+    double vruntime = 0;  // Weighted virtual runtime, ns.
+    CpuId cpu = 0;        // Runqueue membership.
+    bool queued = false;
+    // Bandwidth control (cap > 0): runtime consumed in the current period.
+    TimeNs consumed_in_period = 0;
+    bool throttled = false;
+  };
+
+  void PeriodicBalance();
+  void BandwidthRefresh();
+  // The queued vCPU with the smallest vruntime on `cpu`, or -1.
+  int MinVruntimeInQueue(CpuId cpu) const;
+  // Smallest vruntime among queued/running vCPUs of `cpu` (cfs_rq->min_vruntime).
+  double MinVruntime(CpuId cpu) const;
+  void Enqueue(VcpuId id, CpuId cpu);
+  void DequeueIfQueued(VcpuId id);
+
+  Options options_;
+  std::vector<VcpuInfo> info_;
+  std::vector<std::vector<VcpuId>> runq_;  // Per-CPU.
+};
+
+}  // namespace tableau
+
+#endif  // SRC_SCHEDULERS_CFS_H_

@@ -1,0 +1,234 @@
+#include "src/schedulers/credit.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace tableau {
+
+void CreditScheduler::AddVcpu(Vcpu* vcpu) {
+  const auto id = static_cast<std::size_t>(vcpu->id());
+  if (info_.size() <= id) {
+    info_.resize(id + 1);
+  }
+  VcpuInfo& info = info_[id];
+  info.vcpu = vcpu;
+  info.cpu = static_cast<CpuId>(id) % machine_->num_cpus();
+  info.credit = 0;
+  total_weight_ += vcpu->params().weight;
+}
+
+void CreditScheduler::Start() {
+  runq_.assign(static_cast<std::size_t>(machine_->num_cpus()), {});
+  Accounting();  // Prime credits, then self-reschedules.
+}
+
+void CreditScheduler::Accounting() {
+  const TimeNs period = options_.accounting_period;
+  // Bill running vCPUs' consumption against their pre-refill credit.
+  for (CpuId cpu = 0; cpu < machine_->num_cpus(); ++cpu) {
+    if (machine_->RunningOn(cpu) != nullptr) {
+      machine_->SettleAccounting(cpu);
+    }
+  }
+  // One accounting period's worth of machine capacity, distributed by
+  // weight; capped vCPUs receive at most cap * period.
+  const double capacity =
+      static_cast<double>(period) * static_cast<double>(machine_->num_cpus());
+  for (VcpuInfo& info : info_) {
+    if (info.vcpu == nullptr) {
+      continue;
+    }
+    double share = capacity * info.vcpu->params().weight / total_weight_;
+    const double cap = info.vcpu->params().cap;
+    if (cap > 0) {
+      share = std::min(share, cap * static_cast<double>(period));
+    }
+    // Xen clamps credit to one period's entitlement in both directions
+    // (hoarding and debt are bounded).
+    info.credit = std::clamp(info.credit + share, -share, share);
+    info.prio = BasePrio(info);  // Also clears any lingering BOOST.
+    if (info.parked && info.credit > 0) {
+      info.parked = false;
+      if (info.vcpu->runnable() && info.vcpu->running_on() == kNoCpu) {
+        Enqueue(info.vcpu->id(), info.cpu);
+        machine_->KickCpu(info.cpu, /*remote=*/true);
+      }
+    }
+  }
+  // Accounting runs on CPU 0 under the global accounting lock.
+  const OverheadCosts& costs = machine_->config().costs;
+  machine_->ChargeBackground(
+      0, costs.lock_base + static_cast<TimeNs>(info_.size()) * costs.cache_local);
+  machine_->sim().ScheduleAfter(period, [this] { Accounting(); });
+}
+
+void CreditScheduler::Enqueue(VcpuId id, CpuId cpu) {
+  VcpuInfo& info = info_[static_cast<std::size_t>(id)];
+  if (info.queued) {
+    return;
+  }
+  info.cpu = cpu;
+  info.queued = true;
+  runq_[static_cast<std::size_t>(cpu)].push_back(id);
+}
+
+void CreditScheduler::DequeueIfQueued(VcpuId id) {
+  VcpuInfo& info = info_[static_cast<std::size_t>(id)];
+  if (!info.queued) {
+    return;
+  }
+  auto& queue = runq_[static_cast<std::size_t>(info.cpu)];
+  queue.erase(std::remove(queue.begin(), queue.end(), id), queue.end());
+  info.queued = false;
+}
+
+int CreditScheduler::BestInQueue(CpuId cpu, bool under_or_better_only) const {
+  const auto& queue = runq_[static_cast<std::size_t>(cpu)];
+  int best = -1;
+  Prio best_prio = Prio::kOver;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const VcpuInfo& info = info_[static_cast<std::size_t>(queue[i])];
+    if (info.parked || !info.vcpu->runnable() || info.vcpu->running_on() != kNoCpu) {
+      continue;
+    }
+    if (best == -1 || info.prio < best_prio) {
+      best = static_cast<int>(i);
+      best_prio = info.prio;
+    }
+  }
+  if (best != -1 && under_or_better_only && best_prio == Prio::kOver) {
+    return -1;
+  }
+  return best;
+}
+
+Decision CreditScheduler::PickNext(CpuId cpu) {
+  const OverheadCosts& costs = machine_->config().costs;
+  auto& queue = runq_[static_cast<std::size_t>(cpu)];
+  // Per-CPU runqueue lock, credit burn accounting, runqueue sort, and
+  // priority bookkeeping.
+  machine_->AddOpCost(costs.lock_base + 10 * costs.cache_local +
+                      2 * static_cast<TimeNs>(queue.size()) * costs.runq_entry);
+
+  int best = BestInQueue(cpu, /*under_or_better_only=*/false);
+  const bool local_is_good =
+      best != -1 &&
+      info_[static_cast<std::size_t>(queue[static_cast<std::size_t>(best)])].prio !=
+          Prio::kOver;
+
+  if (!local_is_good) {
+    // Work stealing: scan remote CPUs for BOOST/UNDER work. Same-socket
+    // CPUs first, then the remote socket — each peek costs a lock and a
+    // remote cache line.
+    const int num_cpus = machine_->num_cpus();
+    const int my_socket = machine_->SocketOf(cpu);
+    std::vector<CpuId> order;
+    for (int pass = 0; pass < 2; ++pass) {
+      for (CpuId other = 0; other < num_cpus; ++other) {
+        if (other == cpu) {
+          continue;
+        }
+        const bool same = machine_->SocketOf(other) == my_socket;
+        if ((pass == 0) == same) {
+          order.push_back(other);
+        }
+      }
+    }
+    for (const CpuId other : order) {
+      // Peeking a remote runqueue takes its schedule lock (a contended
+      // cache line under load) and walks its entries.
+      const TimeNs line = machine_->SocketOf(other) == my_socket
+                              ? costs.cache_same_socket
+                              : costs.cache_remote_socket;
+      machine_->AddOpCost(costs.lock_base + 4 * line +
+                          static_cast<TimeNs>(
+                              runq_[static_cast<std::size_t>(other)].size()) *
+                              costs.runq_entry);
+      const int steal = BestInQueue(other, /*under_or_better_only=*/true);
+      if (steal != -1) {
+        auto& remote_queue = runq_[static_cast<std::size_t>(other)];
+        const VcpuId stolen = remote_queue[static_cast<std::size_t>(steal)];
+        DequeueIfQueued(stolen);
+        Enqueue(stolen, cpu);
+        best = BestInQueue(cpu, /*under_or_better_only=*/false);
+        break;
+      }
+    }
+  }
+
+  Decision decision;
+  if (best == -1) {
+    decision.vcpu = kIdleVcpu;
+    decision.until = kTimeNever;  // Wakeups and accounting kick idle CPUs.
+    return decision;
+  }
+  const VcpuId picked = queue[static_cast<std::size_t>(best)];
+  DequeueIfQueued(picked);
+  decision.vcpu = picked;
+  decision.until = machine_->Now() + options_.timeslice;
+  return decision;
+}
+
+void CreditScheduler::OnWakeup(Vcpu* vcpu) {
+  const OverheadCosts& costs = machine_->config().costs;
+  VcpuInfo& info = info_[static_cast<std::size_t>(vcpu->id())];
+  // Runqueue lock, credit/priority bookkeeping, queue insertion, and the
+  // tickle peek at the target CPU's current vCPU.
+  machine_->AddOpCost(costs.lock_base + 10 * costs.cache_local +
+                      2 * costs.cache_same_socket + costs.cache_remote_socket +
+                      costs.runq_entry);
+  if (info.parked) {
+    return;  // Stays parked until the next accounting pass.
+  }
+  // The boost heuristic: an UNDER vCPU waking from I/O is prioritized.
+  if (options_.boost_enabled && info.prio == Prio::kUnder) {
+    info.prio = Prio::kBoost;
+  }
+  const CpuId target = vcpu->last_cpu() == kNoCpu ? info.cpu : vcpu->last_cpu();
+  Enqueue(vcpu->id(), target);
+  // Tickle: preempt if we beat the running vCPU's priority, or the CPU idles.
+  const Vcpu* running = machine_->RunningOn(target);
+  if (running == nullptr) {
+    machine_->KickCpu(target, /*remote=*/true);
+  } else {
+    const VcpuInfo& running_info = info_[static_cast<std::size_t>(running->id())];
+    if (info.prio < running_info.prio) {
+      machine_->KickCpu(target, /*remote=*/true);
+    }
+  }
+}
+
+void CreditScheduler::OnBlock(Vcpu* vcpu, CpuId cpu) {
+  (void)cpu;
+  machine_->AddOpCost(machine_->config().costs.cache_local);
+  DequeueIfQueued(vcpu->id());
+}
+
+void CreditScheduler::OnDeschedule(Vcpu* vcpu, CpuId cpu, DeschedReason reason) {
+  (void)reason;
+  const OverheadCosts& costs = machine_->config().costs;
+  VcpuInfo& info = info_[static_cast<std::size_t>(vcpu->id())];
+  // Post-schedule work under Credit is cheap: priority reset + re-enqueue.
+  machine_->AddOpCost(4 * costs.cache_local + 2 * costs.runq_entry);
+  info.prio = BasePrio(info);  // BOOST is spent after one dispatch.
+  if (!info.parked) {
+    Enqueue(vcpu->id(), cpu);
+  }
+}
+
+void CreditScheduler::OnServiceAccrued(Vcpu* vcpu, CpuId cpu, TimeNs amount) {
+  VcpuInfo& info = info_[static_cast<std::size_t>(vcpu->id())];
+  info.credit -= static_cast<double>(amount);
+  const double cap = vcpu->params().cap;
+  if (cap > 0 && info.credit <= 0 && !info.parked) {
+    // Capped and out of credit: parked until the next accounting pass.
+    info.parked = true;
+    DequeueIfQueued(vcpu->id());
+    if (vcpu->running_on() != kNoCpu) {
+      machine_->KickCpu(cpu, /*remote=*/false);
+    }
+  }
+}
+
+}  // namespace tableau

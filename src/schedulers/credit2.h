@@ -1,0 +1,66 @@
+// Model of Xen's Credit2 scheduler (Sec. 7.2 "Schedulers").
+//
+// Credit2 extends Credit "with the goal of improving responsiveness, and
+// does this primarily by eliminating Credit's priority boosting". Modelled
+// behaviours:
+//  - per-socket shared runqueues protected by a per-socket lock (whose
+//    contention is modelled exactly — Credit2's ops are pricier than
+//    Credit's per-CPU ones, Table 1);
+//  - credits burned while running, highest-credit-first selection, and a
+//    global credit reset when the next vCPU to run is out of credit;
+//  - a scheduling rate limit (1 ms) and a maximum timeslice (10 ms);
+//  - no boosting and no caps (the paper evaluates Credit2 only in the
+//    uncapped scenario, matching Xen 4.9 capabilities).
+#ifndef SRC_SCHEDULERS_CREDIT2_H_
+#define SRC_SCHEDULERS_CREDIT2_H_
+
+#include <vector>
+
+#include "src/hypervisor/machine.h"
+#include "src/hypervisor/scheduler.h"
+
+namespace tableau {
+
+class Credit2Scheduler : public VcpuScheduler {
+ public:
+  struct Options {
+    TimeNs ratelimit = 1 * kMillisecond;
+    TimeNs max_timeslice = 10 * kMillisecond;
+    TimeNs credit_init = 10 * kMillisecond;  // Credit added on reset.
+  };
+
+  explicit Credit2Scheduler(Options options) : options_(options) {}
+
+  std::string Name() const override { return "Credit2"; }
+  void Attach(Machine* machine) override;
+  void AddVcpu(Vcpu* vcpu) override;
+  Decision PickNext(CpuId cpu) override;
+  void OnWakeup(Vcpu* vcpu) override;
+  void OnBlock(Vcpu* vcpu, CpuId cpu) override;
+  void OnDeschedule(Vcpu* vcpu, CpuId cpu, DeschedReason reason) override;
+  void OnServiceAccrued(Vcpu* vcpu, CpuId cpu, TimeNs amount) override;
+
+ private:
+  struct VcpuInfo {
+    Vcpu* vcpu = nullptr;
+    TimeNs credit = 0;
+    int socket = 0;
+    bool queued = false;
+  };
+
+  int NumSockets() const;
+  void Enqueue(VcpuId id, int socket);
+  void DequeueIfQueued(VcpuId id);
+  // Best queued candidate on `socket` (highest credit), or -1.
+  int BestInQueue(int socket) const;
+  TimeNs ChargeLock(int socket, TimeNs hold);
+
+  Options options_;
+  std::vector<VcpuInfo> info_;
+  std::vector<std::vector<VcpuId>> runq_;  // Per-socket.
+  std::vector<LockModel> locks_;           // Per-socket runqueue lock.
+};
+
+}  // namespace tableau
+
+#endif  // SRC_SCHEDULERS_CREDIT2_H_

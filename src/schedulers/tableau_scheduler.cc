@@ -1,0 +1,143 @@
+#include "src/schedulers/tableau_scheduler.h"
+
+#include "src/common/check.h"
+
+namespace tableau {
+
+TableauScheduler::TableauScheduler(TableauDispatcher::Config config) : config_(config) {}
+
+void TableauScheduler::Attach(Machine* machine) {
+  VcpuScheduler::Attach(machine);
+  dispatcher_ = std::make_unique<TableauDispatcher>(machine->num_cpus(), config_);
+  second_level_running_.assign(static_cast<std::size_t>(machine->num_cpus()), kIdleVcpu);
+}
+
+void TableauScheduler::PushTable(std::shared_ptr<const SchedulingTable> table) {
+  TABLEAU_CHECK(dispatcher_ != nullptr);
+  dispatcher_->InstallTable(std::move(table), machine_->Now());
+}
+
+void TableauScheduler::AddVcpu(Vcpu* vcpu) {
+  const auto id = static_cast<std::size_t>(vcpu->id());
+  if (vcpus_.size() <= id) {
+    vcpus_.resize(id + 1, nullptr);
+  }
+  vcpus_[id] = vcpu;
+}
+
+bool TableauScheduler::EligibleForSecondLevel(VcpuId id) const {
+  const Vcpu* vcpu = vcpus_[static_cast<std::size_t>(id)];
+  if (vcpu == nullptr) {
+    return false;
+  }
+  // Capped vCPUs never exceed their reservation; vCPUs already running
+  // elsewhere cannot be dispatched here.
+  return vcpu->params().cap == 0.0 && vcpu->runnable() && vcpu->running_on() == kNoCpu;
+}
+
+Decision TableauScheduler::PickNext(CpuId cpu) {
+  const TimeNs now = machine_->Now();
+  const OverheadCosts& costs = machine_->config().costs;
+  // Hot path: slice-table lookup touches at most two cache lines (Sec. 6).
+  machine_->AddOpCost(2 * costs.cache_local);
+
+  const TableauDispatcher::SlotInfo slot = dispatcher_->LookupSlot(cpu, now);
+  if (dispatcher_->table_generation() != seen_generation_) {
+    seen_generation_ = dispatcher_->table_generation();
+    machine_->trace().Record(now, TraceEvent::kTableSwitch, cpu, kIdleVcpu,
+                             static_cast<std::int64_t>(seen_generation_));
+  }
+  // The slot-end timer is reprogrammed on every decision.
+  machine_->AddOpCost(costs.timer_program);
+  second_level_running_[static_cast<std::size_t>(cpu)] = kIdleVcpu;
+
+  if (slot.vcpu != kIdleVcpu) {
+    Vcpu* reserved = vcpus_[static_cast<std::size_t>(slot.vcpu)];
+    TABLEAU_CHECK(reserved != nullptr);
+    if (reserved->runnable()) {
+      if (reserved->running_on() == kNoCpu) {
+        pending_handoff_.erase(slot.vcpu);
+        Decision decision;
+        decision.vcpu = slot.vcpu;
+        decision.until = slot.slot_end;
+        return decision;
+      }
+      // Still scheduled on another core (allocation hand-off race): request
+      // an IPI when it is descheduled there, and fall through to the second
+      // level. Cost: one atomic write to the vCPU control block.
+      machine_->AddOpCost(costs.cache_same_socket);
+      pending_handoff_[slot.vcpu] = cpu;
+    }
+  }
+
+  // Second level: core-local epoch-based fair share over idle/blocked slots.
+  const std::size_t locals = dispatcher_->ActiveTable(now).cpu(cpu).local_vcpus.size();
+  if (config_.work_conserving && locals > 0) {
+    machine_->AddOpCost(static_cast<TimeNs>(locals) * machine_->config().costs.cache_local);
+  }
+  const TableauDispatcher::SecondLevelPick pick = dispatcher_->PickSecondLevel(
+      cpu, now, slot.slot_end, [this](VcpuId id) { return EligibleForSecondLevel(id); });
+  if (pick.vcpu != kIdleVcpu) {
+    second_level_running_[static_cast<std::size_t>(cpu)] = pick.vcpu;
+    Decision decision;
+    decision.vcpu = pick.vcpu;
+    decision.until = pick.until;
+    decision.second_level = true;
+    return decision;
+  }
+
+  Decision decision;
+  decision.vcpu = kIdleVcpu;
+  decision.until = slot.slot_end;
+  return decision;
+}
+
+void TableauScheduler::OnWakeup(Vcpu* vcpu) {
+  const TimeNs now = machine_->Now();
+  const OverheadCosts& costs = machine_->config().costs;
+  // Table lookup of the responsible core (two cache lines) plus the
+  // slot-activity check and the vCPU control block update.
+  machine_->AddOpCost(4 * costs.cache_local + costs.cache_same_socket);
+
+  int target = dispatcher_->WakeupTargetCpu(vcpu->id(), now);
+  if (target < 0) {
+    target = vcpu->last_cpu() == kNoCpu ? 0 : vcpu->last_cpu();
+  }
+  // Send an IPI if the vCPU's own slot is active on the target core, or (in
+  // work-conserving mode) if the target core currently idles.
+  const bool own_slot_active = dispatcher_->InOwnSlot(vcpu->id(), target, now);
+  const bool target_idle = machine_->RunningOn(target) == nullptr;
+  if (own_slot_active || (config_.work_conserving && target_idle)) {
+    machine_->KickCpu(target, /*remote=*/true);
+  }
+}
+
+void TableauScheduler::OnBlock(Vcpu* vcpu, CpuId cpu) {
+  (void)vcpu;
+  (void)cpu;
+  machine_->AddOpCost(machine_->config().costs.cache_local);
+}
+
+void TableauScheduler::OnDeschedule(Vcpu* vcpu, CpuId cpu, DeschedReason reason) {
+  (void)cpu;
+  (void)reason;
+  const OverheadCosts& costs = machine_->config().costs;
+  // Release ownership: an atomic write to the vCPU control block, state
+  // bookkeeping, and reprogramming the slot timer.
+  machine_->AddOpCost(costs.cache_same_socket + 3 * costs.cache_local +
+                      costs.timer_program);
+  const auto it = pending_handoff_.find(vcpu->id());
+  if (it != pending_handoff_.end()) {
+    const CpuId waiting = it->second;
+    pending_handoff_.erase(it);
+    machine_->KickCpu(waiting, /*remote=*/true);
+  }
+}
+
+void TableauScheduler::OnServiceAccrued(Vcpu* vcpu, CpuId cpu, TimeNs amount) {
+  if (second_level_running_[static_cast<std::size_t>(cpu)] == vcpu->id()) {
+    dispatcher_->AccrueSecondLevel(cpu, vcpu->id(), amount);
+  }
+}
+
+}  // namespace tableau

@@ -1,0 +1,62 @@
+// Hypervisor adapter wiring the Tableau dispatcher (src/core/dispatcher) to
+// the simulated machine: implements the VcpuScheduler hooks, the vCPU
+// ownership hand-off for split vCPUs (Sec. 6, "Cross-core migrations"), and
+// table-guided wake-up IPIs (Sec. 6, "Efficient wake-ups"), charging the
+// corresponding costs (the hot path touches at most two cache lines).
+#ifndef SRC_SCHEDULERS_TABLEAU_SCHEDULER_H_
+#define SRC_SCHEDULERS_TABLEAU_SCHEDULER_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/core/dispatcher.h"
+#include "src/hypervisor/machine.h"
+#include "src/hypervisor/scheduler.h"
+
+namespace tableau {
+
+class TableauScheduler : public VcpuScheduler {
+ public:
+  explicit TableauScheduler(TableauDispatcher::Config config);
+
+  // Installs a scheduling table. Must be called at least once before
+  // Start(); later calls follow the time-synchronized switch protocol.
+  void PushTable(std::shared_ptr<const SchedulingTable> table);
+
+  TableauDispatcher& dispatcher() { return *dispatcher_; }
+
+  // VcpuScheduler:
+  std::string Name() const override { return "Tableau"; }
+  void Attach(Machine* machine) override;
+  void AddVcpu(Vcpu* vcpu) override;
+  Decision PickNext(CpuId cpu) override;
+  void OnWakeup(Vcpu* vcpu) override;
+  void OnBlock(Vcpu* vcpu, CpuId cpu) override;
+  void OnDeschedule(Vcpu* vcpu, CpuId cpu, DeschedReason reason) override;
+  void OnServiceAccrued(Vcpu* vcpu, CpuId cpu, TimeNs amount) override;
+
+ private:
+  // Whether a vCPU may take part in second-level scheduling.
+  bool EligibleForSecondLevel(VcpuId id) const;
+
+  TableauDispatcher::Config config_;
+  std::unique_ptr<TableauDispatcher> dispatcher_;
+  std::vector<Vcpu*> vcpus_;
+
+  // Split-vCPU hand-off: cpu waiting for the vCPU to be descheduled
+  // elsewhere, keyed by vCPU id ("request an IPI to be sent when the vCPU is
+  // de-scheduled").
+  std::map<VcpuId, CpuId> pending_handoff_;
+
+  // vCPU currently running on each CPU from a second-level decision (or
+  // kIdleVcpu), for budget accrual.
+  std::vector<VcpuId> second_level_running_;
+
+  // Last table generation observed, for emitting table-switch trace events.
+  std::uint64_t seen_generation_ = 0;
+};
+
+}  // namespace tableau
+
+#endif  // SRC_SCHEDULERS_TABLEAU_SCHEDULER_H_

@@ -1,0 +1,50 @@
+#include "src/sim/simulation.h"
+
+#include <utility>
+
+namespace tableau {
+
+EventId Simulation::ScheduleAt(TimeNs at, std::function<void()> fn) {
+  TABLEAU_CHECK_MSG(at >= now_, "event scheduled in the past: %lld < %lld",
+                    static_cast<long long>(at), static_cast<long long>(now_));
+  const EventId id = next_id_++;
+  queue_.push(Event{at, id, std::move(fn)});
+  return id;
+}
+
+void Simulation::Cancel(EventId id) {
+  if (id != kInvalidEvent) {
+    cancelled_.insert(id);
+  }
+}
+
+bool Simulation::PopAndRunNext(TimeNs limit) {
+  while (!queue_.empty()) {
+    if (queue_.top().time > limit) {
+      return false;
+    }
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (cancelled_.erase(event.id) > 0) {
+      continue;  // Lazily dropped.
+    }
+    now_ = event.time;
+    ++events_executed_;
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::RunUntil(TimeNs until) {
+  while (PopAndRunNext(until)) {
+  }
+  now_ = until;
+}
+
+void Simulation::RunAll() {
+  while (PopAndRunNext(kTimeNever)) {
+  }
+}
+
+}  // namespace tableau

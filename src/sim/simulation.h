@@ -1,0 +1,74 @@
+// Discrete-event simulation engine.
+//
+// The hypervisor substrate (src/hypervisor) runs on this engine: every
+// context switch, timer, wake-up, and IPI is an event at nanosecond
+// resolution. Events at the same timestamp execute in scheduling (FIFO)
+// order, which keeps runs exactly deterministic.
+#ifndef SRC_SIM_SIMULATION_H_
+#define SRC_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/time.h"
+
+namespace tableau {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Simulation {
+ public:
+  TimeNs Now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `at` (>= Now()). Returns an id
+  // that can be passed to Cancel().
+  EventId ScheduleAt(TimeNs at, std::function<void()> fn);
+
+  // Schedules `fn` to run `delay` ns from now.
+  EventId ScheduleAfter(TimeNs delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Cancels a pending event (lazy deletion; cheap). Cancelling an already-
+  // fired or already-cancelled event is a no-op.
+  void Cancel(EventId id);
+
+  // Runs events until the queue is empty or the next event is after `until`;
+  // the clock ends at exactly `until`.
+  void RunUntil(TimeNs until);
+
+  // Runs until the event queue is empty.
+  void RunAll();
+
+  std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct Event {
+    TimeNs time;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // FIFO among same-time events.
+    }
+  };
+
+  bool PopAndRunNext(TimeNs limit);
+
+  TimeNs now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace tableau
+
+#endif  // SRC_SIM_SIMULATION_H_

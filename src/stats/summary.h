@@ -1,0 +1,39 @@
+// Small helpers for accumulating and printing scalar statistics: running
+// mean/min/max and formatted experiment-output rows.
+#ifndef SRC_STATS_SUMMARY_H_
+#define SRC_STATS_SUMMARY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace tableau {
+
+// Streaming mean/min/max/count accumulator over doubles.
+class RunningStat {
+ public:
+  void Record(double value) {
+    count_++;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+
+  std::uint64_t Count() const { return count_; }
+  double Sum() const { return sum_; }
+  double Mean() const { return count_ == 0 ? 0 : sum_ / static_cast<double>(count_); }
+  double Min() const { return count_ == 0 ? 0 : min_; }
+  double Max() const { return count_ == 0 ? 0 : max_; }
+
+  void Reset() { *this = RunningStat(); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 1e300;
+  double max_ = -1e300;
+};
+
+}  // namespace tableau
+
+#endif  // SRC_STATS_SUMMARY_H_

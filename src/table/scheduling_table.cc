@@ -1,0 +1,444 @@
+#include "src/table/scheduling_table.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <set>
+
+#include "src/common/check.h"
+#include "src/common/math_util.h"
+
+namespace tableau {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53'4c'42'54;  // "TBLS" little-endian.
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void Append(std::vector<std::uint8_t>& out, const T& value) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T ReadAt(const std::vector<std::uint8_t>& in, std::size_t& pos) {
+  TABLEAU_CHECK(pos + sizeof(T) <= in.size());
+  T value;
+  std::memcpy(&value, in.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+SchedulingTable SchedulingTable::Build(TimeNs length,
+                                       std::vector<std::vector<Allocation>> per_cpu) {
+  TABLEAU_CHECK(length > 0);
+  SchedulingTable table;
+  table.length_ = length;
+  table.cpus_.resize(per_cpu.size());
+
+  for (std::size_t c = 0; c < per_cpu.size(); ++c) {
+    CpuTable& cpu = table.cpus_[c];
+    cpu.allocations = std::move(per_cpu[c]);
+    std::sort(cpu.allocations.begin(), cpu.allocations.end(),
+              [](const Allocation& a, const Allocation& b) { return a.start < b.start; });
+    TimeNs prev_end = 0;
+    TimeNs min_len = length;
+    std::set<VcpuId> locals;
+    for (const Allocation& alloc : cpu.allocations) {
+      TABLEAU_CHECK_MSG(alloc.start >= prev_end && alloc.end <= length &&
+                            alloc.start < alloc.end,
+                        "bad allocation [%lld,%lld) on cpu %zu",
+                        static_cast<long long>(alloc.start),
+                        static_cast<long long>(alloc.end), c);
+      prev_end = alloc.end;
+      min_len = std::min(min_len, alloc.Length());
+      locals.insert(alloc.vcpu);
+    }
+    cpu.local_vcpus.assign(locals.begin(), locals.end());
+
+    // Slice table: slice length = shortest allocation on this pCPU, so each
+    // slice overlaps at most two allocations.
+    cpu.slice_length = cpu.allocations.empty() ? length : min_len;
+    const std::size_t num_slices =
+        static_cast<std::size_t>(CeilDiv(length, cpu.slice_length));
+    cpu.slices.assign(num_slices, SliceEntry{});
+    std::size_t alloc_index = 0;
+    for (std::size_t s = 0; s < num_slices; ++s) {
+      const TimeNs slice_start = static_cast<TimeNs>(s) * cpu.slice_length;
+      const TimeNs slice_end = std::min(slice_start + cpu.slice_length, length);
+      // Advance past allocations that end at or before this slice.
+      while (alloc_index < cpu.allocations.size() &&
+             cpu.allocations[alloc_index].end <= slice_start) {
+        ++alloc_index;
+      }
+      SliceEntry& entry = cpu.slices[s];
+      if (alloc_index < cpu.allocations.size() &&
+          cpu.allocations[alloc_index].start < slice_end) {
+        entry.first = static_cast<std::int32_t>(alloc_index);
+        const std::size_t next = alloc_index + 1;
+        if (next < cpu.allocations.size() && cpu.allocations[next].start < slice_end) {
+          entry.second = static_cast<std::int32_t>(next);
+          // Invariant from the slice-length choice: no third overlap.
+          TABLEAU_CHECK(next + 1 >= cpu.allocations.size() ||
+                        cpu.allocations[next + 1].start >= slice_end);
+        }
+      }
+    }
+  }
+  return table;
+}
+
+LookupResult SchedulingTable::Lookup(int cpu_index, TimeNs offset) const {
+  TABLEAU_CHECK(offset >= 0 && offset < length_);
+  const CpuTable& cpu = cpus_[static_cast<std::size_t>(cpu_index)];
+  LookupResult result;
+  if (cpu.allocations.empty()) {
+    result.vcpu = kIdleVcpu;
+    result.interval_end = length_;
+    return result;
+  }
+  const auto slice_index = static_cast<std::size_t>(offset / cpu.slice_length);
+  const SliceEntry& entry = cpu.slices[slice_index];
+
+  // Inspect the (at most two) candidate allocations.
+  for (const std::int32_t index : {entry.first, entry.second}) {
+    if (index < 0) {
+      break;
+    }
+    const Allocation& alloc = cpu.allocations[static_cast<std::size_t>(index)];
+    if (offset < alloc.start) {
+      // Idle gap before this allocation.
+      result.vcpu = kIdleVcpu;
+      result.interval_end = alloc.start;
+      return result;
+    }
+    if (offset < alloc.end) {
+      result.vcpu = alloc.vcpu;
+      result.interval_end = alloc.end;
+      return result;
+    }
+  }
+  // Idle after the slice's allocations: next boundary is the next
+  // allocation's start, which (by the slice invariant) begins at or after the
+  // end of this slice; scan forward from the last candidate.
+  std::size_t next = 0;
+  if (entry.second >= 0) {
+    next = static_cast<std::size_t>(entry.second) + 1;
+  } else if (entry.first >= 0) {
+    next = static_cast<std::size_t>(entry.first) + 1;
+  } else {
+    // Slice fully idle: find the first allocation after this offset. The
+    // slice invariant guarantees the next allocation starts no earlier than
+    // the slice end, so a binary search stays O(log n) but is only reached
+    // when the current interval is idle (never in the reserved hot path).
+    const auto it = std::lower_bound(
+        cpu.allocations.begin(), cpu.allocations.end(), offset,
+        [](const Allocation& a, TimeNs t) { return a.start <= t; });
+    next = static_cast<std::size_t>(it - cpu.allocations.begin());
+  }
+  result.vcpu = kIdleVcpu;
+  result.interval_end = next < cpu.allocations.size() ? cpu.allocations[next].start : length_;
+  return result;
+}
+
+LookupResult SchedulingTable::LookupLinear(int cpu_index, TimeNs offset) const {
+  TABLEAU_CHECK(offset >= 0 && offset < length_);
+  const CpuTable& cpu = cpus_[static_cast<std::size_t>(cpu_index)];
+  for (const Allocation& alloc : cpu.allocations) {
+    if (offset < alloc.start) {
+      return LookupResult{kIdleVcpu, alloc.start};
+    }
+    if (offset < alloc.end) {
+      return LookupResult{alloc.vcpu, alloc.end};
+    }
+  }
+  return LookupResult{kIdleVcpu, length_};
+}
+
+std::vector<int> SchedulingTable::CpusOf(VcpuId vcpu) const {
+  std::vector<int> cpus;
+  for (int c = 0; c < num_cpus(); ++c) {
+    const CpuTable& cpu = cpus_[static_cast<std::size_t>(c)];
+    for (const Allocation& alloc : cpu.allocations) {
+      if (alloc.vcpu == vcpu) {
+        cpus.push_back(c);
+        break;
+      }
+    }
+  }
+  return cpus;
+}
+
+TimeNs SchedulingTable::TotalService(VcpuId vcpu) const {
+  TimeNs total = 0;
+  for (const CpuTable& cpu : cpus_) {
+    for (const Allocation& alloc : cpu.allocations) {
+      if (alloc.vcpu == vcpu) {
+        total += alloc.Length();
+      }
+    }
+  }
+  return total;
+}
+
+TimeNs SchedulingTable::MaxBlackout(VcpuId vcpu) const {
+  std::vector<Allocation> service;
+  for (const CpuTable& cpu : cpus_) {
+    for (const Allocation& alloc : cpu.allocations) {
+      if (alloc.vcpu == vcpu) {
+        service.push_back(alloc);
+      }
+    }
+  }
+  if (service.empty()) {
+    return length_;
+  }
+  std::sort(service.begin(), service.end(),
+            [](const Allocation& a, const Allocation& b) { return a.start < b.start; });
+  TimeNs max_gap = 0;
+  TimeNs covered_until = service.front().end;
+  for (std::size_t i = 1; i < service.size(); ++i) {
+    if (service[i].start > covered_until) {
+      max_gap = std::max(max_gap, service[i].start - covered_until);
+    }
+    covered_until = std::max(covered_until, service[i].end);
+  }
+  // Cyclic wrap: gap from the last service to the first of the next cycle.
+  const TimeNs wrap_gap = (length_ - covered_until) + service.front().start;
+  return std::max(max_gap, wrap_gap);
+}
+
+std::string SchedulingTable::Validate() const {
+  for (int c = 0; c < num_cpus(); ++c) {
+    const CpuTable& cpu = cpus_[static_cast<std::size_t>(c)];
+    TimeNs prev_end = 0;
+    for (const Allocation& alloc : cpu.allocations) {
+      if (alloc.start < prev_end || alloc.end > length_ || alloc.start >= alloc.end) {
+        return "cpu " + std::to_string(c) + ": malformed or overlapping allocation";
+      }
+      prev_end = alloc.end;
+    }
+    if (!cpu.allocations.empty()) {
+      TimeNs min_len = length_;
+      for (const Allocation& alloc : cpu.allocations) {
+        min_len = std::min(min_len, alloc.Length());
+      }
+      if (cpu.slice_length != min_len) {
+        return "cpu " + std::to_string(c) + ": slice length != shortest allocation";
+      }
+    }
+    // Every offset's slice lookup must agree with a linear scan.
+    for (std::size_t s = 0; s < cpu.slices.size(); ++s) {
+      const SliceEntry& entry = cpu.slices[s];
+      if (entry.second >= 0 && entry.first < 0) {
+        return "cpu " + std::to_string(c) + ": slice with second but no first";
+      }
+      if (entry.first >= 0 &&
+          static_cast<std::size_t>(entry.first) >= cpu.allocations.size()) {
+        return "cpu " + std::to_string(c) + ": slice index out of range";
+      }
+    }
+  }
+
+  // No vCPU may be allocated on two pCPUs at the same instant.
+  struct Event {
+    TimeNs time;
+    int delta;  // +1 start, -1 end.
+  };
+  std::map<VcpuId, std::vector<Event>> events;
+  for (const CpuTable& cpu : cpus_) {
+    for (const Allocation& alloc : cpu.allocations) {
+      events[alloc.vcpu].push_back(Event{alloc.start, +1});
+      events[alloc.vcpu].push_back(Event{alloc.end, -1});
+    }
+  }
+  for (auto& [vcpu, list] : events) {
+    std::sort(list.begin(), list.end(), [](const Event& a, const Event& b) {
+      if (a.time != b.time) return a.time < b.time;
+      return a.delta < b.delta;  // Process ends before starts at the same instant.
+    });
+    int depth = 0;
+    for (const Event& e : list) {
+      depth += e.delta;
+      if (depth > 1) {
+        return "vcpu " + std::to_string(vcpu) + " allocated on two pCPUs concurrently";
+      }
+    }
+  }
+  return "";
+}
+
+std::vector<std::uint8_t> SchedulingTable::Serialize() const {
+  std::vector<std::uint8_t> out;
+  Append(out, kMagic);
+  Append(out, kVersion);
+  Append(out, length_);
+  Append(out, static_cast<std::uint32_t>(cpus_.size()));
+  for (const CpuTable& cpu : cpus_) {
+    Append(out, static_cast<std::uint32_t>(cpu.allocations.size()));
+    Append(out, cpu.slice_length);
+    Append(out, static_cast<std::uint32_t>(cpu.slices.size()));
+    Append(out, static_cast<std::uint32_t>(cpu.local_vcpus.size()));
+    for (const Allocation& alloc : cpu.allocations) {
+      Append(out, alloc.vcpu);
+      Append(out, alloc.start);
+      Append(out, alloc.end);
+    }
+    for (const SliceEntry& slice : cpu.slices) {
+      Append(out, slice.first);
+      Append(out, slice.second);
+    }
+    for (const VcpuId vcpu : cpu.local_vcpus) {
+      Append(out, vcpu);
+    }
+  }
+  return out;
+}
+
+SchedulingTable SchedulingTable::Deserialize(const std::vector<std::uint8_t>& bytes) {
+  std::size_t pos = 0;
+  TABLEAU_CHECK(ReadAt<std::uint32_t>(bytes, pos) == kMagic);
+  TABLEAU_CHECK(ReadAt<std::uint32_t>(bytes, pos) == kVersion);
+  SchedulingTable table;
+  table.length_ = ReadAt<TimeNs>(bytes, pos);
+  const auto num_cpus = ReadAt<std::uint32_t>(bytes, pos);
+  table.cpus_.resize(num_cpus);
+  for (CpuTable& cpu : table.cpus_) {
+    const auto num_allocs = ReadAt<std::uint32_t>(bytes, pos);
+    cpu.slice_length = ReadAt<TimeNs>(bytes, pos);
+    const auto num_slices = ReadAt<std::uint32_t>(bytes, pos);
+    const auto num_locals = ReadAt<std::uint32_t>(bytes, pos);
+    cpu.allocations.resize(num_allocs);
+    for (Allocation& alloc : cpu.allocations) {
+      alloc.vcpu = ReadAt<VcpuId>(bytes, pos);
+      alloc.start = ReadAt<TimeNs>(bytes, pos);
+      alloc.end = ReadAt<TimeNs>(bytes, pos);
+    }
+    cpu.slices.resize(num_slices);
+    for (SliceEntry& slice : cpu.slices) {
+      slice.first = ReadAt<std::int32_t>(bytes, pos);
+      slice.second = ReadAt<std::int32_t>(bytes, pos);
+    }
+    cpu.local_vcpus.resize(num_locals);
+    for (VcpuId& vcpu : cpu.local_vcpus) {
+      vcpu = ReadAt<VcpuId>(bytes, pos);
+    }
+  }
+  TABLEAU_CHECK(pos == bytes.size());
+  return table;
+}
+
+std::size_t SchedulingTable::SerializedSizeBytes() const { return Serialize().size(); }
+
+LatencyProfile AnalyzeWakeupLatency(const SchedulingTable& table, VcpuId vcpu) {
+  LatencyProfile profile;
+  // Collect the vCPU's service intervals across all pCPUs (time order).
+  std::vector<Allocation> service;
+  for (int c = 0; c < table.num_cpus(); ++c) {
+    for (const Allocation& alloc : table.cpu(c).allocations) {
+      if (alloc.vcpu == vcpu) {
+        service.push_back(alloc);
+      }
+    }
+  }
+  const TimeNs length = table.length();
+  if (service.empty()) {
+    profile.mean = profile.p99 = profile.max = length;
+    return profile;
+  }
+  std::sort(service.begin(), service.end(),
+            [](const Allocation& a, const Allocation& b) { return a.start < b.start; });
+
+  // Gaps between consecutive service intervals (cyclic), merging overlap.
+  std::vector<TimeNs> gaps;
+  TimeNs covered = 0;
+  TimeNs covered_until = service.front().end;
+  covered += service.front().Length();
+  for (std::size_t i = 1; i < service.size(); ++i) {
+    if (service[i].start > covered_until) {
+      gaps.push_back(service[i].start - covered_until);
+    }
+    const TimeNs begin = std::max(service[i].start, covered_until);
+    covered += std::max<TimeNs>(0, service[i].end - begin);
+    covered_until = std::max(covered_until, service[i].end);
+  }
+  const TimeNs wrap = (length - covered_until) + service.front().start;
+  if (wrap > 0) {
+    gaps.push_back(wrap);
+  }
+
+  profile.service_fraction = static_cast<double>(covered) / static_cast<double>(length);
+  // An arrival inside a gap of length g waits Uniform(0, g); the arrival
+  // lands in that gap with probability g / length. Hence
+  //   E[wait] = sum(g^2 / 2) / length.
+  double mean = 0;
+  TimeNs max_gap = 0;
+  for (const TimeNs gap : gaps) {
+    mean += static_cast<double>(gap) * static_cast<double>(gap) / 2.0;
+    max_gap = std::max(max_gap, gap);
+  }
+  profile.mean = static_cast<TimeNs>(mean / static_cast<double>(length));
+  profile.max = max_gap;
+
+  // p99: the wait CCDF is P(wait > w) = sum over gaps of max(0, g - w) / L;
+  // binary-search the 1% point.
+  const double target = 0.01;
+  TimeNs lo = 0;
+  TimeNs hi = max_gap;
+  while (lo < hi) {
+    const TimeNs mid = lo + (hi - lo) / 2;
+    double tail = 0;
+    for (const TimeNs gap : gaps) {
+      tail += static_cast<double>(std::max<TimeNs>(0, gap - mid));
+    }
+    if (tail / static_cast<double>(length) > target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  profile.p99 = lo;
+  return profile;
+}
+
+std::vector<std::vector<Allocation>> CoalesceAllocations(
+    std::vector<std::vector<Allocation>> per_cpu, TimeNs threshold,
+    std::vector<std::pair<VcpuId, TimeNs>>* donated_out) {
+  for (auto& cpu : per_cpu) {
+    std::sort(cpu.begin(), cpu.end(),
+              [](const Allocation& a, const Allocation& b) { return a.start < b.start; });
+    std::vector<Allocation> result;
+    for (const Allocation& alloc : cpu) {
+      // Merge contiguous same-vCPU allocations first.
+      if (!result.empty() && result.back().vcpu == alloc.vcpu &&
+          result.back().end == alloc.start) {
+        result.back().end = alloc.end;
+        continue;
+      }
+      if (alloc.Length() >= threshold) {
+        result.push_back(alloc);
+        continue;
+      }
+      // Sub-threshold sliver: donate to the time-adjacent predecessor if
+      // contiguous; otherwise it becomes idle time.
+      if (!result.empty() && result.back().end == alloc.start) {
+        if (donated_out != nullptr) {
+          donated_out->emplace_back(alloc.vcpu, alloc.Length());
+        }
+        result.back().end = alloc.end;
+      } else {
+        if (donated_out != nullptr) {
+          donated_out->emplace_back(alloc.vcpu, alloc.Length());
+        }
+        // Dropped: interval stays idle (recoverable via second-level
+        // scheduling at runtime).
+      }
+    }
+    cpu = std::move(result);
+  }
+  return per_cpu;
+}
+
+}  // namespace tableau

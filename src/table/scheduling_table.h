@@ -1,0 +1,118 @@
+// Tableau scheduling-table structures (paper Fig. 2).
+//
+// A table covers one hyperperiod and holds, per pCPU, a time-ordered list of
+// non-overlapping variable-length allocations. To give the dispatcher O(1)
+// lookups, each pCPU also carries a *slice table*: fixed-size time slices
+// whose length equals the shortest allocation on that pCPU, so each slice
+// overlaps at most two allocations (plus possibly idle time between them).
+// A lookup indexes the slice table with (now mod table length) and then
+// inspects at most two allocation records.
+#ifndef SRC_TABLE_SCHEDULING_TABLE_H_
+#define SRC_TABLE_SCHEDULING_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/rt/edf_sim.h"
+#include "src/rt/periodic_task.h"
+
+namespace tableau {
+
+// One fixed-length slice; indices into the pCPU's allocation array for the
+// (up to) two allocations overlapping the slice, or -1.
+struct SliceEntry {
+  std::int32_t first = -1;
+  std::int32_t second = -1;
+};
+
+// Per-pCPU portion of a scheduling table.
+struct CpuTable {
+  std::vector<Allocation> allocations;  // Sorted by start, non-overlapping.
+  TimeNs slice_length = 0;
+  std::vector<SliceEntry> slices;
+  // vCPUs eligible for second-level scheduling on this pCPU ("core-local"
+  // vCPUs, Sec. 4). For split vCPUs this reflects the trailing-core policy.
+  std::vector<VcpuId> local_vcpus;
+};
+
+// Result of a dispatcher lookup at a table offset.
+struct LookupResult {
+  // vCPU reserved for the current interval, or kIdleVcpu.
+  VcpuId vcpu = kIdleVcpu;
+  // End of the current interval (table-relative offset in (0, length]): the
+  // next point at which the dispatcher must re-decide.
+  TimeNs interval_end = 0;
+};
+
+class SchedulingTable {
+ public:
+  // Builds a table of the given length from per-CPU allocation lists
+  // (unsorted input is sorted; overlap or bounds violations abort). Slice
+  // tables and local-vCPU lists are derived automatically.
+  static SchedulingTable Build(TimeNs length, std::vector<std::vector<Allocation>> per_cpu);
+
+  TimeNs length() const { return length_; }
+  int num_cpus() const { return static_cast<int>(cpus_.size()); }
+  const CpuTable& cpu(int index) const { return cpus_[static_cast<std::size_t>(index)]; }
+
+  // O(1) lookup via the slice table. `offset` must be in [0, length).
+  LookupResult Lookup(int cpu, TimeNs offset) const;
+
+  // Reference linear-scan lookup used by tests and the ablation benchmark.
+  LookupResult LookupLinear(int cpu, TimeNs offset) const;
+
+  // All pCPUs on which `vcpu` has at least one allocation.
+  std::vector<int> CpusOf(VcpuId vcpu) const;
+
+  // Total service received by `vcpu` over the whole table, across all pCPUs.
+  TimeNs TotalService(VcpuId vcpu) const;
+
+  // Longest contiguous interval (cyclic, across pCPUs) during which `vcpu`
+  // has no allocation: the "blackout time" of Sec. 4. Returns `length()` if
+  // the vCPU has no allocations at all.
+  TimeNs MaxBlackout(VcpuId vcpu) const;
+
+  // Checks structural invariants (ordering, bounds, slice consistency, and
+  // that no vCPU is allocated on two pCPUs at the same instant). Returns an
+  // empty string on success, else a description of the first violation.
+  std::string Validate() const;
+
+  // Binary wire format (the "hypercall format" pushed by the planner).
+  std::vector<std::uint8_t> Serialize() const;
+  static SchedulingTable Deserialize(const std::vector<std::uint8_t>& bytes);
+  std::size_t SerializedSizeBytes() const;
+
+ private:
+  TimeNs length_ = 0;
+  std::vector<CpuTable> cpus_;
+};
+
+// Analytical wake-up latency profile of a vCPU under a table (capped mode):
+// a request arriving at a uniformly random instant is served immediately if
+// it lands inside one of the vCPU's allocations, and otherwise waits for the
+// next allocation to start. Derived in closed form from the vCPU's service
+// gaps; validates the simulator's measured ping latencies (Fig. 6) against
+// pure table structure.
+struct LatencyProfile {
+  double service_fraction = 0;  // P(arrival lands in service).
+  TimeNs mean = 0;              // E[wait].
+  TimeNs p99 = 0;               // 99th percentile of wait.
+  TimeNs max = 0;               // Longest possible wait (== MaxBlackout).
+};
+LatencyProfile AnalyzeWakeupLatency(const SchedulingTable& table, VcpuId vcpu);
+
+// Post-processing pass: absorbs allocations shorter than `threshold` into a
+// time-adjacent neighbouring allocation (Sec. 5, "Post-processing"), since
+// sub-threshold slivers cannot be enforced given context-switch overheads.
+// Isolated sub-threshold slivers (idle on both sides) become idle time.
+// Returns the total time donated away from each affected vCPU via
+// `donated_out` (indexed by vCPU id) for accounting.
+std::vector<std::vector<Allocation>> CoalesceAllocations(
+    std::vector<std::vector<Allocation>> per_cpu, TimeNs threshold,
+    std::vector<std::pair<VcpuId, TimeNs>>* donated_out);
+
+}  // namespace tableau
+
+#endif  // SRC_TABLE_SCHEDULING_TABLE_H_

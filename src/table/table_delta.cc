@@ -1,0 +1,108 @@
+#include "src/table/table_delta.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace tableau {
+namespace {
+
+constexpr std::uint32_t kDeltaMagic = 0x44'4c'42'54;  // "TBLD" little-endian.
+constexpr std::uint32_t kDeltaVersion = 1;
+
+template <typename T>
+void Append(std::vector<std::uint8_t>& out, const T& value) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T ReadAt(const std::vector<std::uint8_t>& in, std::size_t& pos) {
+  TABLEAU_CHECK(pos + sizeof(T) <= in.size());
+  T value;
+  std::memcpy(&value, in.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return value;
+}
+
+void AppendAllocations(std::vector<std::uint8_t>& out,
+                       const std::vector<Allocation>& allocations) {
+  Append(out, static_cast<std::uint32_t>(allocations.size()));
+  for (const Allocation& alloc : allocations) {
+    Append(out, alloc.vcpu);
+    Append(out, alloc.start);
+    Append(out, alloc.end);
+  }
+}
+
+std::vector<Allocation> ReadAllocations(const std::vector<std::uint8_t>& in,
+                                        std::size_t& pos) {
+  const auto count = ReadAt<std::uint32_t>(in, pos);
+  std::vector<Allocation> allocations(count);
+  for (Allocation& alloc : allocations) {
+    alloc.vcpu = ReadAt<VcpuId>(in, pos);
+    alloc.start = ReadAt<TimeNs>(in, pos);
+    alloc.end = ReadAt<TimeNs>(in, pos);
+  }
+  return allocations;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> SerializeDelta(const SchedulingTable& base,
+                                         const SchedulingTable& next) {
+  TABLEAU_CHECK_MSG(base.length() == next.length() && base.num_cpus() == next.num_cpus(),
+                    "delta requires identical table geometry");
+  std::vector<int> dirty;
+  for (int cpu = 0; cpu < base.num_cpus(); ++cpu) {
+    if (base.cpu(cpu).allocations != next.cpu(cpu).allocations) {
+      dirty.push_back(cpu);
+    }
+  }
+
+  std::vector<std::uint8_t> out;
+  Append(out, kDeltaMagic);
+  Append(out, kDeltaVersion);
+  Append(out, next.length());
+  Append(out, static_cast<std::uint32_t>(next.num_cpus()));
+  Append(out, static_cast<std::uint32_t>(dirty.size()));
+  for (const int cpu : dirty) {
+    Append(out, static_cast<std::uint32_t>(cpu));
+    AppendAllocations(out, next.cpu(cpu).allocations);
+  }
+  return out;
+}
+
+SchedulingTable ApplyDelta(const SchedulingTable& base,
+                           const std::vector<std::uint8_t>& delta) {
+  std::size_t pos = 0;
+  TABLEAU_CHECK_MSG(ReadAt<std::uint32_t>(delta, pos) == kDeltaMagic,
+                    "bad delta magic");
+  TABLEAU_CHECK(ReadAt<std::uint32_t>(delta, pos) == kDeltaVersion);
+  const TimeNs length = ReadAt<TimeNs>(delta, pos);
+  const auto num_cpus = static_cast<int>(ReadAt<std::uint32_t>(delta, pos));
+  TABLEAU_CHECK_MSG(length == base.length() && num_cpus == base.num_cpus(),
+                    "delta does not match the base table's geometry");
+
+  std::vector<std::vector<Allocation>> per_cpu(static_cast<std::size_t>(num_cpus));
+  for (int cpu = 0; cpu < num_cpus; ++cpu) {
+    per_cpu[static_cast<std::size_t>(cpu)] = base.cpu(cpu).allocations;
+  }
+  const auto dirty = ReadAt<std::uint32_t>(delta, pos);
+  for (std::uint32_t i = 0; i < dirty; ++i) {
+    const auto cpu = ReadAt<std::uint32_t>(delta, pos);
+    TABLEAU_CHECK(static_cast<int>(cpu) < num_cpus);
+    per_cpu[cpu] = ReadAllocations(delta, pos);
+  }
+  TABLEAU_CHECK(pos == delta.size());
+  // Slice tables and local-vCPU lists are derived, so Build restores the
+  // full structure.
+  return SchedulingTable::Build(length, std::move(per_cpu));
+}
+
+int DeltaDirtyCores(const std::vector<std::uint8_t>& delta) {
+  std::size_t pos = sizeof(std::uint32_t) * 2 + sizeof(TimeNs) + sizeof(std::uint32_t);
+  return static_cast<int>(ReadAt<std::uint32_t>(delta, pos));
+}
+
+}  // namespace tableau

@@ -1,0 +1,35 @@
+// Delta encoding for table updates.
+//
+// The paper pushes whole tables "in a compiled, binary format" via a
+// hypercall (Sec. 6). Paired with incremental replanning (Sec. 7.1), most
+// reconfigurations change only one or two cores, so shipping just the dirty
+// cores' payloads shrinks the hypercall by an order of magnitude. A delta
+// carries the table length, the cpu count, and full CpuTable payloads for
+// the changed cores only; ApplyDelta reconstructs the next table from the
+// base table plus the delta.
+#ifndef SRC_TABLE_TABLE_DELTA_H_
+#define SRC_TABLE_TABLE_DELTA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/table/scheduling_table.h"
+
+namespace tableau {
+
+// Serializes the difference from `base` to `next`. The two tables must have
+// the same length and cpu count (a layout change requires a full push).
+std::vector<std::uint8_t> SerializeDelta(const SchedulingTable& base,
+                                         const SchedulingTable& next);
+
+// Reconstructs the next table from `base` and a delta produced by
+// SerializeDelta. Aborts on format corruption or a base mismatch.
+SchedulingTable ApplyDelta(const SchedulingTable& base,
+                           const std::vector<std::uint8_t>& delta);
+
+// Number of cores encoded in a delta (diagnostics).
+int DeltaDirtyCores(const std::vector<std::uint8_t>& delta);
+
+}  // namespace tableau
+
+#endif  // SRC_TABLE_TABLE_DELTA_H_

@@ -1,0 +1,35 @@
+#include "src/workloads/gang.h"
+
+#include "src/common/check.h"
+
+namespace tableau {
+
+GangWorkload::GangWorkload(Machine* machine, std::vector<Vcpu*> members, Config config)
+    : machine_(machine), config_(config) {
+  TABLEAU_CHECK(!members.empty());
+  for (Vcpu* member : members) {
+    guests_.push_back(std::make_unique<WorkQueueGuest>(machine, member));
+  }
+}
+
+void GangWorkload::Start(TimeNs at) {
+  machine_->sim().ScheduleAt(at, [this] { BeginPhase(); });
+}
+
+void GangWorkload::BeginPhase() {
+  arrived_ = 0;
+  for (auto& guest : guests_) {
+    guest->Post(config_.phase_cpu, [this](TimeNs) { MemberArrived(); });
+  }
+}
+
+void GangWorkload::MemberArrived() {
+  if (++arrived_ < guests_.size()) {
+    return;
+  }
+  ++phases_completed_;
+  // Barrier release: the members resume after the notification overhead.
+  machine_->sim().ScheduleAfter(config_.barrier_overhead, [this] { BeginPhase(); });
+}
+
+}  // namespace tableau

@@ -1,0 +1,49 @@
+// Barrier-synchronized parallel workload ("gang"): models the parallel
+// applications for which the paper suggests co-scheduling post-processing
+// ("a pass to encourage ... co-scheduling of certain VMs ... for
+// synchronization purposes", Sec. 5).
+//
+// The gang consists of k vCPUs executing phases: each vCPU computes
+// `phase_cpu` and then waits at a barrier; the next phase starts when every
+// member has arrived. Without temporal alignment of the members' table
+// slots, each phase stalls for the slowest member's next slot, so phase
+// throughput collapses to roughly one phase per table period; with aligned
+// slots the gang streams phases back to back.
+#ifndef SRC_WORKLOADS_GANG_H_
+#define SRC_WORKLOADS_GANG_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/hypervisor/machine.h"
+#include "src/workloads/guest.h"
+
+namespace tableau {
+
+class GangWorkload {
+ public:
+  struct Config {
+    TimeNs phase_cpu = 2 * kMillisecond;  // Per-member compute per phase.
+    TimeNs barrier_overhead = 20 * kMicrosecond;  // Notify/wake cost model.
+  };
+
+  GangWorkload(Machine* machine, std::vector<Vcpu*> members, Config config);
+
+  void Start(TimeNs at);
+
+  std::uint64_t phases_completed() const { return phases_completed_; }
+
+ private:
+  void BeginPhase();
+  void MemberArrived();
+
+  Machine* machine_;
+  Config config_;
+  std::vector<std::unique_ptr<WorkQueueGuest>> guests_;
+  std::size_t arrived_ = 0;
+  std::uint64_t phases_completed_ = 0;
+};
+
+}  // namespace tableau
+
+#endif  // SRC_WORKLOADS_GANG_H_

@@ -1,0 +1,41 @@
+#include "src/workloads/ping.h"
+
+namespace tableau {
+
+PingTraffic::PingTraffic(Machine* machine, WorkQueueGuest* guest, Config config)
+    : machine_(machine), guest_(guest), config_(config), rng_(config.seed) {}
+
+void PingTraffic::Start(TimeNs at) {
+  for (int thread = 0; thread < config_.threads; ++thread) {
+    machine_->sim().ScheduleAt(at, [this, thread] {
+      SendNext(thread, config_.pings_per_thread);
+    });
+  }
+}
+
+void PingTraffic::SendNext(int thread, int remaining) {
+  if (remaining <= 0) {
+    return;
+  }
+  const TimeNs spacing = rng_.UniformInt(0, config_.max_spacing);
+  machine_->sim().ScheduleAfter(spacing, [this, thread, remaining] {
+    const TimeNs sent_at = machine_->Now();
+    ++outstanding_;
+    // One-way network delay before the echo request reaches the VM.
+    machine_->sim().ScheduleAfter(config_.network_delay,
+                                  [this, sent_at] { OnArrival(sent_at); });
+    SendNext(thread, remaining - 1);
+  });
+}
+
+void PingTraffic::OnArrival(TimeNs sent_at) {
+  // ICMP echoes are handled in the guest kernel, ahead of user-level work.
+  guest_->PostUrgent(config_.per_ping_cpu, [this, sent_at](TimeNs done) {
+    // Echo reply traverses the network back to the client.
+    const TimeNs rtt = (done + config_.network_delay) - sent_at;
+    latencies_.Record(rtt);
+    --outstanding_;
+  });
+}
+
+}  // namespace tableau

@@ -1,0 +1,72 @@
+#include "src/workloads/stress.h"
+
+#include "src/common/check.h"
+#include "src/workloads/guest.h"
+
+namespace tableau {
+
+StressIoWorkload::StressIoWorkload(Machine* machine, Vcpu* vcpu, Config config)
+    : machine_(machine),
+      owned_guest_(std::make_unique<WorkQueueGuest>(machine, vcpu)),
+      guest_(owned_guest_.get()),
+      config_(config),
+      rng_(config.seed) {}
+
+StressIoWorkload::StressIoWorkload(Machine* machine, WorkQueueGuest* guest, Config config)
+    : machine_(machine), guest_(guest), config_(config), rng_(config.seed) {}
+
+TimeNs StressIoWorkload::Jittered(TimeNs base) {
+  const double factor = rng_.UniformDouble(1.0 - config_.jitter, 1.0 + config_.jitter);
+  const TimeNs value = static_cast<TimeNs>(static_cast<double>(base) * factor);
+  return value > 1 ? value : 1;
+}
+
+void StressIoWorkload::Start(TimeNs at) {
+  machine_->sim().ScheduleAt(at, [this] { PostIteration(); });
+}
+
+void StressIoWorkload::PostIteration() {
+  guest_->Post(Jittered(config_.compute), [this](TimeNs) {
+    ++iterations_;
+    // The blocking I/O completes io_wait later; the guest idles (or runs
+    // other queued work, e.g. system noise) in between.
+    machine_->sim().ScheduleAfter(Jittered(config_.io_wait),
+                                  [this] { PostIteration(); });
+  });
+}
+
+CpuHogWorkload::CpuHogWorkload(Machine* machine, Vcpu* vcpu)
+    : machine_(machine), vcpu_(vcpu) {
+  // Never completes a burst, so no handler is needed; set one defensively.
+  vcpu_->on_burst_complete = [] { TABLEAU_CHECK_MSG(false, "CPU hog burst completed"); };
+}
+
+void CpuHogWorkload::Start(TimeNs at) {
+  machine_->sim().ScheduleAt(at, [this] {
+    machine_->SetBurst(vcpu_, kTimeNever);
+    machine_->Wake(vcpu_->id());
+  });
+}
+
+SystemNoiseWorkload::SystemNoiseWorkload(Machine* machine, WorkQueueGuest* guest,
+                                         Config config)
+    : machine_(machine), guest_(guest), config_(config), rng_(config.seed) {}
+
+void SystemNoiseWorkload::Start(TimeNs at) {
+  machine_->sim().ScheduleAt(
+      at + rng_.UniformInt(0, config_.max_interval - config_.min_interval),
+      [this] { Tick(); });
+}
+
+void SystemNoiseWorkload::Tick() {
+  TimeNs burst = rng_.UniformInt(config_.min_burst, config_.max_burst);
+  while (burst > 0) {
+    const TimeNs chunk = burst < config_.chunk ? burst : config_.chunk;
+    guest_->Post(chunk, nullptr);
+    burst -= chunk;
+  }
+  machine_->sim().ScheduleAfter(
+      rng_.UniformInt(config_.min_interval, config_.max_interval), [this] { Tick(); });
+}
+
+}  // namespace tableau

@@ -1,0 +1,110 @@
+// Background workload models based on the `stress` POSIX workload generator
+// used in the paper (Sec. 7.2):
+//  - StressIoWorkload: I/O-intensive loop (short compute, short blocking
+//    I/O wait) that triggers the VM scheduler at a high rate;
+//  - CpuHogWorkload: the cache-thrashing, fully CPU-bound worker that never
+//    voluntarily invokes the scheduler;
+//  - SystemNoiseWorkload: occasional bursty CPU demand from guest system
+//    processes ("while VMs are not running any benchmark, they still require
+//    CPU time occasionally", Sec. 7.3).
+#ifndef SRC_WORKLOADS_STRESS_H_
+#define SRC_WORKLOADS_STRESS_H_
+
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/hypervisor/machine.h"
+#include "src/workloads/guest.h"
+
+namespace tableau {
+
+class StressIoWorkload {
+ public:
+  struct Config {
+    // Blocking-dominated profile: short CPU bursts between comparatively
+    // long blocking waits, triggering the VM scheduler at a high rate
+    // (~2,000 wake-ups/s per VM).
+    TimeNs compute = 75 * kMicrosecond;   // CPU burst per iteration.
+    TimeNs io_wait = 425 * kMicrosecond;  // Blocking I/O completion delay.
+    double jitter = 0.5;  // Uniform +/- fraction on both.
+    std::uint64_t seed = 1;
+
+    // Saturating profile, like `stress -i`'s sync() spin: simultaneously
+    // CPU-hungry (~75% duty, far above a 25% cap) and scheduler-hammering
+    // (~10,000 wake-ups/s per VM). The uncapped results in Figs. 5(b) and 7
+    // imply background demand well above machine capacity, which this
+    // profile provides.
+    static Config Heavy() {
+      Config config;
+      config.compute = 75 * kMicrosecond;
+      config.io_wait = 25 * kMicrosecond;
+      return config;
+    }
+  };
+
+  // Owns the vCPU's work queue exclusively.
+  StressIoWorkload(Machine* machine, Vcpu* vcpu, Config config);
+  // Shares an existing work queue (so a VM can run stress *and* system
+  // noise, as a real guest does).
+  StressIoWorkload(Machine* machine, WorkQueueGuest* guest, Config config);
+
+  // Begins the compute/block/wake loop at time `at`.
+  void Start(TimeNs at);
+
+  std::uint64_t iterations() const { return iterations_; }
+
+ private:
+  TimeNs Jittered(TimeNs base);
+  void PostIteration();
+
+  Machine* machine_;
+  std::unique_ptr<WorkQueueGuest> owned_guest_;
+  WorkQueueGuest* guest_;
+  Config config_;
+  Rng rng_;
+  std::uint64_t iterations_ = 0;
+};
+
+class CpuHogWorkload {
+ public:
+  CpuHogWorkload(Machine* machine, Vcpu* vcpu);
+
+  // Starts an endless CPU burn at time `at`.
+  void Start(TimeNs at);
+
+ private:
+  Machine* machine_;
+  Vcpu* vcpu_;
+};
+
+class SystemNoiseWorkload {
+ public:
+  struct Config {
+    TimeNs min_interval = 50 * kMillisecond;
+    TimeNs max_interval = 150 * kMillisecond;
+    TimeNs min_burst = 500 * kMicrosecond;
+    TimeNs max_burst = 3 * kMillisecond;
+    // Bursts are posted as a series of chunks so kernel-level work (e.g.
+    // ICMP handling via PostUrgent) can interleave, as it would under a
+    // preemptive guest kernel.
+    TimeNs chunk = 200 * kMicrosecond;
+    std::uint64_t seed = 1;
+  };
+
+  // Posts bursty background work onto an existing guest work queue.
+  SystemNoiseWorkload(Machine* machine, WorkQueueGuest* guest, Config config);
+
+  void Start(TimeNs at);
+
+ private:
+  void Tick();
+
+  Machine* machine_;
+  WorkQueueGuest* guest_;
+  Config config_;
+  Rng rng_;
+};
+
+}  // namespace tableau
+
+#endif  // SRC_WORKLOADS_STRESS_H_

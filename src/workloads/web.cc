@@ -1,0 +1,122 @@
+#include "src/workloads/web.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/math_util.h"
+
+namespace tableau {
+
+WebServerWorkload::WebServerWorkload(Machine* machine, Vcpu* vcpu, Config config)
+    : machine_(machine), vcpu_(vcpu), config_(config), nic_(config.nic) {
+  TABLEAU_CHECK(config_.file_bytes > 0 && config_.chunk_bytes > 0);
+  vcpu_->on_burst_complete = [this] { OnBurstComplete(); };
+}
+
+void WebServerWorkload::RequestArrived(TimeNs intended) {
+  ++accepted_;
+  queue_.push_back(Request{intended, config_.file_bytes});
+  if (phase_ == Phase::kIdle) {
+    BeginFront();
+  }
+}
+
+void WebServerWorkload::BeginFront() {
+  TABLEAU_CHECK(!queue_.empty());
+  phase_ = Phase::kBase;
+  machine_->SetBurst(vcpu_, config_.base_cpu);
+  if (vcpu_->state() == VcpuState::kBlocked) {
+    machine_->Wake(vcpu_->id());
+  }
+}
+
+void WebServerWorkload::OnBurstComplete() {
+  switch (phase_) {
+    case Phase::kBase:
+      ContinueSend();
+      return;
+    case Phase::kCopy: {
+      // The copy burst finished: hand the chunk to the NIC. The chunk was
+      // sized against free ring space, which can only have grown since.
+      const std::int64_t accepted = nic_.Enqueue(machine_->Now(), pending_chunk_);
+      TABLEAU_CHECK(accepted == pending_chunk_);
+      queue_.front().remaining -= pending_chunk_;
+      pending_chunk_ = 0;
+      ContinueSend();
+      return;
+    }
+    case Phase::kIdle:
+    case Phase::kWaitRing:
+      TABLEAU_CHECK_MSG(false, "web server burst completed in phase %d",
+                        static_cast<int>(phase_));
+  }
+}
+
+void WebServerWorkload::ContinueSend() {
+  Request& request = queue_.front();
+  const TimeNs now = machine_->Now();
+  if (request.remaining == 0) {
+    FinishFront();
+    return;
+  }
+  const std::int64_t want = std::min(config_.chunk_bytes, request.remaining);
+  const std::int64_t free = nic_.FreeSpace(now);
+  if (free < want) {
+    // Ring backed up: block until the NIC's TX-complete interrupt signals
+    // enough space. While the VM is descheduled, the NIC drains and idles —
+    // the Sec. 7.5 device-underutilization effect.
+    phase_ = Phase::kWaitRing;
+    const TimeNs when = nic_.TimeWhenFree(now, want);
+    machine_->Block(vcpu_);
+    const VcpuId id = vcpu_->id();
+    machine_->sim().ScheduleAt(std::max(now + 1, when), [this, id, want] {
+      TABLEAU_CHECK(phase_ == Phase::kWaitRing);
+      phase_ = Phase::kCopy;
+      pending_chunk_ = want;
+      machine_->SetBurst(vcpu_, CeilDiv(want, 1024) * config_.cpu_per_kib);
+      machine_->Wake(id);
+    });
+    return;
+  }
+  phase_ = Phase::kCopy;
+  pending_chunk_ = want;
+  machine_->SetBurst(vcpu_, CeilDiv(want, 1024) * config_.cpu_per_kib);
+}
+
+void WebServerWorkload::FinishFront() {
+  const Request request = queue_.front();
+  queue_.pop_front();
+  ++completed_;
+  // The response is complete when its last byte is on the wire and has
+  // crossed back to the client.
+  const TimeNs done = nic_.DrainCompleteTime(machine_->Now()) + config_.network_delay;
+  latencies_.Record(done - request.intended);
+
+  if (!queue_.empty()) {
+    phase_ = Phase::kBase;
+    machine_->SetBurst(vcpu_, config_.base_cpu);
+    // The vCPU is running (we are in its burst-complete context).
+  } else {
+    phase_ = Phase::kIdle;
+    machine_->Block(vcpu_);
+  }
+}
+
+OpenLoopClient::OpenLoopClient(Machine* machine, WebServerWorkload* server, Config config)
+    : machine_(machine), server_(server), config_(config) {}
+
+void OpenLoopClient::Start(TimeNs at) {
+  TABLEAU_CHECK(config_.requests_per_sec > 0);
+  const double spacing_ns = 1e9 / config_.requests_per_sec;
+  const auto count = static_cast<std::uint64_t>(
+      static_cast<double>(config_.duration) / spacing_ns);
+  for (std::uint64_t k = 0; k < count; ++k) {
+    const TimeNs intended = at + static_cast<TimeNs>(static_cast<double>(k) * spacing_ns);
+    machine_->sim().ScheduleAt(intended + config_.network_delay, [this, intended] {
+      ++sent_;
+      server_->RequestArrived(intended);
+    });
+  }
+}
+
+}  // namespace tableau

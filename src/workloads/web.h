@@ -1,0 +1,107 @@
+// Web-server workload (Sec. 7.4): the vantage VM hosts an nginx-like server
+// that serves fixed-size files over HTTPS; a wrk2-like open-loop client
+// generates requests at a constant rate and measures latency from the
+// *intended* send time, avoiding the Coordinated Omission problem.
+//
+// Per-request server work: a base CPU cost (request parsing, TLS, the PHP
+// "application") followed by a copy loop that moves the response into the
+// virtual NIC's ring buffer chunk by chunk, blocking for ring space when the
+// NIC is backed up. A request completes when its last byte leaves the wire,
+// so large responses are transmission-bound and expose the rigid-table
+// device-utilization effect of Sec. 7.5.
+#ifndef SRC_WORKLOADS_WEB_H_
+#define SRC_WORKLOADS_WEB_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "src/hypervisor/machine.h"
+#include "src/net/virtual_nic.h"
+#include "src/stats/histogram.h"
+
+namespace tableau {
+
+class WebServerWorkload {
+ public:
+  struct Config {
+    std::int64_t file_bytes = 100 * 1024;
+    // Base CPU per request (parse + TLS handshake work + PHP). Calibrated so
+    // ~1,650 1 KiB requests/s saturate a 25% CPU share (Fig. 7b's Tableau
+    // peak).
+    TimeNs base_cpu = 150 * kMicrosecond;
+    // Copy/encrypt cost per KiB moved into the NIC ring. Deliberately faster
+    // than the wire (a ~3.3 GB/s fill rate vs the VF's 0.625 GB/s drain
+    // rate) so that large responses are transmission-bound, per Sec. 7.5.
+    TimeNs cpu_per_kib = 300;
+    // Bytes handed to the NIC per send() call.
+    std::int64_t chunk_bytes = 64 * 1024;
+    // One-way client<->server network delay.
+    TimeNs network_delay = 50 * kMicrosecond;
+    // The SR-IOV VF's effective share of the contended 10 GbE port.
+    VirtualNic::Config nic{.bandwidth_bits_per_sec = 5e9, .ring_bytes = 256 * 1024};
+  };
+
+  WebServerWorkload(Machine* machine, Vcpu* vcpu, Config config);
+
+  // Delivers a request to the server. `intended` is the client's scheduled
+  // send time (the latency baseline, per wrk2).
+  void RequestArrived(TimeNs intended);
+
+  const Histogram& latencies() const { return latencies_; }
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t accepted() const { return accepted_; }
+  const VirtualNic& nic() const { return nic_; }
+
+ private:
+  enum class Phase { kIdle, kBase, kCopy, kWaitRing };
+
+  struct Request {
+    TimeNs intended;
+    std::int64_t remaining;
+  };
+
+  void BeginFront();
+  void OnBurstComplete();
+  // Advances the copy loop: issues the next chunk, waits for ring space, or
+  // finishes the request.
+  void ContinueSend();
+  void FinishFront();
+
+  Machine* machine_;
+  Vcpu* vcpu_;
+  Config config_;
+  VirtualNic nic_;
+  std::deque<Request> queue_;
+  Phase phase_ = Phase::kIdle;
+  std::int64_t pending_chunk_ = 0;
+  Histogram latencies_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t accepted_ = 0;
+};
+
+// wrk2-style constant-rate open-loop request generator.
+class OpenLoopClient {
+ public:
+  struct Config {
+    double requests_per_sec = 100;
+    TimeNs duration = 10 * kSecond;
+    TimeNs network_delay = 50 * kMicrosecond;
+  };
+
+  OpenLoopClient(Machine* machine, WebServerWorkload* server, Config config);
+
+  // Schedules all arrivals in [at, at + duration) at constant spacing.
+  void Start(TimeNs at);
+
+  std::uint64_t sent() const { return sent_; }
+
+ private:
+  Machine* machine_;
+  WebServerWorkload* server_;
+  Config config_;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace tableau
+
+#endif  // SRC_WORKLOADS_WEB_H_

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/common/math_util.h"
+#include "src/common/rng.h"
+#include "src/common/time.h"
+#include "src/stats/histogram.h"
+#include "src/stats/summary.h"
+
+namespace tableau {
+namespace {
+
+TEST(MathUtil, GcdBasics) {
+  EXPECT_EQ(Gcd(12, 18), 6);
+  EXPECT_EQ(Gcd(18, 12), 6);
+  EXPECT_EQ(Gcd(7, 13), 1);
+  EXPECT_EQ(Gcd(0, 5), 5);
+  EXPECT_EQ(Gcd(5, 0), 5);
+  EXPECT_EQ(Gcd(0, 0), 0);
+  EXPECT_EQ(Gcd(-12, 18), 6);
+  EXPECT_EQ(Gcd(12, -18), 6);
+}
+
+TEST(MathUtil, LcmBasics) {
+  EXPECT_EQ(LcmSaturating(4, 6), 12);
+  EXPECT_EQ(LcmSaturating(5, 7), 35);
+  EXPECT_EQ(LcmSaturating(0, 7), 0);
+  EXPECT_EQ(LcmSaturating(1, 1), 1);
+}
+
+TEST(MathUtil, LcmSaturatesOnOverflow) {
+  EXPECT_EQ(LcmSaturating(INT64_MAX, INT64_MAX - 1), INT64_MAX);
+  // Two large coprime numbers.
+  EXPECT_EQ(LcmSaturating(2305843009213693951LL, 2305843009213693950LL), INT64_MAX);
+}
+
+TEST(MathUtil, CeilDivAndRounding) {
+  EXPECT_EQ(CeilDiv(10, 3), 4);
+  EXPECT_EQ(CeilDiv(9, 3), 3);
+  EXPECT_EQ(CeilDiv(1, 100), 1);
+  EXPECT_EQ(CeilDiv(0, 5), 0);
+  EXPECT_EQ(RoundUp(10, 4), 12);
+  EXPECT_EQ(RoundUp(12, 4), 12);
+  EXPECT_EQ(RoundDown(10, 4), 8);
+  EXPECT_EQ(RoundDown(12, 4), 12);
+}
+
+TEST(MathUtil, MulDivFloorNoOverflow) {
+  // a * b overflows int64 but the result fits.
+  const std::int64_t a = 4'000'000'000LL;
+  const std::int64_t b = 4'000'000'000LL;
+  EXPECT_EQ(MulDivFloor(a, b, 8'000'000'000LL), 2'000'000'000LL);
+  EXPECT_EQ(MulDivFloor(7, 3, 2), 10);  // floor(21/2).
+  EXPECT_EQ(MulDivFloor(0, 100, 7), 0);
+}
+
+TEST(MathUtil, DivisorsOfSmall) {
+  EXPECT_EQ(DivisorsOf(12), (std::vector<std::int64_t>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(DivisorsOf(1), (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(DivisorsOf(16), (std::vector<std::int64_t>{1, 2, 4, 8, 16}));
+  EXPECT_EQ(DivisorsOf(7), (std::vector<std::int64_t>{1, 7}));
+}
+
+TEST(MathUtil, DivisorsOfPerfectSquare) {
+  EXPECT_EQ(DivisorsOf(36), (std::vector<std::int64_t>{1, 2, 3, 4, 6, 9, 12, 18, 36}));
+}
+
+TEST(MathUtil, DivisorsAtLeastDescending) {
+  const auto divisors = DivisorsAtLeast(36, 4);
+  EXPECT_EQ(divisors, (std::vector<std::int64_t>{36, 18, 12, 9, 6, 4}));
+}
+
+TEST(MathUtil, DivisorsProductProperty) {
+  for (const std::int64_t n : {60LL, 97LL, 1024LL, 102702600LL}) {
+    for (const std::int64_t d : DivisorsOf(n)) {
+      EXPECT_EQ(n % d, 0) << n << " % " << d;
+    }
+  }
+}
+
+TEST(Time, FormatDuration) {
+  EXPECT_EQ(FormatDuration(5), "5ns");
+  EXPECT_EQ(FormatDuration(1500), "1.500us");
+  EXPECT_EQ(FormatDuration(2 * kMillisecond), "2.000ms");
+  EXPECT_EQ(FormatDuration(3 * kSecond), "3.000s");
+  EXPECT_EQ(FormatDuration(kTimeNever), "never");
+  EXPECT_EQ(FormatDuration(-1500), "-1.500us");
+}
+
+TEST(Time, Conversions) {
+  EXPECT_DOUBLE_EQ(ToMs(1'500'000), 1.5);
+  EXPECT_DOUBLE_EQ(ToUs(1'500), 1.5);
+  EXPECT_DOUBLE_EQ(ToSec(2'500'000'000LL), 2.5);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.UniformInt(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.UniformInt(42, 42), 42);
+  }
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Exponential(3.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Min(), 0);
+  EXPECT_EQ(h.Max(), 0);
+  EXPECT_EQ(h.Mean(), 0);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.Record(12345);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.Min(), 12345);
+  EXPECT_EQ(h.Max(), 12345);
+  EXPECT_DOUBLE_EQ(h.Mean(), 12345.0);
+  // Quantile error is bounded by the sub-bucket resolution (~1.6%).
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.5)), 12345.0, 12345.0 * 0.02);
+}
+
+TEST(Histogram, ExactMinMaxMean) {
+  Histogram h;
+  for (TimeNs v = 1; v <= 1000; ++v) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.Min(), 1);
+  EXPECT_EQ(h.Max(), 1000);
+  EXPECT_DOUBLE_EQ(h.Mean(), 500.5);
+  EXPECT_EQ(h.Percentile(1.0), 1000);
+}
+
+TEST(Histogram, PercentileAccuracy) {
+  Histogram h;
+  for (TimeNs v = 1; v <= 100000; ++v) {
+    h.Record(v);
+  }
+  for (const double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    const double expected = q * 100000;
+    EXPECT_NEAR(static_cast<double>(h.Percentile(q)), expected, expected * 0.02 + 2)
+        << "q=" << q;
+  }
+}
+
+TEST(Histogram, NegativeClampedToZero) {
+  Histogram h;
+  h.Record(-100);
+  EXPECT_EQ(h.Min(), 0);
+  EXPECT_EQ(h.Max(), 0);
+  EXPECT_EQ(h.Count(), 1u);
+}
+
+TEST(Histogram, LargeValues) {
+  Histogram h;
+  const TimeNs big = 100LL * kSecond;
+  h.Record(big);
+  EXPECT_EQ(h.Max(), big);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.5)), static_cast<double>(big),
+              static_cast<double>(big) * 0.02);
+}
+
+TEST(Histogram, Merge) {
+  Histogram a;
+  Histogram b;
+  for (int i = 1; i <= 100; ++i) {
+    a.Record(i);
+    b.Record(1000 + i);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 200u);
+  EXPECT_EQ(a.Min(), 1);
+  EXPECT_EQ(a.Max(), 1100);
+}
+
+TEST(Histogram, Reset) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Max(), 0);
+}
+
+TEST(Histogram, PercentileMonotone) {
+  Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    h.Record(rng.UniformInt(0, 10 * kMillisecond));
+  }
+  TimeNs prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const TimeNs v = h.Percentile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(RunningStat, Basics) {
+  RunningStat s;
+  s.Record(1.0);
+  s.Record(2.0);
+  s.Record(3.0);
+  EXPECT_EQ(s.Count(), 3u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 3.0);
+  s.Reset();
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace tableau

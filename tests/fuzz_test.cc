@@ -1,0 +1,150 @@
+// Randomized end-to-end robustness tests: random machine shapes, VM counts,
+// reservations, and workload mixes, run under every scheduler. The machine
+// itself enforces hard contracts (no vCPU on two CPUs, no blocked vCPU
+// dispatched, no non-advancing decisions, time never runs backwards) via
+// TABLEAU_CHECK, so simply completing a run is a strong property; on top of
+// that these tests assert conservation and cap invariants.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/harness/scenario.h"
+#include "src/workloads/guest.h"
+#include "src/workloads/ping.h"
+#include "src/workloads/stress.h"
+#include "src/workloads/web.h"
+
+namespace tableau {
+namespace {
+
+struct FuzzCase {
+  std::uint64_t seed;
+  SchedKind kind;
+  bool capped;
+};
+
+class SchedulerFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(SchedulerFuzz, RandomWorkloadMixObeysInvariants) {
+  const FuzzCase param = GetParam();
+  Rng rng(param.seed);
+
+  ScenarioConfig config;
+  config.scheduler = param.kind;
+  config.capped = param.capped;
+  config.guest_cpus = static_cast<int>(rng.UniformInt(2, 8));
+  config.cores_per_socket = config.guest_cpus <= 3 ? config.guest_cpus
+                                                   : (config.guest_cpus + 1) / 2;
+  config.vms_per_core = static_cast<int>(rng.UniformInt(2, 4));
+  config.utilization = 1.0 / config.vms_per_core;
+  config.latency_goal = rng.UniformInt(10, 80) * kMillisecond;
+  Scenario scenario = BuildScenario(config);
+
+  // Random workload per VM: CPU hog, I/O stress (either profile), noisy
+  // guest, or ping responder.
+  std::vector<std::unique_ptr<CpuHogWorkload>> hogs;
+  std::vector<std::unique_ptr<StressIoWorkload>> stress;
+  std::vector<std::unique_ptr<WorkQueueGuest>> guests;
+  std::vector<std::unique_ptr<SystemNoiseWorkload>> noise;
+  std::vector<std::unique_ptr<PingTraffic>> pings;
+  for (std::size_t i = 0; i < scenario.vcpus.size(); ++i) {
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+        hogs.push_back(
+            std::make_unique<CpuHogWorkload>(scenario.machine.get(), scenario.vcpus[i]));
+        hogs.back()->Start(0);
+        break;
+      case 1: {
+        StressIoWorkload::Config stress_config;
+        if (rng.UniformDouble() < 0.5) {
+          stress_config = StressIoWorkload::Config::Heavy();
+        }
+        stress_config.seed = param.seed * 1000 + i;
+        stress.push_back(std::make_unique<StressIoWorkload>(
+            scenario.machine.get(), scenario.vcpus[i], stress_config));
+        stress.back()->Start(0);
+        break;
+      }
+      case 2: {
+        guests.push_back(std::make_unique<WorkQueueGuest>(scenario.machine.get(),
+                                                          scenario.vcpus[i]));
+        SystemNoiseWorkload::Config noise_config;
+        noise_config.seed = param.seed * 1000 + i;
+        noise.push_back(std::make_unique<SystemNoiseWorkload>(
+            scenario.machine.get(), guests.back().get(), noise_config));
+        noise.back()->Start(0);
+        break;
+      }
+      default: {
+        guests.push_back(std::make_unique<WorkQueueGuest>(scenario.machine.get(),
+                                                          scenario.vcpus[i]));
+        PingTraffic::Config ping_config;
+        ping_config.threads = 2;
+        ping_config.pings_per_thread = 200;
+        ping_config.max_spacing = 8 * kMillisecond;
+        ping_config.seed = param.seed * 1000 + i;
+        pings.push_back(std::make_unique<PingTraffic>(scenario.machine.get(),
+                                                      guests.back().get(), ping_config));
+        pings.back()->Start(0);
+        break;
+      }
+    }
+  }
+
+  const TimeNs duration = 2 * kSecond;
+  scenario.machine->Start();
+  scenario.machine->RunFor(duration);
+
+  // Conservation: per-CPU busy + overhead never exceeds wall time, and the
+  // sum of guest service equals the sum of busy time.
+  TimeNs busy_total = 0;
+  for (int cpu = 0; cpu < scenario.machine->num_cpus(); ++cpu) {
+    EXPECT_LE(scenario.machine->cpu_busy_ns(cpu) + scenario.machine->cpu_overhead_ns(cpu),
+              duration + kMillisecond);
+    busy_total += scenario.machine->cpu_busy_ns(cpu);
+  }
+  TimeNs service_total = 0;
+  for (const Vcpu* vcpu : scenario.vcpus) {
+    service_total += vcpu->total_service();
+  }
+  EXPECT_EQ(busy_total, service_total);
+
+  // Cap invariant: no capped vCPU may exceed its reservation by more than
+  // accounting slack (one replenishment period's worth).
+  if (param.capped) {
+    for (const Vcpu* vcpu : scenario.vcpus) {
+      const double share =
+          static_cast<double>(vcpu->total_service()) / static_cast<double>(duration);
+      EXPECT_LE(share, config.utilization + 0.05) << "vcpu " << vcpu->id();
+    }
+  }
+}
+
+std::vector<FuzzCase> MakeCases() {
+  std::vector<FuzzCase> cases;
+  const struct {
+    SchedKind kind;
+    bool capped;
+  } kinds[] = {{SchedKind::kCredit, true},  {SchedKind::kCredit, false},
+               {SchedKind::kCredit2, false}, {SchedKind::kRtds, true},
+               {SchedKind::kTableau, true},  {SchedKind::kTableau, false},
+               {SchedKind::kCfs, true},      {SchedKind::kCfs, false}};
+  std::uint64_t seed = 1;
+  for (const auto& kind : kinds) {
+    for (int i = 0; i < 3; ++i) {
+      cases.push_back(FuzzCase{seed++, kind.kind, kind.capped});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMixes, SchedulerFuzz, ::testing::ValuesIn(MakeCases()),
+                         [](const ::testing::TestParamInfo<FuzzCase>& info) {
+                           return std::string(SchedKindName(info.param.kind)) +
+                                  (info.param.capped ? "Capped" : "Uncapped") + "Seed" +
+                                  std::to_string(info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace tableau

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/hypervisor/machine.h"
+#include "src/rt/hyperperiod.h"
+#include "src/schedulers/tableau_scheduler.h"
+#include "src/workloads/gang.h"
+
+namespace tableau {
+namespace {
+
+struct GangRig {
+  explicit GangRig(int cpus) {
+    TableauDispatcher::Config config;
+    config.work_conserving = false;
+    auto owned = std::make_unique<TableauScheduler>(config);
+    scheduler = owned.get();
+    MachineConfig machine_config;
+    machine_config.num_cpus = cpus;
+    machine_config.cores_per_socket = cpus;
+    machine = std::make_unique<Machine>(machine_config, std::move(owned));
+  }
+  std::unique_ptr<Machine> machine;
+  TableauScheduler* scheduler;
+};
+
+TEST(Gang, PhasesCompleteOnDedicatedCores) {
+  GangRig rig(2);
+  std::vector<Vcpu*> members = {rig.machine->AddVcpu({}), rig.machine->AddVcpu({})};
+  std::vector<std::vector<Allocation>> per_cpu = {{{0, 0, kHyperperiodNs}},
+                                                  {{1, 0, kHyperperiodNs}}};
+  rig.scheduler->PushTable(std::make_shared<SchedulingTable>(
+      SchedulingTable::Build(kHyperperiodNs, std::move(per_cpu))));
+  GangWorkload::Config config;
+  config.phase_cpu = kMillisecond;
+  config.barrier_overhead = 0 + 10 * kMicrosecond;
+  GangWorkload gang(rig.machine.get(), members, config);
+  gang.Start(0);
+  rig.machine->Start();
+  rig.machine->RunFor(kSecond);
+  // ~1 ms + barrier per phase: close to 950+ phases.
+  EXPECT_GT(gang.phases_completed(), 900u);
+  EXPECT_LE(gang.phases_completed(), 1000u);
+  // Both members did the same work.
+  EXPECT_NEAR(static_cast<double>(members[0]->total_service()),
+              static_cast<double>(members[1]->total_service()), 2.0 * kMillisecond);
+}
+
+TEST(Gang, SlowestMemberGatesThePhase) {
+  // Member 1 only has a slot in the second half of each 10 ms round: the
+  // gang completes ~1 phase per round even though member 0 has a full core.
+  GangRig rig(2);
+  std::vector<Vcpu*> members = {rig.machine->AddVcpu({}), rig.machine->AddVcpu({})};
+  const TimeNs len = 10 * kMillisecond;
+  std::vector<std::vector<Allocation>> per_cpu(2);
+  per_cpu[0] = {{0, 0, len}};
+  per_cpu[1] = {{1, 8 * kMillisecond, len}};
+  rig.scheduler->PushTable(std::make_shared<SchedulingTable>(
+      SchedulingTable::Build(len, std::move(per_cpu))));
+  GangWorkload::Config config;
+  config.phase_cpu = kMillisecond;
+  GangWorkload gang(rig.machine.get(), members, config);
+  gang.Start(0);
+  rig.machine->Start();
+  rig.machine->RunFor(kSecond);
+  // Member 1 can compute at most 2 ms per round => at most 2 phases/round,
+  // and phase starts gate on the barrier: ~100-200 phases.
+  EXPECT_GT(gang.phases_completed(), 80u);
+  EXPECT_LT(gang.phases_completed(), 220u);
+}
+
+TEST(Gang, SingleMemberGangIsJustALoop) {
+  GangRig rig(1);
+  std::vector<Vcpu*> members = {rig.machine->AddVcpu({})};
+  std::vector<std::vector<Allocation>> per_cpu = {{{0, 0, kHyperperiodNs}}};
+  rig.scheduler->PushTable(std::make_shared<SchedulingTable>(
+      SchedulingTable::Build(kHyperperiodNs, std::move(per_cpu))));
+  GangWorkload::Config config;
+  config.phase_cpu = 5 * kMillisecond;
+  GangWorkload gang(rig.machine.get(), members, config);
+  gang.Start(0);
+  rig.machine->Start();
+  rig.machine->RunFor(kSecond);
+  EXPECT_GT(gang.phases_completed(), 190u);
+  EXPECT_LE(gang.phases_completed(), 200u);
+}
+
+}  // namespace
+}  // namespace tableau

@@ -1,0 +1,113 @@
+// Contract tests: the machine must abort (TABLEAU_CHECK) when a scheduler
+// violates its interface — picking a blocked vCPU, picking a vCPU that is
+// already running elsewhere, or returning a decision that does not advance
+// time. These contracts are what make the fuzz suite meaningful.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/hypervisor/machine.h"
+#include "src/hypervisor/scheduler.h"
+
+namespace tableau {
+namespace {
+
+enum class Misbehavior {
+  kPickBlocked,
+  kPickRunningElsewhere,
+  kNonAdvancingDecision,
+  kNegativeOpCost,
+};
+
+// A scheduler that behaves correctly until told to misbehave.
+class EvilScheduler : public VcpuScheduler {
+ public:
+  explicit EvilScheduler(Misbehavior misbehavior) : misbehavior_(misbehavior) {}
+
+  std::string Name() const override { return "evil"; }
+  void AddVcpu(Vcpu* vcpu) override { vcpus_.push_back(vcpu); }
+
+  Decision PickNext(CpuId cpu) override {
+    Decision decision;
+    switch (misbehavior_) {
+      case Misbehavior::kPickBlocked:
+        decision.vcpu = vcpus_[0]->id();  // vCPU 0 is never woken.
+        decision.until = machine_->Now() + kMillisecond;
+        return decision;
+      case Misbehavior::kPickRunningElsewhere:
+        // Always pick vCPU 1 on every CPU.
+        decision.vcpu = vcpus_[1]->id();
+        decision.until = machine_->Now() + kMillisecond;
+        return decision;
+      case Misbehavior::kNonAdvancingDecision:
+        decision.vcpu = kIdleVcpu;
+        decision.until = machine_->Now();  // Not in the future.
+        return decision;
+      case Misbehavior::kNegativeOpCost:
+        machine_->AddOpCost(-5);
+        decision.vcpu = kIdleVcpu;
+        decision.until = kTimeNever;
+        return decision;
+    }
+    (void)cpu;
+    return decision;
+  }
+
+  void OnWakeup(Vcpu* vcpu) override { (void)vcpu; }
+  void OnBlock(Vcpu* vcpu, CpuId cpu) override {
+    (void)vcpu;
+    (void)cpu;
+  }
+  void OnDeschedule(Vcpu* vcpu, CpuId cpu, DeschedReason reason) override {
+    (void)vcpu;
+    (void)cpu;
+    (void)reason;
+  }
+
+ private:
+  Misbehavior misbehavior_;
+  std::vector<Vcpu*> vcpus_;
+};
+
+void RunEvil(Misbehavior misbehavior) {
+  MachineConfig config;
+  config.num_cpus = 2;
+  config.cores_per_socket = 2;
+  Machine machine(config, std::make_unique<EvilScheduler>(misbehavior));
+  Vcpu* blocked = machine.AddVcpu(VcpuParams{});
+  (void)blocked;  // Stays blocked forever.
+  Vcpu* runnable = machine.AddVcpu(VcpuParams{});
+  runnable->set_remaining_burst(kTimeNever);
+  runnable->on_burst_complete = [] {};
+  machine.sim().ScheduleAt(0, [&] { machine.Wake(runnable->id()); });
+  machine.Start();
+  machine.RunFor(10 * kMillisecond);
+}
+
+TEST(MachineContractDeathTest, PickingBlockedVcpuAborts) {
+  EXPECT_DEATH(RunEvil(Misbehavior::kPickBlocked), "picked blocked vCPU");
+}
+
+TEST(MachineContractDeathTest, PickingRunningVcpuOnSecondCpuAborts) {
+  EXPECT_DEATH(RunEvil(Misbehavior::kPickRunningElsewhere), "already running");
+}
+
+TEST(MachineContractDeathTest, NonAdvancingDecisionAborts) {
+  EXPECT_DEATH(RunEvil(Misbehavior::kNonAdvancingDecision), "non-advancing");
+}
+
+TEST(MachineContractDeathTest, NegativeOpCostAborts) {
+  EXPECT_DEATH(RunEvil(Misbehavior::kNegativeOpCost), "cost >= 0");
+}
+
+TEST(MachineContractDeathTest, BlockingNonRunningVcpuAborts) {
+  MachineConfig config;
+  config.num_cpus = 1;
+  config.cores_per_socket = 1;
+  Machine machine(config, std::make_unique<EvilScheduler>(Misbehavior::kNegativeOpCost));
+  Vcpu* vcpu = machine.AddVcpu(VcpuParams{});
+  EXPECT_DEATH(machine.Block(vcpu), "non-running vCPU");
+}
+
+}  // namespace
+}  // namespace tableau

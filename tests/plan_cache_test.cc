@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/core/plan_cache.h"
+
+namespace tableau {
+namespace {
+
+std::vector<VcpuRequest> Requests(std::initializer_list<std::pair<double, TimeNs>> specs,
+                                  int first_id = 0) {
+  std::vector<VcpuRequest> requests;
+  int id = first_id;
+  for (const auto& [u, l] : specs) {
+    requests.push_back(VcpuRequest{id++, u, l});
+  }
+  return requests;
+}
+
+PlannerConfig FourCores() {
+  PlannerConfig config;
+  config.num_cpus = 4;
+  return config;
+}
+
+TEST(PlanCache, MissThenHit) {
+  PlanCache cache(FourCores());
+  const auto requests = Requests({{0.25, 20 * kMillisecond}, {0.5, 10 * kMillisecond}});
+  const PlanResult first = cache.GetOrPlan(requests);
+  ASSERT_TRUE(first.success);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  const PlanResult second = cache.GetOrPlan(requests);
+  ASSERT_TRUE(second.success);
+  EXPECT_EQ(cache.hits(), 1u);
+  // Identical layout.
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(second.table.cpu(c).allocations, first.table.cpu(c).allocations);
+  }
+}
+
+TEST(PlanCache, HitIsIdInsensitive) {
+  PlanCache cache(FourCores());
+  const PlanResult first = cache.GetOrPlan(
+      Requests({{0.25, 20 * kMillisecond}, {0.5, 10 * kMillisecond}}, /*first_id=*/0));
+  ASSERT_TRUE(first.success);
+
+  // Same reservation multiset, different ids and order.
+  std::vector<VcpuRequest> renamed = {{17, 0.5, 10 * kMillisecond},
+                                      {42, 0.25, 20 * kMillisecond}};
+  const PlanResult second = cache.GetOrPlan(renamed);
+  ASSERT_TRUE(second.success);
+  EXPECT_EQ(cache.hits(), 1u);
+  // Correctly relabeled: vCPU 17 carries the 50% reservation.
+  EXPECT_GE(static_cast<double>(second.table.TotalService(17)) /
+                static_cast<double>(second.table.length()),
+            0.5 - 1e-6);
+  EXPECT_GE(static_cast<double>(second.table.TotalService(42)) /
+                static_cast<double>(second.table.length()),
+            0.25 - 1e-6);
+  EXPECT_EQ(second.table.Validate(), "");
+  // Plan metadata uses the caller's ids.
+  for (const VcpuPlan& plan : second.vcpus) {
+    EXPECT_TRUE(plan.vcpu == 17 || plan.vcpu == 42);
+  }
+}
+
+TEST(PlanCache, DifferentMultisetsMiss) {
+  PlanCache cache(FourCores());
+  cache.GetOrPlan(Requests({{0.25, 20 * kMillisecond}}));
+  cache.GetOrPlan(Requests({{0.25, 30 * kMillisecond}}));  // Different latency.
+  cache.GetOrPlan(Requests({{0.30, 20 * kMillisecond}}));  // Different share.
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(PlanCache, FailuresNotCached) {
+  PlanCache cache(FourCores());
+  const auto over = Requests({{0.9, 20 * kMillisecond},
+                              {0.9, 20 * kMillisecond},
+                              {0.9, 20 * kMillisecond},
+                              {0.9, 20 * kMillisecond},
+                              {0.9, 20 * kMillisecond}});
+  EXPECT_FALSE(cache.GetOrPlan(over).success);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.GetOrPlan(over).success);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(PlanCache, LruEviction) {
+  PlanCache cache(FourCores(), /*capacity=*/2);
+  const auto a = Requests({{0.10, 20 * kMillisecond}});
+  const auto b = Requests({{0.20, 20 * kMillisecond}});
+  const auto c = Requests({{0.30, 20 * kMillisecond}});
+  cache.GetOrPlan(a);
+  cache.GetOrPlan(b);
+  cache.GetOrPlan(a);  // Touch a: b becomes LRU.
+  cache.GetOrPlan(c);  // Evicts b.
+  EXPECT_EQ(cache.size(), 2u);
+  cache.GetOrPlan(a);
+  EXPECT_EQ(cache.hits(), 2u);  // Touch of a, plus this lookup.
+  cache.GetOrPlan(b);           // Miss again after eviction.
+  EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(RelabelPlan, RemapsEverywhere) {
+  PlannerConfig config;
+  config.num_cpus = 2;
+  const Planner planner(config);
+  const PlanResult plan =
+      planner.Plan(Requests({{0.25, 20 * kMillisecond}, {0.4, 20 * kMillisecond}}));
+  ASSERT_TRUE(plan.success);
+  const PlanResult renamed = RelabelPlan(plan, {{0, 100}, {1, 200}});
+  EXPECT_EQ(renamed.table.TotalService(0), 0);
+  EXPECT_EQ(renamed.table.TotalService(100), plan.table.TotalService(0));
+  EXPECT_EQ(renamed.table.TotalService(200), plan.table.TotalService(1));
+  for (const VcpuPlan& vcpu : renamed.vcpus) {
+    EXPECT_TRUE(vcpu.vcpu == 100 || vcpu.vcpu == 200);
+  }
+  for (const VcpuRequest& request : renamed.requests) {
+    EXPECT_TRUE(request.vcpu == 100 || request.vcpu == 200);
+  }
+}
+
+}  // namespace
+}  // namespace tableau

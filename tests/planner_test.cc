@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/rng.h"
+#include "src/core/planner.h"
+#include "src/rt/hyperperiod.h"
+
+namespace tableau {
+namespace {
+
+std::vector<VcpuRequest> UniformRequests(int count, double utilization, TimeNs latency) {
+  std::vector<VcpuRequest> requests;
+  for (int i = 0; i < count; ++i) {
+    requests.push_back(VcpuRequest{i, utilization, latency});
+  }
+  return requests;
+}
+
+// Sum of a vCPU's requested utilization over the table, as actually granted.
+double GrantedUtilization(const SchedulingTable& table, VcpuId vcpu) {
+  return static_cast<double>(table.TotalService(vcpu)) /
+         static_cast<double>(table.length());
+}
+
+TEST(Planner, PaperSetup48VmsOn12Cores) {
+  PlannerConfig config;
+  config.num_cpus = 12;
+  const Planner planner(config);
+  const PlanResult plan = planner.Plan(UniformRequests(48, 0.25, 20 * kMillisecond));
+  ASSERT_TRUE(plan.success) << plan.error;
+  EXPECT_EQ(plan.method, PlanMethod::kPartitioned);
+  EXPECT_EQ(plan.table.Validate(), "");
+  for (const VcpuPlan& vcpu : plan.vcpus) {
+    EXPECT_TRUE(vcpu.latency_goal_met);
+    EXPECT_FALSE(vcpu.split);
+    // Blackout measured in the actual table must respect the bound.
+    EXPECT_LE(plan.table.MaxBlackout(vcpu.vcpu), vcpu.blackout_bound);
+    // Utilization granted within ns quantization of the request.
+    EXPECT_GE(GrantedUtilization(plan.table, vcpu.vcpu), 0.25 - 1e-6);
+  }
+}
+
+TEST(Planner, UtilizationGuaranteeAcrossLatencyGoals) {
+  for (const TimeNs latency : {kMillisecond, 30 * kMillisecond, 60 * kMillisecond,
+                               100 * kMillisecond}) {
+    PlannerConfig config;
+    config.num_cpus = 4;
+    const Planner planner(config);
+    const PlanResult plan = planner.Plan(UniformRequests(16, 0.25, latency));
+    ASSERT_TRUE(plan.success) << plan.error << " latency " << latency;
+    for (const VcpuPlan& vcpu : plan.vcpus) {
+      EXPECT_LE(plan.table.MaxBlackout(vcpu.vcpu), latency)
+          << "latency goal " << latency << " vcpu " << vcpu.vcpu;
+    }
+  }
+}
+
+TEST(Planner, RejectsOverUtilized) {
+  PlannerConfig config;
+  config.num_cpus = 2;
+  const Planner planner(config);
+  const PlanResult plan = planner.Plan(UniformRequests(9, 0.25, 20 * kMillisecond));
+  EXPECT_FALSE(plan.success);
+  EXPECT_NE(plan.error.find("over-utilized"), std::string::npos);
+}
+
+TEST(Planner, RejectsBadRequests) {
+  PlannerConfig config;
+  config.num_cpus = 2;
+  const Planner planner(config);
+  EXPECT_FALSE(planner.Plan({{0, 0.0, kMillisecond}}).success);
+  EXPECT_FALSE(planner.Plan({{0, 1.5, kMillisecond}}).success);
+  EXPECT_FALSE(planner.Plan({{0, 0.5, 0}}).success);
+  EXPECT_FALSE(planner.Plan({{0, 0.5, kMillisecond}, {0, 0.5, kMillisecond}}).success);
+}
+
+TEST(Planner, EmptyRequestSetYieldsIdleTable) {
+  PlannerConfig config;
+  config.num_cpus = 2;
+  const Planner planner(config);
+  const PlanResult plan = planner.Plan({});
+  ASSERT_TRUE(plan.success);
+  EXPECT_EQ(plan.table.num_cpus(), 2);
+  EXPECT_EQ(plan.table.cpu(0).allocations.size(), 0u);
+}
+
+TEST(Planner, DedicatedCoreForFullUtilization) {
+  PlannerConfig config;
+  config.num_cpus = 3;
+  const Planner planner(config);
+  std::vector<VcpuRequest> requests = {{0, 1.0, kMillisecond},
+                                       {1, 0.5, 20 * kMillisecond},
+                                       {2, 0.5, 20 * kMillisecond}};
+  const PlanResult plan = planner.Plan(requests);
+  ASSERT_TRUE(plan.success) << plan.error;
+  // vCPU 0 owns a full core.
+  EXPECT_EQ(plan.table.TotalService(0), plan.table.length());
+  EXPECT_EQ(plan.table.MaxBlackout(0), 0);
+  const auto it = std::find_if(plan.vcpus.begin(), plan.vcpus.end(),
+                               [](const VcpuPlan& v) { return v.vcpu == 0; });
+  ASSERT_NE(it, plan.vcpus.end());
+  EXPECT_TRUE(it->dedicated);
+}
+
+TEST(Planner, TooManyDedicatedVcpusRejected) {
+  PlannerConfig config;
+  config.num_cpus = 2;
+  const Planner planner(config);
+  std::vector<VcpuRequest> requests = {
+      {0, 1.0, kMillisecond}, {1, 1.0, kMillisecond}, {2, 0.5, 20 * kMillisecond}};
+  EXPECT_FALSE(planner.Plan(requests).success);
+}
+
+TEST(Planner, ExactFullPackAdmittedViaShaving) {
+  // 4 cores x 4 VMs x 25% = exactly 100%: ceil-rounding would overflow by a
+  // few ns; the shave pass must admit it.
+  PlannerConfig config;
+  config.num_cpus = 4;
+  const Planner planner(config);
+  const PlanResult plan = planner.Plan(UniformRequests(16, 0.25, 20 * kMillisecond));
+  ASSERT_TRUE(plan.success) << plan.error;
+  for (const VcpuPlan& vcpu : plan.vcpus) {
+    // Within 1 ns per period of the requested share.
+    const double tolerance =
+        1.0 / static_cast<double>(vcpu.period) + 1e-9;
+    EXPECT_GE(vcpu.effective_utilization, 0.25 - tolerance);
+  }
+}
+
+TEST(Planner, QuantizationShaveKeepsQuarterSharesPartitioned) {
+  // 160 quarter-share VMs on 44 cores with a 1 ms goal: the chosen period is
+  // not divisible by 4, so C = ceil(T/4) overflows each core by 2 ns and
+  // naive partitioning fails. The quantization-aware retry must keep this
+  // partitioned instead of escalating to the cluster stage.
+  PlannerConfig config;
+  config.num_cpus = 44;
+  const Planner planner(config);
+  const PlanResult plan = planner.Plan(UniformRequests(160, 0.25, kMillisecond));
+  ASSERT_TRUE(plan.success) << plan.error;
+  EXPECT_EQ(plan.method, PlanMethod::kPartitioned);
+  for (const VcpuPlan& vcpu : plan.vcpus) {
+    // Within 1 ns per period of the requested share.
+    EXPECT_GE(vcpu.effective_utilization,
+              0.25 - 1.0 / static_cast<double>(vcpu.period) - 1e-12);
+    EXPECT_LE(plan.table.MaxBlackout(vcpu.vcpu), kMillisecond);
+  }
+}
+
+TEST(Planner, SemiPartitioningEngagesForUnpartitionableLoad) {
+  // Three 60% vCPUs on two cores cannot be partitioned.
+  PlannerConfig config;
+  config.num_cpus = 2;
+  const Planner planner(config);
+  const PlanResult plan = planner.Plan(UniformRequests(3, 0.6, 40 * kMillisecond));
+  ASSERT_TRUE(plan.success) << plan.error;
+  EXPECT_NE(plan.method, PlanMethod::kPartitioned);
+  EXPECT_EQ(plan.table.Validate(), "");
+  // At least one vCPU is split across both cores.
+  const bool any_split = std::any_of(plan.vcpus.begin(), plan.vcpus.end(),
+                                     [](const VcpuPlan& v) { return v.split; });
+  EXPECT_TRUE(any_split);
+  // Utilization guarantees still hold.
+  for (const VcpuPlan& vcpu : plan.vcpus) {
+    EXPECT_GE(GrantedUtilization(plan.table, vcpu.vcpu), 0.6 - 1e-6);
+  }
+}
+
+TEST(Planner, SemiPartitionedLatencyStillBounded) {
+  PlannerConfig config;
+  config.num_cpus = 2;
+  const Planner planner(config);
+  const PlanResult plan = planner.Plan(UniformRequests(3, 0.6, 40 * kMillisecond));
+  ASSERT_TRUE(plan.success) << plan.error;
+  for (const VcpuPlan& vcpu : plan.vcpus) {
+    EXPECT_LE(plan.table.MaxBlackout(vcpu.vcpu), 40 * kMillisecond) << vcpu.vcpu;
+  }
+}
+
+TEST(Planner, HighUtilizationManyVcpus) {
+  // 8 cores, 15 vCPUs at 52%: 7.8 total; partitioning fits only one per
+  // core -> semi-partitioning must engage and succeed.
+  PlannerConfig config;
+  config.num_cpus = 8;
+  const Planner planner(config);
+  const PlanResult plan = planner.Plan(UniformRequests(15, 0.52, 40 * kMillisecond));
+  ASSERT_TRUE(plan.success) << plan.error;
+  EXPECT_EQ(plan.table.Validate(), "");
+  for (const VcpuPlan& vcpu : plan.vcpus) {
+    EXPECT_GE(GrantedUtilization(plan.table, vcpu.vcpu), 0.52 - 1e-6) << vcpu.vcpu;
+  }
+}
+
+TEST(Planner, MixedTiersPlan) {
+  // Price-differentiated tiers: gold 50%/10ms, silver 25%/30ms,
+  // bronze 10%/100ms.
+  PlannerConfig config;
+  config.num_cpus = 4;
+  const Planner planner(config);
+  std::vector<VcpuRequest> requests;
+  int id = 0;
+  for (int i = 0; i < 3; ++i) {
+    requests.push_back({id++, 0.5, 10 * kMillisecond});
+  }
+  for (int i = 0; i < 6; ++i) {
+    requests.push_back({id++, 0.25, 30 * kMillisecond});
+  }
+  for (int i = 0; i < 9; ++i) {
+    requests.push_back({id++, 0.10, 100 * kMillisecond});
+  }
+  const PlanResult plan = planner.Plan(requests);
+  ASSERT_TRUE(plan.success) << plan.error;
+  for (const VcpuPlan& vcpu : plan.vcpus) {
+    EXPECT_LE(plan.table.MaxBlackout(vcpu.vcpu), vcpu.latency_goal) << vcpu.vcpu;
+    // Granted share is the effective reservation minus reported coalescing
+    // donations (exact accounting).
+    const double donated =
+        static_cast<double>(vcpu.donated_ns) / static_cast<double>(plan.table.length());
+    EXPECT_GE(GrantedUtilization(plan.table, vcpu.vcpu),
+              vcpu.requested_utilization - donated - 1e-6)
+        << vcpu.vcpu;
+    // Donations must stay small relative to the share (< 2% of it).
+    EXPECT_LE(donated, 0.02 * vcpu.requested_utilization + 1e-9) << vcpu.vcpu;
+  }
+}
+
+class PlannerPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlannerPropertyTest, RandomWorkloadsSatisfyGuarantees) {
+  Rng rng(GetParam());
+  const int cores = static_cast<int>(rng.UniformInt(2, 12));
+  PlannerConfig config;
+  config.num_cpus = cores;
+  const Planner planner(config);
+
+  std::vector<VcpuRequest> requests;
+  double total = 0;
+  int id = 0;
+  while (true) {
+    const double u = rng.UniformDouble(0.02, 0.8);
+    if (total + u > 0.95 * cores || id > 60) {
+      break;
+    }
+    total += u;
+    VcpuRequest request;
+    request.vcpu = id++;
+    request.utilization = u;
+    request.latency_goal = rng.UniformInt(2 * kMillisecond, 150 * kMillisecond);
+    requests.push_back(request);
+  }
+  const PlanResult plan = planner.Plan(requests);
+  ASSERT_TRUE(plan.success) << plan.error;
+  ASSERT_EQ(plan.table.Validate(), "");
+
+  std::map<VcpuId, const VcpuRequest*> by_id;
+  for (const VcpuRequest& request : requests) {
+    by_id[request.vcpu] = &request;
+  }
+  for (const VcpuPlan& vcpu : plan.vcpus) {
+    const VcpuRequest& request = *by_id.at(vcpu.vcpu);
+    // Minimum-share guarantee, with coalescing donations exactly accounted.
+    const double donated =
+        static_cast<double>(vcpu.donated_ns) / static_cast<double>(plan.table.length());
+    EXPECT_GE(GrantedUtilization(plan.table, vcpu.vcpu),
+              request.utilization - donated - 1e-6)
+        << "vcpu " << vcpu.vcpu;
+    // Latency guarantee whenever the goal was achievable.
+    if (vcpu.latency_goal_met) {
+      EXPECT_LE(plan.table.MaxBlackout(vcpu.vcpu), request.latency_goal)
+          << "vcpu " << vcpu.vcpu;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, PlannerPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace tableau

@@ -1,0 +1,634 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/rng.h"
+#include "src/rt/cd_split.h"
+#include "src/rt/dpfair.h"
+#include "src/rt/edf_sim.h"
+#include "src/rt/hyperperiod.h"
+#include "src/rt/partition.h"
+#include "src/rt/periodic_task.h"
+#include "src/rt/schedulability.h"
+
+namespace tableau {
+namespace {
+
+// ---------- Hyperperiod / candidate periods ----------
+
+TEST(Hyperperiod, MatchesPaperConstant) {
+  EXPECT_EQ(kHyperperiodNs, 102'702'600);
+  EXPECT_EQ(kMinPeriodNs, 100'000);
+}
+
+TEST(Hyperperiod, Exactly186CandidatePeriods) {
+  // "We chose 102,702,600 ns as the maximum hyperperiod, which has a large
+  // number of integer divisors (186) above the 100us threshold." (Sec. 5)
+  EXPECT_EQ(CandidatePeriods().size(), 186u);
+}
+
+TEST(Hyperperiod, CandidatesDivideHyperperiodAndDescend) {
+  const auto& candidates = CandidatePeriods();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_EQ(kHyperperiodNs % candidates[i], 0);
+    EXPECT_GE(candidates[i], kMinPeriodNs);
+    if (i > 0) {
+      EXPECT_LT(candidates[i], candidates[i - 1]);
+    }
+  }
+  EXPECT_EQ(candidates.front(), kHyperperiodNs);
+}
+
+// ---------- (U, L) -> (C, T) mapping ----------
+
+TEST(TaskMapping, PaperExampleQuarterShare20ms) {
+  // The Sec. 7.2 configuration: U = 0.25, L = 20 ms "results in the planner
+  // picking a period of roughly 13 ms with a budget of about 3.2 ms".
+  VcpuRequest request{0, 0.25, 20 * kMillisecond};
+  const auto mapping = MapRequestToTask(request);
+  ASSERT_TRUE(mapping.has_value());
+  EXPECT_TRUE(mapping->latency_goal_met);
+  EXPECT_NEAR(ToMs(mapping->task.period), 13.0, 1.0);
+  EXPECT_NEAR(ToMs(mapping->task.cost), 3.2, 0.2);
+  EXPECT_LE(mapping->blackout_bound, request.latency_goal);
+}
+
+TEST(TaskMapping, RejectsDegenerateRequests) {
+  EXPECT_FALSE(MapRequestToTask({0, 0.0, kMillisecond}).has_value());
+  EXPECT_FALSE(MapRequestToTask({0, -0.5, kMillisecond}).has_value());
+  EXPECT_FALSE(MapRequestToTask({0, 1.0, kMillisecond}).has_value());  // Dedicated.
+  EXPECT_FALSE(MapRequestToTask({0, 0.5, 0}).has_value());
+  EXPECT_FALSE(MapRequestToTask({0, 0.5, -5}).has_value());
+}
+
+TEST(TaskMapping, BestEffortWhenLatencyGoalTooTight) {
+  // 2*(1-U)*T <= L needs T <= 10us for U=0.5, L=10us: unachievable with
+  // >= 100us periods.
+  VcpuRequest request{0, 0.5, 10 * kMicrosecond};
+  const auto mapping = MapRequestToTask(request);
+  ASSERT_TRUE(mapping.has_value());
+  EXPECT_FALSE(mapping->latency_goal_met);
+  EXPECT_EQ(mapping->task.period, CandidatePeriods().back());
+}
+
+TEST(TaskMapping, EffectiveUtilizationAtLeastRequested) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    VcpuRequest request;
+    request.vcpu = 0;
+    request.utilization = rng.UniformDouble(0.01, 0.99);
+    request.latency_goal = rng.UniformInt(kMillisecond, 200 * kMillisecond);
+    const auto mapping = MapRequestToTask(request);
+    ASSERT_TRUE(mapping.has_value());
+    EXPECT_GE(mapping->task.Utilization(), request.utilization);
+    EXPECT_EQ(kHyperperiodNs % mapping->task.period, 0);
+  }
+}
+
+TEST(TaskMapping, LargestFeasiblePeriodChosen) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    VcpuRequest request;
+    request.vcpu = 0;
+    request.utilization = rng.UniformDouble(0.05, 0.95);
+    request.latency_goal = rng.UniformInt(kMillisecond, 100 * kMillisecond);
+    const auto mapping = MapRequestToTask(request);
+    ASSERT_TRUE(mapping.has_value());
+    if (!mapping->latency_goal_met) {
+      continue;
+    }
+    // No strictly larger candidate period may satisfy the latency bound.
+    for (const TimeNs t : CandidatePeriods()) {
+      if (t <= mapping->task.period) {
+        break;
+      }
+      EXPECT_GT(2.0 * (1.0 - request.utilization) * static_cast<double>(t),
+                static_cast<double>(request.latency_goal));
+    }
+  }
+}
+
+TEST(TaskMapping, BlackoutBoundFormula) {
+  VcpuRequest request{3, 0.4, 50 * kMillisecond};
+  const auto mapping = MapRequestToTask(request);
+  ASSERT_TRUE(mapping.has_value());
+  EXPECT_EQ(mapping->blackout_bound, 2 * (mapping->task.period - mapping->task.cost));
+}
+
+// ---------- EDF simulation ----------
+
+TEST(EdfSim, SingleTaskFullUtilization) {
+  const TimeNs h = 1000;
+  std::vector<PeriodicTask> tasks = {PeriodicTask::Implicit(0, 100, 100)};
+  const EdfSimResult result = SimulateEdf(tasks, h);
+  ASSERT_TRUE(result.schedulable);
+  // One merged allocation covering [0, 1000).
+  ASSERT_EQ(result.allocations.size(), 1u);
+  EXPECT_EQ(result.allocations[0], (Allocation{0, 0, 1000}));
+}
+
+TEST(EdfSim, TwoTasksHalfEach) {
+  const TimeNs h = 200;
+  std::vector<PeriodicTask> tasks = {PeriodicTask::Implicit(0, 50, 100),
+                                     PeriodicTask::Implicit(1, 50, 100)};
+  const EdfSimResult result = SimulateEdf(tasks, h);
+  ASSERT_TRUE(result.schedulable);
+  TimeNs service[2] = {0, 0};
+  for (const Allocation& alloc : result.allocations) {
+    service[alloc.vcpu] += alloc.Length();
+  }
+  EXPECT_EQ(service[0], 100);
+  EXPECT_EQ(service[1], 100);
+}
+
+TEST(EdfSim, OverUtilizedFails) {
+  const TimeNs h = 100;
+  std::vector<PeriodicTask> tasks = {PeriodicTask::Implicit(0, 60, 100),
+                                     PeriodicTask::Implicit(1, 60, 100)};
+  const EdfSimResult result = SimulateEdf(tasks, h);
+  EXPECT_FALSE(result.schedulable);
+  EXPECT_NE(result.missed_vcpu, kIdleVcpu);
+}
+
+TEST(EdfSim, AllocationsNonOverlappingAndOrdered) {
+  const TimeNs h = 1200;
+  std::vector<PeriodicTask> tasks = {PeriodicTask::Implicit(0, 30, 100),
+                                     PeriodicTask::Implicit(1, 100, 300),
+                                     PeriodicTask::Implicit(2, 200, 600)};
+  const EdfSimResult result = SimulateEdf(tasks, h);
+  ASSERT_TRUE(result.schedulable);
+  for (std::size_t i = 1; i < result.allocations.size(); ++i) {
+    EXPECT_GE(result.allocations[i].start, result.allocations[i - 1].end);
+  }
+  for (const Allocation& alloc : result.allocations) {
+    EXPECT_GE(alloc.start, 0);
+    EXPECT_LE(alloc.end, h);
+    EXPECT_LT(alloc.start, alloc.end);
+  }
+}
+
+TEST(EdfSim, EachJobServedWithinItsPeriod) {
+  const TimeNs h = 1200;
+  std::vector<PeriodicTask> tasks = {PeriodicTask::Implicit(0, 30, 100),
+                                     PeriodicTask::Implicit(1, 100, 300),
+                                     PeriodicTask::Implicit(2, 120, 400)};
+  const EdfSimResult result = SimulateEdf(tasks, h);
+  ASSERT_TRUE(result.schedulable);
+  for (const PeriodicTask& task : tasks) {
+    for (TimeNs window = 0; window < h; window += task.period) {
+      TimeNs served = 0;
+      for (const Allocation& alloc : result.allocations) {
+        if (alloc.vcpu != task.vcpu) {
+          continue;
+        }
+        const TimeNs lo = std::max(alloc.start, window);
+        const TimeNs hi = std::min(alloc.end, window + task.period);
+        served += std::max<TimeNs>(0, hi - lo);
+      }
+      EXPECT_EQ(served, task.cost) << "task " << task.vcpu << " window " << window;
+    }
+  }
+}
+
+TEST(EdfSim, ZeroLaxityTaskRunsContiguouslyFromRelease) {
+  // A C=D piece (deadline == cost) must occupy exactly [kT+off, kT+off+C).
+  const TimeNs h = 400;
+  PeriodicTask zero_laxity;
+  zero_laxity.vcpu = 0;
+  zero_laxity.cost = 30;
+  zero_laxity.period = 100;
+  zero_laxity.deadline = 30;
+  zero_laxity.offset = 20;
+  std::vector<PeriodicTask> tasks = {zero_laxity, PeriodicTask::Implicit(1, 50, 200)};
+  const EdfSimResult result = SimulateEdf(tasks, h);
+  ASSERT_TRUE(result.schedulable);
+  for (TimeNs k = 0; k < h / 100; ++k) {
+    const TimeNs start = k * 100 + 20;
+    bool found = false;
+    for (const Allocation& alloc : result.allocations) {
+      if (alloc.vcpu == 0 && alloc.start <= start && alloc.end >= start + 30) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "window " << k;
+  }
+}
+
+TEST(EdfSim, OffsetTaskReleasesRespected) {
+  // A task with offset 50 must never be served in [0, 50).
+  PeriodicTask task;
+  task.vcpu = 0;
+  task.cost = 20;
+  task.period = 100;
+  task.deadline = 50;
+  task.offset = 50;
+  const EdfSimResult result = SimulateEdf({task}, 300);
+  ASSERT_TRUE(result.schedulable);
+  for (const Allocation& alloc : result.allocations) {
+    EXPECT_GE(alloc.start % 100, 50);
+  }
+}
+
+TEST(EdfSim, RandomizedAgreesWithDemandBound) {
+  // Property: for synchronous implicit-deadline sets, the simulator and the
+  // demand-bound criterion must agree exactly (both are exact tests).
+  Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<PeriodicTask> tasks;
+    const int n = static_cast<int>(rng.UniformInt(1, 6));
+    const TimeNs h = 1200;
+    const std::vector<TimeNs> periods = {100, 200, 300, 400, 600, 1200};
+    for (int i = 0; i < n; ++i) {
+      const TimeNs period =
+          periods[static_cast<std::size_t>(rng.UniformInt(0, 5))];
+      const TimeNs cost = rng.UniformInt(1, period);
+      tasks.push_back(PeriodicTask::Implicit(i, cost, period));
+    }
+    EXPECT_EQ(EdfSchedulable(tasks, h), DemandBoundSchedulable(tasks, h))
+        << "trial " << trial;
+  }
+}
+
+TEST(EdfSim, DemandBoundSufficientForConstrainedDeadlines) {
+  // For constrained-deadline synchronous sets, dbf-schedulable implies
+  // sim-schedulable.
+  Rng rng(123);
+  int checked = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<PeriodicTask> tasks;
+    const int n = static_cast<int>(rng.UniformInt(1, 5));
+    const TimeNs h = 2400;
+    const std::vector<TimeNs> periods = {200, 300, 400, 600, 800, 1200};
+    for (int i = 0; i < n; ++i) {
+      PeriodicTask task;
+      task.vcpu = i;
+      task.period = periods[static_cast<std::size_t>(rng.UniformInt(0, 5))];
+      task.cost = rng.UniformInt(1, task.period / 2);
+      task.deadline = rng.UniformInt(task.cost, task.period);
+      tasks.push_back(task);
+    }
+    if (DemandBoundSchedulable(tasks, h)) {
+      ++checked;
+      EXPECT_TRUE(EdfSchedulable(tasks, h)) << "trial " << trial;
+    }
+  }
+  EXPECT_GT(checked, 20);  // The property must actually have been exercised.
+}
+
+// ---------- Demand bound function ----------
+
+TEST(DemandBound, KnownValues) {
+  std::vector<PeriodicTask> tasks = {PeriodicTask::Implicit(0, 30, 100)};
+  EXPECT_EQ(DemandBound(tasks, 99), 0);
+  EXPECT_EQ(DemandBound(tasks, 100), 30);
+  EXPECT_EQ(DemandBound(tasks, 199), 30);
+  EXPECT_EQ(DemandBound(tasks, 200), 60);
+}
+
+TEST(DemandBound, ConstrainedDeadline) {
+  PeriodicTask task;
+  task.vcpu = 0;
+  task.cost = 10;
+  task.period = 100;
+  task.deadline = 40;
+  EXPECT_EQ(DemandBound({task}, 39), 0);
+  EXPECT_EQ(DemandBound({task}, 40), 10);
+  EXPECT_EQ(DemandBound({task}, 140), 20);
+}
+
+TEST(Qpa, AgreesWithDemandBoundOnRandomSets) {
+  // QPA and the full demand-bound enumeration are both exact for
+  // synchronous constrained-deadline sets: they must agree everywhere.
+  Rng rng(77);
+  int schedulable = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<PeriodicTask> tasks;
+    const int n = static_cast<int>(rng.UniformInt(1, 6));
+    const TimeNs h = 2400;
+    const std::vector<TimeNs> periods = {200, 300, 400, 600, 800, 1200};
+    for (int i = 0; i < n; ++i) {
+      PeriodicTask task;
+      task.vcpu = i;
+      task.period = periods[static_cast<std::size_t>(rng.UniformInt(0, 5))];
+      task.cost = rng.UniformInt(1, task.period / 2);
+      task.deadline = rng.UniformInt(task.cost, task.period);
+      tasks.push_back(task);
+    }
+    const bool qpa = QpaSchedulable(tasks, h);
+    const bool dbf = DemandBoundSchedulable(tasks, h);
+    ASSERT_EQ(qpa, dbf) << "trial " << trial;
+    schedulable += qpa ? 1 : 0;
+  }
+  // Both outcomes must actually occur for the property to mean anything.
+  EXPECT_GT(schedulable, 30);
+  EXPECT_LT(schedulable, 270);
+}
+
+TEST(Qpa, TrivialCases) {
+  EXPECT_TRUE(QpaSchedulable({}, 1000));
+  EXPECT_TRUE(QpaSchedulable({PeriodicTask::Implicit(0, 100, 100)}, 1000));
+  EXPECT_FALSE(QpaSchedulable({PeriodicTask::Implicit(0, 60, 100),
+                               PeriodicTask::Implicit(1, 60, 100)},
+                              1000));
+  // Constrained deadline making an otherwise feasible set infeasible.
+  PeriodicTask tight;
+  tight.vcpu = 0;
+  tight.cost = 50;
+  tight.period = 100;
+  tight.deadline = 60;
+  EXPECT_TRUE(QpaSchedulable({tight}, 1000));
+  PeriodicTask other = PeriodicTask::Implicit(1, 30, 100);
+  other.deadline = 55;
+  EXPECT_FALSE(QpaSchedulable({tight, other}, 1000));
+}
+
+// ---------- Partitioning ----------
+
+TEST(Partition, AllFitOnOneCore) {
+  const TimeNs h = 1000;
+  std::vector<PeriodicTask> tasks = {PeriodicTask::Implicit(0, 300, 1000),
+                                     PeriodicTask::Implicit(1, 300, 1000)};
+  const PartitionResult result = WorstFitDecreasing(tasks, 1, h);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.core_tasks[0].size(), 2u);
+}
+
+TEST(Partition, SpreadsLoadWorstFit) {
+  const TimeNs h = 1000;
+  std::vector<PeriodicTask> tasks = {
+      PeriodicTask::Implicit(0, 400, 1000), PeriodicTask::Implicit(1, 400, 1000),
+      PeriodicTask::Implicit(2, 300, 1000), PeriodicTask::Implicit(3, 300, 1000)};
+  const PartitionResult result = WorstFitDecreasing(tasks, 2, h);
+  ASSERT_TRUE(result.complete);
+  // Worst-fit decreasing alternates the two 400s, then balances the 300s.
+  EXPECT_EQ(TotalDemand(result.core_tasks[0], h), 700);
+  EXPECT_EQ(TotalDemand(result.core_tasks[1], h), 700);
+}
+
+TEST(Partition, ReportsUnassignable) {
+  const TimeNs h = 1000;
+  std::vector<PeriodicTask> tasks = {PeriodicTask::Implicit(0, 700, 1000),
+                                     PeriodicTask::Implicit(1, 700, 1000),
+                                     PeriodicTask::Implicit(2, 700, 1000)};
+  const PartitionResult result = WorstFitDecreasing(tasks, 2, h);
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.unassigned.size(), 1u);
+}
+
+TEST(Partition, NeverOverloadsACore) {
+  Rng rng(5);
+  const TimeNs h = kHyperperiodNs;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<PeriodicTask> tasks;
+    const int n = static_cast<int>(rng.UniformInt(1, 40));
+    for (int i = 0; i < n; ++i) {
+      VcpuRequest request;
+      request.vcpu = i;
+      request.utilization = rng.UniformDouble(0.05, 0.9);
+      request.latency_goal = rng.UniformInt(5 * kMillisecond, 100 * kMillisecond);
+      tasks.push_back(MapRequestToTask(request)->task);
+    }
+    const PartitionResult result = WorstFitDecreasing(tasks, 8, h);
+    for (const auto& core : result.core_tasks) {
+      EXPECT_LE(TotalDemand(core, h), h);
+      EXPECT_TRUE(EdfSchedulable(core, h));
+    }
+  }
+}
+
+// ---------- C=D splitting ----------
+
+TEST(CdSplit, SplitsTaskAcrossTwoCores) {
+  const TimeNs h = kHyperperiodNs;
+  const TimeNs period = kHyperperiodNs / 8;  // ~12.8 ms.
+  // Two cores at 60% each cannot take a 70% task whole.
+  std::vector<std::vector<PeriodicTask>> cores(2);
+  cores[0].push_back(PeriodicTask::Implicit(0, period * 6 / 10, period));
+  cores[1].push_back(PeriodicTask::Implicit(1, period * 6 / 10, period));
+  const PeriodicTask big = PeriodicTask::Implicit(2, period * 7 / 10, period);
+
+  ASSERT_TRUE(CdSplitTask(big, cores, h, kMinPeriodNs));
+  // The split pieces must sum to the original cost.
+  TimeNs total = 0;
+  int pieces = 0;
+  for (const auto& core : cores) {
+    for (const PeriodicTask& task : core) {
+      if (task.vcpu == 2) {
+        total += task.cost;
+        ++pieces;
+      }
+    }
+  }
+  EXPECT_EQ(total, big.cost);
+  EXPECT_GE(pieces, 2);
+  // Both cores must still be schedulable.
+  for (const auto& core : cores) {
+    EXPECT_TRUE(EdfSchedulable(core, h));
+  }
+}
+
+TEST(CdSplit, PiecesNeverOverlapInTime) {
+  const TimeNs h = kHyperperiodNs;
+  const TimeNs period = kHyperperiodNs / 8;
+  std::vector<std::vector<PeriodicTask>> cores(2);
+  cores[0].push_back(PeriodicTask::Implicit(0, period * 55 / 100, period));
+  cores[1].push_back(PeriodicTask::Implicit(1, period * 55 / 100, period));
+  const PeriodicTask big = PeriodicTask::Implicit(2, period * 8 / 10, period);
+  ASSERT_TRUE(CdSplitTask(big, cores, h, kMinPeriodNs));
+
+  // Simulate both cores and verify task 2's service intervals are disjoint.
+  std::vector<Allocation> service;
+  for (const auto& core : cores) {
+    const EdfSimResult sim = SimulateEdf(core, h);
+    ASSERT_TRUE(sim.schedulable);
+    for (const Allocation& alloc : sim.allocations) {
+      if (alloc.vcpu == 2) {
+        service.push_back(alloc);
+      }
+    }
+  }
+  std::sort(service.begin(), service.end(),
+            [](const Allocation& a, const Allocation& b) { return a.start < b.start; });
+  for (std::size_t i = 1; i < service.size(); ++i) {
+    EXPECT_GE(service[i].start, service[i - 1].end);
+  }
+}
+
+TEST(CdSplit, FailsWhenTrulyInfeasible) {
+  const TimeNs h = kHyperperiodNs;
+  const TimeNs period = kHyperperiodNs / 8;
+  std::vector<std::vector<PeriodicTask>> cores(2);
+  cores[0].push_back(PeriodicTask::Implicit(0, period * 95 / 100, period));
+  cores[1].push_back(PeriodicTask::Implicit(1, period * 95 / 100, period));
+  const PeriodicTask big = PeriodicTask::Implicit(2, period / 2, period);
+  EXPECT_FALSE(CdSplitTask(big, cores, h, kMinPeriodNs));
+}
+
+TEST(CdSplit, SemiPartitionHandlesHighUtilization) {
+  // Classic partitioning failure: n+1 tasks of just over 50% on n cores.
+  const TimeNs h = kHyperperiodNs;
+  const TimeNs period = kHyperperiodNs / 8;
+  std::vector<PeriodicTask> tasks;
+  for (int i = 0; i < 5; ++i) {
+    tasks.push_back(PeriodicTask::Implicit(i, period * 52 / 100, period));
+  }
+  // 5 x 0.52 = 2.6 total on 4... use 3 cores: 1.56 spare, partitioning fits
+  // only 1 per core -> 2 leftover need splitting. Verify on 3 cores.
+  const SemiPartitionResult result = SemiPartition(tasks, 3, h, kMinPeriodNs);
+  EXPECT_TRUE(result.complete);
+  EXPECT_GE(result.num_split_tasks, 1);
+  for (const auto& core : result.core_tasks) {
+    EXPECT_TRUE(EdfSchedulable(core, h));
+  }
+}
+
+TEST(CdSplit, RandomizedSemiPartitionPreservesDemand) {
+  Rng rng(17);
+  const TimeNs h = kHyperperiodNs;
+  for (int trial = 0; trial < 20; ++trial) {
+    const int cores = 4;
+    std::vector<PeriodicTask> tasks;
+    double total_u = 0;
+    int id = 0;
+    while (true) {
+      const double u = rng.UniformDouble(0.1, 0.7);
+      if (total_u + u > 0.92 * cores) {
+        break;
+      }
+      total_u += u;
+      VcpuRequest request;
+      request.vcpu = id++;
+      request.utilization = u;
+      request.latency_goal = rng.UniformInt(10 * kMillisecond, 80 * kMillisecond);
+      tasks.push_back(MapRequestToTask(request)->task);
+    }
+    const SemiPartitionResult result = SemiPartition(tasks, cores, h, kMinPeriodNs);
+    if (!result.complete) {
+      continue;  // Rare; the planner's cluster stage would take over.
+    }
+    // Every task's total cost across pieces must equal the original.
+    std::map<VcpuId, TimeNs> demand;
+    for (const auto& core : result.core_tasks) {
+      for (const PeriodicTask& task : core) {
+        demand[task.vcpu] += task.DemandPerHyperperiod(h);
+      }
+      EXPECT_TRUE(EdfSchedulable(core, h));
+    }
+    for (const PeriodicTask& task : tasks) {
+      EXPECT_EQ(demand[task.vcpu], task.DemandPerHyperperiod(h)) << "task " << task.vcpu;
+    }
+  }
+}
+
+// ---------- DP-Fair cluster scheduling ----------
+
+TEST(DpFair, EmptyTaskSet) {
+  const ClusterScheduleResult result = DpFairSchedule({}, 2, 1000);
+  EXPECT_TRUE(result.success);
+}
+
+TEST(DpFair, RejectsOverUtilized) {
+  std::vector<PeriodicTask> tasks = {PeriodicTask::Implicit(0, 90, 100),
+                                     PeriodicTask::Implicit(1, 90, 100),
+                                     PeriodicTask::Implicit(2, 90, 100)};
+  EXPECT_FALSE(DpFairSchedule(tasks, 2, 1000).success);
+}
+
+TEST(DpFair, SchedulesUnpartitionableSet) {
+  // Three 2/3 tasks on two cores: impossible to partition, trivial for an
+  // optimal scheduler.
+  std::vector<PeriodicTask> tasks = {PeriodicTask::Implicit(0, 200, 300),
+                                     PeriodicTask::Implicit(1, 200, 300),
+                                     PeriodicTask::Implicit(2, 200, 300)};
+  const ClusterScheduleResult result = DpFairSchedule(tasks, 2, 1200);
+  ASSERT_TRUE(result.success);
+
+  // Each task gets exactly C per period window.
+  for (const PeriodicTask& task : tasks) {
+    for (TimeNs window = 0; window < 1200; window += task.period) {
+      TimeNs served = 0;
+      for (const auto& core : result.core_allocations) {
+        for (const Allocation& alloc : core) {
+          if (alloc.vcpu != task.vcpu) {
+            continue;
+          }
+          const TimeNs lo = std::max(alloc.start, window);
+          const TimeNs hi = std::min(alloc.end, window + task.period);
+          served += std::max<TimeNs>(0, hi - lo);
+        }
+      }
+      EXPECT_EQ(served, task.cost) << "task " << task.vcpu << " window " << window;
+    }
+  }
+}
+
+TEST(DpFair, NoTaskRunsOnTwoCoresConcurrently) {
+  std::vector<PeriodicTask> tasks = {PeriodicTask::Implicit(0, 200, 300),
+                                     PeriodicTask::Implicit(1, 250, 300),
+                                     PeriodicTask::Implicit(2, 140, 300),
+                                     PeriodicTask::Implicit(3, 170, 400)};
+  const ClusterScheduleResult result = DpFairSchedule(tasks, 3, 1200);
+  ASSERT_TRUE(result.success);
+  struct Interval {
+    TimeNs start, end;
+  };
+  std::map<VcpuId, std::vector<Interval>> per_task;
+  for (const auto& core : result.core_allocations) {
+    TimeNs prev_end = 0;
+    for (const Allocation& alloc : core) {
+      EXPECT_GE(alloc.start, prev_end);  // Per-core non-overlap and order.
+      prev_end = alloc.end;
+      per_task[alloc.vcpu].push_back({alloc.start, alloc.end});
+    }
+  }
+  for (auto& [vcpu, intervals] : per_task) {
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval& a, const Interval& b) { return a.start < b.start; });
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      EXPECT_GE(intervals[i].start, intervals[i - 1].end) << "vcpu " << vcpu;
+    }
+  }
+}
+
+TEST(DpFair, RandomizedExactServicePerPeriod) {
+  Rng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int cores = static_cast<int>(rng.UniformInt(2, 4));
+    const TimeNs h = 2400;
+    const std::vector<TimeNs> periods = {300, 400, 600, 800, 1200, 2400};
+    std::vector<PeriodicTask> tasks;
+    TimeNs total = 0;
+    int id = 0;
+    while (true) {
+      const TimeNs period = periods[static_cast<std::size_t>(rng.UniformInt(0, 5))];
+      const TimeNs cost = rng.UniformInt(1, period - 1);
+      const TimeNs demand = cost * (h / period);
+      if (total + demand > cores * h) {
+        break;
+      }
+      total += demand;
+      tasks.push_back(PeriodicTask::Implicit(id++, cost, period));
+      if (id > 12) {
+        break;
+      }
+    }
+    const ClusterScheduleResult result = DpFairSchedule(tasks, cores, h);
+    ASSERT_TRUE(result.success) << "trial " << trial;
+    for (const PeriodicTask& task : tasks) {
+      TimeNs served = 0;
+      for (const auto& core : result.core_allocations) {
+        for (const Allocation& alloc : core) {
+          if (alloc.vcpu == task.vcpu) {
+            served += alloc.Length();
+          }
+        }
+      }
+      EXPECT_EQ(served, task.DemandPerHyperperiod(h))
+          << "trial " << trial << " task " << task.vcpu;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tableau

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulation.h"
+
+namespace tableau {
+namespace {
+
+TEST(Simulation, RunsEventsInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(Simulation, SameTimeEventsRunFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  sim.RunAll();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Simulation, ClockAdvancesToEventTime) {
+  Simulation sim;
+  TimeNs seen = -1;
+  sim.ScheduleAt(42, [&] { seen = sim.Now(); });
+  sim.RunAll();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(Simulation, RunUntilStopsAtLimit) {
+  Simulation sim;
+  int fired = 0;
+  sim.ScheduleAt(10, [&] { ++fired; });
+  sim.ScheduleAt(20, [&] { ++fired; });
+  sim.ScheduleAt(30, [&] { ++fired; });
+  sim.RunUntil(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), 20);
+  sim.RunUntil(30);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  const EventId id = sim.ScheduleAt(10, [&] { fired = true; });
+  sim.Cancel(id);
+  sim.RunAll();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, CancelIsIdempotentAndSafeAfterFire) {
+  Simulation sim;
+  int fired = 0;
+  const EventId id = sim.ScheduleAt(10, [&] { ++fired; });
+  sim.RunAll();
+  sim.Cancel(id);  // Already fired: no-op.
+  sim.Cancel(id);
+  sim.Cancel(kInvalidEvent);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  Simulation sim;
+  std::vector<TimeNs> times;
+  std::function<void()> chain = [&] {
+    times.push_back(sim.Now());
+    if (times.size() < 5) {
+      sim.ScheduleAfter(10, chain);
+    }
+  };
+  sim.ScheduleAt(0, chain);
+  sim.RunAll();
+  EXPECT_EQ(times, (std::vector<TimeNs>{0, 10, 20, 30, 40}));
+}
+
+TEST(Simulation, ScheduleAfterUsesCurrentTime) {
+  Simulation sim;
+  TimeNs fired_at = -1;
+  sim.ScheduleAt(100, [&] { sim.ScheduleAfter(5, [&] { fired_at = sim.Now(); }); });
+  sim.RunAll();
+  EXPECT_EQ(fired_at, 105);
+}
+
+TEST(Simulation, CancelInsideEvent) {
+  Simulation sim;
+  bool fired = false;
+  const EventId target = sim.ScheduleAt(20, [&] { fired = true; });
+  sim.ScheduleAt(10, [&] { sim.Cancel(target); });
+  sim.RunAll();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, RunUntilAdvancesClockWithNoEvents) {
+  Simulation sim;
+  sim.RunUntil(1000);
+  EXPECT_EQ(sim.Now(), 1000);
+}
+
+TEST(SimulationDeathTest, SchedulingInThePastAborts) {
+  Simulation sim;
+  sim.ScheduleAt(100, [] {});
+  sim.RunAll();
+  EXPECT_DEATH(sim.ScheduleAt(50, [] {}), "scheduled in the past");
+}
+
+}  // namespace
+}  // namespace tableau

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "src/core/planner.h"
+#include "src/table/table_delta.h"
+
+namespace tableau {
+namespace {
+
+SchedulingTable Simple(std::vector<std::vector<Allocation>> per_cpu, TimeNs len = 1000) {
+  return SchedulingTable::Build(len, std::move(per_cpu));
+}
+
+TEST(TableDelta, RoundTripSingleDirtyCore) {
+  const SchedulingTable base = Simple({{{0, 0, 500}}, {{1, 0, 300}}});
+  const SchedulingTable next = Simple({{{0, 0, 500}}, {{1, 100, 400}, {2, 400, 600}}});
+  const auto delta = SerializeDelta(base, next);
+  EXPECT_EQ(DeltaDirtyCores(delta), 1);
+  const SchedulingTable applied = ApplyDelta(base, delta);
+  EXPECT_EQ(applied.Validate(), "");
+  for (int cpu = 0; cpu < 2; ++cpu) {
+    EXPECT_EQ(applied.cpu(cpu).allocations, next.cpu(cpu).allocations);
+    EXPECT_EQ(applied.cpu(cpu).slice_length, next.cpu(cpu).slice_length);
+    EXPECT_EQ(applied.cpu(cpu).local_vcpus, next.cpu(cpu).local_vcpus);
+  }
+}
+
+TEST(TableDelta, IdenticalTablesYieldEmptyDelta) {
+  const SchedulingTable base = Simple({{{0, 0, 500}}, {{1, 0, 300}}});
+  const auto delta = SerializeDelta(base, base);
+  EXPECT_EQ(DeltaDirtyCores(delta), 0);
+  const SchedulingTable applied = ApplyDelta(base, delta);
+  EXPECT_EQ(applied.cpu(0).allocations, base.cpu(0).allocations);
+}
+
+TEST(TableDelta, MuchSmallerThanFullPushForLocalChange) {
+  // Paper-scale table; one VM arrives via incremental replanning: the delta
+  // must be far smaller than the full serialized table.
+  PlannerConfig config;
+  config.num_cpus = 12;
+  const Planner planner(config);
+  std::vector<VcpuRequest> requests;
+  for (int i = 0; i < 47; ++i) {
+    requests.push_back({i, 0.25, 20 * kMillisecond});
+  }
+  const PlanResult base = planner.Plan(requests);
+  ASSERT_TRUE(base.success);
+  const PlanResult next =
+      planner.PlanIncremental(base, {{47, 0.25, 20 * kMillisecond}}, {});
+  ASSERT_TRUE(next.success);
+  ASSERT_EQ(next.dirty_cores.size(), 1u);
+
+  const auto delta = SerializeDelta(base.table, next.table);
+  EXPECT_EQ(DeltaDirtyCores(delta), 1);
+  EXPECT_LT(delta.size() * 5, next.table.SerializedSizeBytes());
+  const SchedulingTable applied = ApplyDelta(base.table, delta);
+  for (int cpu = 0; cpu < 12; ++cpu) {
+    EXPECT_EQ(applied.cpu(cpu).allocations, next.table.cpu(cpu).allocations);
+  }
+}
+
+TEST(TableDeltaDeathTest, RejectsGeometryMismatch) {
+  const SchedulingTable base = Simple({{{0, 0, 500}}});
+  const SchedulingTable other = Simple({{{0, 0, 500}}, {{1, 0, 300}}});
+  EXPECT_DEATH(SerializeDelta(base, other), "identical table geometry");
+  const SchedulingTable next = Simple({{{0, 0, 400}}});
+  const auto delta = SerializeDelta(base, next);
+  EXPECT_DEATH(ApplyDelta(other, delta), "geometry");
+}
+
+TEST(TableDeltaDeathTest, RejectsCorruptMagic) {
+  const SchedulingTable base = Simple({{{0, 0, 500}}});
+  auto delta = SerializeDelta(base, base);
+  delta[0] ^= 0xff;
+  EXPECT_DEATH(ApplyDelta(base, delta), "bad delta magic");
+}
+
+}  // namespace
+}  // namespace tableau

@@ -1,0 +1,65 @@
+// Table-switch trace events: the dispatcher bumps a generation counter when
+// a pushed table takes effect; the adapter turns that into a kTableSwitch
+// trace record the first time any CPU observes the new table.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/hypervisor/machine.h"
+#include "src/schedulers/tableau_scheduler.h"
+#include "src/workloads/stress.h"
+
+namespace tableau {
+namespace {
+
+std::shared_ptr<SchedulingTable> MakeTable(TimeNs length, VcpuId vcpu) {
+  std::vector<std::vector<Allocation>> per_cpu = {{{vcpu, 0, length / 2}}};
+  return std::make_shared<SchedulingTable>(
+      SchedulingTable::Build(length, std::move(per_cpu)));
+}
+
+TEST(TableSwitchTrace, GenerationCountsInstalls) {
+  TableauDispatcher dispatcher(1, TableauDispatcher::Config{});
+  EXPECT_EQ(dispatcher.table_generation(), 0u);
+  dispatcher.InstallTable(MakeTable(1000, 0), 0);
+  EXPECT_EQ(dispatcher.table_generation(), 1u);
+  dispatcher.InstallTable(MakeTable(1000, 1), 100);
+  EXPECT_EQ(dispatcher.table_generation(), 1u);  // Pending, not yet promoted.
+  dispatcher.ActiveTable(2000);
+  EXPECT_EQ(dispatcher.table_generation(), 2u);
+}
+
+TEST(TableSwitchTrace, SwitchEventRecorded) {
+  TableauDispatcher::Config config;
+  config.work_conserving = false;
+  auto owned = std::make_unique<TableauScheduler>(config);
+  TableauScheduler* scheduler = owned.get();
+  MachineConfig machine_config;
+  machine_config.num_cpus = 1;
+  machine_config.cores_per_socket = 1;
+  Machine machine(machine_config, std::move(owned));
+  machine.trace().set_enabled(true);
+  Vcpu* vcpu = machine.AddVcpu(VcpuParams{});
+  const TimeNs len = 10 * kMillisecond;
+  scheduler->PushTable(MakeTable(len, 0));
+  CpuHogWorkload hog(&machine, vcpu);
+  hog.Start(0);
+  machine.Start();
+  machine.RunFor(50 * kMillisecond);
+
+  // One switch event for the initial table.
+  TraceBuffer::Filter filter;
+  filter.event = TraceEvent::kTableSwitch;
+  ASSERT_EQ(machine.trace().Query(filter).size(), 1u);
+
+  // Push a new table: exactly one more switch event, at/after the boundary.
+  scheduler->PushTable(MakeTable(len, 0));
+  machine.RunFor(100 * kMillisecond);
+  const auto events = machine.trace().Query(filter);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_GE(events[1].time, 60 * kMillisecond);  // Two rounds after ~50 ms.
+  EXPECT_EQ(events[1].arg, 2);
+}
+
+}  // namespace
+}  // namespace tableau

@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/rt/edf_sim.h"
+#include "src/rt/hyperperiod.h"
+#include "src/table/scheduling_table.h"
+
+namespace tableau {
+namespace {
+
+SchedulingTable SimpleTable() {
+  // CPU 0: [0,100) -> 0, [100,250) -> 1, idle [250,300), [300,400) -> 0.
+  // CPU 1: [50,150) -> 2.
+  std::vector<std::vector<Allocation>> per_cpu(2);
+  per_cpu[0] = {{0, 0, 100}, {1, 100, 250}, {0, 300, 400}};
+  per_cpu[1] = {{2, 50, 150}};
+  return SchedulingTable::Build(400, std::move(per_cpu));
+}
+
+TEST(SchedulingTable, BuildSortsAndValidates) {
+  std::vector<std::vector<Allocation>> per_cpu(1);
+  per_cpu[0] = {{1, 100, 250}, {0, 0, 100}};  // Unsorted input.
+  const SchedulingTable table = SchedulingTable::Build(400, std::move(per_cpu));
+  EXPECT_EQ(table.Validate(), "");
+  EXPECT_EQ(table.cpu(0).allocations[0].vcpu, 0);
+  EXPECT_EQ(table.cpu(0).allocations[1].vcpu, 1);
+}
+
+TEST(SchedulingTable, LookupInsideAllocation) {
+  const SchedulingTable table = SimpleTable();
+  const LookupResult result = table.Lookup(0, 50);
+  EXPECT_EQ(result.vcpu, 0);
+  EXPECT_EQ(result.interval_end, 100);
+}
+
+TEST(SchedulingTable, LookupAtAllocationBoundary) {
+  const SchedulingTable table = SimpleTable();
+  const LookupResult result = table.Lookup(0, 100);
+  EXPECT_EQ(result.vcpu, 1);
+  EXPECT_EQ(result.interval_end, 250);
+}
+
+TEST(SchedulingTable, LookupInIdleGap) {
+  const SchedulingTable table = SimpleTable();
+  const LookupResult result = table.Lookup(0, 260);
+  EXPECT_EQ(result.vcpu, kIdleVcpu);
+  EXPECT_EQ(result.interval_end, 300);
+}
+
+TEST(SchedulingTable, LookupIdleBeforeFirstAllocation) {
+  const SchedulingTable table = SimpleTable();
+  const LookupResult result = table.Lookup(1, 10);
+  EXPECT_EQ(result.vcpu, kIdleVcpu);
+  EXPECT_EQ(result.interval_end, 50);
+}
+
+TEST(SchedulingTable, LookupIdleTail) {
+  const SchedulingTable table = SimpleTable();
+  const LookupResult result = table.Lookup(1, 200);
+  EXPECT_EQ(result.vcpu, kIdleVcpu);
+  EXPECT_EQ(result.interval_end, 400);
+}
+
+TEST(SchedulingTable, EmptyCpuIsAllIdle) {
+  std::vector<std::vector<Allocation>> per_cpu(1);
+  const SchedulingTable table = SchedulingTable::Build(1000, std::move(per_cpu));
+  const LookupResult result = table.Lookup(0, 123);
+  EXPECT_EQ(result.vcpu, kIdleVcpu);
+  EXPECT_EQ(result.interval_end, 1000);
+}
+
+TEST(SchedulingTable, SliceLengthIsShortestAllocation) {
+  const SchedulingTable table = SimpleTable();
+  EXPECT_EQ(table.cpu(0).slice_length, 100);  // Shortest of 100/150/100.
+  EXPECT_EQ(table.cpu(1).slice_length, 100);
+}
+
+TEST(SchedulingTable, SliceOverlapsAtMostTwoAllocations) {
+  // Construct a table with many small allocations and check the invariant
+  // structurally via Build's internal TABLEAU_CHECK plus Validate().
+  Rng rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Allocation> allocations;
+    TimeNs t = 0;
+    VcpuId id = 0;
+    while (t < 9000) {
+      const TimeNs len = rng.UniformInt(50, 400);
+      const TimeNs gap = rng.UniformInt(0, 100);
+      if (t + gap + len > 10000) {
+        break;
+      }
+      allocations.push_back(Allocation{id++ % 5, t + gap, t + gap + len});
+      t += gap + len;
+    }
+    std::vector<std::vector<Allocation>> per_cpu = {allocations};
+    const SchedulingTable table = SchedulingTable::Build(10000, std::move(per_cpu));
+    EXPECT_EQ(table.Validate(), "");
+  }
+}
+
+TEST(SchedulingTable, SliceLookupAgreesWithLinearEverywhere) {
+  Rng rng(8);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Allocation> allocations;
+    TimeNs t = rng.UniformInt(0, 50);
+    VcpuId id = 0;
+    while (t < 4500) {
+      const TimeNs len = rng.UniformInt(100, 600);
+      allocations.push_back(Allocation{id++ % 3, t, std::min<TimeNs>(t + len, 5000)});
+      t += len + rng.UniformInt(0, 300);
+    }
+    std::vector<std::vector<Allocation>> per_cpu = {allocations};
+    const SchedulingTable table = SchedulingTable::Build(5000, std::move(per_cpu));
+    for (TimeNs offset = 0; offset < 5000; ++offset) {
+      const LookupResult fast = table.Lookup(0, offset);
+      const LookupResult slow = table.LookupLinear(0, offset);
+      ASSERT_EQ(fast.vcpu, slow.vcpu) << "offset " << offset;
+      ASSERT_EQ(fast.interval_end, slow.interval_end) << "offset " << offset;
+    }
+  }
+}
+
+TEST(SchedulingTable, CpusOf) {
+  const SchedulingTable table = SimpleTable();
+  EXPECT_EQ(table.CpusOf(0), (std::vector<int>{0}));
+  EXPECT_EQ(table.CpusOf(2), (std::vector<int>{1}));
+  EXPECT_TRUE(table.CpusOf(99).empty());
+}
+
+TEST(SchedulingTable, TotalService) {
+  const SchedulingTable table = SimpleTable();
+  EXPECT_EQ(table.TotalService(0), 200);
+  EXPECT_EQ(table.TotalService(1), 150);
+  EXPECT_EQ(table.TotalService(2), 100);
+  EXPECT_EQ(table.TotalService(99), 0);
+}
+
+TEST(SchedulingTable, MaxBlackoutSimple) {
+  const SchedulingTable table = SimpleTable();
+  // vCPU 0: service [0,100) and [300,400); gap 200 inside, wrap gap 0.
+  EXPECT_EQ(table.MaxBlackout(0), 200);
+  // vCPU 1: [100,250): wrap gap = 150 + 100 = 250.
+  EXPECT_EQ(table.MaxBlackout(1), 250);
+  // Unknown vCPU: never served.
+  EXPECT_EQ(table.MaxBlackout(99), 400);
+}
+
+TEST(SchedulingTable, MaxBlackoutAcrossCpus) {
+  // A split vCPU served on two CPUs back to back has no blackout between.
+  std::vector<std::vector<Allocation>> per_cpu(2);
+  per_cpu[0] = {{0, 0, 100}};
+  per_cpu[1] = {{0, 100, 200}};
+  const SchedulingTable table = SchedulingTable::Build(400, std::move(per_cpu));
+  EXPECT_EQ(table.MaxBlackout(0), 200);  // Only the wrap gap [200, 400+0).
+}
+
+TEST(SchedulingTable, ValidateDetectsConcurrentAllocation) {
+  std::vector<std::vector<Allocation>> per_cpu(2);
+  per_cpu[0] = {{0, 0, 100}};
+  per_cpu[1] = {{0, 50, 150}};  // Same vCPU overlapping in time on CPU 1.
+  const SchedulingTable table = SchedulingTable::Build(400, std::move(per_cpu));
+  EXPECT_NE(table.Validate(), "");
+}
+
+TEST(SchedulingTable, SerializeRoundTrip) {
+  const SchedulingTable table = SimpleTable();
+  const std::vector<std::uint8_t> bytes = table.Serialize();
+  const SchedulingTable copy = SchedulingTable::Deserialize(bytes);
+  EXPECT_EQ(copy.length(), table.length());
+  EXPECT_EQ(copy.num_cpus(), table.num_cpus());
+  for (int c = 0; c < table.num_cpus(); ++c) {
+    EXPECT_EQ(copy.cpu(c).allocations, table.cpu(c).allocations);
+    EXPECT_EQ(copy.cpu(c).slice_length, table.cpu(c).slice_length);
+    EXPECT_EQ(copy.cpu(c).local_vcpus, table.cpu(c).local_vcpus);
+  }
+  // And lookups behave identically.
+  for (TimeNs offset = 0; offset < 400; offset += 7) {
+    EXPECT_EQ(copy.Lookup(0, offset).vcpu, table.Lookup(0, offset).vcpu);
+  }
+}
+
+TEST(SchedulingTable, SerializedSizeGrowsWithAllocations) {
+  std::vector<std::vector<Allocation>> small(1);
+  small[0] = {{0, 0, 1000}};
+  std::vector<std::vector<Allocation>> big(1);
+  for (TimeNs t = 0; t < 1000; t += 100) {
+    big[0].push_back({static_cast<VcpuId>(t / 100), t, t + 100});
+  }
+  const auto small_size = SchedulingTable::Build(1000, std::move(small)).SerializedSizeBytes();
+  const auto big_size = SchedulingTable::Build(1000, std::move(big)).SerializedSizeBytes();
+  EXPECT_GT(big_size, small_size);
+}
+
+TEST(SchedulingTable, LocalVcpusDerived) {
+  const SchedulingTable table = SimpleTable();
+  EXPECT_EQ(table.cpu(0).local_vcpus, (std::vector<VcpuId>{0, 1}));
+  EXPECT_EQ(table.cpu(1).local_vcpus, (std::vector<VcpuId>{2}));
+}
+
+TEST(SchedulingTable, LookupAtLastNanosecond) {
+  std::vector<std::vector<Allocation>> per_cpu(1);
+  per_cpu[0] = {{0, 0, 1000}};  // Allocation covers the whole table.
+  const SchedulingTable table = SchedulingTable::Build(1000, std::move(per_cpu));
+  const LookupResult result = table.Lookup(0, 999);
+  EXPECT_EQ(result.vcpu, 0);
+  EXPECT_EQ(result.interval_end, 1000);
+}
+
+TEST(SchedulingTable, AllocationEndingExactlyAtLength) {
+  std::vector<std::vector<Allocation>> per_cpu(1);
+  per_cpu[0] = {{0, 0, 400}, {1, 600, 1000}};
+  const SchedulingTable table = SchedulingTable::Build(1000, std::move(per_cpu));
+  EXPECT_EQ(table.Validate(), "");
+  EXPECT_EQ(table.Lookup(0, 999).vcpu, 1);
+  EXPECT_EQ(table.Lookup(0, 500).vcpu, kIdleVcpu);
+  EXPECT_EQ(table.Lookup(0, 500).interval_end, 600);
+}
+
+TEST(SchedulingTable, SliceCountNeverExceedsCeil) {
+  // Slice count is ceil(length / slice_length) even when the shortest
+  // allocation does not divide the table length.
+  std::vector<std::vector<Allocation>> per_cpu(1);
+  per_cpu[0] = {{0, 0, 300}, {1, 500, 800}};
+  const SchedulingTable table = SchedulingTable::Build(1000, std::move(per_cpu));
+  EXPECT_EQ(table.cpu(0).slice_length, 300);
+  EXPECT_EQ(table.cpu(0).slices.size(), 4u);  // ceil(1000/300).
+}
+
+TEST(SchedulingTableDeathTest, BuildRejectsOverlap) {
+  std::vector<std::vector<Allocation>> per_cpu(1);
+  per_cpu[0] = {{0, 0, 500}, {1, 400, 800}};
+  EXPECT_DEATH(SchedulingTable::Build(1000, std::move(per_cpu)), "bad allocation");
+}
+
+TEST(SchedulingTableDeathTest, BuildRejectsOutOfBounds) {
+  std::vector<std::vector<Allocation>> per_cpu(1);
+  per_cpu[0] = {{0, 500, 1200}};
+  EXPECT_DEATH(SchedulingTable::Build(1000, std::move(per_cpu)), "bad allocation");
+}
+
+TEST(SchedulingTableDeathTest, DeserializeRejectsCorruptMagic) {
+  std::vector<std::vector<Allocation>> per_cpu(1);
+  per_cpu[0] = {{0, 0, 500}};
+  const SchedulingTable table = SchedulingTable::Build(1000, std::move(per_cpu));
+  auto bytes = table.Serialize();
+  bytes[0] ^= 0xff;
+  EXPECT_DEATH(SchedulingTable::Deserialize(bytes), "");
+}
+
+TEST(SchedulingTableDeathTest, DeserializeRejectsTruncation) {
+  std::vector<std::vector<Allocation>> per_cpu(1);
+  per_cpu[0] = {{0, 0, 500}};
+  const SchedulingTable table = SchedulingTable::Build(1000, std::move(per_cpu));
+  auto bytes = table.Serialize();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_DEATH(SchedulingTable::Deserialize(bytes), "");
+}
+
+// ---------- Coalescing ----------
+
+TEST(Coalesce, MergesContiguousSameVcpu) {
+  std::vector<std::vector<Allocation>> per_cpu(1);
+  per_cpu[0] = {{0, 0, 100}, {0, 100, 200}, {1, 200, 300}};
+  const auto result = CoalesceAllocations(std::move(per_cpu), 50, nullptr);
+  ASSERT_EQ(result[0].size(), 2u);
+  EXPECT_EQ(result[0][0], (Allocation{0, 0, 200}));
+}
+
+TEST(Coalesce, AbsorbsSubThresholdIntoPredecessor) {
+  std::vector<std::vector<Allocation>> per_cpu(1);
+  per_cpu[0] = {{0, 0, 100}, {1, 100, 120}, {2, 120, 220}};  // 20 < threshold 50.
+  std::vector<std::pair<VcpuId, TimeNs>> donated;
+  const auto result = CoalesceAllocations(std::move(per_cpu), 50, &donated);
+  ASSERT_EQ(result[0].size(), 2u);
+  EXPECT_EQ(result[0][0], (Allocation{0, 0, 120}));  // Predecessor absorbed the sliver.
+  EXPECT_EQ(result[0][1], (Allocation{2, 120, 220}));
+  ASSERT_EQ(donated.size(), 1u);
+  EXPECT_EQ(donated[0].first, 1);
+  EXPECT_EQ(donated[0].second, 20);
+}
+
+TEST(Coalesce, IsolatedSliverBecomesIdle) {
+  std::vector<std::vector<Allocation>> per_cpu(1);
+  per_cpu[0] = {{0, 0, 100}, {1, 150, 170}};  // Isolated 20ns sliver.
+  std::vector<std::pair<VcpuId, TimeNs>> donated;
+  const auto result = CoalesceAllocations(std::move(per_cpu), 50, &donated);
+  ASSERT_EQ(result[0].size(), 1u);
+  EXPECT_EQ(donated.size(), 1u);
+}
+
+TEST(Coalesce, KeepsEverythingAboveThreshold) {
+  std::vector<std::vector<Allocation>> per_cpu(1);
+  per_cpu[0] = {{0, 0, 100}, {1, 100, 200}, {2, 250, 350}};
+  std::vector<std::pair<VcpuId, TimeNs>> donated;
+  const auto result = CoalesceAllocations(std::move(per_cpu), 50, &donated);
+  EXPECT_EQ(result[0].size(), 3u);
+  EXPECT_TRUE(donated.empty());
+}
+
+TEST(Coalesce, PreservesTotalAllocatedTimeWhenAdjacent) {
+  // When all slivers are adjacent to a neighbour, total allocated time is
+  // conserved (only ownership changes).
+  Rng rng(12);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Allocation> allocations;
+    TimeNs t = 0;
+    VcpuId id = 0;
+    while (t < 9000) {
+      const TimeNs len = rng.UniformInt(10, 300);
+      allocations.push_back(Allocation{id++ % 4, t, t + len});
+      t += len;
+    }
+    TimeNs total_before = 0;
+    for (const Allocation& alloc : allocations) {
+      total_before += alloc.Length();
+    }
+    std::vector<std::vector<Allocation>> per_cpu = {allocations};
+    const auto result = CoalesceAllocations(std::move(per_cpu), 50, nullptr);
+    TimeNs total_after = 0;
+    for (const Allocation& alloc : result[0]) {
+      total_after += alloc.Length();
+    }
+    // The first allocation may be an isolated sliver (no predecessor); all
+    // other slivers are absorbed. Tolerate one dropped leading sliver.
+    EXPECT_GE(total_after, total_before - 50);
+  }
+}
+
+}  // namespace
+}  // namespace tableau

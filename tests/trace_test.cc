@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/hypervisor/machine.h"
+#include "src/hypervisor/trace.h"
+#include "src/rt/hyperperiod.h"
+#include "src/schedulers/tableau_scheduler.h"
+#include "src/workloads/stress.h"
+
+namespace tableau {
+namespace {
+
+TEST(TraceBuffer, RecordsInOrder) {
+  TraceBuffer trace(16);
+  trace.Record(10, TraceEvent::kDispatch, 0, 1);
+  trace.Record(20, TraceEvent::kDeschedule, 0, 1);
+  trace.Record(30, TraceEvent::kIdle, 0, kIdleVcpu);
+  EXPECT_EQ(trace.size(), 3u);
+  std::vector<TimeNs> times;
+  trace.ForEach([&](const TraceRecord& record) { times.push_back(record.time); });
+  EXPECT_EQ(times, (std::vector<TimeNs>{10, 20, 30}));
+}
+
+TEST(TraceBuffer, RingKeepsMostRecent) {
+  TraceBuffer trace(4);
+  for (TimeNs t = 0; t < 10; ++t) {
+    trace.Record(t, TraceEvent::kWakeup, 0, 0);
+  }
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.total_recorded(), 10u);
+  EXPECT_EQ(trace.dropped(), 6u);
+  std::vector<TimeNs> times;
+  trace.ForEach([&](const TraceRecord& record) { times.push_back(record.time); });
+  EXPECT_EQ(times, (std::vector<TimeNs>{6, 7, 8, 9}));
+}
+
+TEST(TraceBuffer, DisabledRecordsNothing) {
+  TraceBuffer trace(8);
+  trace.set_enabled(false);
+  trace.Record(1, TraceEvent::kBlock, 0, 0);
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.total_recorded(), 0u);
+}
+
+TEST(TraceBuffer, QueryFilters) {
+  TraceBuffer trace(32);
+  trace.Record(10, TraceEvent::kDispatch, 0, 1);
+  trace.Record(20, TraceEvent::kDispatch, 1, 2);
+  trace.Record(30, TraceEvent::kBlock, 0, 1);
+  trace.Record(40, TraceEvent::kDispatch, 0, 1);
+
+  TraceBuffer::Filter by_event;
+  by_event.event = TraceEvent::kDispatch;
+  EXPECT_EQ(trace.Query(by_event).size(), 3u);
+
+  TraceBuffer::Filter by_vcpu;
+  by_vcpu.vcpu = 1;
+  EXPECT_EQ(trace.Query(by_vcpu).size(), 3u);
+
+  TraceBuffer::Filter by_cpu;
+  by_cpu.cpu = 1;
+  EXPECT_EQ(trace.Query(by_cpu).size(), 1u);
+
+  TraceBuffer::Filter by_window;
+  by_window.from = 15;
+  by_window.to = 35;
+  EXPECT_EQ(trace.Query(by_window).size(), 2u);
+}
+
+TEST(TraceBuffer, ServiceTimelinePairsDispatches) {
+  TraceBuffer trace(32);
+  trace.Record(10, TraceEvent::kDispatch, 0, 7, /*second_level=*/0);
+  trace.Record(25, TraceEvent::kDeschedule, 0, 7);
+  trace.Record(40, TraceEvent::kDispatch, 1, 7, /*second_level=*/1);
+  trace.Record(55, TraceEvent::kBlock, 1, 7);
+  const auto timeline = trace.ServiceTimeline(7);
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_EQ(timeline[0].start, 10);
+  EXPECT_EQ(timeline[0].end, 25);
+  EXPECT_EQ(timeline[0].cpu, 0);
+  EXPECT_FALSE(timeline[0].second_level);
+  EXPECT_EQ(timeline[1].start, 40);
+  EXPECT_TRUE(timeline[1].second_level);
+}
+
+TEST(TraceBuffer, FormatIsHumanReadable) {
+  const TraceRecord record{1'500'000, TraceEvent::kDispatch, 3, 12, 1};
+  const std::string line = TraceBuffer::Format(record);
+  EXPECT_NE(line.find("dispatch"), std::string::npos);
+  EXPECT_NE(line.find("cpu3"), std::string::npos);
+  EXPECT_NE(line.find("vcpu12"), std::string::npos);
+}
+
+TEST(TraceBuffer, MachineIntegrationMatchesAccounting) {
+  // Run a small Tableau machine with tracing on; the trace-reconstructed
+  // service of the vCPU must equal the machine's service accounting, and
+  // second-level dispatches must be flagged.
+  TableauDispatcher::Config config;
+  config.work_conserving = true;
+  auto owned = std::make_unique<TableauScheduler>(config);
+  TableauScheduler* scheduler = owned.get();
+  MachineConfig machine_config;
+  machine_config.num_cpus = 1;
+  machine_config.cores_per_socket = 1;
+  Machine machine(machine_config, std::move(owned));
+  machine.trace().set_enabled(true);
+  Vcpu* vcpu = machine.AddVcpu(VcpuParams{});
+  // 25% table slot; second level hands out the idle rest.
+  std::vector<std::vector<Allocation>> per_cpu = {{{0, 0, kHyperperiodNs / 4}}};
+  scheduler->PushTable(std::make_shared<SchedulingTable>(
+      SchedulingTable::Build(kHyperperiodNs, std::move(per_cpu))));
+  CpuHogWorkload hog(&machine, vcpu);
+  hog.Start(0);
+  machine.Start();
+  machine.RunFor(500 * kMillisecond);
+
+  TimeNs traced_service = 0;
+  bool any_second_level = false;
+  bool any_first_level = false;
+  for (const auto& interval : machine.trace().ServiceTimeline(0)) {
+    traced_service += interval.end - interval.start;
+    any_second_level = any_second_level || interval.second_level;
+    any_first_level = any_first_level || !interval.second_level;
+  }
+  EXPECT_TRUE(any_second_level);
+  EXPECT_TRUE(any_first_level);
+  // The trace misses only the trailing open interval and the pre-service
+  // overhead windows; allow a small tolerance.
+  EXPECT_NEAR(static_cast<double>(traced_service),
+              static_cast<double>(vcpu->total_service()),
+              static_cast<double>(5 * kMillisecond));
+}
+
+}  // namespace
+}  // namespace tableau

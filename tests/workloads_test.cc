@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/hypervisor/machine.h"
+#include "src/net/virtual_nic.h"
+#include "src/rt/hyperperiod.h"
+#include "src/schedulers/tableau_scheduler.h"
+#include "src/workloads/guest.h"
+#include "src/workloads/ping.h"
+#include "src/workloads/stress.h"
+#include "src/workloads/web.h"
+
+namespace tableau {
+namespace {
+
+// A single-vCPU Tableau machine where the vCPU owns the whole core
+// (dedicated reservation): a neutral stage for workload-model tests.
+struct SoloMachine {
+  SoloMachine() {
+    TableauDispatcher::Config config;
+    config.work_conserving = true;
+    auto owned = std::make_unique<TableauScheduler>(config);
+    scheduler = owned.get();
+    MachineConfig machine_config;
+    machine_config.num_cpus = 1;
+    machine_config.cores_per_socket = 1;
+    machine = std::make_unique<Machine>(machine_config, std::move(owned));
+    vcpu = machine->AddVcpu(VcpuParams{});
+    std::vector<std::vector<Allocation>> per_cpu = {{{0, 0, kHyperperiodNs}}};
+    scheduler->PushTable(std::make_shared<SchedulingTable>(
+        SchedulingTable::Build(kHyperperiodNs, std::move(per_cpu))));
+  }
+  std::unique_ptr<Machine> machine;
+  TableauScheduler* scheduler;
+  Vcpu* vcpu;
+};
+
+// ---------- WorkQueueGuest ----------
+
+TEST(WorkQueueGuest, ExecutesPostedWorkInOrder) {
+  SoloMachine solo;
+  WorkQueueGuest guest(solo.machine.get(), solo.vcpu);
+  std::vector<int> done;
+  solo.machine->sim().ScheduleAt(0, [&] {
+    guest.Post(kMillisecond, [&](TimeNs) { done.push_back(1); });
+    guest.Post(2 * kMillisecond, [&](TimeNs) { done.push_back(2); });
+    guest.Post(kMillisecond, [&](TimeNs) { done.push_back(3); });
+  });
+  solo.machine->Start();
+  solo.machine->RunFor(100 * kMillisecond);
+  EXPECT_EQ(done, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(solo.vcpu->total_service(), 4 * kMillisecond);
+  EXPECT_EQ(solo.vcpu->state(), VcpuState::kBlocked);
+}
+
+TEST(WorkQueueGuest, CompletionTimesReflectCpuTime) {
+  SoloMachine solo;
+  WorkQueueGuest guest(solo.machine.get(), solo.vcpu);
+  TimeNs done_at = 0;
+  solo.machine->sim().ScheduleAt(0, [&] {
+    guest.Post(5 * kMillisecond, [&](TimeNs t) { done_at = t; });
+  });
+  solo.machine->Start();
+  solo.machine->RunFor(100 * kMillisecond);
+  // Dispatch latency (IPI + context switch) then 5 ms of compute.
+  EXPECT_GE(done_at, 5 * kMillisecond);
+  EXPECT_LT(done_at, 5 * kMillisecond + 100 * kMicrosecond);
+}
+
+TEST(WorkQueueGuest, PostFromCompletionHandler) {
+  SoloMachine solo;
+  WorkQueueGuest guest(solo.machine.get(), solo.vcpu);
+  int chain = 0;
+  std::function<void(TimeNs)> next = [&](TimeNs) {
+    if (++chain < 5) {
+      guest.Post(kMillisecond, next);
+    }
+  };
+  solo.machine->sim().ScheduleAt(0, [&] { guest.Post(kMillisecond, next); });
+  solo.machine->Start();
+  solo.machine->RunFor(kSecond);
+  EXPECT_EQ(chain, 5);
+}
+
+TEST(WorkQueueGuest, IdleBetweenBatches) {
+  SoloMachine solo;
+  WorkQueueGuest guest(solo.machine.get(), solo.vcpu);
+  int done = 0;
+  solo.machine->sim().ScheduleAt(0, [&] {
+    guest.Post(kMillisecond, [&](TimeNs) { ++done; });
+  });
+  solo.machine->sim().ScheduleAt(50 * kMillisecond, [&] {
+    guest.Post(kMillisecond, [&](TimeNs) { ++done; });
+  });
+  solo.machine->Start();
+  solo.machine->RunFor(100 * kMillisecond);
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(solo.vcpu->total_service(), 2 * kMillisecond);
+}
+
+// ---------- Stress workloads ----------
+
+TEST(StressIo, IterationRateMatchesDutyCycle) {
+  SoloMachine solo;
+  StressIoWorkload::Config config;
+  config.compute = 200 * kMicrosecond;
+  config.io_wait = 300 * kMicrosecond;
+  config.jitter = 0.0;
+  StressIoWorkload stress(solo.machine.get(), solo.vcpu, config);
+  stress.Start(0);
+  solo.machine->Start();
+  solo.machine->RunFor(kSecond);
+  // ~2000 iterations/s at 500 us per cycle (minus dispatch latencies).
+  EXPECT_GT(stress.iterations(), 1700u);
+  EXPECT_LE(stress.iterations(), 2001u);
+  // Duty cycle ~40%.
+  EXPECT_NEAR(static_cast<double>(solo.vcpu->total_service()) / kSecond, 0.4, 0.05);
+}
+
+TEST(CpuHog, ConsumesWholeCore) {
+  SoloMachine solo;
+  CpuHogWorkload hog(solo.machine.get(), solo.vcpu);
+  hog.Start(0);
+  solo.machine->Start();
+  solo.machine->RunFor(kSecond);
+  EXPECT_GT(static_cast<double>(solo.vcpu->total_service()) / kSecond, 0.99);
+}
+
+TEST(SystemNoise, PostsBurstyWork) {
+  SoloMachine solo;
+  WorkQueueGuest guest(solo.machine.get(), solo.vcpu);
+  SystemNoiseWorkload::Config config;
+  SystemNoiseWorkload noise(solo.machine.get(), &guest, config);
+  noise.Start(0);
+  solo.machine->Start();
+  solo.machine->RunFor(10 * kSecond);
+  // ~100 bursts of 0.5-3 ms over 10 s at 50-150 ms intervals.
+  const double share = static_cast<double>(solo.vcpu->total_service()) / (10.0 * kSecond);
+  EXPECT_GT(share, 0.005);
+  EXPECT_LT(share, 0.05);
+}
+
+// ---------- Virtual NIC ----------
+
+TEST(VirtualNic, DrainsAtLineRate) {
+  VirtualNic::Config config;
+  config.bandwidth_bits_per_sec = 10e9;  // 1.25 B/ns.
+  config.ring_bytes = 1 << 20;
+  VirtualNic nic(config);
+  EXPECT_EQ(nic.Enqueue(0, 125000), 125000);  // 125 KB = 100 us on the wire.
+  EXPECT_EQ(nic.DrainCompleteTime(0), 100 * kMicrosecond);
+  EXPECT_EQ(nic.QueuedBytes(50 * kMicrosecond), 62500);
+  EXPECT_EQ(nic.QueuedBytes(100 * kMicrosecond), 0);
+}
+
+TEST(VirtualNic, EnqueueLimitedByRing) {
+  VirtualNic::Config config;
+  config.ring_bytes = 1000;
+  VirtualNic nic(config);
+  EXPECT_EQ(nic.Enqueue(0, 600), 600);
+  EXPECT_EQ(nic.Enqueue(0, 600), 400);  // Only 400 left.
+  EXPECT_EQ(nic.Enqueue(0, 600), 0);
+}
+
+TEST(VirtualNic, FreeSpaceRecoversOverTime) {
+  VirtualNic::Config config;
+  config.bandwidth_bits_per_sec = 8e9;  // 1 B/ns.
+  config.ring_bytes = 1000;
+  VirtualNic nic(config);
+  nic.Enqueue(0, 1000);
+  EXPECT_EQ(nic.FreeSpace(0), 0);
+  EXPECT_EQ(nic.FreeSpace(400), 400);
+  const TimeNs when = nic.TimeWhenFree(0, 700);
+  EXPECT_EQ(when, 700);
+  EXPECT_GE(nic.FreeSpace(when), 700);
+}
+
+TEST(VirtualNic, TimeWhenFreeIsNowIfAlreadyFree) {
+  VirtualNic nic(VirtualNic::Config{});
+  EXPECT_EQ(nic.TimeWhenFree(123, 1000), 123);
+}
+
+TEST(VirtualNic, TracksTotalBytes) {
+  VirtualNic nic(VirtualNic::Config{});
+  nic.Enqueue(0, 500);
+  nic.Enqueue(1000, 700);
+  EXPECT_EQ(nic.total_bytes_transmitted(), 1200);
+}
+
+// ---------- Ping ----------
+
+TEST(Ping, IdleVmRespondsFast) {
+  SoloMachine solo;
+  WorkQueueGuest guest(solo.machine.get(), solo.vcpu);
+  PingTraffic::Config config;
+  config.threads = 2;
+  config.pings_per_thread = 50;
+  config.max_spacing = 5 * kMillisecond;
+  PingTraffic ping(solo.machine.get(), &guest, config);
+  ping.Start(0);
+  solo.machine->Start();
+  solo.machine->RunFor(2 * kSecond);
+  EXPECT_EQ(ping.latencies().Count(), 100u);
+  EXPECT_EQ(ping.outstanding(), 0);
+  // RTT = 2 x 50 us network + ~20 us handling + dispatch costs.
+  EXPECT_GT(ping.latencies().Min(), 100 * kMicrosecond);
+  EXPECT_LT(ping.latencies().Max(), kMillisecond);
+}
+
+TEST(Ping, LatencyIncludesSchedulingDelay) {
+  // Same pings, but the vantage VM only owns a 25% slot on its core
+  // (capped): max RTT must stretch toward the table gap.
+  TableauDispatcher::Config dispatcher_config;
+  dispatcher_config.work_conserving = false;
+  auto owned = std::make_unique<TableauScheduler>(dispatcher_config);
+  TableauScheduler* scheduler = owned.get();
+  MachineConfig machine_config;
+  machine_config.num_cpus = 1;
+  machine_config.cores_per_socket = 1;
+  Machine machine(machine_config, std::move(owned));
+  VcpuParams params;
+  params.cap = 0.25;
+  Vcpu* vcpu = machine.AddVcpu(params);
+  // 25% slot at the head of each ~12.8 ms period.
+  const TimeNs period = kHyperperiodNs / 8;
+  std::vector<std::vector<Allocation>> per_cpu(1);
+  for (TimeNs t = 0; t < kHyperperiodNs; t += period) {
+    per_cpu[0].push_back({0, t, t + period / 4});
+  }
+  scheduler->PushTable(std::make_shared<SchedulingTable>(
+      SchedulingTable::Build(kHyperperiodNs, std::move(per_cpu))));
+
+  WorkQueueGuest guest(&machine, vcpu);
+  PingTraffic::Config config;
+  config.threads = 4;
+  config.pings_per_thread = 200;
+  config.max_spacing = 20 * kMillisecond;
+  PingTraffic ping(&machine, &guest, config);
+  ping.Start(0);
+  machine.Start();
+  machine.RunFor(5 * kSecond);
+  EXPECT_EQ(ping.latencies().Count(), 800u);
+  // Worst case: ping lands just after the slot ends -> waits ~9.6 ms.
+  EXPECT_GT(ping.latencies().Max(), 5 * kMillisecond);
+  EXPECT_LT(ping.latencies().Max(), 11 * kMillisecond);
+}
+
+// ---------- Web server ----------
+
+TEST(Web, SingleRequestLatencyBreakdown) {
+  SoloMachine solo;
+  WebServerWorkload::Config config;
+  config.file_bytes = 1024;
+  WebServerWorkload server(solo.machine.get(), solo.vcpu, config);
+  solo.machine->sim().ScheduleAt(0, [&] { server.RequestArrived(0); });
+  solo.machine->Start();
+  solo.machine->RunFor(kSecond);
+  ASSERT_EQ(server.completed(), 1u);
+  // base 150 us + 1 KiB copy + ~1.7 us wire + 50 us return delay + dispatch.
+  EXPECT_GT(server.latencies().Max(), 195 * kMicrosecond);
+  EXPECT_LT(server.latencies().Max(), 400 * kMicrosecond);
+}
+
+TEST(Web, ThroughputSaturatesAtCpuCapacity) {
+  // 1 KiB requests cost ~150 us CPU -> a full core sustains ~6600 req/s.
+  for (const double rate : {2000.0, 10000.0}) {
+    SoloMachine solo;
+    WebServerWorkload::Config config;
+    config.file_bytes = 1024;
+    WebServerWorkload server(solo.machine.get(), solo.vcpu, config);
+    OpenLoopClient::Config client_config;
+    client_config.requests_per_sec = rate;
+    client_config.duration = 2 * kSecond;
+    OpenLoopClient client(solo.machine.get(), &server, client_config);
+    client.Start(0);
+    solo.machine->Start();
+    solo.machine->RunFor(2 * kSecond);  // Exactly the client's send window.
+    const double throughput = static_cast<double>(server.completed()) / 2.0;
+    if (rate < 6000) {
+      EXPECT_NEAR(throughput, rate, rate * 0.02);
+      EXPECT_LT(server.latencies().Percentile(0.99), 2 * kMillisecond);
+    } else {
+      EXPECT_LT(throughput, 7000);
+      EXPECT_GT(throughput, 5500);
+      // Overload: queueing delay dominates.
+      EXPECT_GT(server.latencies().Max(), 100 * kMillisecond);
+    }
+  }
+}
+
+TEST(Web, LargeFileIsTransmissionBound) {
+  // A 1 MiB response at the VF's 5 Gbit/s takes ~1.7 ms on the wire and
+  // needs ring refills (ring = 256 KiB), so completion is NIC-, not CPU-,
+  // dominated.
+  SoloMachine solo;
+  WebServerWorkload::Config config;
+  config.file_bytes = 1 << 20;
+  WebServerWorkload server(solo.machine.get(), solo.vcpu, config);
+  solo.machine->sim().ScheduleAt(0, [&] { server.RequestArrived(0); });
+  solo.machine->Start();
+  solo.machine->RunFor(kSecond);
+  ASSERT_EQ(server.completed(), 1u);
+  const TimeNs wire_time = static_cast<TimeNs>((1 << 20) * 1.6);
+  EXPECT_GT(server.latencies().Max(), wire_time);
+  EXPECT_GE(server.nic().total_bytes_transmitted(), 1 << 20);
+}
+
+TEST(Web, CoordinatedOmissionAvoided) {
+  // A long stall early in the run must show up in the latency of queued
+  // requests (latency measured from intended send time, as wrk2 does).
+  SoloMachine solo;
+  WebServerWorkload::Config config;
+  config.file_bytes = 1024;
+  WebServerWorkload server(solo.machine.get(), solo.vcpu, config);
+  // Burst of 100 requests all intended at ~t=0 (emulating a stall).
+  solo.machine->sim().ScheduleAt(0, [&] {
+    for (int i = 0; i < 100; ++i) {
+      server.RequestArrived(i);
+    }
+  });
+  solo.machine->Start();
+  solo.machine->RunFor(kSecond);
+  EXPECT_EQ(server.completed(), 100u);
+  // The last request waited behind 99 x ~150 us.
+  EXPECT_GT(server.latencies().Max(), 14 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace tableau

@@ -1,0 +1,161 @@
+// tableau_planctl: command-line front end to the Tableau planner — the
+// standalone analog of the paper's dom0 userspace planner daemon. It plans
+// configurations, writes tables in the binary "hypercall" format the
+// dispatcher consumes, and inspects existing table files.
+//
+// Usage:
+//   tableau_planctl plan --cpus N [--cores-per-socket K] [--peephole]
+//                        [--out FILE] VM [VM...]
+//       VM spec: U:L_ms   or   U:L_ms:SOCKET     (e.g. 0.25:20  0.5:10:1)
+//   tableau_planctl show FILE
+//       Prints structure and per-vCPU statistics of a serialized table.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/core/planner.h"
+
+using namespace tableau;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  tableau_planctl plan --cpus N [--cores-per-socket K] [--peephole]\n"
+               "                       [--out FILE] U:L_ms[:SOCKET] ...\n"
+               "  tableau_planctl show FILE\n");
+  return 2;
+}
+
+bool ParseVmSpec(const char* spec, VcpuId id, VcpuRequest* out) {
+  double utilization = 0;
+  double latency_ms = 0;
+  int socket = -1;
+  const int fields = std::sscanf(spec, "%lf:%lf:%d", &utilization, &latency_ms, &socket);
+  if (fields < 2) {
+    return false;
+  }
+  out->vcpu = id;
+  out->utilization = utilization;
+  out->latency_goal = static_cast<TimeNs>(latency_ms * kMillisecond);
+  out->socket_affinity = fields >= 3 ? socket : -1;
+  return true;
+}
+
+void PrintPlanReport(const PlanResult& plan) {
+  std::printf("method: %s; table %s, %zu bytes serialized\n",
+              PlanMethodName(plan.method), FormatDuration(plan.table.length()).c_str(),
+              plan.table.SerializedSizeBytes());
+  std::printf("%-5s %8s %12s %12s %14s %12s %12s %6s\n", "vcpu", "U", "C", "T",
+              "latency bound", "E[wait]", "max wait", "split");
+  for (const VcpuPlan& vcpu : plan.vcpus) {
+    const LatencyProfile profile = AnalyzeWakeupLatency(plan.table, vcpu.vcpu);
+    std::printf("%-5d %7.2f%% %12s %12s %14s %12s %12s %6s\n", vcpu.vcpu,
+                100.0 * vcpu.requested_utilization, FormatDuration(vcpu.cost).c_str(),
+                FormatDuration(vcpu.period).c_str(),
+                FormatDuration(vcpu.blackout_bound).c_str(),
+                FormatDuration(profile.mean).c_str(),
+                FormatDuration(profile.max).c_str(), vcpu.split ? "yes" : "no");
+  }
+}
+
+int CmdPlan(int argc, char** argv) {
+  PlannerConfig config;
+  config.num_cpus = 0;
+  std::string out_path;
+  std::vector<VcpuRequest> requests;
+
+  for (int arg = 0; arg < argc; ++arg) {
+    const char* current = argv[arg];
+    if (std::strcmp(current, "--cpus") == 0 && arg + 1 < argc) {
+      config.num_cpus = std::atoi(argv[++arg]);
+    } else if (std::strcmp(current, "--cores-per-socket") == 0 && arg + 1 < argc) {
+      config.cores_per_socket = std::atoi(argv[++arg]);
+    } else if (std::strcmp(current, "--peephole") == 0) {
+      config.peephole_pass = true;
+    } else if (std::strcmp(current, "--out") == 0 && arg + 1 < argc) {
+      out_path = argv[++arg];
+    } else {
+      VcpuRequest request;
+      if (!ParseVmSpec(current, static_cast<VcpuId>(requests.size()), &request)) {
+        std::fprintf(stderr, "bad VM spec '%s'\n", current);
+        return Usage();
+      }
+      requests.push_back(request);
+    }
+  }
+  if (config.num_cpus <= 0 || requests.empty()) {
+    return Usage();
+  }
+
+  const Planner planner(config);
+  const PlanResult plan = planner.Plan(requests);
+  if (!plan.success) {
+    std::fprintf(stderr, "planning failed: %s\n", plan.error.c_str());
+    return 1;
+  }
+  PrintPlanReport(plan);
+
+  if (!out_path.empty()) {
+    const std::vector<std::uint8_t> bytes = plan.table.Serialize();
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    std::printf("wrote %zu bytes to %s\n", bytes.size(), out_path.c_str());
+  }
+  return 0;
+}
+
+int CmdShow(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path);
+    return 1;
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  const SchedulingTable table = SchedulingTable::Deserialize(bytes);
+  const std::string violation = table.Validate();
+  std::printf("table: %d pCPUs, length %s, %zu bytes; validation: %s\n",
+              table.num_cpus(), FormatDuration(table.length()).c_str(), bytes.size(),
+              violation.empty() ? "ok" : violation.c_str());
+  for (int cpu = 0; cpu < table.num_cpus(); ++cpu) {
+    const CpuTable& cpu_table = table.cpu(cpu);
+    TimeNs busy = 0;
+    for (const Allocation& alloc : cpu_table.allocations) {
+      busy += alloc.Length();
+    }
+    std::printf(
+        "  cpu%-2d: %3zu allocations, %4zu slices x %s, %5.1f%% reserved, locals:",
+        cpu, cpu_table.allocations.size(), cpu_table.slices.size(),
+        FormatDuration(cpu_table.slice_length).c_str(),
+        100.0 * static_cast<double>(busy) / static_cast<double>(table.length()));
+    for (const VcpuId vcpu : cpu_table.local_vcpus) {
+      std::printf(" %d", vcpu);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  if (std::strcmp(argv[1], "plan") == 0) {
+    return CmdPlan(argc - 2, argv + 2);
+  }
+  if (std::strcmp(argv[1], "show") == 0 && argc >= 3) {
+    return CmdShow(argv[2]);
+  }
+  return Usage();
+}
