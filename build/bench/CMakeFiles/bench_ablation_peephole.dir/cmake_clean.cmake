@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_peephole.dir/bench_ablation_peephole.cc.o"
+  "CMakeFiles/bench_ablation_peephole.dir/bench_ablation_peephole.cc.o.d"
+  "bench_ablation_peephole"
+  "bench_ablation_peephole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_peephole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_cfs_comparison.dir/bench_ext_cfs_comparison.cc.o"
+  "CMakeFiles/bench_ext_cfs_comparison.dir/bench_ext_cfs_comparison.cc.o.d"
+  "bench_ext_cfs_comparison"
+  "bench_ext_cfs_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cfs_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_web_cpu_background.dir/bench_fig8_web_cpu_background.cc.o"
+  "CMakeFiles/bench_fig8_web_cpu_background.dir/bench_fig8_web_cpu_background.cc.o.d"
+  "bench_fig8_web_cpu_background"
+  "bench_fig8_web_cpu_background.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_web_cpu_background.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

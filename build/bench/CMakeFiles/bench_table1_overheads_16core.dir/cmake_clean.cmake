@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_overheads_16core.dir/bench_table1_overheads_16core.cc.o"
+  "CMakeFiles/bench_table1_overheads_16core.dir/bench_table1_overheads_16core.cc.o.d"
+  "bench_table1_overheads_16core"
+  "bench_table1_overheads_16core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_overheads_16core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

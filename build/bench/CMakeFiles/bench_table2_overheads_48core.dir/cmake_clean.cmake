@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_overheads_48core.dir/bench_table2_overheads_48core.cc.o"
+  "CMakeFiles/bench_table2_overheads_48core.dir/bench_table2_overheads_48core.cc.o.d"
+  "bench_table2_overheads_48core"
+  "bench_table2_overheads_48core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_overheads_48core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table2_overheads_48core.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_inspector.dir/table_inspector.cpp.o"
+  "CMakeFiles/table_inspector.dir/table_inspector.cpp.o.d"
+  "table_inspector"
+  "table_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableau_common.dir/math_util.cc.o"
+  "CMakeFiles/tableau_common.dir/math_util.cc.o.d"
+  "CMakeFiles/tableau_common.dir/rng.cc.o"
+  "CMakeFiles/tableau_common.dir/rng.cc.o.d"
+  "CMakeFiles/tableau_common.dir/time.cc.o"
+  "CMakeFiles/tableau_common.dir/time.cc.o.d"
+  "libtableau_common.a"
+  "libtableau_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableau_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coschedule.cc" "src/core/CMakeFiles/tableau_core.dir/coschedule.cc.o" "gcc" "src/core/CMakeFiles/tableau_core.dir/coschedule.cc.o.d"
+  "/root/repo/src/core/dispatcher.cc" "src/core/CMakeFiles/tableau_core.dir/dispatcher.cc.o" "gcc" "src/core/CMakeFiles/tableau_core.dir/dispatcher.cc.o.d"
+  "/root/repo/src/core/peephole.cc" "src/core/CMakeFiles/tableau_core.dir/peephole.cc.o" "gcc" "src/core/CMakeFiles/tableau_core.dir/peephole.cc.o.d"
+  "/root/repo/src/core/plan_cache.cc" "src/core/CMakeFiles/tableau_core.dir/plan_cache.cc.o" "gcc" "src/core/CMakeFiles/tableau_core.dir/plan_cache.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/core/CMakeFiles/tableau_core.dir/planner.cc.o" "gcc" "src/core/CMakeFiles/tableau_core.dir/planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/tableau_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/tableau_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tableau_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableau_core.dir/coschedule.cc.o"
+  "CMakeFiles/tableau_core.dir/coschedule.cc.o.d"
+  "CMakeFiles/tableau_core.dir/dispatcher.cc.o"
+  "CMakeFiles/tableau_core.dir/dispatcher.cc.o.d"
+  "CMakeFiles/tableau_core.dir/peephole.cc.o"
+  "CMakeFiles/tableau_core.dir/peephole.cc.o.d"
+  "CMakeFiles/tableau_core.dir/plan_cache.cc.o"
+  "CMakeFiles/tableau_core.dir/plan_cache.cc.o.d"
+  "CMakeFiles/tableau_core.dir/planner.cc.o"
+  "CMakeFiles/tableau_core.dir/planner.cc.o.d"
+  "libtableau_core.a"
+  "libtableau_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableau_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableau_harness.dir/scenario.cc.o"
+  "CMakeFiles/tableau_harness.dir/scenario.cc.o.d"
+  "libtableau_harness.a"
+  "libtableau_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableau_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableau_hypervisor.dir/machine.cc.o"
+  "CMakeFiles/tableau_hypervisor.dir/machine.cc.o.d"
+  "CMakeFiles/tableau_hypervisor.dir/trace.cc.o"
+  "CMakeFiles/tableau_hypervisor.dir/trace.cc.o.d"
+  "libtableau_hypervisor.a"
+  "libtableau_hypervisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableau_hypervisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/cd_split.cc" "src/rt/CMakeFiles/tableau_rt.dir/cd_split.cc.o" "gcc" "src/rt/CMakeFiles/tableau_rt.dir/cd_split.cc.o.d"
+  "/root/repo/src/rt/dpfair.cc" "src/rt/CMakeFiles/tableau_rt.dir/dpfair.cc.o" "gcc" "src/rt/CMakeFiles/tableau_rt.dir/dpfair.cc.o.d"
+  "/root/repo/src/rt/edf_sim.cc" "src/rt/CMakeFiles/tableau_rt.dir/edf_sim.cc.o" "gcc" "src/rt/CMakeFiles/tableau_rt.dir/edf_sim.cc.o.d"
+  "/root/repo/src/rt/hyperperiod.cc" "src/rt/CMakeFiles/tableau_rt.dir/hyperperiod.cc.o" "gcc" "src/rt/CMakeFiles/tableau_rt.dir/hyperperiod.cc.o.d"
+  "/root/repo/src/rt/partition.cc" "src/rt/CMakeFiles/tableau_rt.dir/partition.cc.o" "gcc" "src/rt/CMakeFiles/tableau_rt.dir/partition.cc.o.d"
+  "/root/repo/src/rt/schedulability.cc" "src/rt/CMakeFiles/tableau_rt.dir/schedulability.cc.o" "gcc" "src/rt/CMakeFiles/tableau_rt.dir/schedulability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tableau_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableau_rt.dir/cd_split.cc.o"
+  "CMakeFiles/tableau_rt.dir/cd_split.cc.o.d"
+  "CMakeFiles/tableau_rt.dir/dpfair.cc.o"
+  "CMakeFiles/tableau_rt.dir/dpfair.cc.o.d"
+  "CMakeFiles/tableau_rt.dir/edf_sim.cc.o"
+  "CMakeFiles/tableau_rt.dir/edf_sim.cc.o.d"
+  "CMakeFiles/tableau_rt.dir/hyperperiod.cc.o"
+  "CMakeFiles/tableau_rt.dir/hyperperiod.cc.o.d"
+  "CMakeFiles/tableau_rt.dir/partition.cc.o"
+  "CMakeFiles/tableau_rt.dir/partition.cc.o.d"
+  "CMakeFiles/tableau_rt.dir/schedulability.cc.o"
+  "CMakeFiles/tableau_rt.dir/schedulability.cc.o.d"
+  "libtableau_rt.a"
+  "libtableau_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableau_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

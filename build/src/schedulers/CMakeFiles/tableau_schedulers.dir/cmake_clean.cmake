@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableau_schedulers.dir/cfs.cc.o"
+  "CMakeFiles/tableau_schedulers.dir/cfs.cc.o.d"
+  "CMakeFiles/tableau_schedulers.dir/credit.cc.o"
+  "CMakeFiles/tableau_schedulers.dir/credit.cc.o.d"
+  "CMakeFiles/tableau_schedulers.dir/credit2.cc.o"
+  "CMakeFiles/tableau_schedulers.dir/credit2.cc.o.d"
+  "CMakeFiles/tableau_schedulers.dir/rtds.cc.o"
+  "CMakeFiles/tableau_schedulers.dir/rtds.cc.o.d"
+  "CMakeFiles/tableau_schedulers.dir/tableau_scheduler.cc.o"
+  "CMakeFiles/tableau_schedulers.dir/tableau_scheduler.cc.o.d"
+  "libtableau_schedulers.a"
+  "libtableau_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableau_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

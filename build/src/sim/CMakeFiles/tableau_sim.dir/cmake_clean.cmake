@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableau_sim.dir/simulation.cc.o"
+  "CMakeFiles/tableau_sim.dir/simulation.cc.o.d"
+  "libtableau_sim.a"
+  "libtableau_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableau_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableau_stats.dir/histogram.cc.o"
+  "CMakeFiles/tableau_stats.dir/histogram.cc.o.d"
+  "libtableau_stats.a"
+  "libtableau_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableau_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableau_table.dir/scheduling_table.cc.o"
+  "CMakeFiles/tableau_table.dir/scheduling_table.cc.o.d"
+  "CMakeFiles/tableau_table.dir/table_delta.cc.o"
+  "CMakeFiles/tableau_table.dir/table_delta.cc.o.d"
+  "libtableau_table.a"
+  "libtableau_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableau_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/gang.cc" "src/workloads/CMakeFiles/tableau_workloads.dir/gang.cc.o" "gcc" "src/workloads/CMakeFiles/tableau_workloads.dir/gang.cc.o.d"
+  "/root/repo/src/workloads/guest.cc" "src/workloads/CMakeFiles/tableau_workloads.dir/guest.cc.o" "gcc" "src/workloads/CMakeFiles/tableau_workloads.dir/guest.cc.o.d"
+  "/root/repo/src/workloads/ping.cc" "src/workloads/CMakeFiles/tableau_workloads.dir/ping.cc.o" "gcc" "src/workloads/CMakeFiles/tableau_workloads.dir/ping.cc.o.d"
+  "/root/repo/src/workloads/stress.cc" "src/workloads/CMakeFiles/tableau_workloads.dir/stress.cc.o" "gcc" "src/workloads/CMakeFiles/tableau_workloads.dir/stress.cc.o.d"
+  "/root/repo/src/workloads/web.cc" "src/workloads/CMakeFiles/tableau_workloads.dir/web.cc.o" "gcc" "src/workloads/CMakeFiles/tableau_workloads.dir/web.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hypervisor/CMakeFiles/tableau_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tableau_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tableau_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/tableau_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tableau_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableau_workloads.dir/gang.cc.o"
+  "CMakeFiles/tableau_workloads.dir/gang.cc.o.d"
+  "CMakeFiles/tableau_workloads.dir/guest.cc.o"
+  "CMakeFiles/tableau_workloads.dir/guest.cc.o.d"
+  "CMakeFiles/tableau_workloads.dir/ping.cc.o"
+  "CMakeFiles/tableau_workloads.dir/ping.cc.o.d"
+  "CMakeFiles/tableau_workloads.dir/stress.cc.o"
+  "CMakeFiles/tableau_workloads.dir/stress.cc.o.d"
+  "CMakeFiles/tableau_workloads.dir/web.cc.o"
+  "CMakeFiles/tableau_workloads.dir/web.cc.o.d"
+  "libtableau_workloads.a"
+  "libtableau_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableau_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

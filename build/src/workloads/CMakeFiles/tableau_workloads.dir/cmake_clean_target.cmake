@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtableau_workloads.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_extra_test.cc" "tests/CMakeFiles/baselines_extra_test.dir/baselines_extra_test.cc.o" "gcc" "tests/CMakeFiles/baselines_extra_test.dir/baselines_extra_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/schedulers/CMakeFiles/tableau_schedulers.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tableau_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tableau_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/tableau_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/tableau_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tableau_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/tableau_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tableau_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tableau_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coschedule_test.dir/coschedule_test.cc.o"
+  "CMakeFiles/coschedule_test.dir/coschedule_test.cc.o.d"
+  "coschedule_test"
+  "coschedule_test.pdb"
+  "coschedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coschedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

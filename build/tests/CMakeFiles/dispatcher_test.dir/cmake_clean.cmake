@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dispatcher_test.dir/dispatcher_test.cc.o"
+  "CMakeFiles/dispatcher_test.dir/dispatcher_test.cc.o.d"
+  "dispatcher_test"
+  "dispatcher_test.pdb"
+  "dispatcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dispatcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_profile_test.dir/latency_profile_test.cc.o"
+  "CMakeFiles/latency_profile_test.dir/latency_profile_test.cc.o.d"
+  "latency_profile_test"
+  "latency_profile_test.pdb"
+  "latency_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

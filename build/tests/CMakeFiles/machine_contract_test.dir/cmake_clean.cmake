@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_contract_test.dir/machine_contract_test.cc.o"
+  "CMakeFiles/machine_contract_test.dir/machine_contract_test.cc.o.d"
+  "machine_contract_test"
+  "machine_contract_test.pdb"
+  "machine_contract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

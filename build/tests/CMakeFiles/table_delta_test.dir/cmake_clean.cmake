@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_delta_test.dir/table_delta_test.cc.o"
+  "CMakeFiles/table_delta_test.dir/table_delta_test.cc.o.d"
+  "table_delta_test"
+  "table_delta_test.pdb"
+  "table_delta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_delta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_switch_trace_test.dir/table_switch_trace_test.cc.o"
+  "CMakeFiles/table_switch_trace_test.dir/table_switch_trace_test.cc.o.d"
+  "table_switch_trace_test"
+  "table_switch_trace_test.pdb"
+  "table_switch_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_switch_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

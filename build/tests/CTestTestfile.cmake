@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/rt_test[1]_include.cmake")
+include("/root/repo/build/tests/table_test[1]_include.cmake")
+include("/root/repo/build/tests/planner_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/dispatcher_test[1]_include.cmake")
+include("/root/repo/build/tests/schedulers_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/incremental_plan_test[1]_include.cmake")
+include("/root/repo/build/tests/peephole_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/numa_test[1]_include.cmake")
+include("/root/repo/build/tests/tableau_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/coschedule_test[1]_include.cmake")
+include("/root/repo/build/tests/cfs_test[1]_include.cmake")
+include("/root/repo/build/tests/gang_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/table_delta_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_contract_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/table_switch_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/latency_profile_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_extra_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableau_planctl.dir/tableau_planctl.cpp.o"
+  "CMakeFiles/tableau_planctl.dir/tableau_planctl.cpp.o.d"
+  "tableau_planctl"
+  "tableau_planctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableau_planctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
