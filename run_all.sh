@@ -4,4 +4,11 @@ set -e
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
+
+# Sanitizer pass: the whole test suite under ASan + UBSan (separate tree so
+# the benchmark numbers above stay uninstrumented).
+cmake -B build-asan -G Ninja -DTABLEAU_SANITIZE=ON
+cmake --build build-asan
+ctest --test-dir build-asan 2>&1 | tee -a test_output.txt
+
 for b in build/bench/bench_*; do "$b"; done 2>&1 | tee bench_output.txt

@@ -28,8 +28,19 @@ void TableauDispatcher::InstallTable(std::shared_ptr<const SchedulingTable> tabl
   // core observes them before the wrap that follows — all cores switch at
   // that wrap, two rounds out at most.
   const TimeNs len = current_->length();
+  const TimeNs proposed = (now / len + 2) * len;
+  if (next_ != nullptr) {
+    // Re-install during a pending switch: the new table supersedes the
+    // still-pending one, but the switch time may only stay or move later.
+    // Cores have already been handed slot_ends clamped to the promised
+    // switch_at_; pulling it earlier (possible when `now` runs behind the
+    // first install, e.g. observed from a core with a lagging clock) would
+    // switch tables inside an interval a core believes it owns.
+    switch_at_ = std::max(switch_at_, proposed);
+  } else {
+    switch_at_ = proposed;
+  }
   next_ = std::move(table);
-  switch_at_ = (now / len + 2) * len;
 }
 
 const SchedulingTable& TableauDispatcher::ActiveTable(TimeNs now) {

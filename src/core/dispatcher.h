@@ -45,6 +45,9 @@ class TableauDispatcher {
   // installations follow the time-synchronized switch protocol: the
   // next_table pointer is "set" in the middle of the next round of the
   // current table, and all cores switch together at the wrap after that.
+  // Re-installing while a switch is still pending replaces the pending table
+  // (the latest install wins) but never moves the promised switch time
+  // earlier: switch_at_ keeps the later of the two wrap times.
   void InstallTable(std::shared_ptr<const SchedulingTable> table, TimeNs now);
 
   // The table currently in effect at `now` (promotes a pending switch).

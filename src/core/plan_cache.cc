@@ -1,6 +1,7 @@
 #include "src/core/plan_cache.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "src/common/check.h"
@@ -9,6 +10,9 @@ namespace tableau {
 namespace {
 
 std::uint64_t UtilizationBits(double utilization) {
+  if (utilization == 0.0) {
+    utilization = 0.0;  // Fold -0.0: both compare equal but differ bitwise.
+  }
   std::uint64_t bits;
   static_assert(sizeof(bits) == sizeof(utilization));
   std::memcpy(&bits, &utilization, sizeof(bits));
@@ -18,6 +22,13 @@ std::uint64_t UtilizationBits(double utilization) {
 VcpuId Renamed(const std::map<VcpuId, VcpuId>& renaming, VcpuId id) {
   const auto it = renaming.find(id);
   return it == renaming.end() ? id : it->second;
+}
+
+PlanResult FailedPlan(std::string error) {
+  PlanResult result;
+  result.success = false;
+  result.error = std::move(error);
+  return result;
 }
 
 }  // namespace
@@ -65,6 +76,19 @@ PlanCache::Key PlanCache::MakeKey(const std::vector<VcpuRequest>& requests) {
 }
 
 PlanResult PlanCache::GetOrPlan(const std::vector<VcpuRequest>& requests) {
+  // Reject keys that cannot be canonicalized before they touch the cache: a
+  // NaN utilization never compares equal to itself, so it could neither be
+  // planned nor ever be matched again — it would only poison an entry.
+  for (const VcpuRequest& request : requests) {
+    if (std::isnan(request.utilization)) {
+      return FailedPlan("vCPU " + std::to_string(request.vcpu) + ": NaN utilization");
+    }
+    if (request.utilization <= 0.0) {
+      return FailedPlan("vCPU " + std::to_string(request.vcpu) +
+                        ": non-positive utilization");
+    }
+  }
+
   const Key key = MakeKey(requests);
 
   // Canonical order of the caller's requests, matching the key's sort, so a
@@ -79,20 +103,29 @@ PlanResult PlanCache::GetOrPlan(const std::vector<VcpuRequest>& requests) {
            std::make_pair(UtilizationBits(requests[b].utilization),
                           requests[b].latency_goal);
   });
-
-  const auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    ++hits_;
-    lru_.splice(lru_.begin(), lru_, it->second);  // Touch.
-    std::map<VcpuId, VcpuId> renaming;
-    for (std::size_t rank = 0; rank < order.size(); ++rank) {
-      renaming[static_cast<VcpuId>(rank)] = requests[order[rank]].vcpu;
-    }
-    return RelabelPlan(*it->second->second, renaming);
+  std::map<VcpuId, VcpuId> renaming;
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    renaming[static_cast<VcpuId>(rank)] = requests[order[rank]].vcpu;
   }
 
-  ++misses_;
-  // Plan under canonical ids (rank order), then cache and relabel back.
+  std::shared_ptr<const PlanResult> cached;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);  // Touch.
+      cached = it->second->second;
+    } else {
+      ++misses_;
+    }
+  }
+  if (cached != nullptr) {
+    return RelabelPlan(*cached, renaming);
+  }
+
+  // Plan under canonical ids (rank order) outside the lock — Plan() is
+  // reentrant, and planning is the expensive part — then publish.
   std::vector<VcpuRequest> canonical;
   canonical.reserve(requests.size());
   for (std::size_t rank = 0; rank < order.size(); ++rank) {
@@ -105,19 +138,36 @@ PlanResult PlanCache::GetOrPlan(const std::vector<VcpuRequest>& requests) {
     return planned;  // Failures are not cached (and carry the error text).
   }
 
-  auto cached = std::make_shared<const PlanResult>(std::move(planned));
-  lru_.emplace_front(key, cached);
-  entries_[key] = lru_.begin();
-  if (entries_.size() > capacity_) {
-    entries_.erase(lru_.back().first);
-    lru_.pop_back();
-  }
-
-  std::map<VcpuId, VcpuId> renaming;
-  for (std::size_t rank = 0; rank < order.size(); ++rank) {
-    renaming[static_cast<VcpuId>(rank)] = requests[order[rank]].vcpu;
+  cached = std::make_shared<const PlanResult>(std::move(planned));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // A concurrent caller may have planned the same key while we did; keep
+    // the incumbent entry (its shared_ptr may already be handed out).
+    if (entries_.find(key) == entries_.end()) {
+      lru_.emplace_front(key, cached);
+      entries_[key] = lru_.begin();
+      if (entries_.size() > capacity_) {
+        entries_.erase(lru_.back().first);
+        lru_.pop_back();
+      }
+    }
   }
   return RelabelPlan(*cached, renaming);
+}
+
+std::uint64_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
 }
 
 }  // namespace tableau

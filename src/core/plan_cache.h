@@ -13,6 +13,7 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/core/planner.h"
@@ -30,11 +31,15 @@ class PlanCache {
   // Returns a plan for the request set, reusing a cached plan for any
   // configuration with the same reservation multiset. Failed plans are not
   // cached. The result is always labeled with the caller's vCPU ids.
+  // Requests with NaN or non-positive utilization are rejected up front
+  // (they cannot form a canonical key), and -0.0 folds to 0.0 so bitwise
+  // twins share an entry. Thread-safe: concurrent callers may share one
+  // cache; a miss plans outside the lock and the first publisher wins.
   PlanResult GetOrPlan(const std::vector<VcpuRequest>& requests);
 
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
-  std::size_t size() const { return entries_.size(); }
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::size_t size() const;
 
  private:
   // Reservations sorted by (utilization, latency): the canonical key.
@@ -44,6 +49,10 @@ class PlanCache {
 
   Planner planner_;
   std::size_t capacity_;
+  // Guards the LRU structures and counters. Cached entries are shared_ptr
+  // to const, so a plan handed out under the lock stays valid after
+  // eviction.
+  mutable std::mutex mu_;
   // LRU: most recently used at the front.
   std::list<std::pair<Key, std::shared_ptr<const PlanResult>>> lru_;
   std::map<Key, decltype(lru_)::iterator> entries_;

@@ -1,10 +1,12 @@
 #include "src/core/planner.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <set>
 
 #include "src/common/check.h"
+#include "src/common/thread_pool.h"
 #include "src/rt/cd_split.h"
 #include "src/rt/dpfair.h"
 #include "src/rt/edf_sim.h"
@@ -26,6 +28,9 @@ PlanResult Fail(std::string error) {
 Planner::Planner(PlannerConfig config) : config_(config) {
   TABLEAU_CHECK(config_.num_cpus > 0);
   TABLEAU_CHECK(config_.hyperperiod > 0);
+  if (config_.num_threads > 1) {
+    pool_ = std::make_shared<ThreadPool>(config_.num_threads);
+  }
 }
 
 PlanResult Planner::Plan(const std::vector<VcpuRequest>& requests) const {
@@ -34,7 +39,8 @@ PlanResult Planner::Plan(const std::vector<VcpuRequest>& requests) const {
   // --- Validation ---
   std::set<VcpuId> seen;
   for (const VcpuRequest& request : requests) {
-    if (request.utilization <= 0.0 || request.utilization > 1.0) {
+    if (std::isnan(request.utilization) || request.utilization <= 0.0 ||
+        request.utilization > 1.0) {
       return Fail("vCPU " + std::to_string(request.vcpu) + ": utilization out of (0, 1]");
     }
     if (request.latency_goal <= 0) {
@@ -150,7 +156,7 @@ PlanResult Planner::Plan(const std::vector<VcpuRequest>& requests) const {
   }
   const auto Partition = [&](const std::vector<PeriodicTask>& task_set) {
     return WorstFitDecreasingNuma(task_set, socket_of, shared_cores, cores_per_socket,
-                                  h);
+                                  h, pool_.get());
   };
 
   PartitionResult partition = Partition(tasks);
@@ -187,7 +193,7 @@ PlanResult Planner::Plan(const std::vector<VcpuRequest>& requests) const {
     core_tasks = std::move(partition.core_tasks);
   } else {
     SemiPartitionResult semi = SemiPartition(tasks, shared_cores, h,
-                                             config_.split_granularity);
+                                             config_.split_granularity, pool_.get());
     if (semi.complete) {
       result.method = PlanMethod::kSemiPartitioned;
       core_tasks = std::move(semi.core_tasks);
@@ -255,19 +261,21 @@ PlanResult Planner::Plan(const std::vector<VcpuRequest>& requests) const {
   }
 
   // --- Simulate per-core EDF schedules for non-clustered cores ---
-  for (int c = 0; c < shared_cores; ++c) {
-    const auto core = static_cast<std::size_t>(c);
+  // Each core's simulation is independent and writes only its own slot of
+  // per_core, so the fan-out is deterministic: the merged table does not
+  // depend on completion order.
+  ParallelFor(pool_.get(), static_cast<std::size_t>(shared_cores), [&](std::size_t core) {
     if (core_is_clustered[core] || core_tasks.empty()) {
-      continue;
+      return;
     }
     if (core_tasks[core].empty()) {
-      continue;
+      return;
     }
     EdfSimResult sim = SimulateEdf(core_tasks[core], h);
     TABLEAU_CHECK_MSG(sim.schedulable, "EDF simulation failed on core %d for vCPU %d",
-                      c, sim.missed_vcpu);
+                      static_cast<int>(core), sim.missed_vcpu);
     per_core[core] = std::move(sim.allocations);
-  }
+  });
 
   // --- Optional peephole pass: defragment jobs within their windows ---
   if (config_.peephole_pass) {
@@ -412,19 +420,20 @@ PlanResult Planner::PlanIncremental(const PlanResult& previous,
       static_cast<std::size_t>(config_.num_cpus));
   std::vector<std::vector<Allocation>> dirty_alloc(
       static_cast<std::size_t>(config_.num_cpus));
-  for (int c = 0; c < config_.num_cpus; ++c) {
-    const auto core = static_cast<std::size_t>(c);
-    if (dirty.find(c) == dirty.end()) {
-      per_core[core] = previous.table.cpu(c).allocations;
-      continue;
-    }
-    if (core_tasks[core].empty()) {
-      continue;
-    }
-    EdfSimResult sim = SimulateEdf(core_tasks[core], h);
-    TABLEAU_CHECK_MSG(sim.schedulable, "incremental EDF failed on core %d", c);
-    dirty_alloc[core] = std::move(sim.allocations);
-  }
+  ParallelFor(pool_.get(), static_cast<std::size_t>(config_.num_cpus),
+              [&](std::size_t core) {
+                const int c = static_cast<int>(core);
+                if (dirty.find(c) == dirty.end()) {
+                  per_core[core] = previous.table.cpu(c).allocations;
+                  return;
+                }
+                if (core_tasks[core].empty()) {
+                  return;
+                }
+                EdfSimResult sim = SimulateEdf(core_tasks[core], h);
+                TABLEAU_CHECK_MSG(sim.schedulable, "incremental EDF failed on core %d", c);
+                dirty_alloc[core] = std::move(sim.allocations);
+              });
   if (config_.peephole_pass) {
     PeepholeOptimize(dirty_alloc, core_tasks);
   }

@@ -20,9 +20,11 @@
 #ifndef SRC_CORE_PLANNER_H_
 #define SRC_CORE_PLANNER_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/common/time.h"
 #include "src/rt/hyperperiod.h"
 #include "src/rt/periodic_task.h"
@@ -44,6 +46,11 @@ struct PlannerConfig {
   // Socket width for NUMA-affine placement (VcpuRequest::socket_affinity).
   // 0 disables affinity handling (the machine is treated as flat).
   int cores_per_socket = 0;
+  // Worker threads for table generation (<= 1: fully serial). The parallel
+  // pipeline runs the per-core EDF simulations, the worst-fit candidate
+  // scans, and the C=D split-point probes concurrently, with deterministic
+  // merges: the produced table is byte-identical to the serial one.
+  int num_threads = 1;
 };
 
 enum class PlanMethod { kPartitioned, kSemiPartitioned, kClustered };
@@ -120,6 +127,10 @@ class Planner {
 
  private:
   PlannerConfig config_;
+  // Shared by copies of the planner; null when config_.num_threads <= 1.
+  // The pool accepts jobs from concurrent Plan() calls, so the planner stays
+  // reentrant.
+  std::shared_ptr<ThreadPool> pool_;
 };
 
 }  // namespace tableau

@@ -3,23 +3,52 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/common/thread_pool.h"
 
 namespace tableau {
+namespace {
+
+// Below this core count a parallel candidate scan costs more in hand-off
+// latency than the scan itself; stay serial.
+constexpr int kMinCoresForParallelScan = 32;
+
+// The serial worst-fit choice over [core_begin, core_end): the feasible core
+// with minimum load, lowest index breaking ties. Returns -1 if none fits.
+int BestCoreInRange(const std::vector<TimeNs>& load, TimeNs demand, int socket,
+                    int cores_per_socket, TimeNs hyperperiod, int core_begin,
+                    int core_end) {
+  int best = -1;
+  for (int core = core_begin; core < core_end; ++core) {
+    if (socket >= 0 && core / cores_per_socket != socket) {
+      continue;  // NUMA affinity constraint.
+    }
+    const auto c = static_cast<std::size_t>(core);
+    if (load[c] + demand > hyperperiod) {
+      continue;
+    }
+    if (best == -1 || load[c] < load[static_cast<std::size_t>(best)]) {
+      best = core;
+    }
+  }
+  return best;
+}
+
+}  // namespace
 
 TimeNs SpareCapacity(const std::vector<PeriodicTask>& core_tasks, TimeNs hyperperiod) {
   return hyperperiod - TotalDemand(core_tasks, hyperperiod);
 }
 
 PartitionResult WorstFitDecreasing(const std::vector<PeriodicTask>& tasks, int num_cores,
-                                   TimeNs hyperperiod) {
+                                   TimeNs hyperperiod, ThreadPool* pool) {
   return WorstFitDecreasingNuma(tasks, {}, num_cores, /*cores_per_socket=*/num_cores,
-                                hyperperiod);
+                                hyperperiod, pool);
 }
 
 PartitionResult WorstFitDecreasingNuma(const std::vector<PeriodicTask>& tasks,
                                        const std::map<VcpuId, int>& socket_of,
                                        int num_cores, int cores_per_socket,
-                                       TimeNs hyperperiod) {
+                                       TimeNs hyperperiod, ThreadPool* pool) {
   TABLEAU_CHECK(num_cores > 0);
   TABLEAU_CHECK(cores_per_socket > 0);
   PartitionResult result;
@@ -33,6 +62,11 @@ PartitionResult WorstFitDecreasingNuma(const std::vector<PeriodicTask>& tasks,
     return a.vcpu < b.vcpu;  // Deterministic order for equal demands.
   });
 
+  const bool parallel_scan =
+      pool != nullptr && pool->num_threads() > 1 && num_cores >= kMinCoresForParallelScan;
+  const int num_chunks = parallel_scan ? std::min(pool->num_threads(), num_cores) : 1;
+  std::vector<int> chunk_best(static_cast<std::size_t>(num_chunks));
+
   std::vector<TimeNs> load(static_cast<std::size_t>(num_cores), 0);
   for (const PeriodicTask& task : sorted) {
     const TimeNs demand = task.DemandPerHyperperiod(hyperperiod);
@@ -41,16 +75,26 @@ PartitionResult WorstFitDecreasingNuma(const std::vector<PeriodicTask>& tasks,
       socket = it->second;
     }
     int best = -1;
-    for (int core = 0; core < num_cores; ++core) {
-      if (socket >= 0 && core / cores_per_socket != socket) {
-        continue;  // NUMA affinity constraint.
-      }
-      const auto c = static_cast<std::size_t>(core);
-      if (load[c] + demand > hyperperiod) {
-        continue;
-      }
-      if (best == -1 || load[c] < load[static_cast<std::size_t>(best)]) {
-        best = core;
+    if (!parallel_scan) {
+      best = BestCoreInRange(load, demand, socket, cores_per_socket, hyperperiod, 0,
+                             num_cores);
+    } else {
+      // Each chunk evaluates a contiguous core range; the in-order reduction
+      // reproduces the serial min-load / lowest-index choice exactly.
+      ParallelFor(pool, static_cast<std::size_t>(num_chunks), [&](std::size_t chunk) {
+        const int begin = static_cast<int>(chunk) * num_cores / num_chunks;
+        const int end = static_cast<int>(chunk + 1) * num_cores / num_chunks;
+        chunk_best[chunk] = BestCoreInRange(load, demand, socket, cores_per_socket,
+                                            hyperperiod, begin, end);
+      });
+      for (const int candidate : chunk_best) {
+        if (candidate == -1) {
+          continue;
+        }
+        if (best == -1 || load[static_cast<std::size_t>(candidate)] <
+                              load[static_cast<std::size_t>(best)]) {
+          best = candidate;
+        }
       }
     }
     if (best == -1) {

@@ -18,6 +18,8 @@
 
 namespace tableau {
 
+class ThreadPool;
+
 struct PartitionResult {
   // True if every task was assigned (unassigned is empty).
   bool complete = false;
@@ -28,9 +30,12 @@ struct PartitionResult {
 };
 
 // Partitions implicit-deadline tasks onto `num_cores` cores using worst-fit
-// decreasing. All task periods must divide `hyperperiod`.
+// decreasing. All task periods must divide `hyperperiod`. A non-null `pool`
+// parallelizes the per-task candidate-core scan; the assignment is
+// identical to the serial one (the reduction preserves the serial
+// min-load / lowest-index tie-break).
 PartitionResult WorstFitDecreasing(const std::vector<PeriodicTask>& tasks, int num_cores,
-                                   TimeNs hyperperiod);
+                                   TimeNs hyperperiod, ThreadPool* pool = nullptr);
 
 // NUMA-aware variant: `socket_of` maps a vCPU id to its required socket (-1
 // or absent = anywhere), and cores [s*cores_per_socket, (s+1)*cores_per_socket)
@@ -38,7 +43,7 @@ PartitionResult WorstFitDecreasing(const std::vector<PeriodicTask>& tasks, int n
 PartitionResult WorstFitDecreasingNuma(const std::vector<PeriodicTask>& tasks,
                                        const std::map<VcpuId, int>& socket_of,
                                        int num_cores, int cores_per_socket,
-                                       TimeNs hyperperiod);
+                                       TimeNs hyperperiod, ThreadPool* pool = nullptr);
 
 // Remaining capacity (ns per hyperperiod) of a core's current assignment.
 TimeNs SpareCapacity(const std::vector<PeriodicTask>& core_tasks, TimeNs hyperperiod);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
 namespace tableau {
 
@@ -66,8 +67,14 @@ TimeNs Histogram::Percentile(double q) const {
   if (q >= 1.0) {
     return max_;
   }
-  const std::uint64_t target =
-      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(q * static_cast<double>(count_)));
+  // Ceiling-rank semantics: the q-quantile is the smallest sample whose
+  // cumulative frequency reaches q. Flooring instead under-reports the tail
+  // for small counts (p99.9 of 100 samples would return the 99th sample, not
+  // the maximum).
+  const std::uint64_t target = std::min<std::uint64_t>(
+      count_, std::max<std::uint64_t>(
+                  1, static_cast<std::uint64_t>(
+                         std::ceil(q * static_cast<double>(count_)))));
   std::uint64_t cumulative = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     cumulative += buckets_[i];

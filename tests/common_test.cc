@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "src/common/math_util.h"
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/common/time.h"
 #include "src/stats/histogram.h"
 #include "src/stats/summary.h"
@@ -248,6 +252,76 @@ TEST(Histogram, PercentileMonotone) {
     const TimeNs v = h.Percentile(q);
     EXPECT_GE(v, prev);
     prev = v;
+  }
+}
+
+// Regression for the floor-rank bug: with ceiling-rank semantics, a tail
+// quantile of a small sample set must reach the top samples instead of
+// stopping one short (p99.9 of 100 samples is the maximum, not the 99th).
+TEST(Histogram, PercentileCeilingRankSmallCounts) {
+  Histogram h;
+  for (TimeNs v = 1; v <= 100; ++v) {
+    h.Record(v);  // Values < 128 land in exact unit-width buckets.
+  }
+  EXPECT_EQ(h.Percentile(0.999), 100);  // ceil(99.9) = rank 100 = max.
+  EXPECT_EQ(h.Percentile(0.995), 100);  // ceil(99.5) = rank 100.
+  EXPECT_EQ(h.Percentile(0.99), 99);    // Exact rank stays exact.
+  EXPECT_EQ(h.Percentile(0.5), 50);
+  EXPECT_EQ(h.Percentile(0.0), 1);      // Rank clamps to the first sample.
+}
+
+TEST(Histogram, PercentileCeilingRankTenSamples) {
+  Histogram h;
+  for (TimeNs v = 1; v <= 10; ++v) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.Percentile(0.95), 10);  // ceil(9.5) = 10; floor gave 9.
+  EXPECT_EQ(h.Percentile(0.90), 9);
+  EXPECT_EQ(h.Percentile(0.05), 1);   // ceil(0.5) = 1.
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.ParallelFor(counts.size(),
+                   [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (const auto& c : counts) {
+    EXPECT_EQ(c.load(), 1);
+  }
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  int sum = 0;  // No synchronization needed: everything runs in the caller.
+  pool.ParallelFor(100, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 4950);
+  pool.ParallelFor(0, [&](std::size_t) { FAIL() << "n=0 must not invoke fn"; });
+}
+
+TEST(ThreadPool, HelperFallsBackWithoutPool) {
+  std::vector<int> hit(10, 0);
+  ParallelFor(nullptr, hit.size(), [&](std::size_t i) { hit[i] = 1; });
+  EXPECT_EQ(std::count(hit.begin(), hit.end(), 1), 10);
+}
+
+TEST(ThreadPool, ConcurrentCallersShareOnePool) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 4;
+  constexpr std::size_t kPerCaller = 200;
+  std::vector<std::atomic<int>> counts(kCallers * kPerCaller);
+  std::vector<std::thread> callers;
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      pool.ParallelFor(kPerCaller, [&](std::size_t i) {
+        counts[static_cast<std::size_t>(t) * kPerCaller + i].fetch_add(1);
+      });
+    });
+  }
+  for (std::thread& caller : callers) {
+    caller.join();
+  }
+  for (const auto& c : counts) {
+    EXPECT_EQ(c.load(), 1);
   }
 }
 

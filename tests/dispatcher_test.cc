@@ -78,6 +78,50 @@ TEST(Dispatcher, AllCoresSwitchAtTheSameBoundary) {
   EXPECT_EQ(dispatcher.LookupSlot(1, 2000).vcpu, 4);
 }
 
+// Re-install while a switch is pending: the latest table wins, and the
+// promised switch time never moves earlier (cores were already handed
+// slot_ends clamped to it).
+TEST(Dispatcher, ReinstallDuringPendingSwitchKeepsLaterWrap) {
+  TableauDispatcher dispatcher(1, WorkConserving());
+  dispatcher.InstallTable(MakeTable(1000, {{{1, 0, 1000}}}), 0);
+  dispatcher.InstallTable(MakeTable(1000, {{{2, 0, 1000}}}), 1500);
+  EXPECT_EQ(dispatcher.pending_switch_time(), 3000);
+  // Second install observed from a lagging clock: its recomputed wrap (2000)
+  // is earlier than the promised 3000 and must not win.
+  dispatcher.InstallTable(MakeTable(1000, {{{3, 0, 1000}}}), 900);
+  EXPECT_EQ(dispatcher.pending_switch_time(), 3000);
+  // The old table stays in effect until the promised boundary...
+  EXPECT_EQ(dispatcher.LookupSlot(0, 2999).vcpu, 1);
+  // ...and the switch lands on the *latest* installed table, not the dropped
+  // intermediate one.
+  EXPECT_EQ(dispatcher.LookupSlot(0, 3000).vcpu, 3);
+}
+
+TEST(Dispatcher, ReinstallDuringPendingSwitchMovesLaterWhenTimeAdvanced) {
+  TableauDispatcher dispatcher(1, WorkConserving());
+  dispatcher.InstallTable(MakeTable(1000, {{{1, 0, 1000}}}), 0);
+  dispatcher.InstallTable(MakeTable(1000, {{{2, 0, 1000}}}), 300);
+  EXPECT_EQ(dispatcher.pending_switch_time(), 2000);
+  // A later re-install whose wrap computes past the promise pushes it out.
+  dispatcher.InstallTable(MakeTable(1000, {{{3, 0, 1000}}}), 2100);
+  EXPECT_EQ(dispatcher.pending_switch_time(), 4000);
+  EXPECT_EQ(dispatcher.LookupSlot(0, 3999).vcpu, 1);
+  EXPECT_EQ(dispatcher.LookupSlot(0, 4000).vcpu, 3);
+}
+
+TEST(Dispatcher, ReinstallAtSameRoundReplacesTableKeepsTime) {
+  TableauDispatcher dispatcher(1, WorkConserving());
+  dispatcher.InstallTable(MakeTable(1000, {{{1, 0, 1000}}}), 0);
+  dispatcher.InstallTable(MakeTable(1000, {{{2, 0, 1000}}}), 300);
+  dispatcher.InstallTable(MakeTable(1000, {{{3, 0, 1000}}}), 600);
+  // Same round, same wrap: promise unchanged, latest table wins.
+  EXPECT_EQ(dispatcher.pending_switch_time(), 2000);
+  const auto slot = dispatcher.LookupSlot(0, 1500);
+  EXPECT_EQ(slot.vcpu, 1);
+  EXPECT_EQ(slot.slot_end, 2000);  // Still clamped to the promise.
+  EXPECT_EQ(dispatcher.LookupSlot(0, 2000).vcpu, 3);
+}
+
 TEST(Dispatcher, WakeupTargetCurrentAllocation) {
   TableauDispatcher dispatcher(2, WorkConserving());
   dispatcher.InstallTable(

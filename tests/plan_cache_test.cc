@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <limits>
 #include <map>
+#include <set>
+#include <thread>
 
 #include "src/core/plan_cache.h"
 
@@ -103,6 +107,93 @@ TEST(PlanCache, LruEviction) {
   EXPECT_EQ(cache.hits(), 2u);  // Touch of a, plus this lookup.
   cache.GetOrPlan(b);           // Miss again after eviction.
   EXPECT_EQ(cache.misses(), 4u);
+}
+
+// Regression for raw-IEEE-754 keying: a NaN utilization must be rejected at
+// the door instead of poisoning an entry (NaN never matches itself, so such
+// an entry could never be hit again).
+TEST(PlanCache, NanUtilizationRejectedBeforeCache) {
+  PlanCache cache(FourCores());
+  const auto nan_request =
+      Requests({{std::numeric_limits<double>::quiet_NaN(), 20 * kMillisecond}});
+  const PlanResult result = cache.GetOrPlan(nan_request);
+  EXPECT_FALSE(result.success);
+  EXPECT_NE(result.error.find("NaN"), std::string::npos) << result.error;
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);  // Never consulted the cache.
+}
+
+TEST(PlanCache, NonPositiveUtilizationRejectedBeforeCache) {
+  PlanCache cache(FourCores());
+  EXPECT_FALSE(cache.GetOrPlan(Requests({{0.0, 20 * kMillisecond}})).success);
+  EXPECT_FALSE(cache.GetOrPlan(Requests({{-0.0, 20 * kMillisecond}})).success);
+  EXPECT_FALSE(cache.GetOrPlan(Requests({{-0.5, 20 * kMillisecond}})).success);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+// Duplicate (U, L) reservations give the canonical sort nothing to break
+// ties on; on a hit, each caller id must still come back with its own full
+// reservation (no id dropped or doubled by the relabeling).
+TEST(PlanCache, DuplicateUtilizationsRelabelOnHit) {
+  PlanCache cache(FourCores());
+  const auto first =
+      Requests({{0.25, 20 * kMillisecond},
+                {0.25, 20 * kMillisecond},
+                {0.25, 20 * kMillisecond},
+                {0.25, 20 * kMillisecond}});
+  ASSERT_TRUE(cache.GetOrPlan(first).success);
+
+  const auto renamed = Requests({{0.25, 20 * kMillisecond},
+                                 {0.25, 20 * kMillisecond},
+                                 {0.25, 20 * kMillisecond},
+                                 {0.25, 20 * kMillisecond}},
+                                /*first_id=*/50);
+  const PlanResult hit = cache.GetOrPlan(renamed);
+  ASSERT_TRUE(hit.success);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(hit.table.Validate(), "");
+  std::set<VcpuId> seen;
+  for (const VcpuPlan& plan : hit.vcpus) {
+    EXPECT_TRUE(seen.insert(plan.vcpu).second) << "duplicate vCPU " << plan.vcpu;
+  }
+  for (VcpuId id = 50; id < 54; ++id) {
+    EXPECT_TRUE(seen.count(id)) << "vCPU " << id << " missing from relabeled plan";
+    EXPECT_GE(static_cast<double>(hit.table.TotalService(id)) /
+                  static_cast<double>(hit.table.length()),
+              0.25 - 1e-6);
+  }
+}
+
+// Thread-safety smoke test: concurrent callers hammering the same and
+// distinct keys must neither crash nor corrupt the LRU, and every caller
+// must receive a valid correctly-labeled plan.
+TEST(PlanCache, ConcurrentGetOrPlan) {
+  PlanCache cache(FourCores(), /*capacity=*/4);
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 25;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        const double u = 0.1 + 0.05 * ((t + i) % 3);
+        const auto requests = Requests({{u, 20 * kMillisecond}}, /*first_id=*/t);
+        const PlanResult plan = cache.GetOrPlan(requests);
+        if (!plan.success || plan.table.Validate() != "" ||
+            plan.table.TotalService(t) == 0) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_LE(cache.size(), 4u);
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<std::uint64_t>(kThreads * kIterations));
 }
 
 TEST(RelabelPlan, RemapsEverywhere) {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //   tableau_planctl plan --cpus N [--cores-per-socket K] [--peephole]
-//                        [--out FILE] VM [VM...]
+//                        [--threads T] [--out FILE] VM [VM...]
 //       VM spec: U:L_ms   or   U:L_ms:SOCKET     (e.g. 0.25:20  0.5:10:1)
 //   tableau_planctl show FILE
 //       Prints structure and per-vCPU statistics of a serialized table.
@@ -25,7 +25,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  tableau_planctl plan --cpus N [--cores-per-socket K] [--peephole]\n"
-               "                       [--out FILE] U:L_ms[:SOCKET] ...\n"
+               "                       [--threads T] [--out FILE] U:L_ms[:SOCKET] ...\n"
                "  tableau_planctl show FILE\n");
   return 2;
 }
@@ -76,6 +76,8 @@ int CmdPlan(int argc, char** argv) {
       config.cores_per_socket = std::atoi(argv[++arg]);
     } else if (std::strcmp(current, "--peephole") == 0) {
       config.peephole_pass = true;
+    } else if (std::strcmp(current, "--threads") == 0 && arg + 1 < argc) {
+      config.num_threads = std::atoi(argv[++arg]);
     } else if (std::strcmp(current, "--out") == 0 && arg + 1 < argc) {
       out_path = argv[++arg];
     } else {
