@@ -36,12 +36,24 @@ double MaxGapMs(SchedKind kind, bool capped, Background bg, TimeNs duration) {
 
 void RunScenario(const char* title, bool capped, const std::vector<SchedKind>& kinds,
                  TimeNs duration) {
+  // Every (scheduler, background) cell is an independent simulation: fan the
+  // grid out over the worker pool, then print in row order.
+  const std::vector<Background> bgs = {Background::kNone, Background::kIoHeavy,
+                                       Background::kCpu};
+  std::vector<std::function<double()>> tasks;
+  for (const SchedKind kind : kinds) {
+    for (const Background bg : bgs) {
+      tasks.push_back([=] { return MaxGapMs(kind, capped, bg, duration); });
+    }
+  }
+  const std::vector<double> cells = RunSimulations(tasks);
+
   PrintHeader(title);
   std::printf("%-10s %12s %12s %12s\n", "", "no BG (ms)", "I/O BG (ms)", "CPU BG (ms)");
-  for (const SchedKind kind : kinds) {
-    std::printf("%-10s", SchedKindName(kind));
-    for (const Background bg : {Background::kNone, Background::kIoHeavy, Background::kCpu}) {
-      std::printf(" %12.2f", MaxGapMs(kind, capped, bg, duration));
+  for (std::size_t row = 0; row < kinds.size(); ++row) {
+    std::printf("%-10s", SchedKindName(kinds[row]));
+    for (std::size_t col = 0; col < bgs.size(); ++col) {
+      std::printf(" %12.2f", cells[row * bgs.size() + col]);
     }
     std::printf("\n");
   }

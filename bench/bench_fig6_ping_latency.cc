@@ -94,13 +94,25 @@ PingResult MeasurePing(SchedKind kind, bool capped, Background bg, int pings_per
 
 void RunScenario(const char* title, bool capped, const std::vector<SchedKind>& kinds,
                  int pings) {
+  // Independent (scheduler, background) cells: measure in parallel, print in
+  // row order.
+  const std::vector<Background> bgs = {Background::kNone, Background::kIo,
+                                       Background::kCpu};
+  std::vector<std::function<PingResult()>> tasks;
+  for (const SchedKind kind : kinds) {
+    for (const Background bg : bgs) {
+      tasks.push_back([=] { return MeasurePing(kind, capped, bg, pings); });
+    }
+  }
+  const std::vector<PingResult> cells = RunSimulations(tasks);
+
   PrintHeader(title);
   std::printf("%-10s | %10s %10s | %10s %10s | %10s %10s\n", "", "none avg", "none max",
               "I/O avg", "I/O max", "CPU avg", "CPU max");
-  for (const SchedKind kind : kinds) {
-    std::printf("%-10s |", SchedKindName(kind));
-    for (const Background bg : {Background::kNone, Background::kIo, Background::kCpu}) {
-      const PingResult result = MeasurePing(kind, capped, bg, pings);
+  for (std::size_t row = 0; row < kinds.size(); ++row) {
+    std::printf("%-10s |", SchedKindName(kinds[row]));
+    for (std::size_t col = 0; col < bgs.size(); ++col) {
+      const PingResult& result = cells[row * bgs.size() + col];
       std::printf(" %9.3fms %9.2fms |", result.avg_ms, result.max_ms);
     }
     std::printf("\n");

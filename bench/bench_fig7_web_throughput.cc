@@ -67,15 +67,28 @@ WebPoint MeasureWeb(SchedKind kind, bool capped, std::int64_t file_bytes, double
 void RunPanel(const char* title, bool capped, std::int64_t file_bytes,
               const std::vector<double>& rates, const std::vector<SchedKind>& kinds,
               TimeNs duration, Background bg = Background::kIoHeavy) {
+  // The full (scheduler, rate) load grid is embarrassingly parallel; merge
+  // back by index so the curve prints in sweep order.
+  std::vector<std::function<WebPoint()>> tasks;
+  for (const SchedKind kind : kinds) {
+    for (const double rate : rates) {
+      tasks.push_back(
+          [=] { return MeasureWeb(kind, capped, file_bytes, rate, duration, bg); });
+    }
+  }
+  const std::vector<WebPoint> points = RunSimulations(tasks);
+
   PrintHeader(title);
   std::printf("%-10s %8s %10s %10s %10s %10s\n", "sched", "rate", "tput", "mean(ms)",
               "p99(ms)", "max(ms)");
-  for (const SchedKind kind : kinds) {
+  for (std::size_t row = 0; row < kinds.size(); ++row) {
+    const SchedKind kind = kinds[row];
     double sla_peak = 0;
-    for (const double rate : rates) {
-      const WebPoint point = MeasureWeb(kind, capped, file_bytes, rate, duration, bg);
-      std::printf("%-10s %8.0f %10.1f %10.2f %10.2f %10.2f\n", SchedKindName(kind), rate,
-                  point.throughput, point.mean_ms, point.p99_ms, point.max_ms);
+    for (std::size_t col = 0; col < rates.size(); ++col) {
+      const WebPoint& point = points[row * rates.size() + col];
+      std::printf("%-10s %8.0f %10.1f %10.2f %10.2f %10.2f\n", SchedKindName(kind),
+                  rates[col], point.throughput, point.mean_ms, point.p99_ms,
+                  point.max_ms);
       if (point.p99_ms < 100.0 && point.throughput > sla_peak) {
         sla_peak = point.throughput;
       }

@@ -20,38 +20,59 @@ using namespace tableau::bench;
 
 namespace {
 
+struct WebPoint {
+  double tput;
+  double mean_ms;
+  double p99_ms;
+  double max_ms;
+};
+
+WebPoint MeasureWeb(SchedKind kind, bool capped, double rate, TimeNs duration) {
+  ScenarioConfig config;
+  config.scheduler = kind;
+  config.capped = capped;
+  Scenario scenario = BuildScenario(config);
+  WebServerWorkload::Config web_config;
+  web_config.file_bytes = 100 << 10;
+  WebServerWorkload server(scenario.machine.get(), scenario.vantage, web_config);
+  OpenLoopClient::Config client_config;
+  client_config.requests_per_sec = rate;
+  client_config.duration = duration;
+  OpenLoopClient client(scenario.machine.get(), &server, client_config);
+  client.Start(0);
+  BackgroundWorkloads background;
+  AttachBackground(scenario, Background::kCpu, 1, background);
+  scenario.machine->Start();
+  scenario.machine->RunFor(duration);
+  return WebPoint{static_cast<double>(server.completed()) / ToSec(duration),
+                  ToMs(static_cast<TimeNs>(server.latencies().Mean())),
+                  ToMs(server.latencies().Percentile(0.99)),
+                  ToMs(server.latencies().Max())};
+}
+
 void RunPanel(const char* title, bool capped, const std::vector<SchedKind>& kinds,
               const std::vector<double>& rates, TimeNs duration) {
+  // Independent (scheduler, rate) cells: fan out, merge by index.
+  std::vector<std::function<WebPoint()>> tasks;
+  for (const SchedKind kind : kinds) {
+    for (const double rate : rates) {
+      tasks.push_back([=] { return MeasureWeb(kind, capped, rate, duration); });
+    }
+  }
+  const std::vector<WebPoint> points = RunSimulations(tasks);
+
   PrintHeader(title);
   std::printf("%-10s %8s %10s %10s %10s %10s\n", "sched", "rate", "tput", "mean(ms)",
               "p99(ms)", "max(ms)");
-  for (const SchedKind kind : kinds) {
+  for (std::size_t row = 0; row < kinds.size(); ++row) {
+    const SchedKind kind = kinds[row];
     double sla_peak = 0;
-    for (const double rate : rates) {
-      ScenarioConfig config;
-      config.scheduler = kind;
-      config.capped = capped;
-      Scenario scenario = BuildScenario(config);
-      WebServerWorkload::Config web_config;
-      web_config.file_bytes = 100 << 10;
-      WebServerWorkload server(scenario.machine.get(), scenario.vantage, web_config);
-      OpenLoopClient::Config client_config;
-      client_config.requests_per_sec = rate;
-      client_config.duration = duration;
-      OpenLoopClient client(scenario.machine.get(), &server, client_config);
-      client.Start(0);
-      BackgroundWorkloads background;
-      AttachBackground(scenario, Background::kCpu, 1, background);
-      scenario.machine->Start();
-      scenario.machine->RunFor(duration);
-
-      const double tput = static_cast<double>(server.completed()) / ToSec(duration);
-      const double p99 = ToMs(server.latencies().Percentile(0.99));
-      std::printf("%-10s %8.0f %10.1f %10.2f %10.2f %10.2f\n", SchedKindName(kind), rate,
-                  tput, ToMs(static_cast<TimeNs>(server.latencies().Mean())), p99,
-                  ToMs(server.latencies().Max()));
-      if (p99 < 100.0 && tput > sla_peak) {
-        sla_peak = tput;
+    for (std::size_t col = 0; col < rates.size(); ++col) {
+      const WebPoint& point = points[row * rates.size() + col];
+      std::printf("%-10s %8.0f %10.1f %10.2f %10.2f %10.2f\n", SchedKindName(kind),
+                  rates[col], point.tput, point.mean_ms, point.p99_ms, point.max_ms);
+      if (point.p99_ms < 100.0 && point.tput > sla_peak) {
+        sla_peak = point.tput;
       }
     }
     std::printf("%-10s SLA-aware peak (p99 <= 100 ms): %.0f req/s\n",

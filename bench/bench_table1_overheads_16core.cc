@@ -57,11 +57,13 @@ int main() {
 
   const SchedKind kinds[] = {SchedKind::kCredit, SchedKind::kCredit2, SchedKind::kRtds,
                              SchedKind::kTableau};
-  Row rows[4];
-  for (int i = 0; i < 4; ++i) {
-    rows[i] = MeasureScheduler(kinds[i], /*guest_cpus=*/12, /*cores_per_socket=*/6,
-                               duration);
+  std::vector<std::function<Row()>> tasks;
+  for (const SchedKind kind : kinds) {
+    tasks.push_back([=] {
+      return MeasureScheduler(kind, /*guest_cpus=*/12, /*cores_per_socket=*/6, duration);
+    });
   }
+  const std::vector<Row> rows = RunSimulations(tasks);
 
   std::printf("%-10s %8s %8s %8s %8s\n", "", "Credit", "Credit2", "RTDS", "Tableau");
   std::printf("%-10s %8.2f %8.2f %8.2f %8.2f\n", "Schedule", rows[0].schedule_us,

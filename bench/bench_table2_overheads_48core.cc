@@ -53,10 +53,11 @@ int main() {
 
   const SchedKind kinds[] = {SchedKind::kCredit, SchedKind::kCredit2, SchedKind::kRtds,
                              SchedKind::kTableau};
-  Row rows[4];
-  for (int i = 0; i < 4; ++i) {
-    rows[i] = MeasureScheduler(kinds[i], duration);
+  std::vector<std::function<Row()>> tasks;
+  for (const SchedKind kind : kinds) {
+    tasks.push_back([=] { return MeasureScheduler(kind, duration); });
   }
+  const std::vector<Row> rows = RunSimulations(tasks);
 
   std::printf("%-10s %8s %8s %8s %8s\n", "", "Credit", "Credit2", "RTDS", "Tableau");
   std::printf("%-10s %8.2f %8.2f %8.2f %8.2f\n", "Schedule", rows[0].schedule_us,

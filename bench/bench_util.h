@@ -6,10 +6,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/harness/scenario.h"
 #include "src/workloads/guest.h"
 #include "src/workloads/stress.h"
@@ -80,6 +84,64 @@ inline void AttachBackground(Scenario& scenario, Background kind, std::size_t fi
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
+
+// Worker count for the parallel measurement harness: TABLEAU_BENCH_THREADS
+// overrides (1 forces the serial path); default is the hardware concurrency.
+inline int BenchThreads() {
+  if (const char* env = std::getenv("TABLEAU_BENCH_THREADS")) {
+    const int threads = std::atoi(env);
+    if (threads > 0) {
+      return threads;
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+// Runs a batch of independent simulations on a worker pool and returns the
+// results in task order. Every task owns its Scenario/Machine/Simulation and
+// seeds its RNGs deterministically from its own parameters, so each cell's
+// result — and therefore the merged output — is byte-identical to a serial
+// run; only wall-clock time changes.
+template <typename Result>
+std::vector<Result> RunSimulations(const std::vector<std::function<Result()>>& tasks) {
+  std::vector<Result> results(tasks.size());
+  ThreadPool pool(BenchThreads());
+  pool.ParallelFor(tasks.size(),
+                   [&](std::size_t i) { results[i] = tasks[i](); });
+  return results;
+}
+
+// Accumulates scalar metrics and writes them as BENCH_<name>.json in the
+// working directory, one flat {"metric": value} object — a stable artifact
+// for tooling to diff across runs (see run_all.sh).
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void Add(const std::string& key, double value) {
+    entries_.emplace_back(key, value);
+  }
+
+  void Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(file, "{\n  \"name\": \"%s\"", name_.c_str());
+    for (const auto& [key, value] : entries_) {
+      std::fprintf(file, ",\n  \"%s\": %.6g", key.c_str(), value);
+    }
+    std::fprintf(file, "\n}\n");
+    std::fclose(file);
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> entries_;
+};
 
 }  // namespace tableau::bench
 

@@ -11,4 +11,8 @@ cmake -B build-asan -G Ninja -DTABLEAU_SANITIZE=ON
 cmake --build build-asan
 ctest --test-dir build-asan 2>&1 | tee -a test_output.txt
 
+# Engine microbenchmark first: writes BENCH_sim_engine.json (events/sec for
+# the timer-wheel engine vs the legacy heap engine, parallel-harness timing).
+build/bench/bench_sim_engine
+
 for b in build/bench/bench_*; do "$b"; done 2>&1 | tee bench_output.txt

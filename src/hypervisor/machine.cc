@@ -8,6 +8,16 @@ Machine::Machine(MachineConfig config, std::unique_ptr<VcpuScheduler> scheduler)
     : config_(config), scheduler_(std::move(scheduler)) {
   TABLEAU_CHECK(config_.num_cpus > 0 && config_.cores_per_socket > 0);
   cpu_.resize(static_cast<std::size_t>(config_.num_cpus));
+  for (CpuId cpu = 0; cpu < config_.num_cpus; ++cpu) {
+    CpuState& state = cpu_[static_cast<std::size_t>(cpu)];
+    state.cpu_event_timer = sim_.CreateTimer([this, cpu] { OnCpuEvent(cpu); });
+    state.resched_timer =
+        sim_.CreateTimer([this, cpu] { Reschedule(cpu, DeschedReason::kSliceEnd); });
+    state.kick_timer = sim_.CreateTimer([this, cpu] {
+      cpu_[static_cast<std::size_t>(cpu)].kick_pending = false;
+      Reschedule(cpu, DeschedReason::kPreempted);
+    });
+  }
   trace_.set_enabled(false);
   scheduler_->Attach(this);
 }
@@ -32,7 +42,7 @@ void Machine::RunFor(TimeNs duration) {
 void Machine::Start() {
   scheduler_->Start();
   for (CpuId cpu = 0; cpu < config_.num_cpus; ++cpu) {
-    sim_.ScheduleAt(sim_.Now(), [this, cpu] { Reschedule(cpu, DeschedReason::kSliceEnd); });
+    sim_.Arm(cpu_[static_cast<std::size_t>(cpu)].resched_timer, sim_.Now());
   }
 }
 
@@ -82,10 +92,7 @@ void Machine::KickCpu(CpuId cpu, bool remote) {
     AddOpCost(config_.costs.ipi_send);
   }
   const TimeNs delay = remote ? config_.costs.ipi_latency : 0;
-  sim_.ScheduleAfter(delay, [this, cpu] {
-    cpu_[static_cast<std::size_t>(cpu)].kick_pending = false;
-    Reschedule(cpu, DeschedReason::kPreempted);
-  });
+  sim_.Arm(state.kick_timer, sim_.Now() + delay);
 }
 
 void Machine::SettleService(CpuId cpu) {
@@ -144,7 +151,7 @@ void Machine::Block(Vcpu* vcpu) {
   vcpu->last_service_end_ = sim_.Now();
   trace_.Record(sim_.Now(), TraceEvent::kBlock, cpu, vcpu->id());
   state.current = nullptr;
-  sim_.Cancel(state.pending);
+  sim_.Disarm(state.pending);
   state.pending = kInvalidEvent;
   scheduler_->OnBlock(vcpu, cpu);
   Reschedule(cpu, DeschedReason::kBlocked);
@@ -152,7 +159,10 @@ void Machine::Block(Vcpu* vcpu) {
 
 void Machine::Reschedule(CpuId cpu, DeschedReason reason) {
   CpuState& state = cpu_[static_cast<std::size_t>(cpu)];
-  sim_.Cancel(state.pending);
+  // Disarm, not Cancel: the pending timer is persistent and re-armed below.
+  // When Reschedule *is* the pending timer's own callback, this just
+  // suppresses its re-arm — the seed engine leaked a tombstone here.
+  sim_.Disarm(state.pending);
   state.pending = kInvalidEvent;
   const TimeNs now = sim_.Now();
 
@@ -185,9 +195,8 @@ void Machine::Reschedule(CpuId cpu, DeschedReason reason) {
     trace_.Record(now, TraceEvent::kIdle, cpu, kIdleVcpu);
     state.overhead_ns += start_delay;
     if (decision.until != kTimeNever) {
-      state.pending = sim_.ScheduleAt(std::max(now, decision.until), [this, cpu] {
-        Reschedule(cpu, DeschedReason::kSliceEnd);
-      });
+      sim_.Arm(state.resched_timer, std::max(now, decision.until));
+      state.pending = state.resched_timer;
     }
     return;
   }
@@ -232,8 +241,8 @@ void Machine::Reschedule(CpuId cpu, DeschedReason reason) {
     event_time = std::min(event_time, next->service_start_ + next->remaining_burst_);
   }
   TABLEAU_CHECK(event_time != kTimeNever);
-  state.pending =
-      sim_.ScheduleAt(std::max(now, event_time), [this, cpu] { OnCpuEvent(cpu); });
+  sim_.Arm(state.cpu_event_timer, std::max(now, event_time));
+  state.pending = state.cpu_event_timer;
 }
 
 void Machine::OnCpuEvent(CpuId cpu) {
@@ -263,8 +272,8 @@ void Machine::OnCpuEvent(CpuId cpu) {
       event_time = std::min(event_time, now + vcpu->remaining_burst_);
     }
     TABLEAU_CHECK(event_time != kTimeNever);
-    state.pending =
-        sim_.ScheduleAt(std::max(now, event_time), [this, cpu] { OnCpuEvent(cpu); });
+    sim_.Arm(state.cpu_event_timer, std::max(now, event_time));
+    state.pending = state.cpu_event_timer;
   }
   // Otherwise the guest blocked and Block() already rescheduled this CPU.
 }

@@ -108,7 +108,15 @@ class Machine {
  private:
   struct CpuState {
     Vcpu* current = nullptr;
+    // The armed timer (cpu_event_timer or resched_timer), or kInvalidEvent.
+    // At most one of the two is armed per CPU at any time.
     EventId pending = kInvalidEvent;
+    // Persistent pooled timers, created once per CPU: the dispatch event
+    // (slice end / burst completion), the idle-horizon reschedule, and the
+    // kick (IPI delivery). Re-armed instead of allocating per-event closures.
+    EventId cpu_event_timer = kInvalidEvent;
+    EventId resched_timer = kInvalidEvent;
+    EventId kick_timer = kInvalidEvent;
     TimeNs decision_until = kTimeNever;
     bool kick_pending = false;
     TimeNs overhead_debt = 0;

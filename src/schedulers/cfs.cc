@@ -18,8 +18,10 @@ void CfsScheduler::AddVcpu(Vcpu* vcpu) {
 
 void CfsScheduler::Start() {
   runq_.assign(static_cast<std::size_t>(machine_->num_cpus()), {});
-  machine_->sim().ScheduleAfter(options_.balance_interval, [this] { PeriodicBalance(); });
-  machine_->sim().ScheduleAfter(options_.bandwidth_period, [this] { BandwidthRefresh(); });
+  machine_->sim().SchedulePeriodic(machine_->Now() + options_.balance_interval,
+                                   options_.balance_interval, [this] { PeriodicBalance(); });
+  machine_->sim().SchedulePeriodic(machine_->Now() + options_.bandwidth_period,
+                                   options_.bandwidth_period, [this] { BandwidthRefresh(); });
 }
 
 void CfsScheduler::Enqueue(VcpuId id, CpuId cpu) {
@@ -244,7 +246,7 @@ void CfsScheduler::PeriodicBalance() {
   machine_->ChargeBackground(
       0, costs.lock_base +
              static_cast<TimeNs>(machine_->num_cpus()) * costs.cache_same_socket);
-  machine_->sim().ScheduleAfter(options_.balance_interval, [this] { PeriodicBalance(); });
+  // Periodic timer; re-armed automatically.
 }
 
 void CfsScheduler::BandwidthRefresh() {
@@ -261,7 +263,7 @@ void CfsScheduler::BandwidthRefresh() {
       }
     }
   }
-  machine_->sim().ScheduleAfter(options_.bandwidth_period, [this] { BandwidthRefresh(); });
+  // Periodic timer; re-armed automatically.
 }
 
 }  // namespace tableau

@@ -20,7 +20,9 @@ void CreditScheduler::AddVcpu(Vcpu* vcpu) {
 
 void CreditScheduler::Start() {
   runq_.assign(static_cast<std::size_t>(machine_->num_cpus()), {});
-  Accounting();  // Prime credits, then self-reschedules.
+  Accounting();  // Prime credits.
+  machine_->sim().SchedulePeriodic(machine_->Now() + options_.accounting_period,
+                                   options_.accounting_period, [this] { Accounting(); });
 }
 
 void CreditScheduler::Accounting() {
@@ -60,7 +62,7 @@ void CreditScheduler::Accounting() {
   const OverheadCosts& costs = machine_->config().costs;
   machine_->ChargeBackground(
       0, costs.lock_base + static_cast<TimeNs>(info_.size()) * costs.cache_local);
-  machine_->sim().ScheduleAfter(period, [this] { Accounting(); });
+  // The periodic tick set up in Start() re-arms this automatically.
 }
 
 void CreditScheduler::Enqueue(VcpuId id, CpuId cpu) {

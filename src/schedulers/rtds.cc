@@ -43,7 +43,8 @@ void RtdsScheduler::Start() {
                        static_cast<TimeNs>(count);
       ++index;
       const VcpuId id = info.vcpu->id();
-      machine_->sim().ScheduleAt(info.deadline, [this, id] { Replenish(id); });
+      info.timer = machine_->sim().CreateTimer([this, id] { Replenish(id); });
+      machine_->sim().Arm(info.timer, info.deadline);
     }
   }
 }
@@ -75,7 +76,9 @@ void RtdsScheduler::Replenish(VcpuId id) {
   while (info.deadline <= now) {
     info.deadline += info.period;
   }
-  machine_->sim().ScheduleAt(info.deadline, [this, id] { Replenish(id); });
+  // Mid-callback self re-arm: the engine assigns the FIFO sequence here (at
+  // the call), so ordering against the Tickle kicks below is preserved.
+  machine_->sim().Arm(info.timer, info.deadline);
 
   if (info.vcpu->runnable() && info.vcpu->running_on() == kNoCpu) {
     Tickle(info);

@@ -46,6 +46,7 @@ class RtdsScheduler : public VcpuScheduler {
     TimeNs period = 0;
     TimeNs budget = 0;
     TimeNs deadline = 0;  // Absolute deadline of the current period.
+    EventId timer = kInvalidEvent;  // Persistent replenishment timer.
   };
 
   void Replenish(VcpuId id);

@@ -1,0 +1,76 @@
+// Small-buffer-optimized callable storage for pooled simulation events.
+//
+// The seed engine stored every event callback in a std::function, which
+// heap-allocates for any capture larger than the library's tiny inline
+// buffer — one malloc/free per simulated event on the hottest path in the
+// repo. Every callback the hypervisor, schedulers, and workloads schedule
+// captures a pointer plus at most a couple of scalars, so EventCallback
+// keeps a 56-byte inline buffer and only falls back to the heap for
+// oversized callables (e.g. a std::function passed through by tests).
+//
+// EventCallback lives inside a pooled EventNode that never moves (the pool
+// is chunked), so it is deliberately neither copyable nor movable: Set()
+// constructs in place, Reset() destroys in place.
+#ifndef SRC_SIM_EVENT_CALLBACK_H_
+#define SRC_SIM_EVENT_CALLBACK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tableau {
+
+class EventCallback {
+ public:
+  static constexpr std::size_t kInlineBytes = 56;
+
+  EventCallback() = default;
+  ~EventCallback() { Reset(); }
+
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  bool has_value() const { return invoke_ != nullptr; }
+
+  template <typename F>
+  void Set(F&& fn) {
+    Reset();
+    using T = std::decay_t<F>;
+    if constexpr (sizeof(T) <= kInlineBytes && alignof(T) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(inline_)) T(std::forward<F>(fn));
+      invoke_ = [](void* target) { (*static_cast<T*>(target))(); };
+      destroy_ = [](void* target) { static_cast<T*>(target)->~T(); };
+    } else {
+      heap_ = new T(std::forward<F>(fn));
+      invoke_ = [](void* target) { (*static_cast<T*>(target))(); };
+      destroy_ = [](void* target) { delete static_cast<T*>(target); };
+    }
+  }
+
+  // Invokes the stored callable. The callable may re-arm or cancel its own
+  // event, but the node (and therefore this storage) stays alive for the
+  // duration of the call — the pool defers reclamation of an active node.
+  void Invoke() { invoke_(Target()); }
+
+  void Reset() {
+    if (destroy_ != nullptr) {
+      destroy_(Target());
+    }
+    heap_ = nullptr;
+    invoke_ = nullptr;
+    destroy_ = nullptr;
+  }
+
+ private:
+  void* Target() { return heap_ != nullptr ? heap_ : static_cast<void*>(inline_); }
+
+  alignas(std::max_align_t) unsigned char inline_[kInlineBytes];
+  void* heap_ = nullptr;
+  void (*invoke_)(void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+};
+
+}  // namespace tableau
+
+#endif  // SRC_SIM_EVENT_CALLBACK_H_

@@ -4,69 +4,225 @@
 // context switch, timer, wake-up, and IPI is an event at nanosecond
 // resolution. Events at the same timestamp execute in scheduling (FIFO)
 // order, which keeps runs exactly deterministic.
+//
+// Engine design (see DESIGN.md "Event engine"):
+//  - Events live in a chunked slab pool with a free list; an EventId packs
+//    {generation, pool slot}, so cancellation is O(1) true deletion and a
+//    stale id (already fired, already cancelled, slot since reused) is
+//    detected by a generation mismatch instead of an unbounded tombstone
+//    set. Callbacks are stored inline in the node (EventCallback), so the
+//    schedule hot path performs no heap allocation.
+//  - Pending events sit in a 4-level hierarchical timer wheel (256 slots
+//    per level, 1024 ns level-0 slots, ~73 min horizon) with an overflow
+//    min-heap for events beyond the current top-level rotation. The wheel
+//    feeds a small "near" min-heap ordered by (time, seq) — seq is a
+//    monotonically increasing arm counter — which restores exact FIFO
+//    order among same-time events.
+//  - Persistent timers (CreateTimer / SchedulePeriodic / Arm / Disarm) let
+//    hot periodic work — scheduler accounting ticks, workload pacers, the
+//    per-CPU dispatch events — re-arm one pooled node instead of
+//    allocating a fresh closure per tick.
 #ifndef SRC_SIM_SIMULATION_H_
 #define SRC_SIM_SIMULATION_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
 #include "src/common/check.h"
 #include "src/common/time.h"
+#include "src/sim/event_callback.h"
 
 namespace tableau {
 
+// Packs {generation:32, pool slot + 1:32}; 0 is never a valid id.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
 class Simulation {
  public:
+  Simulation();
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
   TimeNs Now() const { return now_; }
 
-  // Schedules `fn` to run at absolute time `at` (>= Now()). Returns an id
-  // that can be passed to Cancel().
-  EventId ScheduleAt(TimeNs at, std::function<void()> fn);
-
-  // Schedules `fn` to run `delay` ns from now.
-  EventId ScheduleAfter(TimeNs delay, std::function<void()> fn) {
-    return ScheduleAt(now_ + delay, std::move(fn));
+  // Schedules `fn` to run once at absolute time `at` (>= Now()). Returns an
+  // id that can be passed to Cancel(). The node is reclaimed when the event
+  // fires or is cancelled.
+  template <typename F>
+  EventId ScheduleAt(TimeNs at, F&& fn) {
+    const std::int32_t node = AllocNode(/*persistent=*/false, /*period=*/0);
+    NodeRef(node).fn.Set(std::forward<F>(fn));
+    return ArmNode(node, at);
   }
 
-  // Cancels a pending event (lazy deletion; cheap). Cancelling an already-
-  // fired or already-cancelled event is a no-op.
+  // Schedules `fn` to run `delay` ns from now.
+  template <typename F>
+  EventId ScheduleAfter(TimeNs delay, F&& fn) {
+    return ScheduleAt(now_ + delay, std::forward<F>(fn));
+  }
+
+  // Schedules `fn` to run at absolute time `first_at` and then every
+  // `period` ns, re-arming the same pooled node (no per-tick allocation).
+  // From inside its own callback the event may override the next fire time
+  // with Arm(id, at) or stop itself with Cancel(id)/Disarm(id).
+  template <typename F>
+  EventId SchedulePeriodic(TimeNs first_at, TimeNs period, F&& fn) {
+    TABLEAU_CHECK(period > 0);
+    const std::int32_t node = AllocNode(/*persistent=*/true, period);
+    NodeRef(node).fn.Set(std::forward<F>(fn));
+    return ArmNode(node, first_at);
+  }
+
+  // Creates a dormant persistent timer: the callback is stored once and the
+  // timer fires whenever Arm()ed, going dormant again after each fire.
+  // Destroyed with Cancel().
+  template <typename F>
+  EventId CreateTimer(F&& fn) {
+    const std::int32_t node = AllocNode(/*persistent=*/true, /*period=*/0);
+    NodeRef(node).fn.Set(std::forward<F>(fn));
+    return IdOf(node);
+  }
+
+  // (Re-)arms `id` to fire at absolute time `at` (>= Now()): a dormant
+  // timer is enqueued, a pending event is moved, and an event arming itself
+  // from inside its own callback records `at` as its next fire time. The id
+  // must be live (fired-and-reclaimed one-shots and cancelled events are
+  // invalid here).
+  void Arm(EventId id, TimeNs at);
+
+  // Dequeues a pending event. A persistent timer stays allocated (dormant,
+  // re-armable); a one-shot is reclaimed. From inside the event's own
+  // callback this suppresses the pending re-arm of a periodic timer. No-op
+  // for already-fired or already-cancelled ids.
+  void Disarm(EventId id);
+
+  // Cancels an event and reclaims its node — O(1), no tombstones. For a
+  // periodic/persistent timer this both stops future fires and destroys the
+  // timer. Cancelling an already-fired or already-cancelled event is a
+  // no-op.
   void Cancel(EventId id);
 
-  // Runs events until the queue is empty or the next event is after `until`;
-  // the clock ends at exactly `until`.
+  // Runs events until the queue is empty or the next event is after
+  // `until`; the clock ends at exactly `until`.
   void RunUntil(TimeNs until);
 
-  // Runs until the event queue is empty.
+  // Runs until no pending events remain (dormant timers don't count).
   void RunAll();
 
   std::uint64_t events_executed() const { return events_executed_; }
 
+  // Pool introspection (tests / benches): nodes currently allocated to
+  // pending, active, or dormant events, and the pool's total capacity.
+  // Capacity staying flat across schedule/fire/cancel churn is the
+  // no-leak regression signal.
+  std::size_t live_events() const { return live_nodes_; }
+  std::size_t pool_capacity() const { return chunks_.size() * kChunkSize; }
+
+  // Test hook: walks the whole structure and aborts if an internal invariant
+  // is broken (wheel node behind the cursor, bitmap out of sync with the
+  // slot lists, misfiled level/slot). O(pool + slots); call from tests only.
+  void CheckInvariantsForTest() const;
+
  private:
-  struct Event {
-    TimeNs time;
-    EventId id;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;  // FIFO among same-time events.
-    }
+  static constexpr int kLevels = 4;
+  static constexpr int kSlotBits = 8;
+  static constexpr int kSlots = 1 << kSlotBits;             // 256 slots/level.
+  static constexpr int kShift0 = 10;                        // 1024 ns level-0 slots.
+  static constexpr std::int32_t kNil = -1;
+  static constexpr std::size_t kChunkSize = 256;
+
+  enum class Where : std::uint8_t {
+    kFree,     // On the free list.
+    kDormant,  // Allocated persistent timer, not queued.
+    kWheel,    // Linked into a wheel slot (level_/slot_).
+    kNear,     // Tracked by an entry in near_.
+    kOverflow, // Tracked by an entry in overflow_.
+    kActive,   // Callback currently executing.
   };
 
+  struct EventNode {
+    TimeNs time = 0;
+    std::uint64_t seq = 0;
+    TimeNs period = 0;           // > 0: auto re-arm at time + period.
+    TimeNs rearm_at = kTimeNever;  // Arm() during own callback.
+    std::uint64_t rearm_seq = 0;
+    std::int32_t prev = kNil;    // Wheel slot list links; next doubles as
+    std::int32_t next = kNil;    // the free-list link.
+    std::uint32_t generation = 0;
+    Where where = Where::kFree;
+    bool persistent = false;
+    bool kill = false;           // Cancel() during own callback.
+    bool no_rearm = false;       // Disarm() during own callback.
+    std::uint8_t level = 0;
+    std::uint16_t slot = 0;
+    EventCallback fn;
+  };
+
+  // Heap entries carry their own sort key so a reclaimed node (generation
+  // bumped, slot possibly reused) never has to be dereferenced for
+  // ordering; staleness is checked against the node on pop.
+  struct HeapEntry {
+    TimeNs time;
+    std::uint64_t seq;
+    EventId id;
+  };
+
+  static int ShiftOf(int level) { return kShift0 + kSlotBits * level; }
+  EventId IdOf(std::int32_t node) const {
+    return (static_cast<EventId>(NodeRef(node).generation) << 32) |
+           static_cast<EventId>(static_cast<std::uint32_t>(node) + 1);
+  }
+
+  EventNode& NodeRef(std::int32_t node) const {
+    return chunks_[static_cast<std::size_t>(node) / kChunkSize]
+                  [static_cast<std::size_t>(node) % kChunkSize];
+  }
+  // Resolves an id to its node index, or kNil if stale/invalid.
+  std::int32_t Resolve(EventId id) const;
+
+  std::int32_t AllocNode(bool persistent, TimeNs period);
+  void FreeNode(std::int32_t node);
+  EventId ArmNode(std::int32_t node, TimeNs at);
+
+  // Routes a node (time/seq already set) into the near heap, a wheel slot,
+  // or the overflow heap, based on its distance from base_.
+  void Insert(std::int32_t node);
+  void LinkWheel(std::int32_t node, int level, int slot);
+  void UnlinkWheel(std::int32_t node);
+
+  void HeapPush(std::vector<HeapEntry>& heap, const HeapEntry& entry);
+  void HeapPop(std::vector<HeapEntry>& heap);
+
+  // Moves the wheel forward to the next occupied content: drains the next
+  // occupied level-0 slot into near_, cascades one higher-level slot, or
+  // reloads from the overflow heap. Returns false when nothing is pending
+  // outside near_.
+  bool AdvanceOnce();
+  int FindOccupied(int level, int from) const;
+  void DrainSlotToNear(int slot);
+  void CascadeSlot(int level, int slot);
+
+  // Pops the next live event with time <= limit from near_ (advancing the
+  // wheel as needed); kNil if none.
+  std::int32_t PopNextLive(TimeNs limit);
   bool PopAndRunNext(TimeNs limit);
 
   TimeNs now_ = 0;
-  EventId next_id_ = 1;
+  TimeNs base_ = 0;  // Level-0-aligned; wheel/overflow events are >= base_.
+  std::uint64_t next_seq_ = 1;
   std::uint64_t events_executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::size_t live_nodes_ = 0;
+  std::int32_t active_ = kNil;
+
+  std::vector<std::unique_ptr<EventNode[]>> chunks_;
+  std::int32_t free_head_ = kNil;
+
+  std::int32_t wheel_[kLevels][kSlots];  // Slot list heads (kNil when empty).
+  std::uint64_t occupied_[kLevels][kSlots / 64] = {};
+  std::vector<HeapEntry> near_;
+  std::vector<HeapEntry> overflow_;
 };
 
 }  // namespace tableau

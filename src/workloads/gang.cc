@@ -13,7 +13,8 @@ GangWorkload::GangWorkload(Machine* machine, std::vector<Vcpu*> members, Config 
 }
 
 void GangWorkload::Start(TimeNs at) {
-  machine_->sim().ScheduleAt(at, [this] { BeginPhase(); });
+  phase_timer_ = machine_->sim().CreateTimer([this] { BeginPhase(); });
+  machine_->sim().Arm(phase_timer_, at);
 }
 
 void GangWorkload::BeginPhase() {
@@ -29,7 +30,7 @@ void GangWorkload::MemberArrived() {
   }
   ++phases_completed_;
   // Barrier release: the members resume after the notification overhead.
-  machine_->sim().ScheduleAfter(config_.barrier_overhead, [this] { BeginPhase(); });
+  machine_->sim().Arm(phase_timer_, machine_->Now() + config_.barrier_overhead);
 }
 
 }  // namespace tableau

@@ -40,6 +40,7 @@ class GangWorkload {
   Machine* machine_;
   Config config_;
   std::vector<std::unique_ptr<WorkQueueGuest>> guests_;
+  EventId phase_timer_ = kInvalidEvent;  // Persistent barrier-release timer.
   std::size_t arrived_ = 0;
   std::uint64_t phases_completed_ = 0;
 };

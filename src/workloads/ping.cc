@@ -7,25 +7,29 @@ PingTraffic::PingTraffic(Machine* machine, WorkQueueGuest* guest, Config config)
 
 void PingTraffic::Start(TimeNs at) {
   for (int thread = 0; thread < config_.threads; ++thread) {
-    machine_->sim().ScheduleAt(at, [this, thread] {
-      SendNext(thread, config_.pings_per_thread);
-    });
+    send_timers_.push_back(machine_->sim().CreateTimer([this, thread] { SendOne(thread); }));
+    remaining_.push_back(config_.pings_per_thread);
+    machine_->sim().ScheduleAt(at, [this, thread] { ArmNext(thread); });
   }
 }
 
-void PingTraffic::SendNext(int thread, int remaining) {
-  if (remaining <= 0) {
+void PingTraffic::ArmNext(int thread) {
+  if (remaining_[static_cast<std::size_t>(thread)] <= 0) {
     return;
   }
   const TimeNs spacing = rng_.UniformInt(0, config_.max_spacing);
-  machine_->sim().ScheduleAfter(spacing, [this, thread, remaining] {
-    const TimeNs sent_at = machine_->Now();
-    ++outstanding_;
-    // One-way network delay before the echo request reaches the VM.
-    machine_->sim().ScheduleAfter(config_.network_delay,
-                                  [this, sent_at] { OnArrival(sent_at); });
-    SendNext(thread, remaining - 1);
-  });
+  machine_->sim().Arm(send_timers_[static_cast<std::size_t>(thread)],
+                      machine_->Now() + spacing);
+}
+
+void PingTraffic::SendOne(int thread) {
+  const TimeNs sent_at = machine_->Now();
+  ++outstanding_;
+  // One-way network delay before the echo request reaches the VM.
+  machine_->sim().ScheduleAfter(config_.network_delay,
+                                [this, sent_at] { OnArrival(sent_at); });
+  --remaining_[static_cast<std::size_t>(thread)];
+  ArmNext(thread);
 }
 
 void PingTraffic::OnArrival(TimeNs sent_at) {

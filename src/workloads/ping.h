@@ -39,7 +39,10 @@ class PingTraffic {
   int outstanding() const { return outstanding_; }
 
  private:
-  void SendNext(int thread, int remaining);
+  // Arms the thread's send timer after a random spacing (if pings remain).
+  void ArmNext(int thread);
+  // Fires one echo request and chains the next send.
+  void SendOne(int thread);
   void OnArrival(TimeNs sent_at);
 
   Machine* machine_;
@@ -47,6 +50,8 @@ class PingTraffic {
   Config config_;
   Rng rng_;
   Histogram latencies_;
+  std::vector<EventId> send_timers_;  // One persistent send timer per thread.
+  std::vector<int> remaining_;
   int outstanding_ = 0;
 };
 

@@ -22,7 +22,8 @@ TimeNs StressIoWorkload::Jittered(TimeNs base) {
 }
 
 void StressIoWorkload::Start(TimeNs at) {
-  machine_->sim().ScheduleAt(at, [this] { PostIteration(); });
+  pacer_ = machine_->sim().CreateTimer([this] { PostIteration(); });
+  machine_->sim().Arm(pacer_, at);
 }
 
 void StressIoWorkload::PostIteration() {
@@ -30,8 +31,7 @@ void StressIoWorkload::PostIteration() {
     ++iterations_;
     // The blocking I/O completes io_wait later; the guest idles (or runs
     // other queued work, e.g. system noise) in between.
-    machine_->sim().ScheduleAfter(Jittered(config_.io_wait),
-                                  [this] { PostIteration(); });
+    machine_->sim().Arm(pacer_, machine_->Now() + Jittered(config_.io_wait));
   });
 }
 
@@ -53,9 +53,9 @@ SystemNoiseWorkload::SystemNoiseWorkload(Machine* machine, WorkQueueGuest* guest
     : machine_(machine), guest_(guest), config_(config), rng_(config.seed) {}
 
 void SystemNoiseWorkload::Start(TimeNs at) {
-  machine_->sim().ScheduleAt(
-      at + rng_.UniformInt(0, config_.max_interval - config_.min_interval),
-      [this] { Tick(); });
+  pacer_ = machine_->sim().CreateTimer([this] { Tick(); });
+  machine_->sim().Arm(
+      pacer_, at + rng_.UniformInt(0, config_.max_interval - config_.min_interval));
 }
 
 void SystemNoiseWorkload::Tick() {
@@ -65,8 +65,8 @@ void SystemNoiseWorkload::Tick() {
     guest_->Post(chunk, nullptr);
     burst -= chunk;
   }
-  machine_->sim().ScheduleAfter(
-      rng_.UniformInt(config_.min_interval, config_.max_interval), [this] { Tick(); });
+  machine_->sim().Arm(pacer_, machine_->Now() + rng_.UniformInt(config_.min_interval,
+                                                                config_.max_interval));
 }
 
 }  // namespace tableau

@@ -62,6 +62,7 @@ class StressIoWorkload {
   WorkQueueGuest* guest_;
   Config config_;
   Rng rng_;
+  EventId pacer_ = kInvalidEvent;  // Persistent timer driving PostIteration().
   std::uint64_t iterations_ = 0;
 };
 
@@ -103,6 +104,7 @@ class SystemNoiseWorkload {
   WorkQueueGuest* guest_;
   Config config_;
   Rng rng_;
+  EventId pacer_ = kInvalidEvent;  // Persistent timer driving Tick().
 };
 
 }  // namespace tableau

@@ -105,17 +105,32 @@ void WebServerWorkload::FinishFront() {
 OpenLoopClient::OpenLoopClient(Machine* machine, WebServerWorkload* server, Config config)
     : machine_(machine), server_(server), config_(config) {}
 
+TimeNs OpenLoopClient::Intended(std::uint64_t k) const {
+  // Must match the seed's arithmetic exactly (double grid, truncation) so
+  // arrival instants — and therefore traces — are unchanged.
+  const double spacing_ns = 1e9 / config_.requests_per_sec;
+  return start_at_ + static_cast<TimeNs>(static_cast<double>(k) * spacing_ns);
+}
+
+void OpenLoopClient::OnTick() {
+  const TimeNs intended = Intended(next_k_);
+  ++sent_;
+  server_->RequestArrived(intended);
+  ++next_k_;
+  if (next_k_ < count_) {
+    machine_->sim().Arm(pacer_, Intended(next_k_) + config_.network_delay);
+  }
+}
+
 void OpenLoopClient::Start(TimeNs at) {
   TABLEAU_CHECK(config_.requests_per_sec > 0);
   const double spacing_ns = 1e9 / config_.requests_per_sec;
-  const auto count = static_cast<std::uint64_t>(
-      static_cast<double>(config_.duration) / spacing_ns);
-  for (std::uint64_t k = 0; k < count; ++k) {
-    const TimeNs intended = at + static_cast<TimeNs>(static_cast<double>(k) * spacing_ns);
-    machine_->sim().ScheduleAt(intended + config_.network_delay, [this, intended] {
-      ++sent_;
-      server_->RequestArrived(intended);
-    });
+  start_at_ = at;
+  next_k_ = 0;
+  count_ = static_cast<std::uint64_t>(static_cast<double>(config_.duration) / spacing_ns);
+  pacer_ = machine_->sim().CreateTimer([this] { OnTick(); });
+  if (count_ > 0) {
+    machine_->sim().Arm(pacer_, Intended(0) + config_.network_delay);
   }
 }
 

@@ -90,15 +90,25 @@ class OpenLoopClient {
 
   OpenLoopClient(Machine* machine, WebServerWorkload* server, Config config);
 
-  // Schedules all arrivals in [at, at + duration) at constant spacing.
+  // Generates arrivals in [at, at + duration) at constant spacing. A single
+  // re-armed pacer event walks the arrival grid, so memory stays O(1)
+  // instead of O(rate * duration) pre-scheduled closures.
   void Start(TimeNs at);
 
   std::uint64_t sent() const { return sent_; }
 
  private:
+  // Intended send time of the k-th request on the constant-rate grid.
+  TimeNs Intended(std::uint64_t k) const;
+  void OnTick();
+
   Machine* machine_;
   WebServerWorkload* server_;
   Config config_;
+  EventId pacer_ = kInvalidEvent;
+  TimeNs start_at_ = 0;
+  std::uint64_t next_k_ = 0;
+  std::uint64_t count_ = 0;
   std::uint64_t sent_ = 0;
 };
 

@@ -1,0 +1,76 @@
+// Golden-trace determinism test for the event engine rewrite: full-system
+// scenarios (Fig. 5 style: vantage CPU hog + I/O background on a 4-core
+// guest) must produce the exact trace-record sequence and aggregate counters
+// that the original binary-heap engine produced. The pinned fingerprints
+// were captured with tools/golden_capture against the seed engine; any
+// reordering of same-time events, lost tick, or drifted timestamp in the
+// timer-wheel engine changes the hash.
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "src/workloads/stress.h"
+
+namespace tableau {
+namespace {
+
+using bench::AttachBackground;
+using bench::Background;
+using bench::BackgroundWorkloads;
+
+// FNV-1a over every retained trace record plus the run's aggregate counters.
+std::uint64_t Fingerprint(const Scenario& scenario) {
+  std::uint64_t hash = 1469598103934665603ull;
+  auto mix = [&hash](std::uint64_t value) {
+    hash ^= value;
+    hash *= 1099511628211ull;
+  };
+  scenario.machine->trace().ForEach([&](const TraceRecord& record) {
+    mix(static_cast<std::uint64_t>(record.time));
+    mix(static_cast<std::uint64_t>(record.event));
+    mix(static_cast<std::uint64_t>(record.cpu));
+    mix(static_cast<std::uint64_t>(record.vcpu));
+    mix(static_cast<std::uint64_t>(record.arg));
+  });
+  mix(scenario.machine->trace().total_recorded());
+  mix(scenario.machine->sim().events_executed());
+  mix(scenario.machine->context_switches());
+  mix(scenario.machine->schedule_invocations());
+  return hash;
+}
+
+std::uint64_t RunOne(SchedKind kind, bool capped) {
+  ScenarioConfig config;
+  config.scheduler = kind;
+  config.capped = capped;
+  config.guest_cpus = 4;
+  config.cores_per_socket = 2;
+  Scenario scenario = BuildScenario(config);
+  scenario.machine->trace().set_enabled(true);
+  scenario.vantage->EnableInstrumentation();
+  CpuHogWorkload loop(scenario.machine.get(), scenario.vantage);
+  loop.Start(0);
+  BackgroundWorkloads background;
+  AttachBackground(scenario, Background::kIo, 1, background);
+  scenario.machine->Start();
+  scenario.machine->RunFor(300 * kMillisecond);
+  return Fingerprint(scenario);
+}
+
+TEST(EngineGolden, CreditCappedMatchesSeedEngine) {
+  EXPECT_EQ(RunOne(SchedKind::kCredit, /*capped=*/true), 0x333e06cf99a7599cull);
+}
+
+TEST(EngineGolden, RtdsCappedMatchesSeedEngine) {
+  EXPECT_EQ(RunOne(SchedKind::kRtds, /*capped=*/true), 0x60d523229e7ecfd0ull);
+}
+
+TEST(EngineGolden, TableauCappedMatchesSeedEngine) {
+  EXPECT_EQ(RunOne(SchedKind::kTableau, /*capped=*/true), 0x667b8a1e9f596cb5ull);
+}
+
+TEST(EngineGolden, CreditUncappedMatchesSeedEngine) {
+  EXPECT_EQ(RunOne(SchedKind::kCredit, /*capped=*/false), 0xf4b2c445a055f16full);
+}
+
+}  // namespace
+}  // namespace tableau

@@ -1,0 +1,66 @@
+// Captures the golden trace fingerprints for the engine determinism test
+// (tests/engine_golden_test.cc). Run against the seed (binary-heap) engine
+// once; the printed constants are pinned in the test so the timer-wheel
+// engine can be checked for byte-identical event sequences.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/workloads/stress.h"
+
+using namespace tableau;
+using namespace tableau::bench;
+
+namespace {
+
+// FNV-1a over every retained trace record plus the run's aggregate counters.
+std::uint64_t Fingerprint(const Scenario& scenario) {
+  std::uint64_t hash = 1469598103934665603ull;
+  auto mix = [&hash](std::uint64_t value) {
+    hash ^= value;
+    hash *= 1099511628211ull;
+  };
+  scenario.machine->trace().ForEach([&](const TraceRecord& record) {
+    mix(static_cast<std::uint64_t>(record.time));
+    mix(static_cast<std::uint64_t>(record.event));
+    mix(static_cast<std::uint64_t>(record.cpu));
+    mix(static_cast<std::uint64_t>(record.vcpu));
+    mix(static_cast<std::uint64_t>(record.arg));
+  });
+  mix(scenario.machine->trace().total_recorded());
+  mix(scenario.machine->sim().events_executed());
+  mix(scenario.machine->context_switches());
+  mix(scenario.machine->schedule_invocations());
+  return hash;
+}
+
+std::uint64_t RunOne(SchedKind kind, bool capped) {
+  ScenarioConfig config;
+  config.scheduler = kind;
+  config.capped = capped;
+  config.guest_cpus = 4;
+  config.cores_per_socket = 2;
+  Scenario scenario = BuildScenario(config);
+  scenario.machine->trace().set_enabled(true);
+  scenario.vantage->EnableInstrumentation();
+  CpuHogWorkload loop(scenario.machine.get(), scenario.vantage);
+  loop.Start(0);
+  BackgroundWorkloads background;
+  AttachBackground(scenario, Background::kIo, 1, background);
+  scenario.machine->Start();
+  scenario.machine->RunFor(300 * kMillisecond);
+  return Fingerprint(scenario);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("kCredit/capped   0x%016llxull\n",
+              static_cast<unsigned long long>(RunOne(SchedKind::kCredit, true)));
+  std::printf("kRtds/capped     0x%016llxull\n",
+              static_cast<unsigned long long>(RunOne(SchedKind::kRtds, true)));
+  std::printf("kTableau/capped  0x%016llxull\n",
+              static_cast<unsigned long long>(RunOne(SchedKind::kTableau, true)));
+  std::printf("kCredit/uncapped 0x%016llxull\n",
+              static_cast<unsigned long long>(RunOne(SchedKind::kCredit, false)));
+  return 0;
+}
