@@ -38,9 +38,14 @@ struct PlanTiming {
 };
 
 PlanTiming TimePlans(int num_vms, TimeNs latency_goal, int runs, int threads) {
+  // Phase timings (planner.partition_ns, planner.edf_core_sim_ns, ...) and
+  // per-worker pool gauges land in the shared bench accumulator and are
+  // embedded in BENCH_fig3_table_generation_time.json.
+  obs::MetricsRegistry registry;
   PlannerConfig config;
   config.num_cpus = 44;
   config.num_threads = threads;
+  config.metrics = &registry;
   const Planner planner(config);
   const std::vector<VcpuRequest> requests = MakeRequests(num_vms, latency_goal);
   PlanTiming timing;
@@ -56,6 +61,7 @@ PlanTiming TimePlans(int num_vms, TimeNs latency_goal, int runs, int threads) {
     }
   }
   timing.mean_ms = total_ms / runs;
+  RecordRegistryMetrics(registry);
   return timing;
 }
 
@@ -72,12 +78,17 @@ int main() {
   const int vm_counts[] = {16, 32, 64, 96, 128, 160, 176};
   const int runs = 20;
 
+  BenchJson json("fig3_table_generation_time");
   std::printf("%6s %12s %12s %12s %12s\n", "VMs", "1ms (ms)", "30ms (ms)", "60ms (ms)",
               "100ms (ms)");
   for (const int vms : vm_counts) {
     std::printf("%6d", vms);
     for (const TimeNs goal : goals) {
-      std::printf(" %12.3f", MeanPlanMillis(vms, goal, runs));
+      const double mean_ms = MeanPlanMillis(vms, goal, runs);
+      std::printf(" %12.3f", mean_ms);
+      json.Add("vms" + std::to_string(vms) + ".goal" +
+                   std::to_string(goal / kMillisecond) + "ms.plan_ms",
+               mean_ms);
     }
     std::printf("\n");
   }
@@ -101,8 +112,11 @@ int main() {
     std::printf("%6d %12.3f %14.3f %8.2fx %10s\n", vms, serial.mean_ms,
                 parallel.mean_ms, serial.mean_ms / parallel.mean_ms,
                 identical ? "yes" : "NO");
+    json.Add("parallel.vms" + std::to_string(vms) + ".speedup",
+             serial.mean_ms / parallel.mean_ms);
   }
   std::printf("\nparallel stages: per-core EDF simulation, worst-fit candidate scan,\n");
   std::printf("C=D split-point probes; merge is per-core-indexed, so byte-identical.\n");
+  json.Write();
   return 0;
 }

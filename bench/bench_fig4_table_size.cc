@@ -14,8 +14,10 @@ using namespace tableau::bench;
 namespace {
 
 double TableMiB(int num_vms, TimeNs latency_goal) {
+  obs::MetricsRegistry registry;
   PlannerConfig config;
   config.num_cpus = 44;
+  config.metrics = &registry;
   const Planner planner(config);
   std::vector<VcpuRequest> requests;
   for (int i = 0; i < num_vms; ++i) {
@@ -23,6 +25,7 @@ double TableMiB(int num_vms, TimeNs latency_goal) {
   }
   const PlanResult plan = planner.Plan(requests);
   TABLEAU_CHECK_MSG(plan.success, "%s", plan.error.c_str());
+  RecordRegistryMetrics(registry);
   return static_cast<double>(plan.table.SerializedSizeBytes()) / (1024.0 * 1024.0);
 }
 
@@ -34,15 +37,21 @@ int main() {
                           100 * kMillisecond};
   const int vm_counts[] = {16, 32, 64, 96, 128, 160, 176};
 
+  BenchJson json("fig4_table_size");
   std::printf("%6s %12s %12s %12s %12s\n", "VMs", "1ms (MiB)", "30ms (MiB)", "60ms (MiB)",
               "100ms (MiB)");
   for (const int vms : vm_counts) {
     std::printf("%6d", vms);
     for (const TimeNs goal : goals) {
-      std::printf(" %12.4f", TableMiB(vms, goal));
+      const double mib = TableMiB(vms, goal);
+      std::printf(" %12.4f", mib);
+      json.Add("vms" + std::to_string(vms) + ".goal" +
+                   std::to_string(goal / kMillisecond) + "ms.table_mib",
+               mib);
     }
     std::printf("\n");
   }
   std::printf("\npaper: all below 1.2 MiB; only the 1 ms curve visibly larger.\n");
+  json.Write();
   return 0;
 }

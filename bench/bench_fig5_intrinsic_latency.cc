@@ -19,7 +19,12 @@ using namespace tableau::bench;
 
 namespace {
 
-double MaxGapMs(SchedKind kind, bool capped, Background bg, TimeNs duration) {
+struct GapResult {
+  double max_ms = 0;
+  double jitter_ms = 0;  // Stddev of the service gaps (Welford).
+};
+
+GapResult MeasureGaps(SchedKind kind, bool capped, Background bg, TimeNs duration) {
   ScenarioConfig config;
   config.scheduler = kind;
   config.capped = capped;
@@ -31,29 +36,52 @@ double MaxGapMs(SchedKind kind, bool capped, Background bg, TimeNs duration) {
   AttachBackground(scenario, bg, 1, background);
   scenario.machine->Start();
   scenario.machine->RunFor(duration);
-  return ToMs(scenario.vantage->service_gaps().Max());
+  RecordScenarioMetrics(scenario);
+  return GapResult{ToMs(scenario.vantage->service_gaps().Max()),
+                   ToMs(static_cast<TimeNs>(scenario.vantage->service_gaps().StdDev()))};
 }
 
-void RunScenario(const char* title, bool capped, const std::vector<SchedKind>& kinds,
-                 TimeNs duration) {
+const char* BgKey(Background bg) {
+  switch (bg) {
+    case Background::kNone:
+      return "no_bg";
+    case Background::kIo:
+    case Background::kIoHeavy:
+      return "io_bg";
+    case Background::kCpu:
+      return "cpu_bg";
+  }
+  return "?";
+}
+
+void RunScenario(const char* title, const char* prefix, bool capped,
+                 const std::vector<SchedKind>& kinds, TimeNs duration, BenchJson& json) {
   // Every (scheduler, background) cell is an independent simulation: fan the
   // grid out over the worker pool, then print in row order.
   const std::vector<Background> bgs = {Background::kNone, Background::kIoHeavy,
                                        Background::kCpu};
-  std::vector<std::function<double()>> tasks;
+  std::vector<std::function<GapResult()>> tasks;
   for (const SchedKind kind : kinds) {
     for (const Background bg : bgs) {
-      tasks.push_back([=] { return MaxGapMs(kind, capped, bg, duration); });
+      tasks.push_back([=] { return MeasureGaps(kind, capped, bg, duration); });
     }
   }
-  const std::vector<double> cells = RunSimulations(tasks);
+  const std::vector<GapResult> cells = RunSimulations(tasks);
 
   PrintHeader(title);
-  std::printf("%-10s %12s %12s %12s\n", "", "no BG (ms)", "I/O BG (ms)", "CPU BG (ms)");
+  std::printf("%-10s | %9s %9s | %9s %9s | %9s %9s\n", "", "none max", "jitter",
+              "I/O max", "jitter", "CPU max", "jitter");
   for (std::size_t row = 0; row < kinds.size(); ++row) {
-    std::printf("%-10s", SchedKindName(kinds[row]));
+    std::printf("%-10s |", SchedKindName(kinds[row]));
     for (std::size_t col = 0; col < bgs.size(); ++col) {
-      std::printf(" %12.2f", cells[row * bgs.size() + col]);
+      const GapResult& cell = cells[row * bgs.size() + col];
+      std::printf(" %8.2fms %8.3f |", cell.max_ms, cell.jitter_ms);
+      json.Add(std::string(prefix) + "." + SchedKindName(kinds[row]) + "." +
+                   BgKey(bgs[col]) + ".max_ms",
+               cell.max_ms);
+      json.Add(std::string(prefix) + "." + SchedKindName(kinds[row]) + "." +
+                   BgKey(bgs[col]) + ".jitter_ms",
+               cell.jitter_ms);
     }
     std::printf("\n");
   }
@@ -63,16 +91,19 @@ void RunScenario(const char* title, bool capped, const std::vector<SchedKind>& k
 
 int main() {
   const TimeNs duration = MeasureDuration(20 * kSecond);
-  RunScenario("Fig 5(a): max intrinsic scheduling delay, capped VMs",
+  BenchJson json("fig5_intrinsic_latency");
+  RunScenario("Fig 5(a): max intrinsic scheduling delay, capped VMs", "capped",
               /*capped=*/true, {SchedKind::kCredit, SchedKind::kRtds, SchedKind::kTableau},
-              duration);
+              duration, json);
   std::printf("paper (capped): Credit up to ~44 ms; RTDS ~10-13 ms; Tableau ~10 ms.\n");
 
-  RunScenario("Fig 5(b): max intrinsic scheduling delay, uncapped VMs",
+  RunScenario("Fig 5(b): max intrinsic scheduling delay, uncapped VMs", "uncapped",
               /*capped=*/false,
-              {SchedKind::kCredit, SchedKind::kCredit2, SchedKind::kTableau}, duration);
+              {SchedKind::kCredit, SchedKind::kCredit2, SchedKind::kTableau}, duration,
+              json);
   std::printf(
       "paper (uncapped): sub-ms with no BG for all; with BG Credit degrades badly\n"
       "(up to 220 ms under I/O BG); Credit2 poor under I/O BG; Tableau <= 10 ms.\n");
+  json.Write();
   return 0;
 }

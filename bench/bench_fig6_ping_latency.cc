@@ -30,6 +30,7 @@ namespace {
 struct PingResult {
   double avg_ms;
   double max_ms;
+  double jitter_ms;  // Stddev of the round-trip latency (Welford).
 };
 
 PingResult MeasurePing(SchedKind kind, bool capped, Background bg, int pings_per_thread) {
@@ -88,12 +89,27 @@ PingResult MeasurePing(SchedKind kind, bool capped, Background bg, int pings_per
   const TimeNs horizon =
       static_cast<TimeNs>(pings_per_thread) * ping_config.max_spacing / 2 + 2 * kSecond;
   scenario.machine->RunFor(horizon);
+  RecordScenarioMetrics(scenario);
   return PingResult{ToMs(static_cast<TimeNs>(ping.latencies().Mean())),
-                    ToMs(ping.latencies().Max())};
+                    ToMs(ping.latencies().Max()),
+                    ToMs(static_cast<TimeNs>(ping.latencies().StdDev()))};
 }
 
-void RunScenario(const char* title, bool capped, const std::vector<SchedKind>& kinds,
-                 int pings) {
+const char* BgKey(Background bg) {
+  switch (bg) {
+    case Background::kNone:
+      return "no_bg";
+    case Background::kIo:
+    case Background::kIoHeavy:
+      return "io_bg";
+    case Background::kCpu:
+      return "cpu_bg";
+  }
+  return "?";
+}
+
+void RunScenario(const char* title, const char* prefix, bool capped,
+                 const std::vector<SchedKind>& kinds, int pings, BenchJson& json) {
   // Independent (scheduler, background) cells: measure in parallel, print in
   // row order.
   const std::vector<Background> bgs = {Background::kNone, Background::kIo,
@@ -107,13 +123,19 @@ void RunScenario(const char* title, bool capped, const std::vector<SchedKind>& k
   const std::vector<PingResult> cells = RunSimulations(tasks);
 
   PrintHeader(title);
-  std::printf("%-10s | %10s %10s | %10s %10s | %10s %10s\n", "", "none avg", "none max",
-              "I/O avg", "I/O max", "CPU avg", "CPU max");
+  std::printf("%-10s | %8s %8s %8s | %8s %8s %8s | %8s %8s %8s\n", "", "none avg",
+              "max", "jitter", "I/O avg", "max", "jitter", "CPU avg", "max", "jitter");
   for (std::size_t row = 0; row < kinds.size(); ++row) {
     std::printf("%-10s |", SchedKindName(kinds[row]));
     for (std::size_t col = 0; col < bgs.size(); ++col) {
       const PingResult& result = cells[row * bgs.size() + col];
-      std::printf(" %9.3fms %9.2fms |", result.avg_ms, result.max_ms);
+      std::printf(" %7.3fms %6.2fms %6.3fms |", result.avg_ms, result.max_ms,
+                  result.jitter_ms);
+      const std::string cell = std::string(prefix) + "." + SchedKindName(kinds[row]) +
+                               "." + BgKey(bgs[col]);
+      json.Add(cell + ".avg_ms", result.avg_ms);
+      json.Add(cell + ".max_ms", result.max_ms);
+      json.Add(cell + ".jitter_ms", result.jitter_ms);
     }
     std::printf("\n");
   }
@@ -129,16 +151,18 @@ int main() {
       pings = static_cast<int>(seconds * 100);
     }
   }
-  RunScenario("Fig 6(a,c): ping latency, uncapped VMs", /*capped=*/false,
-              {SchedKind::kCredit, SchedKind::kCredit2, SchedKind::kTableau}, pings);
+  BenchJson json("fig6_ping_latency");
+  RunScenario("Fig 6(a,c): ping latency, uncapped VMs", "uncapped", /*capped=*/false,
+              {SchedKind::kCredit, SchedKind::kCredit2, SchedKind::kTableau}, pings, json);
   std::printf(
       "paper: avg ~0.1 ms for all with no BG; Credit max approaches 75 ms under\n"
       "I/O BG; Tableau avg higher under CPU BG but max always <= 10 ms.\n");
 
-  RunScenario("Fig 6(b,d): ping latency, capped VMs", /*capped=*/true,
-              {SchedKind::kCredit, SchedKind::kRtds, SchedKind::kTableau}, pings);
+  RunScenario("Fig 6(b,d): ping latency, capped VMs", "capped", /*capped=*/true,
+              {SchedKind::kCredit, SchedKind::kRtds, SchedKind::kTableau}, pings, json);
   std::printf(
       "paper: Credit max ~15 ms even with no BG and ~30 ms under I/O BG;\n"
       "RTDS max ~9 ms; Tableau max <= 10 ms regardless of background.\n");
+  json.Write();
   return 0;
 }

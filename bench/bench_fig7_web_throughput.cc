@@ -61,12 +61,13 @@ WebPoint MeasureWeb(SchedKind kind, bool capped, std::int64_t file_bytes, double
   point.max_ms = ToMs(server.latencies().Max());
   point.second_level_fraction =
       scenario.machine->SecondLevelFraction(scenario.vantage->id());
+  RecordScenarioMetrics(scenario);
   return point;
 }
 
-void RunPanel(const char* title, bool capped, std::int64_t file_bytes,
+void RunPanel(const char* title, const char* prefix, bool capped, std::int64_t file_bytes,
               const std::vector<double>& rates, const std::vector<SchedKind>& kinds,
-              TimeNs duration, Background bg = Background::kIoHeavy) {
+              TimeNs duration, BenchJson& json, Background bg = Background::kIoHeavy) {
   // The full (scheduler, rate) load grid is embarrassingly parallel; merge
   // back by index so the curve prints in sweep order.
   std::vector<std::function<WebPoint()>> tasks;
@@ -95,6 +96,8 @@ void RunPanel(const char* title, bool capped, std::int64_t file_bytes,
     }
     std::printf("%-10s SLA-aware peak (p99 <= 100 ms): %.0f req/s\n",
                 SchedKindName(kind), sla_peak);
+    json.Add(std::string(prefix) + "." + SchedKindName(kind) + ".sla_peak_rps",
+             sla_peak);
   }
 }
 
@@ -102,6 +105,7 @@ void RunPanel(const char* title, bool capped, std::int64_t file_bytes,
 
 int main() {
   const TimeNs duration = MeasureDuration(4 * kSecond);
+  BenchJson json("fig7_web_throughput");
 
   const std::vector<SchedKind> capped_kinds = {SchedKind::kCredit, SchedKind::kRtds,
                                                SchedKind::kTableau};
@@ -112,24 +116,24 @@ int main() {
   const std::vector<double> rates_100k = {300, 600, 900, 1200, 1450, 1650};
   const std::vector<double> rates_1m = {40, 100, 160, 240, 320, 420};
 
-  RunPanel("Fig 7(a-c): capped, 1 KiB files, I/O background", true, 1 << 10, rates_1k,
-           capped_kinds, duration);
-  RunPanel("Fig 7(d-f): capped, 100 KiB files, I/O background", true, 100 << 10,
-           rates_100k, capped_kinds, duration);
-  RunPanel("Fig 7(g-i): capped, 1 MiB files, I/O background", true, 1 << 20, rates_1m,
-           capped_kinds, duration);
+  RunPanel("Fig 7(a-c): capped, 1 KiB files, I/O background", "capped_1k", true, 1 << 10,
+           rates_1k, capped_kinds, duration, json);
+  RunPanel("Fig 7(d-f): capped, 100 KiB files, I/O background", "capped_100k", true,
+           100 << 10, rates_100k, capped_kinds, duration, json);
+  RunPanel("Fig 7(g-i): capped, 1 MiB files, I/O background", "capped_1m", true, 1 << 20,
+           rates_1m, capped_kinds, duration, json);
   std::printf(
       "\npaper (capped): Tableau has the highest SLA-aware peak for 1 KiB and\n"
       "100 KiB (e.g. 1,600 vs RTDS 1,000 req/s at p99 <= 100 ms for 1 KiB) with a\n"
       "higher but flat mean; for 1 MiB, Credit beats Tableau (Sec. 7.5 NIC-burst\n"
       "effect).\n");
 
-  RunPanel("Fig 7(j-l): uncapped, 1 KiB files, I/O background", false, 1 << 10, rates_1k,
-           uncapped_kinds, duration);
-  RunPanel("Fig 7(m-o): uncapped, 100 KiB files, I/O background", false, 100 << 10,
-           rates_100k, uncapped_kinds, duration);
-  RunPanel("Fig 7(p-r): uncapped, 1 MiB files, I/O background", false, 1 << 20, rates_1m,
-           uncapped_kinds, duration);
+  RunPanel("Fig 7(j-l): uncapped, 1 KiB files, I/O background", "uncapped_1k", false,
+           1 << 10, rates_1k, uncapped_kinds, duration, json);
+  RunPanel("Fig 7(m-o): uncapped, 100 KiB files, I/O background", "uncapped_100k", false,
+           100 << 10, rates_100k, uncapped_kinds, duration, json);
+  RunPanel("Fig 7(p-r): uncapped, 1 MiB files, I/O background", "uncapped_1m", false,
+           1 << 20, rates_1m, uncapped_kinds, duration, json);
   std::printf(
       "\npaper (uncapped): Tableau sustains the highest peak for all sizes (~60%%\n"
       "more than Credit2 at 100 KiB); the capped 1 MiB penalty disappears thanks\n"
@@ -143,5 +147,7 @@ int main() {
       "\nSec 7.4 trace: at 700 req/s (100 KiB, uncapped), %.1f%% of the vantage\n"
       "VM's dispatches came from the second-level scheduler (paper: >85%%).\n",
       100.0 * trace.second_level_fraction);
+  json.Add("second_level_fraction", trace.second_level_fraction);
+  json.Write();
   return 0;
 }

@@ -44,14 +44,16 @@ WebPoint MeasureWeb(SchedKind kind, bool capped, double rate, TimeNs duration) {
   AttachBackground(scenario, Background::kCpu, 1, background);
   scenario.machine->Start();
   scenario.machine->RunFor(duration);
+  RecordScenarioMetrics(scenario);
   return WebPoint{static_cast<double>(server.completed()) / ToSec(duration),
                   ToMs(static_cast<TimeNs>(server.latencies().Mean())),
                   ToMs(server.latencies().Percentile(0.99)),
                   ToMs(server.latencies().Max())};
 }
 
-void RunPanel(const char* title, bool capped, const std::vector<SchedKind>& kinds,
-              const std::vector<double>& rates, TimeNs duration) {
+void RunPanel(const char* title, const char* prefix, bool capped,
+              const std::vector<SchedKind>& kinds, const std::vector<double>& rates,
+              TimeNs duration, BenchJson& json) {
   // Independent (scheduler, rate) cells: fan out, merge by index.
   std::vector<std::function<WebPoint()>> tasks;
   for (const SchedKind kind : kinds) {
@@ -77,6 +79,8 @@ void RunPanel(const char* title, bool capped, const std::vector<SchedKind>& kind
     }
     std::printf("%-10s SLA-aware peak (p99 <= 100 ms): %.0f req/s\n",
                 SchedKindName(kind), sla_peak);
+    json.Add(std::string(prefix) + "." + SchedKindName(kind) + ".sla_peak_rps",
+             sla_peak);
   }
 }
 
@@ -85,19 +89,22 @@ void RunPanel(const char* title, bool capped, const std::vector<SchedKind>& kind
 int main() {
   const TimeNs duration = MeasureDuration(4 * kSecond);
   const std::vector<double> rates = {300, 600, 900, 1200, 1340, 1450};
+  BenchJson json("fig8_web_cpu_background");
 
-  RunPanel("Fig 8(a-c): capped, 100 KiB, cache-thrashing (CPU) background",
+  RunPanel("Fig 8(a-c): capped, 100 KiB, cache-thrashing (CPU) background", "capped",
            /*capped=*/true,
-           {SchedKind::kCredit, SchedKind::kRtds, SchedKind::kTableau}, rates, duration);
+           {SchedKind::kCredit, SchedKind::kRtds, SchedKind::kTableau}, rates, duration,
+           json);
   std::printf("paper: little differentiation among schedulers in the capped case.\n");
 
-  RunPanel("Fig 8(d-f): uncapped, 100 KiB, cache-thrashing (CPU) background",
+  RunPanel("Fig 8(d-f): uncapped, 100 KiB, cache-thrashing (CPU) background", "uncapped",
            /*capped=*/false,
            {SchedKind::kCredit, SchedKind::kCredit2, SchedKind::kTableau}, rates,
-           duration);
+           duration, json);
   std::printf(
       "paper: Credit beats Credit2 (boosting works when only the vantage VM does\n"
       "I/O); Tableau beats both, and its peak matches its capped peak — the\n"
       "reservation shields it from the aggressive uncapped background.\n");
+  json.Write();
   return 0;
 }

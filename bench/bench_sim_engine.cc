@@ -182,6 +182,7 @@ std::uint64_t HarnessCell(SchedKind kind, bool capped, TimeNs duration) {
   AttachBackground(scenario, Background::kIo, 1, background);
   scenario.machine->Start();
   scenario.machine->RunFor(duration);
+  RecordScenarioMetrics(scenario);
   return scenario.machine->sim().events_executed();
 }
 

@@ -41,6 +41,7 @@ Row MeasureScheduler(SchedKind kind, int guest_cpus, int cores_per_socket,
   AttachBackground(scenario, Background::kIo, 0, background);
   scenario.machine->Start();
   scenario.machine->RunFor(duration);
+  RecordScenarioMetrics(scenario);
   const OpStats& stats = scenario.machine->op_stats();
   return Row{ToUs(static_cast<TimeNs>(stats.Of(SchedOp::kSchedule).Mean())),
              ToUs(static_cast<TimeNs>(stats.Of(SchedOp::kWakeup).Mean())),
@@ -75,5 +76,14 @@ int main() {
   std::printf("\npaper:     Schedule 8.08 / 3.51 / 2.86 / 1.43\n");
   std::printf("           Wakeup   2.12 / 5.19 / 3.90 / 1.06\n");
   std::printf("           Migrate  0.32 / 5.55 / 9.42 / 0.43\n");
+
+  BenchJson json("table1_overheads_16core");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::string sched = SchedKindName(kinds[i]);
+    json.Add(sched + ".schedule_us", rows[i].schedule_us);
+    json.Add(sched + ".wakeup_us", rows[i].wakeup_us);
+    json.Add(sched + ".migrate_us", rows[i].migrate_us);
+  }
+  json.Write();
   return 0;
 }

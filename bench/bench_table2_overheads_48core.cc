@@ -37,6 +37,7 @@ Row MeasureScheduler(SchedKind kind, TimeNs duration) {
   AttachBackground(scenario, Background::kIo, 0, background);
   scenario.machine->Start();
   scenario.machine->RunFor(duration);
+  RecordScenarioMetrics(scenario);
   const OpStats& stats = scenario.machine->op_stats();
   return Row{ToUs(static_cast<TimeNs>(stats.Of(SchedOp::kSchedule).Mean())),
              ToUs(static_cast<TimeNs>(stats.Of(SchedOp::kWakeup).Mean())),
@@ -69,5 +70,14 @@ int main() {
   std::printf("\npaper:     Schedule 16.40 /  4.70 /   4.39 / 2.49\n");
   std::printf("           Wakeup    7.07 /  5.61 /  19.16 / 1.82\n");
   std::printf("           Migrate   0.42 / 18.19 / 168.62 / 0.66\n");
+
+  BenchJson json("table2_overheads_48core");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::string sched = SchedKindName(kinds[i]);
+    json.Add(sched + ".schedule_us", rows[i].schedule_us);
+    json.Add(sched + ".wakeup_us", rows[i].wakeup_us);
+    json.Add(sched + ".migrate_us", rows[i].migrate_us);
+  }
+  json.Write();
   return 0;
 }

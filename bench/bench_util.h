@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -15,6 +16,7 @@
 
 #include "src/common/thread_pool.h"
 #include "src/harness/scenario.h"
+#include "src/obs/metrics.h"
 #include "src/workloads/guest.h"
 #include "src/workloads/stress.h"
 
@@ -112,9 +114,47 @@ std::vector<Result> RunSimulations(const std::vector<std::function<Result()>>& t
   return results;
 }
 
+// Process-wide metrics accumulator: every measured run folds its machine's
+// snapshot in here (thread-safe — RunSimulations tasks record concurrently),
+// and BenchJson embeds the merged result in the artifact.
+struct AccumulatedMetrics {
+  std::mutex mu;
+  obs::MetricsSnapshot merged;
+
+  static AccumulatedMetrics& Instance() {
+    static AccumulatedMetrics instance;
+    return instance;
+  }
+
+  void Record(const obs::MetricsSnapshot& snapshot) {
+    std::lock_guard<std::mutex> lock(mu);
+    merged.Merge(snapshot);
+  }
+
+  obs::MetricsSnapshot Get() {
+    std::lock_guard<std::mutex> lock(mu);
+    return merged;
+  }
+};
+
+// Folds one finished scenario's machine metrics (scheduler counters, sim
+// engine internals, planner phase timings) into the process-wide accumulator.
+// Call once per simulation, after Run.
+inline void RecordScenarioMetrics(Scenario& scenario) {
+  if (scenario.machine != nullptr) {
+    AccumulatedMetrics::Instance().Record(scenario.machine->SnapshotMetrics());
+  }
+}
+
+// For planner-only benches (no machine): fold a registry's snapshot directly.
+inline void RecordRegistryMetrics(obs::MetricsRegistry& registry) {
+  AccumulatedMetrics::Instance().Record(registry.Snapshot());
+}
+
 // Accumulates scalar metrics and writes them as BENCH_<name>.json in the
-// working directory, one flat {"metric": value} object — a stable artifact
-// for tooling to diff across runs (see run_all.sh).
+// working directory: a flat {"metric": value} object — a stable artifact
+// for tooling to diff across runs (see run_all.sh) — plus a "metrics" block
+// holding the merged registry snapshot of every scenario the bench measured.
 class BenchJson {
  public:
   explicit BenchJson(std::string name) : name_(std::move(name)) {}
@@ -134,6 +174,9 @@ class BenchJson {
     for (const auto& [key, value] : entries_) {
       std::fprintf(file, ",\n  \"%s\": %.6g", key.c_str(), value);
     }
+    const std::string metrics =
+        AccumulatedMetrics::Instance().Get().ToJson(/*indent=*/2);
+    std::fprintf(file, ",\n  \"metrics\": %s", metrics.c_str());
     std::fprintf(file, "\n}\n");
     std::fclose(file);
   }

@@ -16,3 +16,9 @@ ctest --test-dir build-asan 2>&1 | tee -a test_output.txt
 build/bench/bench_sim_engine
 
 for b in build/bench/bench_*; do "$b"; done 2>&1 | tee bench_output.txt
+
+# Observability smoke: export a traced Fig. 5-style scenario as Perfetto
+# JSON, schema-check it, and prove metrics collection does not perturb the
+# simulation (metrics-on and metrics-off traces must be bit-identical).
+build/tools/tableau_tracedump --scheduler tableau --cpus 2 --seconds 0.2 \
+    --validate --check-determinism --out tableau.perfetto.json

@@ -1,13 +1,25 @@
 #include "src/common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace tableau {
 
-ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(1, num_threads)) {
+namespace {
+std::int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)),
+      slot_indices_(static_cast<std::size_t>(num_threads_)),
+      slot_busy_ns_(static_cast<std::size_t>(num_threads_)) {
   workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
   for (int t = 0; t < num_threads_ - 1; ++t) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, t] { WorkerLoop(t + 1); });
   }
 }
 
@@ -22,13 +34,17 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::RunJob(Job& job) {
+void ThreadPool::RunJob(Job& job, int slot) {
+  const auto s = static_cast<std::size_t>(slot);
   for (;;) {
     const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job.n) {
       return;
     }
+    const std::int64_t start = MonotonicNowNs();
     (*job.fn)(i);
+    slot_busy_ns_[s].fetch_add(MonotonicNowNs() - start, std::memory_order_relaxed);
+    slot_indices_[s].fetch_add(1, std::memory_order_relaxed);
     if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n) {
       // Lock-then-notify pairs with the caller's predicate re-check, so the
       // final wakeup cannot be lost between its check and its wait.
@@ -38,7 +54,7 @@ void ThreadPool::RunJob(Job& job) {
   }
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int slot) {
   for (;;) {
     std::shared_ptr<Job> job;
     {
@@ -54,7 +70,7 @@ void ThreadPool::WorkerLoop() {
         continue;
       }
     }
-    RunJob(*job);
+    RunJob(*job, slot);
   }
 }
 
@@ -63,9 +79,12 @@ void ThreadPool::ParallelFor(std::size_t n, const std::function<void(std::size_t
     return;
   }
   if (num_threads_ <= 1 || n == 1) {
+    const std::int64_t start = MonotonicNowNs();
     for (std::size_t i = 0; i < n; ++i) {
       fn(i);
     }
+    slot_busy_ns_[0].fetch_add(MonotonicNowNs() - start, std::memory_order_relaxed);
+    slot_indices_[0].fetch_add(n, std::memory_order_relaxed);
     return;
   }
 
@@ -80,7 +99,7 @@ void ThreadPool::ParallelFor(std::size_t n, const std::function<void(std::size_t
 
   // The caller is an executor too: the loop always completes even if every
   // worker is busy with other jobs.
-  RunJob(*job);
+  RunJob(*job, 0);
   {
     std::unique_lock<std::mutex> lock(job->mu);
     job->cv.wait(lock, [&] { return job->done.load(std::memory_order_acquire) == n; });
@@ -92,6 +111,19 @@ void ThreadPool::ParallelFor(std::size_t n, const std::function<void(std::size_t
       jobs_.erase(it);
     }
   }
+}
+
+ThreadPool::Stats ThreadPool::GetStats() const {
+  Stats stats;
+  stats.indices.reserve(slot_indices_.size());
+  stats.busy_ns.reserve(slot_busy_ns_.size());
+  for (const auto& v : slot_indices_) {
+    stats.indices.push_back(v.load(std::memory_order_relaxed));
+  }
+  for (const auto& v : slot_busy_ns_) {
+    stats.busy_ns.push_back(v.load(std::memory_order_relaxed));
+  }
+  return stats;
 }
 
 void ParallelFor(ThreadPool* pool, std::size_t n,

@@ -19,6 +19,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -48,6 +49,17 @@ class ThreadPool {
   // as on the serial path).
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  // Cumulative per-execution-slot accounting: slot 0 is every thread that
+  // called ParallelFor, slots 1..num_threads-1 are the pool workers.
+  // `indices` counts loop indices executed by the slot, `busy_ns` wall time
+  // spent inside fn. Observability only — reading races benignly with
+  // running jobs.
+  struct Stats {
+    std::vector<std::uint64_t> indices;
+    std::vector<std::int64_t> busy_ns;
+  };
+  Stats GetStats() const;
+
  private:
   struct Job {
     const std::function<void(std::size_t)>* fn = nullptr;
@@ -58,11 +70,15 @@ class ThreadPool {
     std::condition_variable cv;  // Signaled when done reaches n.
   };
 
-  // Claims and runs indices of `job` until none remain.
-  static void RunJob(Job& job);
-  void WorkerLoop();
+  // Claims and runs indices of `job` until none remain, billing work to
+  // `slot` (0 = a calling thread, 1.. = pool worker).
+  void RunJob(Job& job, int slot);
+  void WorkerLoop(int slot);
 
   const int num_threads_;
+  // Indexed by execution slot; see Stats.
+  std::vector<std::atomic<std::uint64_t>> slot_indices_;
+  std::vector<std::atomic<std::int64_t>> slot_busy_ns_;
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable work_cv_;

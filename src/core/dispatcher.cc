@@ -43,9 +43,19 @@ void TableauDispatcher::InstallTable(std::shared_ptr<const SchedulingTable> tabl
   next_ = std::move(table);
 }
 
+void TableauDispatcher::AttachMetrics(obs::MetricsRegistry* registry) {
+  TABLEAU_CHECK(registry != nullptr);
+  m_table_switches_ = registry->GetCounter("tableau.table_switches");
+  m_switch_slip_ns_ = registry->GetHistogram("tableau.switch_slip_ns");
+}
+
 const SchedulingTable& TableauDispatcher::ActiveTable(TimeNs now) {
   TABLEAU_CHECK_MSG(current_ != nullptr, "no table installed");
   if (next_ != nullptr && now >= switch_at_) {
+    if (m_table_switches_ != nullptr) {
+      m_table_switches_->Increment();
+      m_switch_slip_ns_->Record(now - switch_at_);
+    }
     current_ = std::move(next_);
     next_ = nullptr;
     switch_at_ = kTimeNever;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/common/time.h"
+#include "src/obs/metrics.h"
 #include "src/table/scheduling_table.h"
 
 namespace tableau {
@@ -105,6 +106,12 @@ class TableauDispatcher {
   // Lets callers detect promotions (e.g. to emit a table-switch trace event).
   std::uint64_t table_generation() const { return generation_; }
 
+  // Registers dispatcher metrics on `registry` (tableau.table_switches,
+  // tableau.switch_slip_ns — the lag between the promised switch time and
+  // the lookup that promoted it). Call once, before the first lookup;
+  // without it the dispatcher records nothing.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
  private:
   struct VcpuTimeline {
     struct Entry {
@@ -132,6 +139,9 @@ class TableauDispatcher {
 
   std::map<VcpuId, VcpuTimeline> timelines_;  // For the active table.
   std::vector<SecondLevelState> second_level_;
+
+  obs::Counter* m_table_switches_ = nullptr;
+  obs::LatencyHistogram* m_switch_slip_ns_ = nullptr;
 };
 
 }  // namespace tableau

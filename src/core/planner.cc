@@ -1,9 +1,12 @@
 #include "src/core/planner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <set>
+#include <string>
 
 #include "src/common/check.h"
 #include "src/common/thread_pool.h"
@@ -23,6 +26,78 @@ PlanResult Fail(std::string error) {
   return result;
 }
 
+// Planner phase timings use wall clock (the planner is control-plane code
+// running on real threads, not the DES): steady_clock so suspends/adjustments
+// cannot produce negative durations.
+std::int64_t WallNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Records the enclosing scope's wall-clock duration into `hist` on
+// destruction; a null histogram disables it (and skips the clock reads).
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(obs::LatencyHistogram* hist)
+      : hist_(hist), start_(hist != nullptr ? WallNowNs() : 0) {}
+  ~PhaseTimer() {
+    if (hist_ != nullptr) {
+      hist_->Record(WallNowNs() - start_);
+    }
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  obs::LatencyHistogram* hist_;
+  std::int64_t start_;
+};
+
+// Handles for the planner.* metrics; all null when no registry is configured.
+struct PhaseMetrics {
+  obs::LatencyHistogram* partition = nullptr;
+  obs::LatencyHistogram* edf_core_sim = nullptr;
+  obs::LatencyHistogram* cd_split = nullptr;
+  obs::LatencyHistogram* cluster = nullptr;
+  obs::LatencyHistogram* coalesce = nullptr;
+  obs::LatencyHistogram* plan_total = nullptr;
+  obs::Counter* plans = nullptr;
+  obs::Counter* incremental_plans = nullptr;
+};
+
+PhaseMetrics ResolvePhaseMetrics(obs::MetricsRegistry* registry) {
+  PhaseMetrics m;
+  if (registry == nullptr) {
+    return m;
+  }
+  m.partition = registry->GetHistogram("planner.partition_ns");
+  m.edf_core_sim = registry->GetHistogram("planner.edf_core_sim_ns");
+  m.cd_split = registry->GetHistogram("planner.cd_split_ns");
+  m.cluster = registry->GetHistogram("planner.cluster_ns");
+  m.coalesce = registry->GetHistogram("planner.coalesce_ns");
+  m.plan_total = registry->GetHistogram("planner.plan_total_ns");
+  m.plans = registry->GetCounter("planner.plans");
+  m.incremental_plans = registry->GetCounter("planner.incremental_plans");
+  return m;
+}
+
+// Publishes per-execution-slot pool accounting as gauges: slot 0 is the
+// calling thread(s), slots 1.. are pool workers. Gauges (not counters) so a
+// re-export overwrites rather than double-counts.
+void ExportPoolStats(obs::MetricsRegistry* registry, const ThreadPool* pool) {
+  if (registry == nullptr || pool == nullptr) {
+    return;
+  }
+  const ThreadPool::Stats stats = pool->GetStats();
+  for (std::size_t k = 0; k < stats.indices.size(); ++k) {
+    const std::string prefix = "planner.pool.w" + std::to_string(k);
+    registry->GetGauge(prefix + ".indices")
+        ->Set(static_cast<std::int64_t>(stats.indices[k]));
+    registry->GetGauge(prefix + ".busy_ns")->Set(stats.busy_ns[k]);
+  }
+}
+
 }  // namespace
 
 Planner::Planner(PlannerConfig config) : config_(config) {
@@ -35,6 +110,11 @@ Planner::Planner(PlannerConfig config) : config_(config) {
 
 PlanResult Planner::Plan(const std::vector<VcpuRequest>& requests) const {
   const TimeNs h = config_.hyperperiod;
+  const PhaseMetrics pm = ResolvePhaseMetrics(config_.metrics);
+  PhaseTimer total_timer(pm.plan_total);
+  if (pm.plans != nullptr) {
+    pm.plans->Increment();
+  }
 
   // --- Validation ---
   std::set<VcpuId> seen;
@@ -155,6 +235,7 @@ PlanResult Planner::Plan(const std::vector<VcpuRequest>& requests) const {
     }
   }
   const auto Partition = [&](const std::vector<PeriodicTask>& task_set) {
+    PhaseTimer timer(pm.partition);
     return WorstFitDecreasingNuma(task_set, socket_of, shared_cores, cores_per_socket,
                                   h, pool_.get());
   };
@@ -192,8 +273,12 @@ PlanResult Planner::Plan(const std::vector<VcpuRequest>& requests) const {
     result.method = PlanMethod::kPartitioned;
     core_tasks = std::move(partition.core_tasks);
   } else {
-    SemiPartitionResult semi = SemiPartition(tasks, shared_cores, h,
-                                             config_.split_granularity, pool_.get());
+    SemiPartitionResult semi;
+    {
+      PhaseTimer timer(pm.cd_split);
+      semi = SemiPartition(tasks, shared_cores, h, config_.split_granularity,
+                           pool_.get());
+    }
     if (semi.complete) {
       result.method = PlanMethod::kSemiPartitioned;
       core_tasks = std::move(semi.core_tasks);
@@ -229,7 +314,11 @@ PlanResult Planner::Plan(const std::vector<VcpuRequest>& requests) const {
           const auto& assigned = core_tasks[static_cast<std::size_t>(mergeable[i])];
           cluster_tasks.insert(cluster_tasks.end(), assigned.begin(), assigned.end());
         }
-        ClusterScheduleResult cluster = DpFairSchedule(cluster_tasks, k, h);
+        ClusterScheduleResult cluster;
+        {
+          PhaseTimer timer(pm.cluster);
+          cluster = DpFairSchedule(cluster_tasks, k, h);
+        }
         if (!cluster.success) {
           continue;
         }
@@ -246,7 +335,11 @@ PlanResult Planner::Plan(const std::vector<VcpuRequest>& requests) const {
         // Last resort: DP-Fair over all shared cores with all tasks. This is
         // guaranteed to succeed for any non-over-utilized configuration of
         // implicit-deadline tasks (modulo nanosecond-rounding repair).
-        ClusterScheduleResult cluster = DpFairSchedule(tasks, shared_cores, h);
+        ClusterScheduleResult cluster;
+        {
+          PhaseTimer timer(pm.cluster);
+          cluster = DpFairSchedule(tasks, shared_cores, h);
+        }
         if (!cluster.success) {
           return Fail("cluster scheduling failed (pathological rounding)");
         }
@@ -271,7 +364,13 @@ PlanResult Planner::Plan(const std::vector<VcpuRequest>& requests) const {
     if (core_tasks[core].empty()) {
       return;
     }
-    EdfSimResult sim = SimulateEdf(core_tasks[core], h);
+    // Recorded from whichever pool worker ran this core; the histogram is
+    // thread-safe by construction.
+    EdfSimResult sim;
+    {
+      PhaseTimer timer(pm.edf_core_sim);
+      sim = SimulateEdf(core_tasks[core], h);
+    }
     TABLEAU_CHECK_MSG(sim.schedulable, "EDF simulation failed on core %d for vCPU %d",
                       static_cast<int>(core), sim.missed_vcpu);
     per_core[core] = std::move(sim.allocations);
@@ -290,7 +389,11 @@ PlanResult Planner::Plan(const std::vector<VcpuRequest>& requests) const {
 
   // --- Post-processing: coalescing and table construction ---
   std::vector<std::pair<VcpuId, TimeNs>> donated;
-  per_core = CoalesceAllocations(std::move(per_core), config_.coalesce_threshold, &donated);
+  {
+    PhaseTimer timer(pm.coalesce);
+    per_core =
+        CoalesceAllocations(std::move(per_core), config_.coalesce_threshold, &donated);
+  }
   result.table = SchedulingTable::Build(h, std::move(per_core));
   const std::string violation = result.table.Validate();
   TABLEAU_CHECK_MSG(violation.empty(), "planner produced invalid table: %s",
@@ -312,6 +415,7 @@ PlanResult Planner::Plan(const std::vector<VcpuRequest>& requests) const {
     result.dirty_cores[static_cast<std::size_t>(c)] = c;
   }
   result.success = true;
+  ExportPoolStats(config_.metrics, pool_.get());
   return result;
 }
 
@@ -339,6 +443,13 @@ PlanResult Planner::PlanIncremental(const PlanResult& previous,
                    [](const VcpuRequest& r) { return r.utilization >= 1.0; });
   if (!fast_path_applicable) {
     return Plan(requests);
+  }
+  // Instrumented only past this point: the fallback paths above land in
+  // Plan(), which carries its own timers (avoids double-counting plan_total).
+  const PhaseMetrics pm = ResolvePhaseMetrics(config_.metrics);
+  PhaseTimer total_timer(pm.plan_total);
+  if (pm.incremental_plans != nullptr) {
+    pm.incremental_plans->Increment();
   }
 
   std::vector<std::vector<PeriodicTask>> core_tasks = previous.core_tasks;
@@ -430,7 +541,11 @@ PlanResult Planner::PlanIncremental(const PlanResult& previous,
                 if (core_tasks[core].empty()) {
                   return;
                 }
-                EdfSimResult sim = SimulateEdf(core_tasks[core], h);
+                EdfSimResult sim;
+                {
+                  PhaseTimer timer(pm.edf_core_sim);
+                  sim = SimulateEdf(core_tasks[core], h);
+                }
                 TABLEAU_CHECK_MSG(sim.schedulable, "incremental EDF failed on core %d", c);
                 dirty_alloc[core] = std::move(sim.allocations);
               });
@@ -438,8 +553,11 @@ PlanResult Planner::PlanIncremental(const PlanResult& previous,
     PeepholeOptimize(dirty_alloc, core_tasks);
   }
   std::vector<std::pair<VcpuId, TimeNs>> donated;
-  dirty_alloc = CoalesceAllocations(std::move(dirty_alloc), config_.coalesce_threshold,
-                                    &donated);
+  {
+    PhaseTimer timer(pm.coalesce);
+    dirty_alloc = CoalesceAllocations(std::move(dirty_alloc), config_.coalesce_threshold,
+                                      &donated);
+  }
   for (int c = 0; c < config_.num_cpus; ++c) {
     const auto core = static_cast<std::size_t>(c);
     if (dirty.find(c) != dirty.end()) {
@@ -482,6 +600,7 @@ PlanResult Planner::PlanIncremental(const PlanResult& previous,
   result.requests = std::move(requests);
   result.dirty_cores.assign(dirty.begin(), dirty.end());
   result.success = true;
+  ExportPoolStats(config_.metrics, pool_.get());
   return result;
 }
 

@@ -26,6 +26,7 @@
 
 #include "src/common/thread_pool.h"
 #include "src/common/time.h"
+#include "src/obs/metrics.h"
 #include "src/rt/hyperperiod.h"
 #include "src/rt/periodic_task.h"
 #include "src/table/scheduling_table.h"
@@ -51,6 +52,10 @@ struct PlannerConfig {
   // scans, and the C=D split-point probes concurrently, with deterministic
   // merges: the produced table is byte-identical to the serial one.
   int num_threads = 1;
+  // Optional phase-timing sink (planner.* metrics: wall-clock histograms per
+  // pipeline stage, plus per-worker pool gauges). Not owned; must outlive the
+  // planner. Null disables instrumentation entirely.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 enum class PlanMethod { kPartitioned, kSemiPartitioned, kClustered };

@@ -84,6 +84,7 @@ Scenario BuildScenario(const ScenarioConfig& config) {
   if (tableau != nullptr && num_vms > 0) {
     PlannerConfig planner_config;
     planner_config.num_cpus = config.guest_cpus;
+    planner_config.metrics = &scenario.machine->metrics();
     const Planner planner(planner_config);
     std::vector<VcpuRequest> requests;
     for (const Vcpu* vcpu : scenario.vcpus) {
@@ -141,6 +142,7 @@ Scenario BuildVmScenario(const ScenarioConfig& config, const std::vector<VmSpec>
   if (scenario.tableau != nullptr) {
     PlannerConfig planner_config;
     planner_config.num_cpus = config.guest_cpus;
+    planner_config.metrics = &scenario.machine->metrics();
     const Planner planner(planner_config);
     scenario.plan = planner.Plan(requests);
     TABLEAU_CHECK_MSG(scenario.plan.success, "planner failed: %s",

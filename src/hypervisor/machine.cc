@@ -19,6 +19,18 @@ Machine::Machine(MachineConfig config, std::unique_ptr<VcpuScheduler> scheduler)
     });
   }
   trace_.set_enabled(false);
+  m_context_switches_ = metrics_.GetCounter("machine.context_switches");
+  m_migrations_ = metrics_.GetCounter("machine.migrations");
+  m_schedule_invocations_ = metrics_.GetCounter("machine.schedule_invocations");
+  m_overhead_ns_ = metrics_.GetCounter("machine.overhead_ns");
+  m_dispatch_latency_ = metrics_.GetHistogram("machine.dispatch_latency_ns");
+  m_op_ns_[static_cast<int>(SchedOp::kSchedule)] =
+      metrics_.GetHistogram("machine.sched_op.schedule_ns");
+  m_op_ns_[static_cast<int>(SchedOp::kWakeup)] =
+      metrics_.GetHistogram("machine.sched_op.wakeup_ns");
+  m_op_ns_[static_cast<int>(SchedOp::kMigrate)] =
+      metrics_.GetHistogram("machine.sched_op.migrate_ns");
+  // Attach last: schedulers may register their own metrics from Attach().
   scheduler_->Attach(this);
 }
 
@@ -55,6 +67,7 @@ auto Machine::TraceOp(SchedOp op, CpuId cpu, Fn&& fn) {
   auto finish = [&]() {
     op_active_ = false;
     op_stats_.Record(op, op_cost_);
+    m_op_ns_[static_cast<int>(op)]->Record(op_cost_);
     CpuState& state = cpu_[static_cast<std::size_t>(cpu)];
     state.overhead_debt += op_cost_;
   };
@@ -180,6 +193,7 @@ void Machine::Reschedule(CpuId cpu, DeschedReason reason) {
   }
 
   ++schedule_invocations_;
+  m_schedule_invocations_->Increment();
   AddOpCost(config_.costs.sched_entry);
   Decision decision =
       TraceOp(SchedOp::kSchedule, cpu, [&] { return scheduler_->PickNext(cpu); });
@@ -194,6 +208,7 @@ void Machine::Reschedule(CpuId cpu, DeschedReason reason) {
   if (decision.vcpu == kIdleVcpu) {
     trace_.Record(now, TraceEvent::kIdle, cpu, kIdleVcpu);
     state.overhead_ns += start_delay;
+    m_overhead_ns_->Increment(start_delay);
     if (decision.until != kTimeNever) {
       sim_.Arm(state.resched_timer, std::max(now, decision.until));
       state.pending = state.resched_timer;
@@ -209,8 +224,13 @@ void Machine::Reschedule(CpuId cpu, DeschedReason reason) {
   if (next != prev) {
     start_delay += config_.costs.context_switch;
     ++context_switches_;
+    m_context_switches_->Increment();
+    if (next->last_cpu_ != kNoCpu && next->last_cpu_ != cpu) {
+      m_migrations_->Increment();
+    }
   }
   state.overhead_ns += start_delay;
+  m_overhead_ns_->Increment(start_delay);
 
   next->state_ = VcpuState::kRunning;
   next->running_on_ = cpu;
@@ -224,12 +244,14 @@ void Machine::Reschedule(CpuId cpu, DeschedReason reason) {
     vcpu_second_level_[static_cast<std::size_t>(next->id())]++;
   }
 
-  if (next->instrumented_) {
-    if (next->woke_since_dispatch_) {
-      next->wakeup_latency_.Record(next->service_start_ - next->wake_time_);
-    } else if (next->dispatch_count_ > 0) {
-      next->service_gaps_.Record(next->service_start_ - next->last_service_end_);
+  if (next->woke_since_dispatch_) {
+    const TimeNs latency = next->service_start_ - next->wake_time_;
+    m_dispatch_latency_->Record(latency);
+    if (next->instrumented_) {
+      next->wakeup_latency_.Record(latency);
     }
+  } else if (next->instrumented_ && next->dispatch_count_ > 0) {
+    next->service_gaps_.Record(next->service_start_ - next->last_service_end_);
   }
   next->woke_since_dispatch_ = false;
   next->dispatch_count_++;
@@ -276,6 +298,28 @@ void Machine::OnCpuEvent(CpuId cpu) {
     state.pending = state.cpu_event_timer;
   }
   // Otherwise the guest blocked and Block() already rescheduled this CPU.
+}
+
+obs::MetricsSnapshot Machine::SnapshotMetrics() {
+  TimeNs busy = 0;
+  TimeNs overhead = 0;
+  for (const CpuState& state : cpu_) {
+    busy += state.busy_ns;
+    overhead += state.overhead_ns;
+  }
+  metrics_.GetGauge("machine.cpu_busy_ns")->Set(static_cast<double>(busy));
+  metrics_.GetGauge("machine.cpu_overhead_ns")->Set(static_cast<double>(overhead));
+  metrics_.GetGauge("trace.records")->Set(static_cast<double>(trace_.total_recorded()));
+  metrics_.GetGauge("trace.dropped")->Set(static_cast<double>(trace_.dropped()));
+  const Simulation::EngineStats& engine = sim_.engine_stats();
+  metrics_.GetGauge("sim.events_executed")->Set(static_cast<double>(sim_.events_executed()));
+  metrics_.GetGauge("sim.wheel_cascades")->Set(static_cast<double>(engine.wheel_cascades));
+  metrics_.GetGauge("sim.wheel_slot_drains")->Set(static_cast<double>(engine.slot_drains));
+  metrics_.GetGauge("sim.overflow_reloads")->Set(static_cast<double>(engine.overflow_reloads));
+  metrics_.GetGauge("sim.pool_capacity")->Set(static_cast<double>(sim_.pool_capacity()));
+  metrics_.GetGauge("sim.live_events")->Set(static_cast<double>(sim_.live_events()));
+  metrics_.GetGauge("sim.peak_live_events")->Set(static_cast<double>(engine.peak_live_nodes));
+  return metrics_.Snapshot();
 }
 
 double Machine::SecondLevelFraction(VcpuId vcpu) const {

@@ -18,6 +18,7 @@
 #include "src/hypervisor/scheduler.h"
 #include "src/hypervisor/trace.h"
 #include "src/hypervisor/vcpu.h"
+#include "src/obs/metrics.h"
 #include "src/sim/simulation.h"
 
 namespace tableau {
@@ -96,6 +97,16 @@ class Machine {
   // trace().set_enabled(true) before Start().
   TraceBuffer& trace() { return trace_; }
   const TraceBuffer& trace() const { return trace_; }
+
+  // Machine-owned metrics registry (machine.*, sim.*, trace.*, plus
+  // whatever the attached scheduler registers). Enabled by default; metrics
+  // are pure observers and never perturb the simulation.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  // Publishes end-of-run gauges (busy/overhead totals, engine internals,
+  // trace accounting) into the registry, then snapshots it.
+  obs::MetricsSnapshot SnapshotMetrics();
+
   TimeNs cpu_busy_ns(CpuId cpu) const { return cpu_[static_cast<std::size_t>(cpu)].busy_ns; }
   TimeNs cpu_overhead_ns(CpuId cpu) const {
     return cpu_[static_cast<std::size_t>(cpu)].overhead_ns;
@@ -147,6 +158,15 @@ class Machine {
 
   OpStats op_stats_;
   TraceBuffer trace_;
+  obs::MetricsRegistry metrics_;
+  // Hot-path metric handles, resolved once in the constructor (before the
+  // scheduler attaches and registers its own).
+  obs::Counter* m_context_switches_;
+  obs::Counter* m_migrations_;
+  obs::Counter* m_schedule_invocations_;
+  obs::Counter* m_overhead_ns_;
+  obs::LatencyHistogram* m_dispatch_latency_;
+  obs::LatencyHistogram* m_op_ns_[kNumSchedOps];
   std::uint64_t context_switches_ = 0;
   std::uint64_t schedule_invocations_ = 0;
   std::vector<std::uint64_t> vcpu_dispatches_;

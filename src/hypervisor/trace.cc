@@ -41,11 +41,19 @@ void TraceBuffer::Record(TimeNs time, TraceEvent event, int cpu, VcpuId vcpu,
   } else {
     ring_[next_] = record;
     wrapped_ = true;
+    ++dropped_;
   }
   next_ = (next_ + 1) % capacity_;
 }
 
 std::size_t TraceBuffer::size() const { return ring_.size(); }
+
+TimeNs TraceBuffer::oldest_retained_time() const {
+  if (ring_.empty()) {
+    return 0;
+  }
+  return wrapped_ ? ring_[next_].time : ring_.front().time;
+}
 
 void TraceBuffer::ForEach(const std::function<void(const TraceRecord&)>& fn) const {
   if (!wrapped_) {
@@ -82,24 +90,56 @@ std::vector<TraceRecord> TraceBuffer::Query(const Filter& filter) const {
 std::vector<TraceBuffer::ServiceInterval> TraceBuffer::ServiceTimeline(
     VcpuId vcpu) const {
   std::vector<ServiceInterval> timeline;
+  const TimeNs window_start = oldest_retained_time();
+  TimeNs newest = window_start;
   bool running = false;
+  bool saw_any = false;
   ServiceInterval current{};
   ForEach([&](const TraceRecord& record) {
+    newest = record.time;
     if (record.vcpu != vcpu) {
       return;
     }
     if (record.event == TraceEvent::kDispatch) {
+      if (running) {
+        // Matching deschedule fell off the ring between two retained
+        // dispatches: close the dangling interval at the window edge it
+        // straddles rather than folding it into the next one.
+        current.end = record.time;
+        current.truncated_end = true;
+        timeline.push_back(current);
+      }
       running = true;
+      current = ServiceInterval{};
       current.start = record.time;
       current.cpu = record.cpu;
       current.second_level = record.arg != 0;
-    } else if (running && (record.event == TraceEvent::kDeschedule ||
-                           record.event == TraceEvent::kBlock)) {
-      current.end = record.time;
-      timeline.push_back(current);
-      running = false;
+    } else if (record.event == TraceEvent::kDeschedule ||
+               record.event == TraceEvent::kBlock) {
+      if (running) {
+        current.end = record.time;
+        timeline.push_back(current);
+        running = false;
+      } else if (!saw_any && wrapped_) {
+        // The interval was open when the oldest retained records were
+        // overwritten; report the visible tail instead of dropping it.
+        ServiceInterval head{};
+        head.start = window_start;
+        head.end = record.time;
+        head.cpu = record.cpu;
+        head.second_level = false;
+        head.truncated_start = true;
+        timeline.push_back(head);
+      }
     }
+    saw_any = true;
   });
+  if (running) {
+    // Still on-CPU at the end of the trace: report up to the newest record.
+    current.end = newest;
+    current.truncated_end = true;
+    timeline.push_back(current);
+  }
   return timeline;
 }
 
@@ -112,10 +152,12 @@ std::string TraceBuffer::Format(const TraceRecord& record) {
 }
 
 void TraceBuffer::Clear() {
+  // Retained records are discarded, not un-recorded: total_ keeps counting
+  // across the clear so dropped() + size() == total_recorded() stays exact.
+  dropped_ += ring_.size();
   ring_.clear();
   next_ = 0;
   wrapped_ = false;
-  total_ = 0;
 }
 
 }  // namespace tableau

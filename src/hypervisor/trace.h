@@ -55,7 +55,14 @@ class TraceBuffer {
   std::size_t size() const;
   // Total records ever recorded (including overwritten ones).
   std::uint64_t total_recorded() const { return total_; }
-  std::uint64_t dropped() const { return total_ > size() ? total_ - size() : 0; }
+  // Records recorded but no longer retained: ring overwrites plus records
+  // discarded by Clear(). Exact — total_recorded() == dropped() + size().
+  std::uint64_t dropped() const { return dropped_; }
+
+  // Timestamp of the oldest retained record (0 when empty). With a wrapped
+  // ring this is the left edge of the observable window; intervals that
+  // straddle it come back truncated from ServiceTimeline().
+  TimeNs oldest_retained_time() const;
 
   // Visits retained records in chronological order.
   void ForEach(const std::function<void(const TraceRecord&)>& fn) const;
@@ -72,12 +79,19 @@ class TraceBuffer {
   std::vector<TraceRecord> Query(const Filter& filter) const;
 
   // Contiguous service intervals of `vcpu` reconstructed from
-  // dispatch/deschedule pairs within the retained window.
+  // dispatch/deschedule pairs within the retained window. Intervals cut off
+  // by the ring are reported, not invented: a deschedule whose dispatch was
+  // overwritten yields an interval starting at oldest_retained_time() with
+  // truncated_start set; a dispatch still open at the end of the buffer
+  // yields an interval ending at the newest record's time with truncated_end
+  // set.
   struct ServiceInterval {
     TimeNs start;
     TimeNs end;
     int cpu;
     bool second_level;
+    bool truncated_start = false;
+    bool truncated_end = false;
   };
   std::vector<ServiceInterval> ServiceTimeline(VcpuId vcpu) const;
 
@@ -93,6 +107,7 @@ class TraceBuffer {
   bool wrapped_ = false;
   bool enabled_ = true;
   std::uint64_t total_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace tableau

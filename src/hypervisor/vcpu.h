@@ -59,6 +59,10 @@ class Vcpu {
 
   TimeNs total_service() const { return total_service_; }
   std::uint64_t dispatch_count() const { return dispatch_count_; }
+  // End of the previous service interval and time of the last
+  // block->runnable edge (for blackout/latency instrumentation).
+  TimeNs last_service_end() const { return last_service_end_; }
+  TimeNs wake_time() const { return wake_time_; }
 
   // Enables per-vCPU latency instrumentation (the "vantage VM").
   void EnableInstrumentation() { instrumented_ = true; }

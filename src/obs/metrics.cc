@@ -1,0 +1,402 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/obs/json.h"
+
+namespace tableau::obs {
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+std::int64_t LatencyHistogram::BucketUpperEdge(int index) {
+  TABLEAU_CHECK(index >= 0 && index < kBuckets);
+  if (index == 0) {
+    return 0;
+  }
+  if (index == 63) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return (std::int64_t{1} << index) - 1;
+}
+
+std::int64_t HistogramValue::Percentile(double q) const {
+  if (count == 0) {
+    return 0;
+  }
+  if (q >= 1.0) {
+    return max;
+  }
+  if (q < 0) {
+    q = 0;
+  }
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (const auto& [index, bucket_count] : buckets) {
+    seen += bucket_count;
+    if (seen >= rank) {
+      return std::min(LatencyHistogram::BucketUpperEdge(index), max);
+    }
+  }
+  return max;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::FindOrCreate(const std::string& name,
+                                                      MetricKind kind) {
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    TABLEAU_CHECK_MSG(it->second.kind == kind,
+                      "metric '%s' already registered as a %s", name.c_str(),
+                      MetricKindName(it->second.kind));
+    return it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter:
+      entry.counter.reset(new Counter(&enabled_));
+      break;
+    case MetricKind::kGauge:
+      entry.gauge.reset(new Gauge(&enabled_));
+      break;
+    case MetricKind::kHistogram:
+      entry.hist.reset(new LatencyHistogram(&enabled_));
+      break;
+  }
+  return entries_.emplace(name, std::move(entry)).first->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(name, MetricKind::kCounter).counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(name, MetricKind::kGauge).gauge.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(name, MetricKind::kHistogram).hist.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, entry] : entries_) {
+    MetricValue value;
+    value.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        value.counter = entry.counter->value();
+        break;
+      case MetricKind::kGauge:
+        value.gauge = entry.gauge->value();
+        break;
+      case MetricKind::kHistogram: {
+        const LatencyHistogram& hist = *entry.hist;
+        value.hist.count = hist.Count();
+        value.hist.sum = hist.Sum();
+        value.hist.min = hist.Min();
+        value.hist.max = hist.Max();
+        for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+          const std::uint64_t n =
+              hist.buckets_[i].load(std::memory_order_relaxed);
+          if (n > 0) {
+            value.hist.buckets.emplace_back(i, n);
+          }
+        }
+        break;
+      }
+    }
+    snapshot.values.emplace(name, std::move(value));
+  }
+  return snapshot;
+}
+
+MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& since) const {
+  MetricsSnapshot delta = *this;
+  for (auto& [name, value] : delta.values) {
+    const auto it = since.values.find(name);
+    if (it == since.values.end() || it->second.kind != value.kind) {
+      continue;
+    }
+    const MetricValue& old = it->second;
+    switch (value.kind) {
+      case MetricKind::kCounter:
+        value.counter -= old.counter;
+        break;
+      case MetricKind::kGauge:
+        break;  // Gauges keep the newer reading.
+      case MetricKind::kHistogram: {
+        value.hist.count -= std::min(value.hist.count, old.hist.count);
+        value.hist.sum -= old.hist.sum;
+        std::map<int, std::uint64_t> merged(value.hist.buckets.begin(),
+                                            value.hist.buckets.end());
+        for (const auto& [index, n] : old.hist.buckets) {
+          auto& slot = merged[index];
+          slot -= std::min(slot, n);
+        }
+        value.hist.buckets.clear();
+        for (const auto& [index, n] : merged) {
+          if (n > 0) {
+            value.hist.buckets.emplace_back(index, n);
+          }
+        }
+        // min/max are not invertible over an interval; keep the newer ones.
+        break;
+      }
+    }
+  }
+  return delta;
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [name, incoming] : other.values) {
+    const auto it = values.find(name);
+    if (it == values.end()) {
+      values.emplace(name, incoming);
+      continue;
+    }
+    MetricValue& mine = it->second;
+    if (mine.kind != incoming.kind) {
+      continue;  // Name collision across kinds: keep the first registration.
+    }
+    switch (mine.kind) {
+      case MetricKind::kCounter:
+        mine.counter += incoming.counter;
+        break;
+      case MetricKind::kGauge:
+        mine.gauge = std::max(mine.gauge, incoming.gauge);
+        break;
+      case MetricKind::kHistogram: {
+        HistogramValue& h = mine.hist;
+        const HistogramValue& o = incoming.hist;
+        if (o.count > 0) {
+          h.min = h.count == 0 ? o.min : std::min(h.min, o.min);
+          h.max = std::max(h.max, o.max);
+        }
+        h.count += o.count;
+        h.sum += o.sum;
+        std::map<int, std::uint64_t> merged(h.buckets.begin(), h.buckets.end());
+        for (const auto& [index, n] : o.buckets) {
+          merged[index] += n;
+        }
+        h.buckets.assign(merged.begin(), merged.end());
+        break;
+      }
+    }
+  }
+}
+
+namespace {
+
+std::string Pad(int indent) { return std::string(static_cast<std::size_t>(indent), ' '); }
+
+// %.17g round-trips doubles exactly; trims to a clean integer form when one.
+std::string FormatDouble(double value) {
+  char buf[64];
+  if (value == static_cast<double>(static_cast<std::int64_t>(value)) &&
+      std::abs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson(int indent) const {
+  const std::string p0 = Pad(indent);
+  const std::string p1 = Pad(indent + 2);
+  const std::string p2 = Pad(indent + 4);
+  std::string out = "{\n";
+
+  const auto EmitSection = [&](MetricKind kind, const char* title,
+                               const auto& emit_value, bool last) {
+    out += p1 + "\"" + title + "\": {";
+    bool first = true;
+    for (const auto& [name, value] : values) {
+      if (value.kind != kind) {
+        continue;
+      }
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += p2 + "\"" + JsonEscape(name) + "\": " + emit_value(value);
+    }
+    out += first ? "}" : "\n" + p1 + "}";
+    out += last ? "\n" : ",\n";
+  };
+
+  EmitSection(
+      MetricKind::kCounter, "counters",
+      [](const MetricValue& v) { return std::to_string(v.counter); }, false);
+  EmitSection(
+      MetricKind::kGauge, "gauges",
+      [](const MetricValue& v) { return FormatDouble(v.gauge); }, false);
+  EmitSection(
+      MetricKind::kHistogram, "histograms",
+      [](const MetricValue& v) {
+        std::string h = "{\"count\": " + std::to_string(v.hist.count) +
+                        ", \"sum\": " + std::to_string(v.hist.sum) +
+                        ", \"min\": " + std::to_string(v.hist.min) +
+                        ", \"max\": " + std::to_string(v.hist.max) +
+                        ", \"buckets\": [";
+        bool first = true;
+        for (const auto& [index, n] : v.hist.buckets) {
+          if (!first) {
+            h += ", ";
+          }
+          first = false;
+          h += "[" + std::to_string(LatencyHistogram::BucketUpperEdge(index)) +
+               ", " + std::to_string(n) + "]";
+        }
+        h += "]}";
+        return h;
+      },
+      true);
+
+  out += p0 + "}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToCsv() const {
+  std::string out = "kind,name,count,sum,min,max,mean,p50,p99,value\n";
+  for (const auto& [name, value] : values) {
+    out += MetricKindName(value.kind);
+    out += ",";
+    out += name;
+    switch (value.kind) {
+      case MetricKind::kCounter:
+        out += ",,,,,,,," + std::to_string(value.counter);
+        break;
+      case MetricKind::kGauge:
+        out += ",,,,,,,," + FormatDouble(value.gauge);
+        break;
+      case MetricKind::kHistogram:
+        out += "," + std::to_string(value.hist.count) + "," +
+               std::to_string(value.hist.sum) + "," +
+               std::to_string(value.hist.min) + "," +
+               std::to_string(value.hist.max) + "," +
+               FormatDouble(value.hist.Mean()) + "," +
+               std::to_string(value.hist.Percentile(0.5)) + "," +
+               std::to_string(value.hist.Percentile(0.99)) + ",";
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::optional<MetricsSnapshot> MetricsSnapshot::FromJson(const std::string& json) {
+  const std::optional<JsonValue> doc = ParseJson(json);
+  if (!doc.has_value() || !doc->is_object()) {
+    return std::nullopt;
+  }
+  MetricsSnapshot snapshot;
+
+  const JsonValue* counters = doc->Find("counters");
+  if (counters != nullptr) {
+    if (!counters->is_object()) {
+      return std::nullopt;
+    }
+    for (const auto& [name, v] : counters->object()) {
+      if (!v.is_number()) {
+        return std::nullopt;
+      }
+      MetricValue value;
+      value.kind = MetricKind::kCounter;
+      value.counter = static_cast<std::int64_t>(v.number());
+      snapshot.values.emplace(name, value);
+    }
+  }
+
+  const JsonValue* gauges = doc->Find("gauges");
+  if (gauges != nullptr) {
+    if (!gauges->is_object()) {
+      return std::nullopt;
+    }
+    for (const auto& [name, v] : gauges->object()) {
+      if (!v.is_number()) {
+        return std::nullopt;
+      }
+      MetricValue value;
+      value.kind = MetricKind::kGauge;
+      value.gauge = v.number();
+      snapshot.values.emplace(name, value);
+    }
+  }
+
+  const JsonValue* histograms = doc->Find("histograms");
+  if (histograms != nullptr) {
+    if (!histograms->is_object()) {
+      return std::nullopt;
+    }
+    for (const auto& [name, v] : histograms->object()) {
+      const JsonValue* count = v.Find("count");
+      const JsonValue* sum = v.Find("sum");
+      const JsonValue* min = v.Find("min");
+      const JsonValue* max = v.Find("max");
+      const JsonValue* buckets = v.Find("buckets");
+      if (count == nullptr || !count->is_number() || sum == nullptr ||
+          !sum->is_number() || min == nullptr || !min->is_number() ||
+          max == nullptr || !max->is_number() || buckets == nullptr ||
+          !buckets->is_array()) {
+        return std::nullopt;
+      }
+      MetricValue value;
+      value.kind = MetricKind::kHistogram;
+      value.hist.count = static_cast<std::uint64_t>(count->number());
+      value.hist.sum = static_cast<std::int64_t>(sum->number());
+      value.hist.min = static_cast<std::int64_t>(min->number());
+      value.hist.max = static_cast<std::int64_t>(max->number());
+      for (const JsonValue& pair : buckets->array()) {
+        if (!pair.is_array() || pair.array().size() != 2 ||
+            !pair.array()[0].is_number() || !pair.array()[1].is_number()) {
+          return std::nullopt;
+        }
+        const auto edge = static_cast<std::int64_t>(pair.array()[0].number());
+        if (edge < 0) {
+          return std::nullopt;
+        }
+        // Recover the bucket index from the upper edge. Edges small enough to
+        // be exact in a double must be of the 2^i - 1 form; larger ones lose
+        // low bits in transit, so only the bit width can be checked.
+        if (edge < (std::int64_t{1} << 53) &&
+            (static_cast<std::uint64_t>(edge) &
+             (static_cast<std::uint64_t>(edge) + 1)) != 0) {
+          return std::nullopt;
+        }
+        const int index =
+            edge == 0 ? 0
+                      : std::bit_width(static_cast<std::uint64_t>(edge));
+        if (index >= LatencyHistogram::kBuckets) {
+          return std::nullopt;
+        }
+        value.hist.buckets.emplace_back(
+            index, static_cast<std::uint64_t>(pair.array()[1].number()));
+      }
+      snapshot.values.emplace(name, std::move(value));
+    }
+  }
+
+  return snapshot;
+}
+
+}  // namespace tableau::obs

@@ -1,0 +1,222 @@
+#include "src/obs/trace_export.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "src/obs/json.h"
+
+namespace tableau::obs {
+
+namespace {
+
+// trace_event timestamps are microseconds; keep ns precision as fractions.
+std::string Micros(TimeNs ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1000.0);
+  return buf;
+}
+
+struct OpenSlice {
+  bool open = false;
+  TimeNs start = 0;
+  VcpuId vcpu = kIdleVcpu;
+  bool second_level = false;
+};
+
+}  // namespace
+
+std::string TraceToPerfettoJson(const TraceBuffer& trace, int num_cpus,
+                                const PerfettoExportOptions& options) {
+  const auto vcpu_name = [&options](VcpuId vcpu) {
+    const auto it = options.vcpu_names.find(vcpu);
+    if (it != options.vcpu_names.end()) {
+      return JsonEscape(it->second);
+    }
+    return "vCPU " + std::to_string(vcpu);
+  };
+  const auto tid_of = [](int cpu) { return cpu < 0 ? 0 : cpu + 1; };
+
+  std::vector<std::string> events;
+  bool used_unplaced_track = false;
+
+  const auto emit_slice = [&](int cpu, const OpenSlice& slice, TimeNs end,
+                              bool truncated_start, bool truncated_end) {
+    std::string args = "{\"vcpu\": " + std::to_string(slice.vcpu) +
+                       ", \"second_level\": " +
+                       (slice.second_level ? "true" : "false");
+    if (truncated_start || truncated_end) {
+      args += ", \"truncated\": true";
+    }
+    args += "}";
+    events.push_back("{\"name\": \"" + vcpu_name(slice.vcpu) +
+                     "\", \"cat\": \"service\", \"ph\": \"X\", \"ts\": " +
+                     Micros(slice.start) + ", \"dur\": " +
+                     Micros(end - slice.start) + ", \"pid\": 1, \"tid\": " +
+                     std::to_string(tid_of(cpu)) + ", \"args\": " + args + "}");
+  };
+  const auto emit_instant = [&](const std::string& name, TimeNs time, int cpu,
+                                const std::string& args) {
+    if (cpu < 0) {
+      used_unplaced_track = true;
+    }
+    std::string event = "{\"name\": \"" + name +
+                        "\", \"cat\": \"event\", \"ph\": \"i\", \"s\": \"t\", "
+                        "\"ts\": " + Micros(time) + ", \"pid\": 1, \"tid\": " +
+                        std::to_string(tid_of(cpu));
+    if (!args.empty()) {
+      event += ", \"args\": " + args;
+    }
+    event += "}";
+    events.push_back(std::move(event));
+  };
+
+  const TimeNs window_start = trace.oldest_retained_time();
+  TimeNs newest = window_start;
+  std::vector<OpenSlice> open(static_cast<std::size_t>(num_cpus) + 1);
+  std::vector<bool> saw_cpu(open.size(), false);
+  const bool wrapped = trace.dropped() > 0;
+
+  trace.ForEach([&](const TraceRecord& record) {
+    newest = record.time;
+    const int cpu = record.cpu;
+    const auto slot = static_cast<std::size_t>(cpu < 0 ? num_cpus : cpu);
+    if (slot >= open.size()) {
+      return;  // Record from a CPU outside [0, num_cpus): skip defensively.
+    }
+    switch (record.event) {
+      case TraceEvent::kDispatch:
+        if (open[slot].open) {
+          // Deschedule lost to the ring (or tracing toggled): close at the
+          // next dispatch rather than inventing an overlap.
+          emit_slice(cpu, open[slot], record.time, false, true);
+        }
+        open[slot] = OpenSlice{true, record.time, record.vcpu,
+                               record.arg != 0};
+        break;
+      case TraceEvent::kDeschedule:
+      case TraceEvent::kBlock:
+        if (open[slot].open && open[slot].vcpu == record.vcpu) {
+          emit_slice(cpu, open[slot], record.time, false, false);
+          open[slot].open = false;
+        } else if (!open[slot].open && !saw_cpu[slot] && wrapped) {
+          // Oldest retained records start mid-interval on this CPU.
+          OpenSlice head{true, window_start, record.vcpu, false};
+          emit_slice(cpu, head, record.time, true, false);
+        }
+        break;
+      case TraceEvent::kIdle:
+        if (open[slot].open) {
+          emit_slice(cpu, open[slot], record.time, false, true);
+          open[slot].open = false;
+        }
+        break;
+      case TraceEvent::kWakeup:
+        if (options.include_wakeups) {
+          emit_instant("wakeup " + vcpu_name(record.vcpu), record.time, cpu,
+                       "");
+        }
+        break;
+      case TraceEvent::kTableSwitch:
+        emit_instant("table switch", record.time, cpu,
+                     "{\"generation\": " + std::to_string(record.arg) + "}");
+        break;
+    }
+    saw_cpu[slot] = true;
+  });
+  for (std::size_t slot = 0; slot < open.size(); ++slot) {
+    if (open[slot].open) {
+      const int cpu = slot == static_cast<std::size_t>(num_cpus)
+                          ? -1
+                          : static_cast<int>(slot);
+      emit_slice(cpu, open[slot], newest, false, true);
+    }
+  }
+
+  std::string out = "{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [\n";
+  std::vector<std::string> metadata;
+  metadata.push_back(
+      "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"args\": "
+      "{\"name\": \"" + JsonEscape(options.process_name) + "\"}}");
+  if (used_unplaced_track) {
+    metadata.push_back(
+        "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+        "\"args\": {\"name\": \"(unplaced)\"}}");
+  }
+  for (int cpu = 0; cpu < num_cpus; ++cpu) {
+    metadata.push_back(
+        "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": " +
+        std::to_string(cpu + 1) + ", \"args\": {\"name\": \"pCPU " +
+        std::to_string(cpu) + "\"}}");
+  }
+  bool first = true;
+  for (const auto* group : {&metadata, &events}) {
+    for (const std::string& event : *group) {
+      if (!first) {
+        out += ",\n";
+      }
+      first = false;
+      out += "    " + event;
+    }
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool ValidatePerfettoJson(const std::string& json, std::string* error) {
+  const auto fail = [error](const std::string& why) {
+    if (error != nullptr) {
+      *error = why;
+    }
+    return false;
+  };
+  const std::optional<JsonValue> doc = ParseJson(json);
+  if (!doc.has_value()) {
+    return fail("not valid JSON");
+  }
+  if (!doc->is_object()) {
+    return fail("top level is not an object");
+  }
+  const JsonValue* events = doc->Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return fail("missing traceEvents array");
+  }
+  std::size_t index = 0;
+  for (const JsonValue& event : events->array()) {
+    const std::string where = "traceEvents[" + std::to_string(index++) + "]";
+    if (!event.is_object()) {
+      return fail(where + " is not an object");
+    }
+    const JsonValue* ph = event.Find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->str().size() != 1) {
+      return fail(where + " has no single-char ph");
+    }
+    const JsonValue* pid = event.Find("pid");
+    if (pid == nullptr || !pid->is_number()) {
+      return fail(where + " has no numeric pid");
+    }
+    const JsonValue* name = event.Find("name");
+    if (name == nullptr || !name->is_string()) {
+      return fail(where + " has no string name");
+    }
+    const char phase = ph->str()[0];
+    if (phase == 'M') {
+      continue;  // Metadata needs no timestamp.
+    }
+    const JsonValue* ts = event.Find("ts");
+    if (ts == nullptr || !ts->is_number()) {
+      return fail(where + " has no numeric ts");
+    }
+    if (phase == 'X') {
+      const JsonValue* dur = event.Find("dur");
+      if (dur == nullptr || !dur->is_number()) {
+        return fail(where + " (complete slice) has no numeric dur");
+      }
+      if (dur->number() < 0) {
+        return fail(where + " has negative dur");
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace tableau::obs

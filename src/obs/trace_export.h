@@ -1,0 +1,41 @@
+// Converts a TraceBuffer into Chrome/Perfetto `trace_event` JSON — the
+// format ui.perfetto.dev and chrome://tracing load directly. One track per
+// pCPU (tid = cpu + 1 under pid 1), "X" complete slices for vCPU service
+// intervals, "i" instant events for wakeups and table switches.
+#ifndef SRC_OBS_TRACE_EXPORT_H_
+#define SRC_OBS_TRACE_EXPORT_H_
+
+#include <map>
+#include <string>
+
+#include "src/hypervisor/trace.h"
+
+namespace tableau::obs {
+
+struct PerfettoExportOptions {
+  // process_name metadata for the single emitted process.
+  std::string process_name = "tableau-sim";
+  // Emit "i" instant events for kWakeup records (dense; off for huge traces).
+  bool include_wakeups = true;
+  // Optional display names per vCPU; unnamed vCPUs render as "vCPU <id>".
+  std::map<VcpuId, std::string> vcpu_names;
+};
+
+// Renders the retained records as one JSON document (object form, with
+// "traceEvents" and "displayTimeUnit"). Slices straddling the ring's edges
+// are closed at the edge and tagged {"truncated": true} in args, mirroring
+// TraceBuffer::ServiceTimeline semantics. Deterministic: output depends only
+// on the retained records and options.
+std::string TraceToPerfettoJson(const TraceBuffer& trace, int num_cpus,
+                                const PerfettoExportOptions& options = {});
+
+// Minimal schema check for a document produced above (also accepts any
+// structurally valid trace_event JSON): top-level object with a
+// "traceEvents" array whose entries carry a string "ph" plus the fields that
+// phase requires ("X" needs name/ts/dur, "i" needs name/ts, "M" needs name).
+// On failure returns false and, when `error` is non-null, a one-line reason.
+bool ValidatePerfettoJson(const std::string& json, std::string* error);
+
+}  // namespace tableau::obs
+
+#endif  // SRC_OBS_TRACE_EXPORT_H_

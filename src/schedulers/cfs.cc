@@ -6,6 +6,11 @@
 
 namespace tableau {
 
+void CfsScheduler::Attach(Machine* machine) {
+  VcpuScheduler::Attach(machine);
+  m_steals_ = machine->metrics().GetCounter("cfs.steals");
+}
+
 void CfsScheduler::AddVcpu(Vcpu* vcpu) {
   const auto id = static_cast<std::size_t>(vcpu->id());
   if (info_.size() <= id) {
@@ -116,6 +121,7 @@ Decision CfsScheduler::PickNext(CpuId cpu) {
         machine_->AddOpCost(costs.lock_base + 2 * costs.cache_remote_socket);
         DequeueIfQueued(stolen);
         Enqueue(stolen, cpu);
+        m_steals_->Increment();
         best = MinVruntimeInQueue(cpu);
       }
     }

@@ -40,6 +40,7 @@ class CfsScheduler : public VcpuScheduler {
   explicit CfsScheduler(Options options) : options_(options) {}
 
   std::string Name() const override { return "CFS"; }
+  void Attach(Machine* machine) override;
   void AddVcpu(Vcpu* vcpu) override;
   void Start() override;
   Decision PickNext(CpuId cpu) override;
@@ -71,6 +72,8 @@ class CfsScheduler : public VcpuScheduler {
   Options options_;
   std::vector<VcpuInfo> info_;
   std::vector<std::vector<VcpuId>> runq_;  // Per-CPU.
+
+  obs::Counter* m_steals_ = nullptr;
 };
 
 }  // namespace tableau

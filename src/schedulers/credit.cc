@@ -6,6 +6,14 @@
 
 namespace tableau {
 
+void CreditScheduler::Attach(Machine* machine) {
+  VcpuScheduler::Attach(machine);
+  obs::MetricsRegistry& metrics = machine->metrics();
+  m_boost_promotions_ = metrics.GetCounter("credit.boost_promotions");
+  m_steals_ = metrics.GetCounter("credit.steals");
+  m_runq_lock_ns_ = metrics.GetHistogram("credit.runq_lock_hold_ns");
+}
+
 void CreditScheduler::AddVcpu(Vcpu* vcpu) {
   const auto id = static_cast<std::size_t>(vcpu->id());
   if (info_.size() <= id) {
@@ -110,8 +118,10 @@ Decision CreditScheduler::PickNext(CpuId cpu) {
   auto& queue = runq_[static_cast<std::size_t>(cpu)];
   // Per-CPU runqueue lock, credit burn accounting, runqueue sort, and
   // priority bookkeeping.
-  machine_->AddOpCost(costs.lock_base + 10 * costs.cache_local +
-                      2 * static_cast<TimeNs>(queue.size()) * costs.runq_entry);
+  const TimeNs lock_hold =
+      costs.lock_base + 2 * static_cast<TimeNs>(queue.size()) * costs.runq_entry;
+  m_runq_lock_ns_->Record(lock_hold);
+  machine_->AddOpCost(lock_hold + 10 * costs.cache_local);
 
   int best = BestInQueue(cpu, /*under_or_better_only=*/false);
   const bool local_is_good =
@@ -153,6 +163,7 @@ Decision CreditScheduler::PickNext(CpuId cpu) {
         const VcpuId stolen = remote_queue[static_cast<std::size_t>(steal)];
         DequeueIfQueued(stolen);
         Enqueue(stolen, cpu);
+        m_steals_->Increment();
         best = BestInQueue(cpu, /*under_or_better_only=*/false);
         break;
       }
@@ -186,6 +197,7 @@ void CreditScheduler::OnWakeup(Vcpu* vcpu) {
   // The boost heuristic: an UNDER vCPU waking from I/O is prioritized.
   if (options_.boost_enabled && info.prio == Prio::kUnder) {
     info.prio = Prio::kBoost;
+    m_boost_promotions_->Increment();
   }
   const CpuId target = vcpu->last_cpu() == kNoCpu ? info.cpu : vcpu->last_cpu();
   Enqueue(vcpu->id(), target);

@@ -37,6 +37,7 @@ class CreditScheduler : public VcpuScheduler {
   explicit CreditScheduler(Options options) : options_(options) {}
 
   std::string Name() const override { return "Credit"; }
+  void Attach(Machine* machine) override;
   void AddVcpu(Vcpu* vcpu) override;
   void Start() override;
   Decision PickNext(CpuId cpu) override;
@@ -71,6 +72,10 @@ class CreditScheduler : public VcpuScheduler {
   std::vector<VcpuInfo> info_;
   std::vector<std::vector<VcpuId>> runq_;  // Per-CPU, FIFO order.
   double total_weight_ = 0;
+
+  obs::Counter* m_boost_promotions_ = nullptr;
+  obs::Counter* m_steals_ = nullptr;
+  obs::LatencyHistogram* m_runq_lock_ns_ = nullptr;
 };
 
 }  // namespace tableau

@@ -16,6 +16,7 @@ void Credit2Scheduler::Attach(Machine* machine) {
   VcpuScheduler::Attach(machine);
   runq_.assign(static_cast<std::size_t>(NumSockets()), {});
   locks_.assign(static_cast<std::size_t>(NumSockets()), LockModel{});
+  m_lock_acquire_ns_ = machine->metrics().GetHistogram("credit2.lock_acquire_ns");
 }
 
 void Credit2Scheduler::AddVcpu(Vcpu* vcpu) {
@@ -32,6 +33,7 @@ void Credit2Scheduler::AddVcpu(Vcpu* vcpu) {
 TimeNs Credit2Scheduler::ChargeLock(int socket, TimeNs hold) {
   const TimeNs cost =
       locks_[static_cast<std::size_t>(socket)].Acquire(machine_->Now(), hold);
+  m_lock_acquire_ns_->Record(cost);
   machine_->AddOpCost(cost);
   return cost;
 }

@@ -59,6 +59,8 @@ class Credit2Scheduler : public VcpuScheduler {
   std::vector<VcpuInfo> info_;
   std::vector<std::vector<VcpuId>> runq_;  // Per-socket.
   std::vector<LockModel> locks_;           // Per-socket runqueue lock.
+
+  obs::LatencyHistogram* m_lock_acquire_ns_ = nullptr;
 };
 
 }  // namespace tableau

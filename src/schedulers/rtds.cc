@@ -49,12 +49,27 @@ void RtdsScheduler::Start() {
   }
 }
 
+void RtdsScheduler::Attach(Machine* machine) {
+  VcpuScheduler::Attach(machine);
+  obs::MetricsRegistry& metrics = machine->metrics();
+  m_lock_acquire_ns_ = metrics.GetHistogram("rtds.lock_acquire_ns");
+  m_lock_timeouts_ = metrics.GetCounter("rtds.lock_timeouts");
+}
+
 void RtdsScheduler::ChargeGlobalLock(TimeNs hold) {
-  machine_->AddOpCost(global_lock_.Acquire(machine_->Now(), hold));
+  const TimeNs cost = global_lock_.Acquire(machine_->Now(), hold);
+  m_lock_acquire_ns_->Record(cost);
+  machine_->AddOpCost(cost);
 }
 
 void RtdsScheduler::ChargeGlobalLockBounded(TimeNs hold, TimeNs patience) {
-  machine_->AddOpCost(global_lock_.AcquireWithPatience(machine_->Now(), hold, patience).cost);
+  const LockModel::Acquisition acq =
+      global_lock_.AcquireWithPatience(machine_->Now(), hold, patience);
+  m_lock_acquire_ns_->Record(acq.cost);
+  if (!acq.acquired) {
+    m_lock_timeouts_->Increment();
+  }
+  machine_->AddOpCost(acq.cost);
 }
 
 void RtdsScheduler::Replenish(VcpuId id) {

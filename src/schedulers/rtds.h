@@ -31,6 +31,7 @@ class RtdsScheduler : public VcpuScheduler {
   RtdsScheduler() = default;
 
   std::string Name() const override { return "RTDS"; }
+  void Attach(Machine* machine) override;
   void AddVcpu(Vcpu* vcpu) override;
   void Start() override;
   Decision PickNext(CpuId cpu) override;
@@ -60,6 +61,11 @@ class RtdsScheduler : public VcpuScheduler {
 
   std::vector<VcpuInfo> info_;
   LockModel global_lock_;
+
+  // Global-lock acquisition cost (queueing delay + hold) and the number of
+  // bounded acquisitions that gave up within their patience window.
+  obs::LatencyHistogram* m_lock_acquire_ns_ = nullptr;
+  obs::Counter* m_lock_timeouts_ = nullptr;
 };
 
 }  // namespace tableau

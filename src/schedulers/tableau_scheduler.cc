@@ -1,5 +1,7 @@
 #include "src/schedulers/tableau_scheduler.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 
 namespace tableau {
@@ -9,6 +11,8 @@ TableauScheduler::TableauScheduler(TableauDispatcher::Config config) : config_(c
 void TableauScheduler::Attach(Machine* machine) {
   VcpuScheduler::Attach(machine);
   dispatcher_ = std::make_unique<TableauDispatcher>(machine->num_cpus(), config_);
+  dispatcher_->AttachMetrics(&machine->metrics());
+  m_blackout_ns_ = machine->metrics().GetHistogram("tableau.blackout_ns");
   second_level_running_.assign(static_cast<std::size_t>(machine->num_cpus()), kIdleVcpu);
 }
 
@@ -57,6 +61,11 @@ Decision TableauScheduler::PickNext(CpuId cpu) {
     if (reserved->runnable()) {
       if (reserved->running_on() == kNoCpu) {
         pending_handoff_.erase(slot.vcpu);
+        if (reserved->dispatch_count() > 0) {
+          const TimeNs serviceable_since =
+              std::max(reserved->last_service_end(), reserved->wake_time());
+          m_blackout_ns_->Record(now - serviceable_since);
+        }
         Decision decision;
         decision.vcpu = slot.vcpu;
         decision.until = slot.slot_end;

@@ -55,6 +55,10 @@ class TableauScheduler : public VcpuScheduler {
 
   // Last table generation observed, for emitting table-switch trace events.
   std::uint64_t seen_generation_ = 0;
+
+  // Blackout window: gap between a reserved vCPU last being serviceable
+  // (descheduled or woken) and its next first-level dispatch.
+  obs::LatencyHistogram* m_blackout_ns_ = nullptr;
 };
 
 }  // namespace tableau

@@ -62,6 +62,7 @@ std::int32_t Simulation::AllocNode(bool persistent, TimeNs period) {
   ref.prev = kNil;
   ref.next = kNil;
   ++live_nodes_;
+  engine_stats_.peak_live_nodes = std::max(engine_stats_.peak_live_nodes, live_nodes_);
   return node;
 }
 
@@ -193,6 +194,7 @@ int Simulation::FindOccupied(int level, int from) const {
 }
 
 void Simulation::DrainSlotToNear(int slot) {
+  ++engine_stats_.slot_drains;
   std::int32_t node = wheel_[0][slot];
   wheel_[0][slot] = kNil;
   occupied_[0][slot >> 6] &= ~(1ull << (slot & 63));
@@ -208,6 +210,7 @@ void Simulation::DrainSlotToNear(int slot) {
 }
 
 void Simulation::CascadeSlot(int level, int slot) {
+  ++engine_stats_.wheel_cascades;
   std::int32_t node = wheel_[level][slot];
   wheel_[level][slot] = kNil;
   occupied_[level][slot >> 6] &= ~(1ull << (slot & 63));
@@ -268,6 +271,7 @@ bool Simulation::AdvanceOnce() {
       continue;
     }
     base_ = (top.time >> kShift0) << kShift0;
+    ++engine_stats_.overflow_reloads;
     const int rotation_shift = ShiftOf(kLevels - 1) + kSlotBits;
     while (!overflow_.empty()) {
       const HeapEntry entry = overflow_.front();

@@ -113,6 +113,17 @@ class Simulation {
 
   std::uint64_t events_executed() const { return events_executed_; }
 
+  // Internal-mechanism counters for observability (exported as sim.* metrics
+  // by Machine::SnapshotMetrics). Plain integers: the engine is
+  // single-threaded and these never influence event order.
+  struct EngineStats {
+    std::uint64_t wheel_cascades = 0;    // Higher-level slots redistributed.
+    std::uint64_t slot_drains = 0;       // Level-0 slots drained into near_.
+    std::uint64_t overflow_reloads = 0;  // Wheel rebases from the overflow heap.
+    std::size_t peak_live_nodes = 0;     // High-water mark of live_events().
+  };
+  const EngineStats& engine_stats() const { return engine_stats_; }
+
   // Pool introspection (tests / benches): nodes currently allocated to
   // pending, active, or dormant events, and the pool's total capacity.
   // Capacity staying flat across schedule/fire/cancel churn is the
@@ -214,6 +225,7 @@ class Simulation {
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_executed_ = 0;
   std::size_t live_nodes_ = 0;
+  EngineStats engine_stats_;
   std::int32_t active_ = kNil;
 
   std::vector<std::unique_ptr<EventNode[]>> chunks_;

@@ -39,12 +39,25 @@ void Histogram::Record(TimeNs value) {
   sum_ += static_cast<double>(v);
   min_ = std::min<TimeNs>(min_, value < 0 ? 0 : value);
   max_ = std::max<TimeNs>(max_, value < 0 ? 0 : value);
+  const double d = static_cast<double>(v);
+  const double delta = d - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (d - mean_);
 }
 
 void Histogram::Merge(const Histogram& other) {
   TABLEAU_CHECK(buckets_.size() == other.buckets_.size());
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     buckets_[i] += other.buckets_[i];
+  }
+  // Chan et al.'s pairwise combination of the Welford states: exact for the
+  // concatenated sample stream.
+  if (other.count_ > 0) {
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * nb / (na + nb);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
   }
   count_ += other.count_;
   sum_ += other.sum_;
@@ -58,6 +71,12 @@ double Histogram::Mean() const {
   }
   return sum_ / static_cast<double>(count_);
 }
+
+double Histogram::Variance() const {
+  return count_ < 2 ? 0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double Histogram::StdDev() const { return std::sqrt(Variance()); }
 
 TimeNs Histogram::Percentile(double q) const {
   if (count_ == 0) {
@@ -92,6 +111,8 @@ void Histogram::Reset() {
   sum_ = 0;
   min_ = kTimeNever;
   max_ = 0;
+  mean_ = 0;
+  m2_ = 0;
 }
 
 }  // namespace tableau

@@ -29,6 +29,11 @@ class Histogram {
   TimeNs Min() const { return count_ == 0 ? 0 : min_; }
   TimeNs Max() const { return count_ == 0 ? 0 : max_; }
   double Mean() const;
+  // Exact sample variance/stddev (n - 1 denominator), tracked on the side
+  // with Welford's update — not derived from the lossy buckets. 0 with fewer
+  // than two samples.
+  double Variance() const;
+  double StdDev() const;
 
   // Returns the value at quantile q in [0, 1]. Percentile(1.0) returns the
   // exact maximum. Returns 0 for an empty histogram.
@@ -51,6 +56,9 @@ class Histogram {
   double sum_ = 0;
   TimeNs min_ = kTimeNever;
   TimeNs max_ = 0;
+  // Welford state: running mean and sum of squared deviations from it.
+  double mean_ = 0;
+  double m2_ = 0;
 };
 
 }  // namespace tableau

@@ -4,12 +4,17 @@
 #define SRC_STATS_SUMMARY_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <string>
 
 namespace tableau {
 
-// Streaming mean/min/max/count accumulator over doubles.
+// Streaming mean/min/max/count/variance accumulator over doubles. Variance
+// uses Welford's online algorithm, which stays numerically stable when the
+// mean dwarfs the spread (e.g. nanosecond latencies in the 10^9 range with
+// microsecond jitter — the naive sum-of-squares form cancels catastrophically
+// there).
 class RunningStat {
  public:
   void Record(double value) {
@@ -17,6 +22,9 @@ class RunningStat {
     sum_ += value;
     min_ = std::min(min_, value);
     max_ = std::max(max_, value);
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
   }
 
   std::uint64_t Count() const { return count_; }
@@ -24,6 +32,11 @@ class RunningStat {
   double Mean() const { return count_ == 0 ? 0 : sum_ / static_cast<double>(count_); }
   double Min() const { return count_ == 0 ? 0 : min_; }
   double Max() const { return count_ == 0 ? 0 : max_; }
+  // Sample variance (n - 1 denominator); 0 with fewer than two samples.
+  double Variance() const {
+    return count_ < 2 ? 0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double StdDev() const { return std::sqrt(Variance()); }
 
   void Reset() { *this = RunningStat(); }
 
@@ -32,6 +45,9 @@ class RunningStat {
   double sum_ = 0;
   double min_ = 1e300;
   double max_ = -1e300;
+  // Welford state: running mean and sum of squared deviations from it.
+  double mean_ = 0;
+  double m2_ = 0;
 };
 
 }  // namespace tableau

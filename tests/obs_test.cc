@@ -1,0 +1,323 @@
+// Tests for the observability layer: metrics registry semantics (handles,
+// enable gating, snapshot/delta/merge, JSON round-trip) and the Perfetto
+// trace exporter (golden output on a hand-built trace, schema validation,
+// end-to-end export of a 2-CPU scenario, and the determinism guarantee that
+// metrics collection never perturbs the simulation).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_export.h"
+#include "src/workloads/stress.h"
+
+namespace tableau {
+namespace {
+
+using obs::LatencyHistogram;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+
+TEST(MetricsRegistry, HandlesAreStableAndFindOrCreate) {
+  MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("a.count");
+  EXPECT_EQ(counter, registry.GetCounter("a.count"));
+  counter->Increment();
+  counter->Increment(4);
+  EXPECT_EQ(counter->value(), 5);
+
+  obs::Gauge* gauge = registry.GetGauge("a.gauge");
+  EXPECT_EQ(gauge, registry.GetGauge("a.gauge"));
+  gauge->Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge->value(), 2.5);
+
+  LatencyHistogram* hist = registry.GetHistogram("a.lat_ns");
+  EXPECT_EQ(hist, registry.GetHistogram("a.lat_ns"));
+  hist->Record(100);
+  hist->Record(300);
+  EXPECT_EQ(hist->Count(), 2u);
+  EXPECT_EQ(hist->Sum(), 400);
+  EXPECT_EQ(hist->Min(), 100);
+  EXPECT_EQ(hist->Max(), 300);
+}
+
+TEST(MetricsRegistry, DisableGatesRecordingThroughExistingHandles) {
+  MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("c");
+  obs::Gauge* gauge = registry.GetGauge("g");
+  LatencyHistogram* hist = registry.GetHistogram("h");
+  counter->Increment();
+  gauge->Set(1.0);
+  hist->Record(10);
+
+  registry.set_enabled(false);
+  counter->Increment(100);
+  gauge->Set(99.0);
+  hist->Record(1000);
+  EXPECT_EQ(counter->value(), 1);
+  EXPECT_DOUBLE_EQ(gauge->value(), 1.0);
+  EXPECT_EQ(hist->Count(), 1u);
+
+  registry.set_enabled(true);
+  counter->Increment();
+  EXPECT_EQ(counter->value(), 2);
+}
+
+TEST(MetricsRegistry, HistogramNegativeValuesClampToZero) {
+  MetricsRegistry registry;
+  LatencyHistogram* hist = registry.GetHistogram("h");
+  hist->Record(-5);
+  EXPECT_EQ(hist->Count(), 1u);
+  EXPECT_EQ(hist->Sum(), 0);
+  EXPECT_EQ(hist->Min(), 0);
+  EXPECT_EQ(hist->Max(), 0);
+}
+
+TEST(MetricsRegistry, BucketUpperEdgesArePowersOfTwoMinusOne) {
+  EXPECT_EQ(LatencyHistogram::BucketUpperEdge(0), 0);
+  EXPECT_EQ(LatencyHistogram::BucketUpperEdge(1), 1);
+  EXPECT_EQ(LatencyHistogram::BucketUpperEdge(4), 15);
+  EXPECT_EQ(LatencyHistogram::BucketUpperEdge(10), 1023);
+}
+
+TEST(MetricsSnapshot, DeltaSubtractsCountersAndHistogramsKeepsGauges) {
+  MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("c");
+  obs::Gauge* gauge = registry.GetGauge("g");
+  LatencyHistogram* hist = registry.GetHistogram("h");
+  counter->Increment(10);
+  gauge->Set(1.0);
+  hist->Record(64);
+  const MetricsSnapshot before = registry.Snapshot();
+
+  counter->Increment(7);
+  gauge->Set(3.0);
+  hist->Record(64);
+  hist->Record(128);
+  const MetricsSnapshot delta = registry.Snapshot().Delta(before);
+
+  EXPECT_EQ(delta.values.at("c").counter, 7);
+  EXPECT_DOUBLE_EQ(delta.values.at("g").gauge, 3.0);
+  EXPECT_EQ(delta.values.at("h").hist.count, 2u);
+  EXPECT_EQ(delta.values.at("h").hist.sum, 64 + 128);
+}
+
+TEST(MetricsSnapshot, MergeAddsCountersAndHistogramsMaxesGauges) {
+  MetricsRegistry a;
+  a.GetCounter("c")->Increment(3);
+  a.GetGauge("g")->Set(5.0);
+  a.GetHistogram("h")->Record(10);
+  MetricsRegistry b;
+  b.GetCounter("c")->Increment(4);
+  b.GetGauge("g")->Set(2.0);
+  b.GetHistogram("h")->Record(20);
+  b.GetCounter("only_b")->Increment();
+
+  MetricsSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.values.at("c").counter, 7);
+  EXPECT_DOUBLE_EQ(merged.values.at("g").gauge, 5.0);  // max, order-independent
+  EXPECT_EQ(merged.values.at("h").hist.count, 2u);
+  EXPECT_EQ(merged.values.at("h").hist.sum, 30);
+  EXPECT_EQ(merged.values.at("h").hist.min, 10);
+  EXPECT_EQ(merged.values.at("h").hist.max, 20);
+  EXPECT_EQ(merged.values.at("only_b").counter, 1);
+}
+
+TEST(MetricsSnapshot, JsonRoundTripPreservesEverything) {
+  MetricsRegistry registry;
+  registry.GetCounter("sim.events")->Increment(12345);
+  registry.GetGauge("sim.pool_size")->Set(17.25);
+  LatencyHistogram* hist = registry.GetHistogram("sched.latency_ns");
+  hist->Record(0);
+  hist->Record(1);
+  hist->Record(1000);
+  hist->Record(1'000'000);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+
+  const std::string json = snapshot.ToJson();
+  const auto parsed = MetricsSnapshot::FromJson(json);
+  ASSERT_TRUE(parsed.has_value()) << json;
+  EXPECT_EQ(*parsed, snapshot);
+
+  // The parsed histogram keeps exact count/sum/min/max and bucket contents.
+  const auto& hv = parsed->values.at("sched.latency_ns").hist;
+  EXPECT_EQ(hv.count, 4u);
+  EXPECT_EQ(hv.sum, 1'001'001);
+  EXPECT_EQ(hv.min, 0);
+  EXPECT_EQ(hv.max, 1'000'000);
+  std::uint64_t bucketed = 0;
+  for (const auto& [index, count] : hv.buckets) {
+    EXPECT_GE(index, 0);
+    EXPECT_LT(index, LatencyHistogram::kBuckets);
+    bucketed += count;
+  }
+  EXPECT_EQ(bucketed, hv.count);
+}
+
+TEST(MetricsSnapshot, FromJsonRejectsMalformedDocuments) {
+  EXPECT_FALSE(MetricsSnapshot::FromJson("not json").has_value());
+  EXPECT_FALSE(MetricsSnapshot::FromJson("[]").has_value());
+  // Bucket edge 6 is not of the 2^i - 1 form.
+  EXPECT_FALSE(MetricsSnapshot::FromJson(
+                   R"({"counters": {}, "gauges": {}, "histograms": {"h":
+                      {"count": 1, "sum": 5, "min": 5, "max": 5,
+                       "buckets": [[6, 1]]}}})")
+                   .has_value());
+}
+
+TEST(MetricsSnapshot, CsvListsEveryMetric) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Increment(2);
+  registry.GetHistogram("h")->Record(100);
+  const std::string csv = registry.Snapshot().ToCsv();
+  EXPECT_NE(csv.find("counter,c"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("histogram,h"), std::string::npos) << csv;
+}
+
+// Golden output: a hand-built two-CPU trace renders to exactly this JSON.
+// If the exporter's format changes intentionally, update the golden below —
+// the failure message prints the actual output.
+TEST(TraceExport, GoldenPerfettoJsonForHandBuiltTrace) {
+  TraceBuffer trace(16);
+  trace.Record(1000, TraceEvent::kWakeup, 0, 1);
+  trace.Record(2000, TraceEvent::kDispatch, 0, 1);
+  trace.Record(2500, TraceEvent::kDispatch, 1, 2, /*second_level=*/1);
+  trace.Record(3000, TraceEvent::kTableSwitch, 0, kIdleVcpu, /*generation=*/7);
+  trace.Record(5000, TraceEvent::kDeschedule, 0, 1);
+  trace.Record(6000, TraceEvent::kBlock, 1, 2);
+
+  obs::PerfettoExportOptions options;
+  options.process_name = "golden";
+  options.vcpu_names[1] = "vantage";
+  options.vcpu_names[2] = "bg";
+  const std::string json = obs::TraceToPerfettoJson(trace, 2, options);
+
+  const std::string expected = R"({
+  "displayTimeUnit": "ns",
+  "traceEvents": [
+    {"name": "process_name", "ph": "M", "pid": 1, "args": {"name": "golden"}},
+    {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1, "args": {"name": "pCPU 0"}},
+    {"name": "thread_name", "ph": "M", "pid": 1, "tid": 2, "args": {"name": "pCPU 1"}},
+    {"name": "wakeup vantage", "cat": "event", "ph": "i", "s": "t", "ts": 1.000, "pid": 1, "tid": 1},
+    {"name": "table switch", "cat": "event", "ph": "i", "s": "t", "ts": 3.000, "pid": 1, "tid": 1, "args": {"generation": 7}},
+    {"name": "vantage", "cat": "service", "ph": "X", "ts": 2.000, "dur": 3.000, "pid": 1, "tid": 1, "args": {"vcpu": 1, "second_level": false}},
+    {"name": "bg", "cat": "service", "ph": "X", "ts": 2.500, "dur": 3.500, "pid": 1, "tid": 2, "args": {"vcpu": 2, "second_level": true}}
+  ]
+}
+)";
+  EXPECT_EQ(json, expected);
+
+  std::string error;
+  EXPECT_TRUE(obs::ValidatePerfettoJson(json, &error)) << error;
+}
+
+TEST(TraceExport, WrappedRingEmitsTruncatedSlices) {
+  // Capacity 2: the dispatch at t=100 is overwritten, leaving only the
+  // deschedule at t=300 and an idle marker. The exporter must report the
+  // visible tail as a truncated slice, not drop or invent an interval.
+  TraceBuffer trace(2);
+  trace.Record(100, TraceEvent::kDispatch, 0, 5);
+  trace.Record(300, TraceEvent::kDeschedule, 0, 5);
+  trace.Record(400, TraceEvent::kIdle, 0, kIdleVcpu);
+  ASSERT_GT(trace.dropped(), 0u);
+
+  const std::string json = obs::TraceToPerfettoJson(trace, 1, {});
+  EXPECT_NE(json.find("\"truncated\": true"), std::string::npos) << json;
+  std::string error;
+  EXPECT_TRUE(obs::ValidatePerfettoJson(json, &error)) << error;
+}
+
+TEST(TraceExport, ValidatorRejectsMalformedDocuments) {
+  std::string error;
+  EXPECT_FALSE(obs::ValidatePerfettoJson("not json", &error));
+  EXPECT_FALSE(obs::ValidatePerfettoJson("[]", &error));
+  EXPECT_FALSE(obs::ValidatePerfettoJson(R"({"traceEvents": 3})", &error));
+  // Complete slice without a dur.
+  EXPECT_FALSE(obs::ValidatePerfettoJson(
+      R"({"traceEvents": [{"name": "x", "ph": "X", "pid": 1, "ts": 1.0}]})",
+      &error));
+  // Negative dur.
+  EXPECT_FALSE(obs::ValidatePerfettoJson(
+      R"({"traceEvents": [{"name": "x", "ph": "X", "pid": 1, "ts": 1.0, "dur": -2}]})",
+      &error));
+  // Missing ph.
+  EXPECT_FALSE(obs::ValidatePerfettoJson(
+      R"({"traceEvents": [{"name": "x", "pid": 1, "ts": 1.0}]})", &error));
+}
+
+// --- End-to-end: scenario runs export valid JSON and metrics stay inert. ---
+
+Scenario RunTracedScenario(bool metrics_enabled) {
+  ScenarioConfig config;
+  config.scheduler = SchedKind::kTableau;
+  config.capped = true;
+  config.guest_cpus = 2;
+  config.cores_per_socket = 1;
+  Scenario scenario = BuildScenario(config);
+  scenario.machine->metrics().set_enabled(metrics_enabled);
+  scenario.machine->trace().set_enabled(true);
+  scenario.vantage->EnableInstrumentation();
+  CpuHogWorkload loop(scenario.machine.get(), scenario.vantage);
+  loop.Start(0);
+  bench::BackgroundWorkloads background;
+  bench::AttachBackground(scenario, bench::Background::kIo, 1, background);
+  scenario.machine->Start();
+  scenario.machine->RunFor(100 * kMillisecond);
+  return scenario;
+}
+
+std::uint64_t TraceFingerprint(const Scenario& scenario) {
+  std::uint64_t hash = 1469598103934665603ull;
+  const auto mix = [&hash](std::uint64_t value) {
+    hash ^= value;
+    hash *= 1099511628211ull;
+  };
+  scenario.machine->trace().ForEach([&](const TraceRecord& record) {
+    mix(static_cast<std::uint64_t>(record.time));
+    mix(static_cast<std::uint64_t>(record.event));
+    mix(static_cast<std::uint64_t>(record.cpu));
+    mix(static_cast<std::uint64_t>(record.vcpu));
+    mix(static_cast<std::uint64_t>(record.arg));
+  });
+  mix(scenario.machine->trace().total_recorded());
+  mix(scenario.machine->sim().events_executed());
+  return hash;
+}
+
+TEST(TraceExport, TwoCpuScenarioExportsValidPerfettoJson) {
+  const Scenario scenario = RunTracedScenario(/*metrics_enabled=*/true);
+  ASSERT_GT(scenario.machine->trace().size(), 0u);
+
+  obs::PerfettoExportOptions options;
+  for (const Vcpu* vcpu : scenario.vcpus) {
+    options.vcpu_names[vcpu->id()] = vcpu->params().name;
+  }
+  const std::string json = obs::TraceToPerfettoJson(
+      scenario.machine->trace(), scenario.machine->num_cpus(), options);
+  std::string error;
+  EXPECT_TRUE(obs::ValidatePerfettoJson(json, &error)) << error;
+
+  // The scenario's metrics landed in the machine registry, including the
+  // planner phase timings wired through ScenarioConfig.
+  const MetricsSnapshot snapshot = scenario.machine->SnapshotMetrics();
+  EXPECT_GT(snapshot.values.count("machine.context_switches"), 0u);
+  EXPECT_GT(snapshot.values.count("planner.plan_total_ns"), 0u);
+  const auto round_trip = MetricsSnapshot::FromJson(snapshot.ToJson());
+  ASSERT_TRUE(round_trip.has_value());
+  EXPECT_EQ(*round_trip, snapshot);
+}
+
+TEST(TraceExport, MetricsCollectionDoesNotPerturbSimulation) {
+  const Scenario with_metrics = RunTracedScenario(/*metrics_enabled=*/true);
+  const Scenario without_metrics = RunTracedScenario(/*metrics_enabled=*/false);
+  EXPECT_EQ(TraceFingerprint(with_metrics), TraceFingerprint(without_metrics));
+  EXPECT_EQ(with_metrics.machine->sim().events_executed(),
+            without_metrics.machine->sim().events_executed());
+}
+
+}  // namespace
+}  // namespace tableau

@@ -84,6 +84,78 @@ TEST(TraceBuffer, ServiceTimelinePairsDispatches) {
   EXPECT_TRUE(timeline[1].second_level);
 }
 
+TEST(TraceBuffer, ServiceTimelineMarksTruncatedHead) {
+  // Ring of 2: the dispatch at t=100 is overwritten by later records, so the
+  // deschedule at t=300 has no visible opening. The timeline reports the
+  // visible tail, anchored at the window edge and flagged truncated_start.
+  TraceBuffer trace(2);
+  trace.Record(100, TraceEvent::kDispatch, 0, 5);
+  trace.Record(300, TraceEvent::kDeschedule, 0, 5);
+  trace.Record(400, TraceEvent::kWakeup, 0, 5);
+  EXPECT_EQ(trace.dropped(), 1u);
+  const auto timeline = trace.ServiceTimeline(5);
+  ASSERT_EQ(timeline.size(), 1u);
+  EXPECT_EQ(timeline[0].start, trace.oldest_retained_time());
+  EXPECT_EQ(timeline[0].end, 300);
+  EXPECT_TRUE(timeline[0].truncated_start);
+  EXPECT_FALSE(timeline[0].truncated_end);
+}
+
+TEST(TraceBuffer, ServiceTimelineMarksTruncatedTail) {
+  TraceBuffer trace(8);
+  trace.Record(10, TraceEvent::kDispatch, 0, 3);
+  trace.Record(20, TraceEvent::kDeschedule, 0, 3);
+  trace.Record(30, TraceEvent::kDispatch, 1, 3);
+  trace.Record(45, TraceEvent::kWakeup, 0, 9);  // Newest record, other vCPU.
+  const auto timeline = trace.ServiceTimeline(3);
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_FALSE(timeline[0].truncated_start);
+  EXPECT_FALSE(timeline[0].truncated_end);
+  // The open interval is closed at the newest record's time, not invented
+  // beyond the observable window.
+  EXPECT_EQ(timeline[1].start, 30);
+  EXPECT_EQ(timeline[1].end, 45);
+  EXPECT_TRUE(timeline[1].truncated_end);
+}
+
+TEST(TraceBuffer, ServiceTimelineClosesDanglingIntervalAtNextDispatch) {
+  // A deschedule lost to the ring between two retained dispatches: the first
+  // interval closes (truncated) at the second dispatch instead of merging.
+  TraceBuffer trace(8);
+  trace.Record(10, TraceEvent::kDispatch, 0, 4);
+  trace.Record(50, TraceEvent::kDispatch, 0, 4);
+  trace.Record(70, TraceEvent::kDeschedule, 0, 4);
+  const auto timeline = trace.ServiceTimeline(4);
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_EQ(timeline[0].start, 10);
+  EXPECT_EQ(timeline[0].end, 50);
+  EXPECT_TRUE(timeline[0].truncated_end);
+  EXPECT_EQ(timeline[1].start, 50);
+  EXPECT_EQ(timeline[1].end, 70);
+  EXPECT_FALSE(timeline[1].truncated_end);
+}
+
+TEST(TraceBuffer, DroppedStaysExactAcrossClear) {
+  TraceBuffer trace(4);
+  for (TimeNs t = 0; t < 6; ++t) {
+    trace.Record(t, TraceEvent::kWakeup, 0, 0);
+  }
+  EXPECT_EQ(trace.total_recorded(), 6u);
+  EXPECT_EQ(trace.dropped(), 2u);
+  EXPECT_EQ(trace.total_recorded(), trace.dropped() + trace.size());
+
+  trace.Clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.total_recorded(), 6u);
+  EXPECT_EQ(trace.dropped(), 6u);
+
+  trace.Record(100, TraceEvent::kDispatch, 0, 1);
+  EXPECT_EQ(trace.total_recorded(), 7u);
+  EXPECT_EQ(trace.dropped(), 6u);
+  EXPECT_EQ(trace.total_recorded(), trace.dropped() + trace.size());
+  EXPECT_EQ(trace.oldest_retained_time(), 100);
+}
+
 TEST(TraceBuffer, FormatIsHumanReadable) {
   const TraceRecord record{1'500'000, TraceEvent::kDispatch, 3, 12, 1};
   const std::string line = TraceBuffer::Format(record);

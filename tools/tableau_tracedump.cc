@@ -1,0 +1,202 @@
+// tableau_tracedump: run one scenario with tracing on and render its trace
+// as Chrome/Perfetto trace_event JSON (load the output in ui.perfetto.dev or
+// chrome://tracing) plus a metrics table on stdout.
+//
+// Usage:
+//   tableau_tracedump [--scheduler credit|credit2|rtds|tableau|cfs]
+//                     [--cpus N] [--seconds S] [--capped]
+//                     [--out FILE] [--validate] [--check-determinism]
+//
+// --validate runs the built-in Perfetto schema check on the emitted JSON and
+// fails the process if it does not conform. --check-determinism re-runs the
+// identical scenario with metrics disabled and fails if the trace fingerprint
+// differs (observability must not perturb the simulation).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/obs/trace_export.h"
+#include "src/workloads/stress.h"
+
+using namespace tableau;
+using namespace tableau::bench;
+
+namespace {
+
+struct Options {
+  SchedKind scheduler = SchedKind::kTableau;
+  int cpus = 4;
+  double seconds = 0.3;
+  bool capped = true;
+  std::string out;  // Default derived from the scheduler name.
+  bool validate = false;
+  bool check_determinism = false;
+};
+
+bool ParseSchedKind(const char* name, SchedKind* out) {
+  if (std::strcmp(name, "credit") == 0) {
+    *out = SchedKind::kCredit;
+  } else if (std::strcmp(name, "credit2") == 0) {
+    *out = SchedKind::kCredit2;
+  } else if (std::strcmp(name, "rtds") == 0) {
+    *out = SchedKind::kRtds;
+  } else if (std::strcmp(name, "tableau") == 0) {
+    *out = SchedKind::kTableau;
+  } else if (std::strcmp(name, "cfs") == 0) {
+    *out = SchedKind::kCfs;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--scheduler credit|credit2|rtds|tableau|cfs] [--cpus N]\n"
+               "          [--seconds S] [--capped] [--out FILE] [--validate]\n"
+               "          [--check-determinism]\n",
+               argv0);
+  std::exit(2);
+}
+
+// A Fig. 5-style cell: a CPU-bound loop in the vantage VM, I/O-intensive
+// stress in every other VM, 4 VMs per guest core.
+Scenario RunScenario(const Options& options, bool metrics_enabled) {
+  ScenarioConfig config;
+  config.scheduler = options.scheduler;
+  config.capped = options.capped;
+  config.guest_cpus = options.cpus;
+  config.cores_per_socket = options.cpus >= 2 ? options.cpus / 2 : 1;
+  Scenario scenario = BuildScenario(config);
+  scenario.machine->metrics().set_enabled(metrics_enabled);
+  scenario.machine->trace().set_enabled(true);
+  scenario.vantage->EnableInstrumentation();
+  // Workloads must outlive the run but not the scenario; keep them static-free
+  // by running inside this scope.
+  CpuHogWorkload loop(scenario.machine.get(), scenario.vantage);
+  loop.Start(0);
+  BackgroundWorkloads background;
+  AttachBackground(scenario, Background::kIo, 1, background);
+  scenario.machine->Start();
+  scenario.machine->RunFor(static_cast<TimeNs>(options.seconds * kSecond));
+  return scenario;
+}
+
+// FNV-1a over every retained trace record (the engine-golden fingerprint).
+std::uint64_t TraceFingerprint(const Scenario& scenario) {
+  std::uint64_t hash = 1469598103934665603ull;
+  auto mix = [&hash](std::uint64_t value) {
+    hash ^= value;
+    hash *= 1099511628211ull;
+  };
+  scenario.machine->trace().ForEach([&](const TraceRecord& record) {
+    mix(static_cast<std::uint64_t>(record.time));
+    mix(static_cast<std::uint64_t>(record.event));
+    mix(static_cast<std::uint64_t>(record.cpu));
+    mix(static_cast<std::uint64_t>(record.vcpu));
+    mix(static_cast<std::uint64_t>(record.arg));
+  });
+  mix(scenario.machine->trace().total_recorded());
+  mix(scenario.machine->sim().events_executed());
+  return hash;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const auto NextValue = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--scheduler") == 0) {
+      if (!ParseSchedKind(NextValue(), &options.scheduler)) {
+        Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--cpus") == 0) {
+      options.cpus = std::atoi(NextValue());
+      if (options.cpus < 1) {
+        Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--seconds") == 0) {
+      options.seconds = std::atof(NextValue());
+      if (options.seconds <= 0) {
+        Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--capped") == 0) {
+      options.capped = true;
+    } else if (std::strcmp(arg, "--uncapped") == 0) {
+      options.capped = false;
+    } else if (std::strcmp(arg, "--out") == 0) {
+      options.out = NextValue();
+    } else if (std::strcmp(arg, "--validate") == 0) {
+      options.validate = true;
+    } else if (std::strcmp(arg, "--check-determinism") == 0) {
+      options.check_determinism = true;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+
+  Scenario scenario = RunScenario(options, /*metrics_enabled=*/true);
+
+  obs::PerfettoExportOptions export_options;
+  export_options.process_name =
+      std::string("tableau-sim/") + SchedKindName(options.scheduler);
+  for (const Vcpu* vcpu : scenario.vcpus) {
+    export_options.vcpu_names[vcpu->id()] = vcpu->params().name;
+  }
+  const std::string json = obs::TraceToPerfettoJson(
+      scenario.machine->trace(), scenario.machine->num_cpus(), export_options);
+
+  if (options.validate) {
+    std::string error;
+    if (!obs::ValidatePerfettoJson(json, &error)) {
+      std::fprintf(stderr, "FAIL: emitted Perfetto JSON invalid: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("validate: OK (%zu bytes)\n", json.size());
+  }
+
+  const std::string out_path =
+      options.out.empty()
+          ? std::string(SchedKindName(options.scheduler)) + ".perfetto.json"
+          : options.out;
+  std::FILE* file = std::fopen(out_path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  std::printf("wrote %s (%zu bytes, %llu trace records, %llu dropped)\n",
+              out_path.c_str(), json.size(),
+              static_cast<unsigned long long>(scenario.machine->trace().size()),
+              static_cast<unsigned long long>(scenario.machine->trace().dropped()));
+
+  std::printf("\n--- metrics (CSV) ---\n%s",
+              scenario.machine->SnapshotMetrics().ToCsv().c_str());
+
+  if (options.check_determinism) {
+    const std::uint64_t with_metrics = TraceFingerprint(scenario);
+    const Scenario replay = RunScenario(options, /*metrics_enabled=*/false);
+    const std::uint64_t without_metrics = TraceFingerprint(replay);
+    if (with_metrics != without_metrics) {
+      std::fprintf(stderr,
+                   "FAIL: metrics-enabled trace fingerprint 0x%016llx differs from "
+                   "metrics-disabled 0x%016llx\n",
+                   static_cast<unsigned long long>(with_metrics),
+                   static_cast<unsigned long long>(without_metrics));
+      return 1;
+    }
+    std::printf("\ncheck-determinism: OK (fingerprint 0x%016llx, metrics on == off)\n",
+                static_cast<unsigned long long>(with_metrics));
+  }
+  return 0;
+}
