@@ -38,7 +38,7 @@ int main() {
     for (int i = 0; i < 9; ++i) {
       requests.push_back({id++, 0.10, 100 * kMillisecond});
     }
-    const PlanResult plan = planner.Plan(requests);
+    const PlanResult plan = planner.Solve(PlanRequest::Full(requests));
     TABLEAU_CHECK_MSG(plan.success, "%s", plan.error.c_str());
 
     std::size_t allocations = 0;

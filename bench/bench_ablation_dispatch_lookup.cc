@@ -20,7 +20,7 @@ SchedulingTable MakeTable(int num_vms, TimeNs latency_goal) {
   for (int i = 0; i < num_vms; ++i) {
     requests.push_back(VcpuRequest{i, 12.0 / num_vms, latency_goal});
   }
-  PlanResult plan = planner.Plan(requests);
+  PlanResult plan = planner.Solve(PlanRequest::Full(requests));
   TABLEAU_CHECK_MSG(plan.success, "%s", plan.error.c_str());
   return std::move(plan.table);
 }
@@ -59,7 +59,7 @@ void BM_PlannerEndToEnd(benchmark::State& state) {
     requests.push_back(VcpuRequest{i, 12.0 / num_vms, 20 * kMillisecond});
   }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(planner.Plan(requests));
+    benchmark::DoNotOptimize(planner.Solve(PlanRequest::Full(requests)));
   }
 }
 

@@ -45,7 +45,8 @@ int main() {
       PlannerConfig config;
       config.num_cpus = cores;
       const Planner planner(config);
-      const PlanResult base = planner.Plan(UniformRequests(vms, latency));
+      const PlanResult base =
+          planner.Solve(PlanRequest::Full(UniformRequests(vms, latency)));
       TABLEAU_CHECK(base.success);
       const auto arrival = UniformRequests(1, latency, vms);
 
@@ -53,11 +54,14 @@ int main() {
           [&] {
             std::vector<VcpuRequest> all = base.requests;
             all.push_back(arrival[0]);
-            TABLEAU_CHECK(planner.Plan(all).success);
+            TABLEAU_CHECK(planner.Solve(PlanRequest::Full(all)).success);
           },
           10);
       const double incr_ms = MeasureMs(
-          [&] { TABLEAU_CHECK(planner.PlanIncremental(base, arrival, {}).success); },
+          [&] {
+            TABLEAU_CHECK(
+                planner.Solve(PlanRequest::Delta(base, arrival)).success);
+          },
           10);
       std::printf("%6d %6d %11.3f %s %11.3f %s %9.1fx\n", cores, vms, full_ms,
                   latency == kMillisecond ? "(1ms) " : "(20ms)", incr_ms,

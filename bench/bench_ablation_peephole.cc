@@ -40,7 +40,7 @@ RunStats Measure(bool peephole, int cores, TimeNs duration) {
   config.num_cpus = cores;
   config.peephole_pass = peephole;
   const Planner planner(config);
-  PlanResult plan = planner.Plan(MixedTiers(cores / 4));
+  PlanResult plan = planner.Solve(PlanRequest::Full(MixedTiers(cores / 4)));
   TABLEAU_CHECK_MSG(plan.success, "%s", plan.error.c_str());
 
   RunStats stats;

@@ -37,7 +37,7 @@ int main() {
     PlannerConfig planner_config;
     planner_config.num_cpus = config.guest_cpus;
     const Planner planner(planner_config);
-    PlanResult base = planner.Plan(requests);
+    PlanResult base = planner.Solve(PlanRequest::Full(requests));
     TABLEAU_CHECK(base.success);
     scenario.tableau->PushTable(std::make_shared<SchedulingTable>(base.table));
 
@@ -49,7 +49,7 @@ int main() {
     // VM 47 arrives: incremental replan, delta push, timed switch.
     const auto wall_start = std::chrono::steady_clock::now();
     const PlanResult next =
-        planner.PlanIncremental(base, {{47, 0.25, 20 * kMillisecond}}, {});
+        planner.Solve(PlanRequest::Delta(base, {{47, 0.25, 20 * kMillisecond}}));
     TABLEAU_CHECK(next.success);
     const auto delta = SerializeDelta(base.table, next.table);
     const double plan_ms =

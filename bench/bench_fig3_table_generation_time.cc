@@ -52,7 +52,7 @@ PlanTiming TimePlans(int num_vms, TimeNs latency_goal, int runs, int threads) {
   double total_ms = 0;
   for (int run = 0; run < runs; ++run) {
     const auto start = std::chrono::steady_clock::now();
-    const PlanResult plan = planner.Plan(requests);
+    const PlanResult plan = planner.Solve(PlanRequest::Full(requests));
     const auto end = std::chrono::steady_clock::now();
     TABLEAU_CHECK_MSG(plan.success, "%s", plan.error.c_str());
     total_ms += std::chrono::duration<double, std::milli>(end - start).count();

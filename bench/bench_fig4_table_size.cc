@@ -23,7 +23,7 @@ double TableMiB(int num_vms, TimeNs latency_goal) {
   for (int i = 0; i < num_vms; ++i) {
     requests.push_back(VcpuRequest{i, 0.25, latency_goal});
   }
-  const PlanResult plan = planner.Plan(requests);
+  const PlanResult plan = planner.Solve(PlanRequest::Full(requests));
   TABLEAU_CHECK_MSG(plan.success, "%s", plan.error.c_str());
   RecordRegistryMetrics(registry);
   return static_cast<double>(plan.table.SerializedSizeBytes()) / (1024.0 * 1024.0);

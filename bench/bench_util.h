@@ -170,7 +170,8 @@ class BenchJson {
       std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
       return;
     }
-    std::fprintf(file, "{\n  \"name\": \"%s\"", name_.c_str());
+    std::fprintf(file, "{\n  \"schema_version\": \"%s\",\n  \"name\": \"%s\"",
+                 obs::MetricsSnapshot::SchemaVersion(), name_.c_str());
     for (const auto& [key, value] : entries_) {
       std::fprintf(file, ",\n  \"%s\": %.6g", key.c_str(), value);
     }

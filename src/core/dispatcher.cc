@@ -46,12 +46,26 @@ void TableauDispatcher::InstallTable(std::shared_ptr<const SchedulingTable> tabl
 void TableauDispatcher::AttachMetrics(obs::MetricsRegistry* registry) {
   TABLEAU_CHECK(registry != nullptr);
   m_table_switches_ = registry->GetCounter("tableau.table_switches");
+  m_switch_rearms_ = registry->GetCounter("tableau.switch_rearms");
   m_switch_slip_ns_ = registry->GetHistogram("tableau.switch_slip_ns");
 }
 
 const SchedulingTable& TableauDispatcher::ActiveTable(TimeNs now) {
   TABLEAU_CHECK_MSG(current_ != nullptr, "no table installed");
   if (next_ != nullptr && now >= switch_at_) {
+    if (config_.switch_slip_tolerance != kTimeNever &&
+        now - switch_at_ > config_.switch_slip_tolerance) {
+      // Deadline missed by more than the tolerance: promoting now would put
+      // this core on the new table mid-round while peers may still be
+      // handing out slots from the old one. Re-arm at the next wrap of the
+      // current table and switch there, synchronized again.
+      const TimeNs len = current_->length();
+      switch_at_ = (now / len + 1) * len;
+      if (m_switch_rearms_ != nullptr) {
+        m_switch_rearms_->Increment();
+      }
+      return *current_;
+    }
     if (m_table_switches_ != nullptr) {
       m_table_switches_->Increment();
       m_switch_slip_ns_->Record(now - switch_at_);

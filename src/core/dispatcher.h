@@ -38,6 +38,15 @@ class TableauDispatcher {
     // where it last received a guaranteed allocation. The paper's prototype
     // omits this ("not a major limitation"); off by default to match.
     bool split_participation = false;
+    // Graceful degradation for a missed table-switch deadline: if the first
+    // lookup to observe a pending switch arrives more than this far past the
+    // promised switch_at_ (timer jitter, coalescing, a fault-delayed core),
+    // the switch re-arms at the next wrap of the *current* table instead of
+    // promoting late — keeping the cores' wrap-synchronized switch invariant
+    // at the cost of one more round on the old table. kTimeNever (the
+    // default) disables the policy: late switches promote immediately,
+    // byte-identical to the pre-fault engine.
+    TimeNs switch_slip_tolerance = kTimeNever;
   };
 
   TableauDispatcher(int num_cpus, Config config);
@@ -108,8 +117,9 @@ class TableauDispatcher {
 
   // Registers dispatcher metrics on `registry` (tableau.table_switches,
   // tableau.switch_slip_ns — the lag between the promised switch time and
-  // the lookup that promoted it). Call once, before the first lookup;
-  // without it the dispatcher records nothing.
+  // the lookup that promoted it — and tableau.switch_rearms, switches pushed
+  // to the next wrap by the slip-tolerance policy). Call once, before the
+  // first lookup; without it the dispatcher records nothing.
   void AttachMetrics(obs::MetricsRegistry* registry);
 
  private:
@@ -141,6 +151,7 @@ class TableauDispatcher {
   std::vector<SecondLevelState> second_level_;
 
   obs::Counter* m_table_switches_ = nullptr;
+  obs::Counter* m_switch_rearms_ = nullptr;
   obs::LatencyHistogram* m_switch_slip_ns_ = nullptr;
 };
 

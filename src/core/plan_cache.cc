@@ -133,7 +133,7 @@ PlanResult PlanCache::GetOrPlan(const std::vector<VcpuRequest>& requests) {
     request.vcpu = static_cast<VcpuId>(rank);
     canonical.push_back(request);
   }
-  PlanResult planned = planner_.Plan(canonical);
+  PlanResult planned = planner_.Solve(PlanRequest::Full(canonical));
   if (!planned.success) {
     return planned;  // Failures are not cached (and carry the error text).
   }

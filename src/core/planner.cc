@@ -19,9 +19,10 @@
 namespace tableau {
 namespace {
 
-PlanResult Fail(std::string error) {
+PlanResult Fail(PlanFailure failure, std::string error) {
   PlanResult result;
   result.success = false;
+  result.failure = failure;
   result.error = std::move(error);
   return result;
 }
@@ -108,7 +109,7 @@ Planner::Planner(PlannerConfig config) : config_(config) {
   }
 }
 
-PlanResult Planner::Plan(const std::vector<VcpuRequest>& requests) const {
+PlanResult Planner::PlanFull(const std::vector<VcpuRequest>& requests) const {
   const TimeNs h = config_.hyperperiod;
   const PhaseMetrics pm = ResolvePhaseMetrics(config_.metrics);
   PhaseTimer total_timer(pm.plan_total);
@@ -121,13 +122,15 @@ PlanResult Planner::Plan(const std::vector<VcpuRequest>& requests) const {
   for (const VcpuRequest& request : requests) {
     if (std::isnan(request.utilization) || request.utilization <= 0.0 ||
         request.utilization > 1.0) {
-      return Fail("vCPU " + std::to_string(request.vcpu) + ": utilization out of (0, 1]");
+      return Fail(PlanFailure::kInvalidRequest,
+                  "vCPU " + std::to_string(request.vcpu) + ": utilization out of (0, 1]");
     }
     if (request.latency_goal <= 0) {
-      return Fail("vCPU " + std::to_string(request.vcpu) + ": non-positive latency goal");
+      return Fail(PlanFailure::kInvalidRequest,
+                  "vCPU " + std::to_string(request.vcpu) + ": non-positive latency goal");
     }
     if (!seen.insert(request.vcpu).second) {
-      return Fail("duplicate vCPU id " + std::to_string(request.vcpu));
+      return Fail(PlanFailure::kInvalidRequest, "duplicate vCPU id " + std::to_string(request.vcpu));
     }
   }
 
@@ -143,7 +146,8 @@ PlanResult Planner::Plan(const std::vector<VcpuRequest>& requests) const {
   }
   const int shared_cores = config_.num_cpus - static_cast<int>(dedicated.size());
   if (shared_cores < 0 || (shared_cores == 0 && !shared.empty())) {
-    return Fail("not enough cores: " + std::to_string(dedicated.size()) +
+    return Fail(PlanFailure::kAdmission,
+                "not enough cores: " + std::to_string(dedicated.size()) +
                 " dedicated vCPUs on " + std::to_string(config_.num_cpus) + " cores");
   }
 
@@ -153,7 +157,8 @@ PlanResult Planner::Plan(const std::vector<VcpuRequest>& requests) const {
   for (const VcpuRequest& request : shared) {
     const std::optional<TaskMapping> mapping = MapRequestToTask(request);
     if (!mapping.has_value()) {
-      return Fail("vCPU " + std::to_string(request.vcpu) + ": unmappable reservation");
+      return Fail(PlanFailure::kAdmission,
+                  "vCPU " + std::to_string(request.vcpu) + ": unmappable reservation");
     }
     tasks.push_back(mapping->task);
     VcpuPlan plan;
@@ -208,7 +213,8 @@ PlanResult Planner::Plan(const std::vector<VcpuRequest>& requests) const {
     }
   }
   if (total_demand > static_cast<TimeNs>(shared_cores) * h) {
-    return Fail("over-utilized: demand " + std::to_string(total_demand) + " ns > " +
+    return Fail(PlanFailure::kAdmission,
+                "over-utilized: demand " + std::to_string(total_demand) + " ns > " +
                 std::to_string(shared_cores) + " cores x " + std::to_string(h) + " ns");
   }
 
@@ -227,8 +233,9 @@ PlanResult Planner::Plan(const std::vector<VcpuRequest>& requests) const {
       if (request.socket_affinity >= 0) {
         const int sockets = (shared_cores + cores_per_socket - 1) / cores_per_socket;
         if (request.socket_affinity >= sockets) {
-          return Fail("vCPU " + std::to_string(request.vcpu) +
-                      ": socket affinity out of range");
+          return Fail(PlanFailure::kInvalidRequest,
+                      "vCPU " + std::to_string(request.vcpu) +
+                          ": socket affinity out of range");
         }
         socket_of[request.vcpu] = request.socket_affinity;
       }
@@ -341,7 +348,7 @@ PlanResult Planner::Plan(const std::vector<VcpuRequest>& requests) const {
           cluster = DpFairSchedule(tasks, shared_cores, h);
         }
         if (!cluster.success) {
-          return Fail("cluster scheduling failed (pathological rounding)");
+          return Fail(PlanFailure::kInternal, "cluster scheduling failed (pathological rounding)");
         }
         core_tasks.assign(static_cast<std::size_t>(shared_cores), {});
         for (int c = 0; c < shared_cores; ++c) {
@@ -419,9 +426,9 @@ PlanResult Planner::Plan(const std::vector<VcpuRequest>& requests) const {
   return result;
 }
 
-PlanResult Planner::PlanIncremental(const PlanResult& previous,
-                                    const std::vector<VcpuRequest>& added,
-                                    const std::vector<VcpuId>& departed) const {
+PlanResult Planner::PlanDelta(const PlanResult& previous,
+                              const std::vector<VcpuRequest>& added,
+                              const std::vector<VcpuId>& departed) const {
   const TimeNs h = config_.hyperperiod;
 
   // Merged request list (used both for fallback and for the result).
@@ -442,7 +449,7 @@ PlanResult Planner::PlanIncremental(const PlanResult& previous,
       std::none_of(added.begin(), added.end(),
                    [](const VcpuRequest& r) { return r.utilization >= 1.0; });
   if (!fast_path_applicable) {
-    return Plan(requests);
+    return PlanFull(requests);
   }
   // Instrumented only past this point: the fallback paths above land in
   // Plan(), which carries its own timers (avoids double-counting plan_total).
@@ -474,7 +481,7 @@ PlanResult Planner::PlanIncremental(const PlanResult& previous,
   for (const VcpuRequest& request : added) {
     const std::optional<TaskMapping> mapping = MapRequestToTask(request);
     if (!mapping.has_value()) {
-      return Plan(requests);  // Full path produces the proper error.
+      return PlanFull(requests);  // Full path produces the proper error.
     }
     PeriodicTask task = mapping->task;
     int best = -1;
@@ -506,7 +513,7 @@ PlanResult Planner::PlanIncremental(const PlanResult& previous,
       }
     }
     if (best == -1) {
-      return Plan(requests);  // Needs rebalancing or splitting: full replan.
+      return PlanFull(requests);  // Needs rebalancing or splitting: full replan.
     }
     core_tasks[static_cast<std::size_t>(best)].push_back(task);
     dirty.insert(best);
@@ -602,6 +609,84 @@ PlanResult Planner::PlanIncremental(const PlanResult& previous,
   result.success = true;
   ExportPoolStats(config_.metrics, pool_.get());
   return result;
+}
+
+PlanResult Planner::Solve(const PlanRequest& request) const {
+  if (config_.fault_injector != nullptr) {
+    switch (config_.fault_injector->NextPlannerOutcome()) {
+      case faults::FaultInjector::PlannerOutcome::kFail:
+        return Fail(PlanFailure::kInjected, "injected planner failure");
+      case faults::FaultInjector::PlannerOutcome::kTimeout:
+        return Fail(PlanFailure::kInjected, "injected planner timeout (deadline exceeded)");
+      case faults::FaultInjector::PlannerOutcome::kProceed:
+        break;
+    }
+  }
+
+  PlanResult result = request.previous != nullptr
+                          ? PlanDelta(*request.previous, request.added, request.departed)
+                          : PlanFull(request.requests);
+  if (result.success || result.failure != PlanFailure::kAdmission ||
+      config_.max_latency_degradations <= 0) {
+    return result;
+  }
+
+  // Graceful degradation: admission control said no at the requested latency
+  // goals. Looser goals map to longer periods with proportionally less
+  // ceil-rounding over-reservation (and make tight reservations mappable at
+  // all), so relax every goal stepwise before giving up. The result's
+  // degradation_steps tells the caller how far its goals were stretched.
+  std::vector<VcpuRequest> relaxed;
+  if (request.previous != nullptr) {
+    std::set<VcpuId> departing(request.departed.begin(), request.departed.end());
+    for (const VcpuRequest& r : request.previous->requests) {
+      if (departing.find(r.vcpu) == departing.end()) {
+        relaxed.push_back(r);
+      }
+    }
+    relaxed.insert(relaxed.end(), request.added.begin(), request.added.end());
+  } else {
+    relaxed = request.requests;
+  }
+  obs::Counter* degradations =
+      config_.metrics != nullptr ? config_.metrics->GetCounter("planner.latency_degradations")
+                                 : nullptr;
+  const double factor = std::max(config_.latency_degradation_factor, 1.0 + 1e-9);
+  for (int step = 1; step <= config_.max_latency_degradations; ++step) {
+    for (VcpuRequest& r : relaxed) {
+      r.latency_goal =
+          static_cast<TimeNs>(std::ceil(static_cast<double>(r.latency_goal) * factor));
+    }
+    if (degradations != nullptr) {
+      degradations->Increment();
+    }
+    PlanResult retry = PlanFull(relaxed);
+    if (retry.success) {
+      retry.degradation_steps = step;
+      return retry;
+    }
+    result = std::move(retry);
+    if (result.failure != PlanFailure::kAdmission) {
+      break;  // Degradation can only fix admission rejections.
+    }
+  }
+  return result;
+}
+
+PlanResult Planner::Plan(const std::vector<VcpuRequest>& requests) const {
+  PlanRequest request;
+  request.requests = requests;
+  return Solve(request);
+}
+
+PlanResult Planner::PlanIncremental(const PlanResult& previous,
+                                    const std::vector<VcpuRequest>& added,
+                                    const std::vector<VcpuId>& departed) const {
+  PlanRequest request;
+  request.previous = &previous;
+  request.added = added;
+  request.departed = departed;
+  return Solve(request);
 }
 
 }  // namespace tableau

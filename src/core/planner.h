@@ -26,6 +26,7 @@
 
 #include "src/common/thread_pool.h"
 #include "src/common/time.h"
+#include "src/faults/fault_injector.h"
 #include "src/obs/metrics.h"
 #include "src/rt/hyperperiod.h"
 #include "src/rt/periodic_task.h"
@@ -56,6 +57,17 @@ struct PlannerConfig {
   // pipeline stage, plus per-worker pool gauges). Not owned; must outlive the
   // planner. Null disables instrumentation entirely.
   obs::MetricsRegistry* metrics = nullptr;
+  // Optional fault injector (not owned; must outlive the planner). Solve()
+  // draws one planner outcome per call; injected failures/timeouts surface
+  // as PlanFailure::kInjected results for the caller's degradation policy.
+  faults::FaultInjector* fault_injector = nullptr;
+  // Graceful degradation on admission-control rejection: Solve() retries the
+  // full plan with every latency goal multiplied by
+  // latency_degradation_factor, stepwise, up to max_latency_degradations
+  // times before giving up (0 disables; failures then surface directly).
+  // Each retry increments planner.latency_degradations.
+  int max_latency_degradations = 0;
+  double latency_degradation_factor = 2.0;
 };
 
 enum class PlanMethod { kPartitioned, kSemiPartitioned, kClustered };
@@ -92,9 +104,25 @@ struct VcpuPlan {
   TimeNs donated_ns = 0;
 };
 
+// Machine-readable failure taxonomy, so degradation policies can react
+// without parsing error strings.
+enum class PlanFailure {
+  kNone,            // success == true
+  kInvalidRequest,  // Malformed input (bad utilization, duplicate ids, ...).
+  kAdmission,       // Admission control: demand exceeds capacity or a
+                    // reservation is unmappable at its latency goal.
+                    // Candidate for stepwise latency-goal degradation.
+  kInternal,        // Pipeline failure (pathological rounding).
+  kInjected,        // FaultInjector-injected failure or timeout.
+};
+
 struct PlanResult {
   bool success = false;
   std::string error;
+  PlanFailure failure = PlanFailure::kNone;
+  // Latency-degradation steps Solve() applied before this plan succeeded
+  // (0 = the original goals were met as requested).
+  int degradation_steps = 0;
   PlanMethod method = PlanMethod::kPartitioned;
   SchedulingTable table;
   std::vector<VcpuPlan> vcpus;
@@ -109,21 +137,59 @@ struct PlanResult {
   std::vector<int> dirty_cores;
 };
 
+// The planner's single entry-point request (api_redesign): one object covers
+// both full and incremental planning.
+//
+//  - previous == nullptr: a full plan over `requests` (added/departed must be
+//    empty).
+//  - previous != nullptr: incremental replanning from *previous — `departed`
+//    vCPUs leave, `added` ones are placed, and `requests` is ignored (the
+//    merged set derives from previous->requests).
+struct PlanRequest {
+  std::vector<VcpuRequest> requests;
+  const PlanResult* previous = nullptr;  // Not owned; may dangle after Solve.
+  std::vector<VcpuRequest> added;
+  std::vector<VcpuId> departed;
+
+  // Named constructors for the two request shapes.
+  static PlanRequest Full(std::vector<VcpuRequest> requests) {
+    PlanRequest request;
+    request.requests = std::move(requests);
+    return request;
+  }
+  static PlanRequest Delta(const PlanResult& previous,
+                           std::vector<VcpuRequest> added = {},
+                           std::vector<VcpuId> departed = {}) {
+    PlanRequest request;
+    request.previous = &previous;
+    request.added = std::move(added);
+    request.departed = std::move(departed);
+    return request;
+  }
+};
+
 class Planner {
  public:
   explicit Planner(PlannerConfig config);
 
-  // Generates a scheduling table for the given reservations. vCPU ids must
-  // be unique. Thread-compatible; Plan() is const and reentrant.
+  // The single planner entry point. All planning — harness, benches, tools —
+  // funnels through here: this is where injected planner failures
+  // (PlannerConfig::fault_injector) and the stepwise latency-goal
+  // degradation policy attach, exactly once per solve. Thread-compatible;
+  // Solve() is const and reentrant.
+  PlanResult Solve(const PlanRequest& request) const;
+
+  // Thin wrapper: full plan via Solve(). vCPU ids must be unique.
   PlanResult Plan(const std::vector<VcpuRequest>& requests) const;
 
-  // Incremental replanning (the Sec. 7.1 optimization: "tables can be
-  // incrementally re-computed on a per-core basis"): starting from a
-  // previous successful plan, removes `departed` vCPUs and places `added`
-  // ones, re-simulating only the cores whose assignments changed; untouched
-  // cores keep their previous allocations verbatim. Falls back to a full
-  // Plan() when the previous plan used splitting/clustering, when a new
-  // vCPU does not fit on any single core, or when rebalancing is needed.
+  // Thin wrapper: incremental replanning via Solve() (the Sec. 7.1
+  // optimization: "tables can be incrementally re-computed on a per-core
+  // basis"): starting from a previous successful plan, removes `departed`
+  // vCPUs and places `added` ones, re-simulating only the cores whose
+  // assignments changed; untouched cores keep their previous allocations
+  // verbatim. Falls back to a full plan when the previous plan used
+  // splitting/clustering, when a new vCPU does not fit on any single core,
+  // or when rebalancing is needed.
   PlanResult PlanIncremental(const PlanResult& previous,
                              const std::vector<VcpuRequest>& added,
                              const std::vector<VcpuId>& departed) const;
@@ -131,6 +197,14 @@ class Planner {
   const PlannerConfig& config() const { return config_; }
 
  private:
+  // The actual pipelines, free of injection and degradation (Solve() owns
+  // both). PlanDelta's fallbacks call PlanFull directly, so a single Solve
+  // draws at most one injected outcome and degrades at most once.
+  PlanResult PlanFull(const std::vector<VcpuRequest>& requests) const;
+  PlanResult PlanDelta(const PlanResult& previous,
+                       const std::vector<VcpuRequest>& added,
+                       const std::vector<VcpuId>& departed) const;
+
   PlannerConfig config_;
   // Shared by copies of the planner; null when config_.num_threads <= 1.
   // The pool accepts jobs from concurrent Plan() calls, so the planner stays

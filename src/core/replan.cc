@@ -1,0 +1,68 @@
+#include "src/core/replan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace tableau {
+
+ReplanController::ReplanController(const Planner* planner, Config config)
+    : planner_(planner), config_(config) {
+  TABLEAU_CHECK(planner_ != nullptr);
+  TABLEAU_CHECK(config_.initial_backoff > 0);
+  TABLEAU_CHECK(config_.backoff_multiplier >= 1.0);
+  TABLEAU_CHECK(config_.max_backoff >= config_.initial_backoff);
+}
+
+void ReplanController::AttachMetrics(obs::MetricsRegistry* registry) {
+  TABLEAU_CHECK(registry != nullptr);
+  m_replans_ = registry->GetCounter("replan.replans");
+  m_failures_ = registry->GetCounter("replan.failures");
+  m_kept_previous_ = registry->GetCounter("replan.kept_previous");
+  m_backoff_suppressed_ = registry->GetCounter("replan.backoff_suppressed");
+}
+
+ReplanController::Outcome ReplanController::TryReplan(const PlanRequest& request,
+                                                      TimeNs now) {
+  Outcome outcome;
+  if (now < next_retry_at_) {
+    outcome.kept_previous = true;
+    outcome.retry_at = next_retry_at_;
+    if (m_backoff_suppressed_ != nullptr) {
+      m_backoff_suppressed_->Increment();
+    }
+    return outcome;
+  }
+
+  if (m_replans_ != nullptr) {
+    m_replans_->Increment();
+  }
+  outcome.plan = planner_->Solve(request);
+  if (outcome.plan.success) {
+    consecutive_failures_ = 0;
+    next_retry_at_ = 0;
+    outcome.installed = true;
+    return outcome;
+  }
+
+  // Failure (injected, admission past every degradation step, ...): the
+  // previous table stays in effect and the next attempt waits out an
+  // exponentially growing backoff, capped at max_backoff.
+  ++consecutive_failures_;
+  const double scale =
+      std::pow(config_.backoff_multiplier, consecutive_failures_ - 1);
+  const double backoff =
+      std::min(static_cast<double>(config_.initial_backoff) * scale,
+               static_cast<double>(config_.max_backoff));
+  next_retry_at_ = now + static_cast<TimeNs>(backoff);
+  outcome.kept_previous = true;
+  outcome.retry_at = next_retry_at_;
+  if (m_failures_ != nullptr) {
+    m_failures_->Increment();
+    m_kept_previous_->Increment();
+  }
+  return outcome;
+}
+
+}  // namespace tableau

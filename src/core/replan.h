@@ -1,0 +1,64 @@
+// Graceful-degradation wrapper around runtime replanning: a failed or
+// timed-out Planner::Solve keeps the previously installed table in place and
+// schedules a retry with exponential backoff, instead of leaving the
+// dispatcher tableless or hammering the planner. Used by reconfiguration
+// harnesses and the chaos bench; the initial (scenario-build) plan does not
+// go through here — without a previous table there is nothing to keep.
+#ifndef SRC_CORE_REPLAN_H_
+#define SRC_CORE_REPLAN_H_
+
+#include "src/common/time.h"
+#include "src/core/planner.h"
+#include "src/obs/metrics.h"
+
+namespace tableau {
+
+class ReplanController {
+ public:
+  struct Config {
+    TimeNs initial_backoff = kMillisecond;
+    double backoff_multiplier = 2.0;
+    TimeNs max_backoff = kSecond;
+  };
+
+  // `planner` is not owned and must outlive the controller.
+  ReplanController(const Planner* planner, Config config);
+
+  // Registers replan.* metrics (replans, failures, kept_previous,
+  // backoff_suppressed). Optional; not owned.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
+  struct Outcome {
+    // True: `plan` holds a fresh successful plan; install it.
+    bool installed = false;
+    // True: Solve failed (or the attempt was suppressed by backoff); the
+    // caller keeps its current table and retries at `retry_at`.
+    bool kept_previous = false;
+    TimeNs retry_at = kTimeNever;
+    PlanResult plan;
+  };
+
+  // Attempts a replan at simulated time `now`. While a previous failure's
+  // backoff window is still open the planner is not consulted at all and the
+  // outcome is kept_previous with the standing retry_at.
+  Outcome TryReplan(const PlanRequest& request, TimeNs now);
+
+  // Consecutive failed attempts since the last success.
+  int consecutive_failures() const { return consecutive_failures_; }
+  TimeNs next_retry_at() const { return next_retry_at_; }
+
+ private:
+  const Planner* planner_;
+  Config config_;
+  int consecutive_failures_ = 0;
+  TimeNs next_retry_at_ = 0;  // Attempts allowed once now >= this.
+
+  obs::Counter* m_replans_ = nullptr;
+  obs::Counter* m_failures_ = nullptr;
+  obs::Counter* m_kept_previous_ = nullptr;
+  obs::Counter* m_backoff_suppressed_ = nullptr;
+};
+
+}  // namespace tableau
+
+#endif  // SRC_CORE_REPLAN_H_

@@ -1,0 +1,304 @@
+#include "src/faults/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace tableau::faults {
+
+namespace {
+
+// SplitMix64 step: decorrelates the per-category streams from the raw seed.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Per-category salts: each stream sees a distinct seed even when the plan
+// seed is tiny.
+constexpr std::uint64_t kTimerSalt = 0x7461626c5f746d72ULL;    // "tabl_tmr"
+constexpr std::uint64_t kIpiSalt = 0x7461626c5f697069ULL;      // "tabl_ipi"
+constexpr std::uint64_t kGuestSalt = 0x7461626c5f677374ULL;    // "tabl_gst"
+constexpr std::uint64_t kPlannerSalt = 0x7461626c5f706c6eULL;  // "tabl_pln"
+
+TimeNs ScaleByMultiplier(TimeNs cost, double multiplier) {
+  if (multiplier <= 1.0 || cost <= 0) {
+    return cost;
+  }
+  const double scaled = static_cast<double>(cost) * multiplier;
+  return static_cast<TimeNs>(std::llround(scaled));
+}
+
+}  // namespace
+
+FaultPlan ChaosPlan(std::uint64_t seed, double intensity) {
+  FaultPlan plan;
+  plan.seed = seed;
+  if (intensity <= 0.0) {
+    return plan;
+  }
+  intensity = std::min(intensity, 1.0);
+
+  // Overhead spike: up to 8x sched-op and 6x context-switch costs for the
+  // middle half of every 200 ms (a periodic noisy-neighbor phase would need
+  // windows; one long window keeps the plan simple and the effect steady).
+  OverheadSpike spike;
+  spike.sched_op_multiplier = 1.0 + 7.0 * intensity;
+  spike.context_switch_multiplier = 1.0 + 5.0 * intensity;
+  plan.overhead_spikes.push_back(spike);
+
+  // Timer jitter up to 200 us plus 50 us coalescing at full intensity —
+  // the regime where Tableau's table-switch deadline can genuinely slip.
+  TimerFault timer;
+  timer.max_jitter = static_cast<TimeNs>(200.0 * intensity) * kMicrosecond;
+  timer.coalesce_quantum = static_cast<TimeNs>(50.0 * intensity) * kMicrosecond;
+  plan.timer_faults.push_back(timer);
+
+  // IPI degradation: up to 30% drop probability with 3 bounded retries and
+  // up to 100 us extra delivery latency.
+  IpiFault ipi;
+  ipi.drop_probability = 0.3 * intensity;
+  ipi.max_retries = 3;
+  ipi.retry_interval = 50 * kMicrosecond;
+  ipi.max_extra_delay = static_cast<TimeNs>(100.0 * intensity) * kMicrosecond;
+  plan.ipi_faults.push_back(ipi);
+
+  // Guest misbehavior: 5% of bursts overrun by up to 500 us; 10% of wakeups
+  // trigger a storm of up to 4 spurious notifications.
+  GuestFault guest;
+  guest.overrun_probability = 0.05 * intensity;
+  guest.max_overrun = static_cast<TimeNs>(500.0 * intensity) * kMicrosecond;
+  guest.storm_probability = 0.1 * intensity;
+  guest.max_storm_wakeups = 4;
+  plan.guest_faults.push_back(guest);
+
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)),
+      enabled_(!plan_.empty()),
+      timer_rng_(Mix(plan_.seed ^ kTimerSalt)),
+      ipi_rng_(Mix(plan_.seed ^ kIpiSalt)),
+      guest_rng_(Mix(plan_.seed ^ kGuestSalt)),
+      planner_rng_(Mix(plan_.seed ^ kPlannerSalt)) {
+  for (const OverheadSpike& spike : plan_.overhead_spikes) {
+    TABLEAU_CHECK(spike.sched_op_multiplier >= 0 &&
+                  spike.context_switch_multiplier >= 0);
+  }
+  for (const TimerFault& fault : plan_.timer_faults) {
+    TABLEAU_CHECK(fault.max_jitter >= 0 && fault.coalesce_quantum >= 0);
+  }
+  for (const IpiFault& fault : plan_.ipi_faults) {
+    TABLEAU_CHECK(fault.drop_probability >= 0 && fault.drop_probability < 1.0);
+    TABLEAU_CHECK(fault.max_retries >= 0 && fault.retry_interval >= 0);
+    TABLEAU_CHECK(fault.max_extra_delay >= 0);
+  }
+  for (const GuestFault& fault : plan_.guest_faults) {
+    TABLEAU_CHECK(fault.overrun_probability >= 0 && fault.overrun_probability <= 1.0);
+    TABLEAU_CHECK(fault.storm_probability >= 0 && fault.storm_probability <= 1.0);
+    TABLEAU_CHECK(fault.max_overrun >= 0 && fault.max_storm_wakeups >= 0);
+  }
+  TABLEAU_CHECK(plan_.planner.failure_probability >= 0 &&
+                plan_.planner.failure_probability <= 1.0);
+  TABLEAU_CHECK(plan_.planner.timeout_probability >= 0 &&
+                plan_.planner.timeout_probability <= 1.0);
+}
+
+void FaultInjector::AttachMetrics(obs::MetricsRegistry* registry) {
+  TABLEAU_CHECK(registry != nullptr);
+  m_ops_scaled_ = registry->GetCounter("faults.sched_ops_scaled");
+  m_context_switches_scaled_ = registry->GetCounter("faults.context_switches_scaled");
+  m_timer_perturbations_ = registry->GetCounter("faults.timer_perturbations");
+  m_timer_delay_ns_ = registry->GetHistogram("faults.timer_delay_ns");
+  m_ipi_drops_ = registry->GetCounter("faults.ipi_drops");
+  m_ipi_extra_delay_ns_ = registry->GetHistogram("faults.ipi_extra_delay_ns");
+  m_burst_overruns_ = registry->GetCounter("faults.burst_overruns");
+  m_burst_overrun_ns_ = registry->GetCounter("faults.burst_overrun_ns");
+  m_wakeup_storms_ = registry->GetCounter("faults.wakeup_storms");
+  m_planner_failures_ = registry->GetCounter("faults.planner_failures");
+  m_planner_timeouts_ = registry->GetCounter("faults.planner_timeouts");
+}
+
+const OverheadSpike* FaultInjector::ActiveSpike(TimeNs now) const {
+  for (const OverheadSpike& spike : plan_.overhead_spikes) {
+    if (spike.window.Contains(now)) {
+      return &spike;
+    }
+  }
+  return nullptr;
+}
+
+const TimerFault* FaultInjector::ActiveTimerFault(TimeNs now) const {
+  for (const TimerFault& fault : plan_.timer_faults) {
+    if (fault.window.Contains(now)) {
+      return &fault;
+    }
+  }
+  return nullptr;
+}
+
+const IpiFault* FaultInjector::ActiveIpiFault(TimeNs now) const {
+  for (const IpiFault& fault : plan_.ipi_faults) {
+    if (fault.window.Contains(now)) {
+      return &fault;
+    }
+  }
+  return nullptr;
+}
+
+const GuestFault* FaultInjector::ActiveGuestFault(TimeNs now) const {
+  for (const GuestFault& fault : plan_.guest_faults) {
+    if (fault.window.Contains(now)) {
+      return &fault;
+    }
+  }
+  return nullptr;
+}
+
+TimeNs FaultInjector::ScaleSchedOpCost(TimeNs now, TimeNs cost) {
+  if (!enabled_) {
+    return cost;
+  }
+  const OverheadSpike* spike = ActiveSpike(now);
+  if (spike == nullptr || spike->sched_op_multiplier <= 1.0) {
+    return cost;
+  }
+  if (m_ops_scaled_ != nullptr) {
+    m_ops_scaled_->Increment();
+  }
+  return ScaleByMultiplier(cost, spike->sched_op_multiplier);
+}
+
+TimeNs FaultInjector::ScaleContextSwitchCost(TimeNs now, TimeNs cost) {
+  if (!enabled_) {
+    return cost;
+  }
+  const OverheadSpike* spike = ActiveSpike(now);
+  if (spike == nullptr || spike->context_switch_multiplier <= 1.0) {
+    return cost;
+  }
+  if (m_context_switches_scaled_ != nullptr) {
+    m_context_switches_scaled_->Increment();
+  }
+  return ScaleByMultiplier(cost, spike->context_switch_multiplier);
+}
+
+TimeNs FaultInjector::PerturbTimerArm(TimeNs now, TimeNs fire_at) {
+  if (!enabled_ || fire_at == kTimeNever) {
+    return fire_at;
+  }
+  const TimerFault* fault = ActiveTimerFault(now);
+  if (fault == nullptr || (fault->max_jitter == 0 && fault->coalesce_quantum == 0)) {
+    return fire_at;
+  }
+  TimeNs perturbed = fire_at;
+  if (fault->max_jitter > 0) {
+    perturbed += timer_rng_.NextBounded(fault->max_jitter);
+  }
+  if (fault->coalesce_quantum > 0) {
+    const TimeNs q = fault->coalesce_quantum;
+    perturbed = ((perturbed + q - 1) / q) * q;
+  }
+  if (perturbed != fire_at) {
+    if (m_timer_perturbations_ != nullptr) {
+      m_timer_perturbations_->Increment();
+      m_timer_delay_ns_->Record(perturbed - fire_at);
+    }
+  }
+  return perturbed;
+}
+
+TimeNs FaultInjector::PerturbIpiDelay(TimeNs now, TimeNs base_delay) {
+  if (!enabled_) {
+    return base_delay;
+  }
+  const IpiFault* fault = ActiveIpiFault(now);
+  if (fault == nullptr) {
+    return base_delay;
+  }
+  TimeNs delay = base_delay;
+  // Bounded retry: each consecutive drop re-sends after retry_interval; the
+  // (max_retries + 1)-th attempt always delivers, so a wake-up IPI is late
+  // but never lost (losing it could stall the guest forever).
+  int drops = 0;
+  while (drops < fault->max_retries &&
+         ipi_rng_.NextDouble() < fault->drop_probability) {
+    ++drops;
+    delay += fault->retry_interval;
+  }
+  if (drops > 0 && m_ipi_drops_ != nullptr) {
+    m_ipi_drops_->Increment(drops);
+  }
+  if (fault->max_extra_delay > 0) {
+    delay += ipi_rng_.NextBounded(fault->max_extra_delay);
+  }
+  if (delay > base_delay && m_ipi_extra_delay_ns_ != nullptr) {
+    m_ipi_extra_delay_ns_->Record(delay - base_delay);
+  }
+  return delay;
+}
+
+TimeNs FaultInjector::NextBurstOverrun(TimeNs now) {
+  if (!enabled_) {
+    return 0;
+  }
+  const GuestFault* fault = ActiveGuestFault(now);
+  if (fault == nullptr || fault->overrun_probability <= 0.0 || fault->max_overrun <= 0) {
+    return 0;
+  }
+  if (guest_rng_.NextDouble() >= fault->overrun_probability) {
+    return 0;
+  }
+  const TimeNs extra = 1 + guest_rng_.NextBounded(fault->max_overrun - 1);
+  if (m_burst_overruns_ != nullptr) {
+    m_burst_overruns_->Increment();
+    m_burst_overrun_ns_->Increment(extra);
+  }
+  return extra;
+}
+
+int FaultInjector::NextWakeupStormCount(TimeNs now) {
+  if (!enabled_) {
+    return 0;
+  }
+  const GuestFault* fault = ActiveGuestFault(now);
+  if (fault == nullptr || fault->storm_probability <= 0.0 ||
+      fault->max_storm_wakeups <= 0) {
+    return 0;
+  }
+  if (guest_rng_.NextDouble() >= fault->storm_probability) {
+    return 0;
+  }
+  const int count =
+      1 + static_cast<int>(guest_rng_.NextBounded(fault->max_storm_wakeups - 1));
+  if (m_wakeup_storms_ != nullptr) {
+    m_wakeup_storms_->Increment();
+  }
+  return count;
+}
+
+FaultInjector::PlannerOutcome FaultInjector::NextPlannerOutcome() {
+  if (!enabled_) {
+    return PlannerOutcome::kProceed;
+  }
+  const double roll = planner_rng_.NextDouble();
+  if (roll < plan_.planner.failure_probability) {
+    if (m_planner_failures_ != nullptr) {
+      m_planner_failures_->Increment();
+    }
+    return PlannerOutcome::kFail;
+  }
+  if (roll < plan_.planner.failure_probability + plan_.planner.timeout_probability) {
+    if (m_planner_timeouts_ != nullptr) {
+      m_planner_timeouts_->Increment();
+    }
+    return PlannerOutcome::kTimeout;
+  }
+  return PlannerOutcome::kProceed;
+}
+
+}  // namespace tableau::faults

@@ -1,0 +1,134 @@
+// Deterministic fault injector: executes a FaultPlan against the simulated
+// machine, the Tableau dispatcher, and the planner.
+//
+// Every perturbation is a pure function of (plan, seed, call sequence): the
+// injector owns one xorshift64* stream per fault category, each seeded from
+// the plan seed and a per-category salt, so the draw sequence of one
+// category never shifts another's. The DES consumes injector hooks in event
+// order, which is itself deterministic — two runs of the same scenario with
+// the same plan produce byte-identical traces.
+//
+// With an empty plan (or no injector attached) every hook is the identity:
+// no draws, no perturbation, traces match the fault-free goldens exactly.
+//
+// Metrics (faults.*) are registered on the machine's registry via
+// AttachMetrics and count every injected perturbation; like all PR-3
+// metrics they are pure observers and never feed back into the draws.
+#ifndef SRC_FAULTS_FAULT_INJECTOR_H_
+#define SRC_FAULTS_FAULT_INJECTOR_H_
+
+#include <cstdint>
+
+#include "src/faults/fault_plan.h"
+#include "src/obs/metrics.h"
+
+namespace tableau::faults {
+
+// Minimal xorshift64* PRNG (Marsaglia / Vigna). Deliberately distinct from
+// the workload generators' xoshiro256** (src/common/rng.h): fault draws and
+// workload draws can never alias even under equal seeds.
+class Xorshift64Star {
+ public:
+  explicit Xorshift64Star(std::uint64_t seed)
+      : state_(seed != 0 ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+  std::uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Uniform integer in [0, bound] (bound >= 0).
+  std::int64_t NextBounded(std::int64_t bound) {
+    if (bound <= 0) {
+      return 0;
+    }
+    return static_cast<std::int64_t>(Next() %
+                                     (static_cast<std::uint64_t>(bound) + 1));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  // Registers the faults.* counters/histograms. Optional: without it the
+  // injector perturbs silently. Not owned; must outlive the injector.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
+  const FaultPlan& plan() const { return plan_; }
+  bool enabled() const { return enabled_; }
+
+  // --- Machine hooks (all identity functions when the plan is empty) ---
+
+  // Scales one traced scheduler-operation cost by the active overhead spike.
+  TimeNs ScaleSchedOpCost(TimeNs now, TimeNs cost);
+
+  // Scales the context-switch cost by the active overhead spike.
+  TimeNs ScaleContextSwitchCost(TimeNs now, TimeNs cost);
+
+  // Perturbs a timer arm: returns a fire time >= fire_at, delayed by jitter
+  // and rounded up to the active coalescing quantum. Monotone: never early.
+  TimeNs PerturbTimerArm(TimeNs now, TimeNs fire_at);
+
+  // Degrades one remote-kick (IPI) delivery: returns the total delivery
+  // delay, starting from base_delay and adding bounded drop-retries plus
+  // extra latency. Result >= base_delay; the IPI is late, never lost.
+  TimeNs PerturbIpiDelay(TimeNs now, TimeNs base_delay);
+
+  // Guest budget overrun: extra demand (ns) appended to a burst that just
+  // completed at `now`, or 0. Bounded by the active fault's max_overrun.
+  TimeNs NextBurstOverrun(TimeNs now);
+
+  // Wakeup storm: number of spurious event-channel notifications following
+  // a real wake-up at `now` (0 = none).
+  int NextWakeupStormCount(TimeNs now);
+
+  // --- Planner hook ---
+
+  enum class PlannerOutcome { kProceed, kFail, kTimeout };
+
+  // Drawn once per Planner::Solve call. Uses a dedicated stream so planner
+  // injection cannot shift the machine-level draw sequences.
+  PlannerOutcome NextPlannerOutcome();
+
+ private:
+  const OverheadSpike* ActiveSpike(TimeNs now) const;
+  const TimerFault* ActiveTimerFault(TimeNs now) const;
+  const IpiFault* ActiveIpiFault(TimeNs now) const;
+  const GuestFault* ActiveGuestFault(TimeNs now) const;
+
+  FaultPlan plan_;
+  bool enabled_;
+
+  Xorshift64Star timer_rng_;
+  Xorshift64Star ipi_rng_;
+  Xorshift64Star guest_rng_;
+  Xorshift64Star planner_rng_;
+
+  // faults.* metric handles; null until AttachMetrics.
+  obs::Counter* m_ops_scaled_ = nullptr;
+  obs::Counter* m_context_switches_scaled_ = nullptr;
+  obs::Counter* m_timer_perturbations_ = nullptr;
+  obs::LatencyHistogram* m_timer_delay_ns_ = nullptr;
+  obs::Counter* m_ipi_drops_ = nullptr;
+  obs::LatencyHistogram* m_ipi_extra_delay_ns_ = nullptr;
+  obs::Counter* m_burst_overruns_ = nullptr;
+  obs::Counter* m_burst_overrun_ns_ = nullptr;
+  obs::Counter* m_wakeup_storms_ = nullptr;
+  obs::Counter* m_planner_failures_ = nullptr;
+  obs::Counter* m_planner_timeouts_ = nullptr;
+};
+
+}  // namespace tableau::faults
+
+#endif  // SRC_FAULTS_FAULT_INJECTOR_H_

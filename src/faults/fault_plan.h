@@ -1,0 +1,111 @@
+// Declarative fault plans for the deterministic fault-injection subsystem.
+//
+// A FaultPlan describes *when* and *how hard* reality misbehaves: scheduler
+// overhead spikes, timer jitter and coalescing error, dropped or delayed
+// wake-up IPIs, guest misbehavior (budget overruns, wakeup storms), and
+// injected planner failures. The plan is pure data; the FaultInjector
+// (fault_injector.h) turns it into concrete perturbations, drawing every
+// random decision from an xorshift PRNG keyed by the plan's seed — never
+// from wall clock — so a scenario with a fixed seed replays byte-identically.
+//
+// An empty plan (the default) injects nothing: every injector hook becomes
+// the identity function and the engine's traces match the no-injector
+// goldens exactly.
+#ifndef SRC_FAULTS_FAULT_PLAN_H_
+#define SRC_FAULTS_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace tableau::faults {
+
+// Half-open absolute time window [start, end). The default covers all time.
+struct TimeWindow {
+  TimeNs start = 0;
+  TimeNs end = kTimeNever;
+  bool Contains(TimeNs t) const { return t >= start && t < end; }
+};
+
+// Multiplies the cost of traced scheduler operations and context switches
+// while the window is active (a co-located noisy neighbor, an SMI storm, a
+// cache-thrashing phase). Multipliers below 1.0 are clamped to 1.0.
+struct OverheadSpike {
+  TimeWindow window;
+  double sched_op_multiplier = 1.0;
+  double context_switch_multiplier = 1.0;
+};
+
+// Perturbs per-CPU timer delivery: each arm is delayed by a uniform draw in
+// [0, max_jitter], and fire times are additionally rounded up to the next
+// multiple of coalesce_quantum (modeling hypervisor timer coalescing).
+// Timers are only ever delayed, never advanced.
+struct TimerFault {
+  TimeWindow window;
+  TimeNs max_jitter = 0;
+  TimeNs coalesce_quantum = 0;
+};
+
+// Degrades remote kicks (wake-up IPIs): each delivery attempt is dropped
+// with drop_probability and re-sent after retry_interval, up to max_retries
+// consecutive drops (the bounded-retry protocol — delivery is late, never
+// lost). Successful deliveries pick up a uniform extra delay in
+// [0, max_extra_delay].
+struct IpiFault {
+  TimeWindow window;
+  double drop_probability = 0.0;
+  int max_retries = 3;
+  TimeNs retry_interval = 50 * kMicrosecond;
+  TimeNs max_extra_delay = 0;
+};
+
+// Guest misbehavior. Budget overrun: a completing compute burst continues
+// for a uniform extra (0, max_overrun] with overrun_probability (the guest
+// "briefly disables interrupts"). Wakeup storm: a real wake-up is followed
+// by a uniform [1, max_storm_wakeups] spurious event-channel notifications,
+// each costing a full wakeup-processing pass and a spurious local kick.
+struct GuestFault {
+  TimeWindow window;
+  double overrun_probability = 0.0;
+  TimeNs max_overrun = 0;
+  double storm_probability = 0.0;
+  int max_storm_wakeups = 0;
+};
+
+// Injected planner failures, drawn once per Planner::Solve call:
+// failure_probability yields an immediate failure, timeout_probability a
+// simulated deadline miss. Both surface as PlanFailure::kInjected results;
+// the caller's degradation policy (keep the previous table, retry with
+// exponential backoff) takes it from there.
+struct PlannerFault {
+  double failure_probability = 0.0;
+  double timeout_probability = 0.0;
+};
+
+struct FaultPlan {
+  // Scenario seed for every random draw. Two injectors built from equal
+  // plans produce identical perturbation sequences.
+  std::uint64_t seed = 1;
+
+  std::vector<OverheadSpike> overhead_spikes;
+  std::vector<TimerFault> timer_faults;
+  std::vector<IpiFault> ipi_faults;
+  std::vector<GuestFault> guest_faults;
+  PlannerFault planner;
+
+  bool empty() const {
+    return overhead_spikes.empty() && timer_faults.empty() && ipi_faults.empty() &&
+           guest_faults.empty() && planner.failure_probability <= 0.0 &&
+           planner.timeout_probability <= 0.0;
+  }
+};
+
+// The canonical chaos-matrix plan used by bench_ext_fault_matrix and the
+// determinism tests: every machine-level fault class enabled, scaled by
+// `intensity` in [0, 1]. Intensity 0 returns an empty plan.
+FaultPlan ChaosPlan(std::uint64_t seed, double intensity);
+
+}  // namespace tableau::faults
+
+#endif  // SRC_FAULTS_FAULT_PLAN_H_

@@ -1,72 +1,65 @@
 #include "src/harness/scenario.h"
 
 #include "src/common/check.h"
-#include "src/schedulers/credit.h"
-#include "src/schedulers/credit2.h"
 #include "src/core/coschedule.h"
-#include "src/schedulers/cfs.h"
-#include "src/schedulers/rtds.h"
 
 namespace tableau {
+namespace {
 
-const char* SchedKindName(SchedKind kind) {
-  switch (kind) {
-    case SchedKind::kCredit:
-      return "Credit";
-    case SchedKind::kCredit2:
-      return "Credit2";
-    case SchedKind::kRtds:
-      return "RTDS";
-    case SchedKind::kTableau:
-      return "Tableau";
-    case SchedKind::kCfs:
-      return "CFS";
+// Initial table planning for a Tableau scenario via the single Solve entry
+// point. Injected planner failures (when the scenario's fault plan carries
+// them) are retried a bounded number of times: the initial table must exist
+// for the scenario to run at all; runtime replans are where injected
+// failures exercise the keep-previous-table policy.
+PlanResult SolveInitialPlan(const Planner& planner, std::vector<VcpuRequest> requests) {
+  PlanRequest request;
+  request.requests = std::move(requests);
+  PlanResult plan = planner.Solve(request);
+  for (int attempt = 0;
+       !plan.success && plan.failure == PlanFailure::kInjected && attempt < 16;
+       ++attempt) {
+    plan = planner.Solve(request);
   }
-  return "?";
+  TABLEAU_CHECK_MSG(plan.success, "planner failed: %s", plan.error.c_str());
+  return plan;
 }
+
+PlannerConfig ScenarioPlannerConfig(const ScenarioConfig& config,
+                                    const Scenario& scenario) {
+  PlannerConfig planner_config;
+  planner_config.num_cpus = config.guest_cpus;
+  planner_config.metrics = &scenario.machine->metrics();
+  planner_config.fault_injector = scenario.injector.get();
+  planner_config.max_latency_degradations = config.max_latency_degradations;
+  return planner_config;
+}
+
+}  // namespace
 
 Scenario BuildScenario(const ScenarioConfig& config) {
   Scenario scenario;
-
-  std::unique_ptr<VcpuScheduler> scheduler;
-  TableauScheduler* tableau = nullptr;
-  switch (config.scheduler) {
-    case SchedKind::kCredit: {
-      CreditScheduler::Options options;
-      options.timeslice = config.credit_timeslice;
-      scheduler = std::make_unique<CreditScheduler>(options);
-      break;
-    }
-    case SchedKind::kCredit2: {
-      TABLEAU_CHECK_MSG(!config.capped, "Credit2 does not support caps (Sec. 7.2)");
-      scheduler = std::make_unique<Credit2Scheduler>(Credit2Scheduler::Options{});
-      break;
-    }
-    case SchedKind::kRtds: {
-      TABLEAU_CHECK_MSG(config.capped, "RTDS reservations are inherently capped");
-      scheduler = std::make_unique<RtdsScheduler>();
-      break;
-    }
-    case SchedKind::kCfs: {
-      scheduler = std::make_unique<CfsScheduler>(CfsScheduler::Options{});
-      break;
-    }
-    case SchedKind::kTableau: {
-      TableauDispatcher::Config dispatcher;
-      dispatcher.work_conserving = !config.capped;
-      auto owned = std::make_unique<TableauScheduler>(dispatcher);
-      tableau = owned.get();
-      scheduler = std::move(owned);
-      break;
-    }
+  if (!config.fault_plan.empty()) {
+    scenario.injector = std::make_unique<faults::FaultInjector>(config.fault_plan);
   }
+
+  SchedulerSpec spec;
+  spec.kind = config.scheduler;
+  spec.capped = config.capped;
+  spec.credit_timeslice = config.credit_timeslice;
+  spec.switch_slip_tolerance = config.switch_slip_tolerance;
+  MadeScheduler made = MakeScheduler(spec);
+  TableauScheduler* tableau = made.tableau;
 
   MachineConfig machine_config;
   machine_config.num_cpus = config.guest_cpus;
   machine_config.cores_per_socket = config.cores_per_socket;
   machine_config.costs = config.costs;
-  scenario.machine = std::make_unique<Machine>(machine_config, std::move(scheduler));
+  scenario.machine =
+      std::make_unique<Machine>(machine_config, std::move(made.scheduler));
   scenario.tableau = tableau;
+  if (scenario.injector != nullptr) {
+    scenario.machine->SetFaultInjector(scenario.injector.get());
+  }
 
   const int num_vms = config.guest_cpus * config.vms_per_core;
   for (int i = 0; i < num_vms; ++i) {
@@ -82,10 +75,7 @@ Scenario BuildScenario(const ScenarioConfig& config) {
   scenario.vantage = scenario.vcpus.empty() ? nullptr : scenario.vcpus.front();
 
   if (tableau != nullptr && num_vms > 0) {
-    PlannerConfig planner_config;
-    planner_config.num_cpus = config.guest_cpus;
-    planner_config.metrics = &scenario.machine->metrics();
-    const Planner planner(planner_config);
+    const Planner planner(ScenarioPlannerConfig(config, scenario));
     std::vector<VcpuRequest> requests;
     for (const Vcpu* vcpu : scenario.vcpus) {
       VcpuRequest request;
@@ -94,9 +84,7 @@ Scenario BuildScenario(const ScenarioConfig& config) {
       request.latency_goal = config.latency_goal;
       requests.push_back(request);
     }
-    scenario.plan = planner.Plan(requests);
-    TABLEAU_CHECK_MSG(scenario.plan.success, "planner failed: %s",
-                      scenario.plan.error.c_str());
+    scenario.plan = SolveInitialPlan(planner, std::move(requests));
     tableau->PushTable(std::make_shared<SchedulingTable>(scenario.plan.table));
   }
   return scenario;
@@ -140,13 +128,8 @@ Scenario BuildVmScenario(const ScenarioConfig& config, const std::vector<VmSpec>
   scenario.vantage = scenario.vcpus.empty() ? nullptr : scenario.vcpus.front();
 
   if (scenario.tableau != nullptr) {
-    PlannerConfig planner_config;
-    planner_config.num_cpus = config.guest_cpus;
-    planner_config.metrics = &scenario.machine->metrics();
-    const Planner planner(planner_config);
-    scenario.plan = planner.Plan(requests);
-    TABLEAU_CHECK_MSG(scenario.plan.success, "planner failed: %s",
-                      scenario.plan.error.c_str());
+    const Planner planner(ScenarioPlannerConfig(config, scenario));
+    scenario.plan = SolveInitialPlan(planner, std::move(requests));
     if (!hints.empty() && scenario.plan.method == PlanMethod::kPartitioned) {
       std::vector<std::vector<Allocation>> per_core(
           static_cast<std::size_t>(config.guest_cpus));

@@ -17,14 +17,12 @@
 #include <vector>
 
 #include "src/core/planner.h"
+#include "src/faults/fault_plan.h"
 #include "src/hypervisor/machine.h"
+#include "src/schedulers/factory.h"
 #include "src/schedulers/tableau_scheduler.h"
 
 namespace tableau {
-
-enum class SchedKind { kCredit, kCredit2, kRtds, kTableau, kCfs };
-
-const char* SchedKindName(SchedKind kind);
 
 struct ScenarioConfig {
   SchedKind scheduler = SchedKind::kTableau;
@@ -40,9 +38,22 @@ struct ScenarioConfig {
   TimeNs latency_goal = 20 * kMillisecond;
   TimeNs credit_timeslice = 5 * kMillisecond;
   OverheadCosts costs;
+  // Deterministic fault injection. Empty (the default) builds no injector:
+  // the scenario is byte-identical to the fault-free engine.
+  faults::FaultPlan fault_plan;
+  // Tableau degradation: re-arm a table switch that misses its deadline by
+  // more than this at the next wrap (kTimeNever = promote late, the
+  // golden-preserving default).
+  TimeNs switch_slip_tolerance = kTimeNever;
+  // Planner degradation: stepwise latency-goal relaxation on admission
+  // rejection (0 = off).
+  int max_latency_degradations = 0;
 };
 
 struct Scenario {
+  // Owned fault injector driving machine + planner hooks; null when
+  // fault_plan is empty. Declared before the machine so it outlives it.
+  std::unique_ptr<faults::FaultInjector> injector;
   std::unique_ptr<Machine> machine;
   // Owned by the machine; null unless scheduler == kTableau.
   TableauScheduler* tableau = nullptr;

@@ -44,6 +44,20 @@ Vcpu* Machine::AddVcpu(const VcpuParams& params) {
   return vcpu;
 }
 
+void Machine::SetFaultInjector(faults::FaultInjector* injector) {
+  fault_injector_ = injector;
+  if (fault_injector_ != nullptr) {
+    fault_injector_->AttachMetrics(&metrics_);
+  }
+}
+
+TimeNs Machine::PerturbFire(TimeNs at) {
+  if (fault_injector_ == nullptr) {
+    return at;
+  }
+  return fault_injector_->PerturbTimerArm(sim_.Now(), at);
+}
+
 void Machine::RunFor(TimeNs duration) {
   sim_.RunUntil(sim_.Now() + duration);
   for (CpuId cpu = 0; cpu < config_.num_cpus; ++cpu) {
@@ -83,6 +97,9 @@ auto Machine::TraceOp(SchedOp op, CpuId cpu, Fn&& fn) {
 
 void Machine::AddOpCost(TimeNs cost) {
   TABLEAU_CHECK(cost >= 0);
+  if (fault_injector_ != nullptr && cost > 0) {
+    cost = fault_injector_->ScaleSchedOpCost(sim_.Now(), cost);
+  }
   if (op_active_) {
     op_cost_ += cost;
   } else {
@@ -104,7 +121,12 @@ void Machine::KickCpu(CpuId cpu, bool remote) {
   if (remote) {
     AddOpCost(config_.costs.ipi_send);
   }
-  const TimeNs delay = remote ? config_.costs.ipi_latency : 0;
+  TimeNs delay = remote ? config_.costs.ipi_latency : 0;
+  if (remote && fault_injector_ != nullptr) {
+    // Dropped IPIs re-send after a bounded retry interval: delivery becomes
+    // later, never lost, so kick_pending still dedups correctly.
+    delay = fault_injector_->PerturbIpiDelay(sim_.Now(), delay);
+  }
   sim_.Arm(state.kick_timer, sim_.Now() + delay);
 }
 
@@ -150,6 +172,18 @@ void Machine::Wake(VcpuId id) {
   const CpuId processing = vcpu->last_cpu_ == kNoCpu ? 0 : vcpu->last_cpu_;
   AddOpCost(config_.costs.wakeup_entry);
   TraceOp(SchedOp::kWakeup, processing, [&] { scheduler_->OnWakeup(vcpu); });
+  if (fault_injector_ != nullptr) {
+    // Wakeup storm: spurious event-channel notifications. Each burns a full
+    // wakeup-processing pass and a spurious local kick, but never re-enters
+    // the scheduler's OnWakeup (the vCPU is already runnable; re-enqueueing
+    // it would corrupt every scheduler's runqueue invariants).
+    const int storm = fault_injector_->NextWakeupStormCount(sim_.Now());
+    for (int i = 0; i < storm; ++i) {
+      AddOpCost(config_.costs.wakeup_entry);
+      TraceOp(SchedOp::kWakeup, processing, [] {});
+      KickCpu(processing, /*remote=*/false);
+    }
+  }
 }
 
 void Machine::Block(Vcpu* vcpu) {
@@ -210,7 +244,7 @@ void Machine::Reschedule(CpuId cpu, DeschedReason reason) {
     state.overhead_ns += start_delay;
     m_overhead_ns_->Increment(start_delay);
     if (decision.until != kTimeNever) {
-      sim_.Arm(state.resched_timer, std::max(now, decision.until));
+      sim_.Arm(state.resched_timer, std::max(now, PerturbFire(decision.until)));
       state.pending = state.resched_timer;
     }
     return;
@@ -222,7 +256,11 @@ void Machine::Reschedule(CpuId cpu, DeschedReason reason) {
                     "scheduler picked vCPU %d already running on cpu %d", next->id(),
                     next->running_on_);
   if (next != prev) {
-    start_delay += config_.costs.context_switch;
+    TimeNs switch_cost = config_.costs.context_switch;
+    if (fault_injector_ != nullptr) {
+      switch_cost = fault_injector_->ScaleContextSwitchCost(now, switch_cost);
+    }
+    start_delay += switch_cost;
     ++context_switches_;
     m_context_switches_->Increment();
     if (next->last_cpu_ != kNoCpu && next->last_cpu_ != cpu) {
@@ -263,7 +301,7 @@ void Machine::Reschedule(CpuId cpu, DeschedReason reason) {
     event_time = std::min(event_time, next->service_start_ + next->remaining_burst_);
   }
   TABLEAU_CHECK(event_time != kTimeNever);
-  sim_.Arm(state.cpu_event_timer, std::max(now, event_time));
+  sim_.Arm(state.cpu_event_timer, std::max(now, PerturbFire(event_time)));
   state.pending = state.cpu_event_timer;
 }
 
@@ -281,6 +319,19 @@ void Machine::OnCpuEvent(CpuId cpu) {
   // Burst completion: let the guest decide what happens next.
   SettleService(cpu);
   TABLEAU_CHECK(vcpu->remaining_burst_ == 0);
+  if (fault_injector_ != nullptr) {
+    // Guest budget overrun: the burst refuses to end (interrupts disabled in
+    // the guest) and keeps computing for a bounded extra stretch before the
+    // completion handler finally runs.
+    const TimeNs overrun = fault_injector_->NextBurstOverrun(now);
+    if (overrun > 0) {
+      vcpu->remaining_burst_ = overrun;
+      TimeNs event_time = std::min(state.decision_until, now + overrun);
+      sim_.Arm(state.cpu_event_timer, std::max(now, PerturbFire(event_time)));
+      state.pending = state.cpu_event_timer;
+      return;
+    }
+  }
   TABLEAU_CHECK_MSG(static_cast<bool>(vcpu->on_burst_complete),
                     "vCPU %d has no on_burst_complete handler", vcpu->id());
   vcpu->on_burst_complete();

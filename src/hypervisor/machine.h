@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/time.h"
+#include "src/faults/fault_injector.h"
 #include "src/hypervisor/overhead.h"
 #include "src/hypervisor/scheduler.h"
 #include "src/hypervisor/trace.h"
@@ -83,6 +84,15 @@ class Machine {
 
   Vcpu* RunningOn(CpuId cpu) const { return cpu_[static_cast<std::size_t>(cpu)].current; }
 
+  // --- Fault injection ---
+
+  // Attaches a fault injector (not owned; must outlive the machine) and
+  // registers its faults.* metrics on this machine's registry. Call before
+  // Start(). With no injector — or an injector whose plan is empty — the
+  // machine behaves byte-identically to the fault-free engine.
+  void SetFaultInjector(faults::FaultInjector* injector);
+  faults::FaultInjector* fault_injector() { return fault_injector_; }
+
   // Settles service/accounting for the vCPU currently on `cpu` up to Now().
   // Schedulers must call this before mutating accounting state (credit or
   // budget refills) of a *running* vCPU, so consumption up to now is charged
@@ -140,6 +150,8 @@ class Machine {
 
   void Reschedule(CpuId cpu, DeschedReason reason);
   void OnCpuEvent(CpuId cpu);
+  // Timer-fault hook: the fire time the injector lets the timer see (>= at).
+  TimeNs PerturbFire(TimeNs at);
   // Credits service from service_start_ to now and advances service_start_.
   void SettleService(CpuId cpu);
 
@@ -148,6 +160,7 @@ class Machine {
 
   MachineConfig config_;
   Simulation sim_;
+  faults::FaultInjector* fault_injector_ = nullptr;
   std::unique_ptr<VcpuScheduler> scheduler_;
   std::vector<std::unique_ptr<Vcpu>> vcpus_;
   std::vector<CpuState> cpu_;

@@ -222,11 +222,18 @@ std::string FormatDouble(double value) {
 
 }  // namespace
 
+const char* MetricsSnapshot::SchemaVersion() {
+  static_assert(MetricsSnapshot::kSchemaVersionMajor == 1 &&
+                MetricsSnapshot::kSchemaVersionMinor == 0);
+  return "1.0";
+}
+
 std::string MetricsSnapshot::ToJson(int indent) const {
   const std::string p0 = Pad(indent);
   const std::string p1 = Pad(indent + 2);
   const std::string p2 = Pad(indent + 4);
   std::string out = "{\n";
+  out += p1 + "\"schema_version\": \"" + SchemaVersion() + "\",\n";
 
   const auto EmitSection = [&](MetricKind kind, const char* title,
                                const auto& emit_value, bool last) {
@@ -308,6 +315,30 @@ std::optional<MetricsSnapshot> MetricsSnapshot::FromJson(const std::string& json
   const std::optional<JsonValue> doc = ParseJson(json);
   if (!doc.has_value() || !doc->is_object()) {
     return std::nullopt;
+  }
+  // Version gate: an absent schema_version is the pre-versioned format and
+  // parses as major 1; a present one must be a "major.minor" string whose
+  // major we know. Unknown minors are fine (additive changes only).
+  const JsonValue* version = doc->Find("schema_version");
+  if (version != nullptr) {
+    if (!version->is_string()) {
+      return std::nullopt;
+    }
+    const std::string& text = version->str();
+    const std::size_t dot = text.find('.');
+    if (dot == std::string::npos || dot == 0 || dot + 1 >= text.size()) {
+      return std::nullopt;
+    }
+    int major = 0;
+    for (std::size_t i = 0; i < dot; ++i) {
+      if (text[i] < '0' || text[i] > '9') {
+        return std::nullopt;
+      }
+      major = major * 10 + (text[i] - '0');
+    }
+    if (major != kSchemaVersionMajor) {
+      return std::nullopt;
+    }
   }
   MetricsSnapshot snapshot;
 

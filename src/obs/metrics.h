@@ -161,6 +161,14 @@ struct MetricValue {
 };
 
 struct MetricsSnapshot {
+  // JSON schema version, "major.minor" (see DESIGN.md "Versioned JSON
+  // schema"). Major bumps on breaking layout changes; FromJson rejects
+  // documents whose major it does not know. Minor bumps on additive changes
+  // and is accepted regardless.
+  static constexpr int kSchemaVersionMajor = 1;
+  static constexpr int kSchemaVersionMinor = 0;
+  static const char* SchemaVersion();  // "1.0"
+
   std::map<std::string, MetricValue> values;
 
   bool empty() const { return values.empty(); }
@@ -175,8 +183,9 @@ struct MetricsSnapshot {
   // order-independent and thus deterministic under parallel collection.
   void Merge(const MetricsSnapshot& other);
 
-  // JSON document: {"counters": {...}, "gauges": {...}, "histograms":
-  // {name: {count, sum, min, max, buckets: [[upper_edge, count], ...]}}}.
+  // JSON document: {"schema_version": "1.0", "counters": {...}, "gauges":
+  // {...}, "histograms": {name: {count, sum, min, max, buckets:
+  // [[upper_edge, count], ...]}}}.
   // `indent` shifts every line right (for embedding in a larger document).
   std::string ToJson(int indent = 0) const;
   // One line per metric: kind,name,count,sum,min,max,mean,p50,p99 (scalar
@@ -184,7 +193,9 @@ struct MetricsSnapshot {
   std::string ToCsv() const;
 
   // Parses a document produced by ToJson. Returns nullopt on malformed input
-  // (including bucket edges that are not of the 2^i - 1 form).
+  // (including bucket edges that are not of the 2^i - 1 form) and on an
+  // unknown schema_version major. Documents without a schema_version (the
+  // pre-versioned format) are accepted.
   static std::optional<MetricsSnapshot> FromJson(const std::string& json);
 
   bool operator==(const MetricsSnapshot&) const = default;

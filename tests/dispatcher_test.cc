@@ -280,6 +280,45 @@ TEST(Dispatcher, SplitParticipationOffMatchesPrototype) {
   EXPECT_TRUE(dispatcher.SecondLevelLocal(2, 0, 450));
 }
 
+TEST(Dispatcher, LateSwitchPromotesImmediatelyByDefault) {
+  // Default (kTimeNever tolerance): however late the first lookup after the
+  // promised boundary arrives, the pending table promotes right away — the
+  // pre-degradation behavior the goldens pin down.
+  TableauDispatcher dispatcher(1, WorkConserving());
+  dispatcher.InstallTable(MakeTable(1000, {{{1, 0, 1000}}}), 0);
+  dispatcher.InstallTable(MakeTable(1000, {{{2, 0, 1000}}}), 300);
+  EXPECT_EQ(dispatcher.pending_switch_time(), 2000);
+  EXPECT_EQ(dispatcher.LookupSlot(0, 9700).vcpu, 2);  // 7.7 rounds late.
+  EXPECT_EQ(dispatcher.pending_switch_time(), kTimeNever);
+}
+
+TEST(Dispatcher, SlipToleranceReArmsMissedSwitchAtNextWrap) {
+  TableauDispatcher::Config config = WorkConserving();
+  config.switch_slip_tolerance = 100;
+  TableauDispatcher dispatcher(1, config);
+  dispatcher.InstallTable(MakeTable(1000, {{{1, 0, 1000}}}), 0);
+  dispatcher.InstallTable(MakeTable(1000, {{{2, 0, 1000}}}), 300);
+  EXPECT_EQ(dispatcher.pending_switch_time(), 2000);
+  // First lookup observes the switch 500 > 100 late: the old table stays in
+  // effect and the switch re-arms at the next wrap of the current table.
+  EXPECT_EQ(dispatcher.LookupSlot(0, 2500).vcpu, 1);
+  EXPECT_EQ(dispatcher.pending_switch_time(), 3000);
+  // On time at the re-armed boundary: the new table takes over.
+  EXPECT_EQ(dispatcher.LookupSlot(0, 3000).vcpu, 2);
+  EXPECT_EQ(dispatcher.pending_switch_time(), kTimeNever);
+}
+
+TEST(Dispatcher, SlipWithinToleranceStillPromotes) {
+  TableauDispatcher::Config config = WorkConserving();
+  config.switch_slip_tolerance = 100;
+  TableauDispatcher dispatcher(1, config);
+  dispatcher.InstallTable(MakeTable(1000, {{{1, 0, 1000}}}), 0);
+  dispatcher.InstallTable(MakeTable(1000, {{{2, 0, 1000}}}), 300);
+  // 50 ns late is within tolerance: promote as usual.
+  EXPECT_EQ(dispatcher.LookupSlot(0, 2050).vcpu, 2);
+  EXPECT_EQ(dispatcher.pending_switch_time(), kTimeNever);
+}
+
 TEST(Dispatcher, TimelinesRebuiltAfterSwitch) {
   TableauDispatcher dispatcher(2, WorkConserving());
   dispatcher.InstallTable(

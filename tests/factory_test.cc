@@ -1,0 +1,93 @@
+// Tests for the scheduler factory registry: name round-trips, per-kind
+// construction with the harness's cap invariants, and the builder override
+// hook.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/hypervisor/machine.h"
+#include "src/schedulers/factory.h"
+
+namespace tableau {
+namespace {
+
+TEST(SchedKind, NameRoundTripsEveryKind) {
+  for (const SchedKind kind : kAllSchedKinds) {
+    const auto parsed = SchedKindFromName(SchedKindName(kind));
+    ASSERT_TRUE(parsed.has_value()) << SchedKindName(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(SchedKind, FromNameIsCaseInsensitive) {
+  EXPECT_EQ(SchedKindFromName("tableau"), SchedKind::kTableau);
+  EXPECT_EQ(SchedKindFromName("TABLEAU"), SchedKind::kTableau);
+  EXPECT_EQ(SchedKindFromName("rtds"), SchedKind::kRtds);
+  EXPECT_EQ(SchedKindFromName("credit2"), SchedKind::kCredit2);
+  EXPECT_EQ(SchedKindFromName("cfs"), SchedKind::kCfs);
+}
+
+TEST(SchedKind, FromNameRejectsUnknown) {
+  EXPECT_FALSE(SchedKindFromName("").has_value());
+  EXPECT_FALSE(SchedKindFromName("credit3").has_value());
+  EXPECT_FALSE(SchedKindFromName("tableau ").has_value());
+}
+
+TEST(Factory, MakesEveryKindUnderItsValidCapMode) {
+  for (const SchedKind kind : kAllSchedKinds) {
+    SchedulerSpec spec;
+    spec.kind = kind;
+    // Credit2 refuses caps, RTDS requires them (Sec. 7.2); everything else
+    // accepts either — exercise each kind in a valid mode.
+    spec.capped = kind == SchedKind::kRtds;
+    const MadeScheduler made = MakeScheduler(spec);
+    ASSERT_NE(made.scheduler, nullptr) << SchedKindName(kind);
+    if (kind == SchedKind::kTableau) {
+      EXPECT_NE(made.tableau, nullptr);
+      EXPECT_EQ(made.tableau, made.scheduler.get());
+    } else {
+      EXPECT_EQ(made.tableau, nullptr);
+    }
+  }
+}
+
+TEST(Factory, TableauSpecKnobsReachTheDispatcher) {
+  SchedulerSpec spec;
+  spec.kind = SchedKind::kTableau;
+  spec.capped = true;  // Capped: no second-level (work_conserving off).
+  spec.switch_slip_tolerance = 3 * kMillisecond;
+  MadeScheduler made = MakeScheduler(spec);
+  ASSERT_NE(made.tableau, nullptr);
+  // The scheduler builds its dispatcher at machine attach.
+  TableauScheduler* tableau = made.tableau;
+  MachineConfig config;
+  config.num_cpus = 2;
+  config.cores_per_socket = 2;
+  const Machine machine(config, std::move(made.scheduler));
+  EXPECT_FALSE(tableau->dispatcher().config().work_conserving);
+  EXPECT_EQ(tableau->dispatcher().config().switch_slip_tolerance, 3 * kMillisecond);
+}
+
+TEST(Factory, RegisterSchedulerOverridesAndRestores) {
+  int calls = 0;
+  RegisterScheduler(SchedKind::kCredit, [&calls](const SchedulerSpec& spec) {
+    ++calls;
+    SchedulerSpec tableau_spec = spec;
+    tableau_spec.kind = SchedKind::kTableau;
+    return MakeScheduler(tableau_spec);  // Substitute a different scheduler.
+  });
+  const MadeScheduler made = MakeScheduler(SchedulerSpec{.kind = SchedKind::kCredit});
+  EXPECT_EQ(calls, 1);
+  EXPECT_NE(made.tableau, nullptr);  // The override built a Tableau instead.
+
+  RegisterScheduler(SchedKind::kCredit, nullptr);  // Restore the default.
+  const MadeScheduler restored =
+      MakeScheduler(SchedulerSpec{.kind = SchedKind::kCredit});
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(restored.tableau, nullptr);
+}
+
+}  // namespace
+}  // namespace tableau

@@ -169,6 +169,56 @@ TEST(MetricsSnapshot, FromJsonRejectsMalformedDocuments) {
                    .has_value());
 }
 
+TEST(MetricsSnapshot, ToJsonEmitsSchemaVersion) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Increment();
+  const std::string json = registry.Snapshot().ToJson();
+  const std::string expected =
+      std::string("\"schema_version\": \"") + MetricsSnapshot::SchemaVersion() + "\"";
+  EXPECT_NE(json.find(expected), std::string::npos) << json;
+}
+
+TEST(MetricsSnapshot, FromJsonRejectsUnknownMajorVersion) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Increment();
+  std::string json = registry.Snapshot().ToJson();
+  // Same document, one major version ahead: must be rejected.
+  const std::string current =
+      std::string("\"schema_version\": \"") + MetricsSnapshot::SchemaVersion() + "\"";
+  const std::string future = "\"schema_version\": \"2.0\"";
+  const std::size_t at = json.find(current);
+  ASSERT_NE(at, std::string::npos);
+  json.replace(at, current.size(), future);
+  EXPECT_FALSE(MetricsSnapshot::FromJson(json).has_value());
+  // A non-string version is malformed.
+  json.replace(json.find(future), future.size(), "\"schema_version\": 2");
+  EXPECT_FALSE(MetricsSnapshot::FromJson(json).has_value());
+}
+
+TEST(MetricsSnapshot, FromJsonAcceptsMinorBumpAndPreVersionedDocuments) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Increment(3);
+  std::string json = registry.Snapshot().ToJson();
+  // Minor bumps within the same major parse fine.
+  const std::string current =
+      std::string("\"schema_version\": \"") + MetricsSnapshot::SchemaVersion() + "\"";
+  const std::size_t at = json.find(current);
+  ASSERT_NE(at, std::string::npos);
+  std::string minor_bump = json;
+  minor_bump.replace(at, current.size(), "\"schema_version\": \"1.99\"");
+  EXPECT_TRUE(MetricsSnapshot::FromJson(minor_bump).has_value());
+  // Documents written before versioning (no schema_version member) still
+  // parse: absent means pre-1.0, accepted.
+  std::string unversioned = json;
+  unversioned.erase(at, current.size() + 1);  // Member plus trailing comma.
+  while (unversioned[at] == ' ' || unversioned[at] == '\n') {
+    unversioned.erase(at, 1);
+  }
+  const auto parsed = MetricsSnapshot::FromJson(unversioned);
+  ASSERT_TRUE(parsed.has_value()) << unversioned;
+  EXPECT_EQ(parsed->values.at("c").counter, 3);
+}
+
 TEST(MetricsSnapshot, CsvListsEveryMetric) {
   MetricsRegistry registry;
   registry.GetCounter("c")->Increment(2);

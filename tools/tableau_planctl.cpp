@@ -94,7 +94,7 @@ int CmdPlan(int argc, char** argv) {
   }
 
   const Planner planner(config);
-  const PlanResult plan = planner.Plan(requests);
+  const PlanResult plan = planner.Solve(PlanRequest::Full(requests));
   if (!plan.success) {
     std::fprintf(stderr, "planning failed: %s\n", plan.error.c_str());
     return 1;

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "bench/bench_util.h"
@@ -34,23 +35,6 @@ struct Options {
   bool validate = false;
   bool check_determinism = false;
 };
-
-bool ParseSchedKind(const char* name, SchedKind* out) {
-  if (std::strcmp(name, "credit") == 0) {
-    *out = SchedKind::kCredit;
-  } else if (std::strcmp(name, "credit2") == 0) {
-    *out = SchedKind::kCredit2;
-  } else if (std::strcmp(name, "rtds") == 0) {
-    *out = SchedKind::kRtds;
-  } else if (std::strcmp(name, "tableau") == 0) {
-    *out = SchedKind::kTableau;
-  } else if (std::strcmp(name, "cfs") == 0) {
-    *out = SchedKind::kCfs;
-  } else {
-    return false;
-  }
-  return true;
-}
 
 [[noreturn]] void Usage(const char* argv0) {
   std::fprintf(stderr,
@@ -116,9 +100,11 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (std::strcmp(arg, "--scheduler") == 0) {
-      if (!ParseSchedKind(NextValue(), &options.scheduler)) {
+      const std::optional<SchedKind> kind = SchedKindFromName(NextValue());
+      if (!kind.has_value()) {
         Usage(argv[0]);
       }
+      options.scheduler = *kind;
     } else if (std::strcmp(arg, "--cpus") == 0) {
       options.cpus = std::atoi(NextValue());
       if (options.cpus < 1) {
