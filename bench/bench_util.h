@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/check/table_verifier.h"
 #include "src/common/thread_pool.h"
 #include "src/harness/scenario.h"
 #include "src/obs/metrics.h"
@@ -21,6 +22,18 @@
 #include "src/workloads/stress.h"
 
 namespace tableau::bench {
+
+// TABLEAU_VERIFY_TABLES=1 turns every table the planner emits during a bench
+// run into a property check: the TableVerifier audits each successful Solve
+// and aborts with a violation report if the reservation contract is broken.
+// Installed before main() so no bench can forget to opt in.
+inline const bool kTableVerificationInstalled = [] {
+  const char* env = std::getenv("TABLEAU_VERIFY_TABLES");
+  if (env != nullptr && env[0] != '\0' && env[0] != '0') {
+    check::InstallPlannerVerification();
+  }
+  return true;
+}();
 
 // Simulated duration scaling: set TABLEAU_BENCH_SECONDS to stretch runs
 // (default keeps the full suite fast while converged).

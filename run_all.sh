@@ -11,6 +11,18 @@ cmake -B build-asan -G Ninja -DTABLEAU_SANITIZE=ON
 cmake --build build-asan
 ctest --test-dir build-asan 2>&1 | tee -a test_output.txt
 
+# Verification sweep (src/check): the differential-oracle suite under the
+# sanitizers, the mutation self-test (planted scheduler bugs must be caught),
+# and a fuzzer pass over a fixed seed range; any violation shrinks to a
+# minimal reproducer under tests/repro/ for triage.
+ctest --test-dir build-asan -L check --output-on-failure 2>&1 | tee -a test_output.txt
+build-asan/tools/tableau_checkctl selftest
+build-asan/tools/tableau_checkctl fuzz --seeds 0:20000 --shrink --repro-dir tests/repro
+# Audit every table the planner-heavy benches emit (the uninstrumented bench
+# loop below regenerates the JSON artifacts without the verification cost).
+TABLEAU_VERIFY_TABLES=1 build-asan/bench/bench_fig3_table_generation_time
+TABLEAU_VERIFY_TABLES=1 build-asan/bench/bench_fig4_table_size
+
 # Engine microbenchmark first: writes BENCH_sim_engine.json (events/sec for
 # the timer-wheel engine vs the legacy heap engine, parallel-harness timing).
 build/bench/bench_sim_engine

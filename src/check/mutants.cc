@@ -1,0 +1,158 @@
+#include "src/check/mutants.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/hypervisor/scheduler.h"
+
+namespace tableau::check {
+namespace {
+
+// Forwards every hook to the wrapped scheduler and corrupts every stride-th
+// PickNext decision. The corruption keeps the machine's dispatch invariants
+// intact (runnable vCPU, not running elsewhere, until > now): only the
+// oracles can tell the difference.
+class MutantScheduler : public VcpuScheduler {
+ public:
+  MutantScheduler(std::unique_ptr<VcpuScheduler> inner, MutantKind kind, int stride)
+      : inner_(std::move(inner)), kind_(kind), stride_(stride < 1 ? 1 : stride) {}
+
+  std::string Name() const override { return inner_->Name() + "+mutant"; }
+
+  void Attach(Machine* machine) override {
+    machine_ = machine;
+    inner_->Attach(machine);
+  }
+
+  void AddVcpu(Vcpu* vcpu) override {
+    vcpus_.push_back(vcpu);
+    inner_->AddVcpu(vcpu);
+  }
+
+  Decision PickNext(CpuId cpu) override {
+    Decision decision = inner_->PickNext(cpu);
+    ++picks_;
+    if (picks_ % static_cast<std::uint64_t>(stride_) != 0 ||
+        decision.vcpu == kIdleVcpu) {
+      return decision;
+    }
+    switch (kind_) {
+      case MutantKind::kNone:
+        break;
+      case MutantKind::kWrongVcpu: {
+        // Substitute any other runnable, not-running vCPU; keep the horizon.
+        const std::size_t n = vcpus_.size();
+        for (std::size_t i = 0; i < n; ++i) {
+          Vcpu* candidate = vcpus_[(rotate_ + i) % n];
+          if (candidate->id() != decision.vcpu && candidate->runnable() &&
+              candidate->running_on() == kNoCpu) {
+            rotate_ = (rotate_ + i + 1) % n;
+            decision.vcpu = candidate->id();
+            break;
+          }
+        }
+        break;
+      }
+      case MutantKind::kOverrunSlice:
+        if (decision.until != kTimeNever) {
+          decision.until += 5 * kMillisecond;
+        }
+        break;
+    }
+    return decision;
+  }
+
+  void OnWakeup(Vcpu* vcpu) override { inner_->OnWakeup(vcpu); }
+  void OnBlock(Vcpu* vcpu, CpuId cpu) override { inner_->OnBlock(vcpu, cpu); }
+  void OnDeschedule(Vcpu* vcpu, CpuId cpu, DeschedReason reason) override {
+    inner_->OnDeschedule(vcpu, cpu, reason);
+  }
+  void OnServiceAccrued(Vcpu* vcpu, CpuId cpu, TimeNs amount) override {
+    inner_->OnServiceAccrued(vcpu, cpu, amount);
+  }
+  void Start() override { inner_->Start(); }
+
+ private:
+  std::unique_ptr<VcpuScheduler> inner_;
+  const MutantKind kind_;
+  const int stride_;
+  std::uint64_t picks_ = 0;
+  std::size_t rotate_ = 0;
+  std::vector<Vcpu*> vcpus_;
+};
+
+struct MutationState {
+  SchedKind kind = SchedKind::kTableau;
+  MutantKind mutant = MutantKind::kNone;
+  int stride = 1;
+  bool active = false;
+};
+MutationState g_mutation;
+
+void InstallMutantBuilder();
+
+MadeScheduler BuildMutant(const SchedulerSpec& spec) {
+  // Build the real scheduler via the built-in builder, then re-install
+  // ourselves for subsequent factory calls.
+  RegisterScheduler(g_mutation.kind, nullptr);
+  MadeScheduler made = MakeScheduler(spec);
+  InstallMutantBuilder();
+  made.scheduler = std::make_unique<MutantScheduler>(
+      std::move(made.scheduler), g_mutation.mutant, g_mutation.stride);
+  // made.tableau still points at the wrapped TableauScheduler, so table
+  // pushes keep working through the scenario harness.
+  return made;
+}
+
+void InstallMutantBuilder() {
+  RegisterScheduler(g_mutation.kind,
+                    [](const SchedulerSpec& spec) { return BuildMutant(spec); });
+}
+
+}  // namespace
+
+const char* MutantKindName(MutantKind kind) {
+  switch (kind) {
+    case MutantKind::kNone:
+      return "none";
+    case MutantKind::kWrongVcpu:
+      return "wrong_vcpu";
+    case MutantKind::kOverrunSlice:
+      return "overrun_slice";
+  }
+  return "?";
+}
+
+std::optional<MutantKind> MutantKindFromName(std::string_view name) {
+  for (MutantKind kind :
+       {MutantKind::kNone, MutantKind::kWrongVcpu, MutantKind::kOverrunSlice}) {
+    if (name == MutantKindName(kind)) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+ScopedSchedulerMutation::ScopedSchedulerMutation(SchedKind kind, MutantKind mutant,
+                                                 int stride) {
+  TABLEAU_CHECK_MSG(!g_mutation.active, "one scheduler mutation at a time");
+  g_mutation.kind = kind;
+  g_mutation.mutant = mutant;
+  g_mutation.stride = stride < 1 ? 1 : stride;
+  g_mutation.active = true;
+  if (mutant != MutantKind::kNone) {
+    InstallMutantBuilder();
+  }
+}
+
+ScopedSchedulerMutation::~ScopedSchedulerMutation() {
+  if (g_mutation.active && g_mutation.mutant != MutantKind::kNone) {
+    RegisterScheduler(g_mutation.kind, nullptr);
+  }
+  g_mutation.active = false;
+}
+
+}  // namespace tableau::check

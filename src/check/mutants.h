@@ -1,0 +1,50 @@
+// Scheduler mutants: deliberately-buggy forwarding wrappers installed through
+// the factory registry, used to prove the verification subsystem actually
+// catches bugs (a checker that never fires is indistinguishable from one that
+// checks nothing).
+//
+// A mutant wraps the real scheduler built for a SchedKind and corrupts every
+// stride-th PickNext decision in a way that stays *legal* for the hypervisor
+// dispatch state machine (the machine's own TABLEAU_CHECKs must not fire —
+// the point is that only the oracles notice):
+//
+//  - kWrongVcpu: substitutes a different runnable, not-running vCPU for the
+//    scheduler's pick. Caught by the Tableau oracle's differential table
+//    lookup (the dispatched vCPU does not own the slot). Intended for
+//    Tableau, whose table-driven first level keeps no per-pick runqueue
+//    state; queue-based schedulers may get confused by a substituted pick.
+//  - kOverrunSlice: extends the decision horizon by several milliseconds, so
+//    the dispatched vCPU runs past its slot/slice end. Caught by every
+//    oracle's interval-length bound.
+#ifndef SRC_CHECK_MUTANTS_H_
+#define SRC_CHECK_MUTANTS_H_
+
+#include <optional>
+#include <string_view>
+
+#include "src/schedulers/factory.h"
+
+namespace tableau::check {
+
+enum class MutantKind { kNone, kWrongVcpu, kOverrunSlice };
+
+// "none", "wrong_vcpu", "overrun_slice" (for repro serialization).
+const char* MutantKindName(MutantKind kind);
+std::optional<MutantKind> MutantKindFromName(std::string_view name);
+
+// RAII: while alive, every scheduler the factory builds for `kind` is wrapped
+// in a mutant corrupting every `stride`-th pick (stride < 1 reads as 1).
+// kNone installs nothing. One mutation may be active per process at a time;
+// not thread-safe (tests only).
+class ScopedSchedulerMutation {
+ public:
+  ScopedSchedulerMutation(SchedKind kind, MutantKind mutant, int stride);
+  ~ScopedSchedulerMutation();
+
+  ScopedSchedulerMutation(const ScopedSchedulerMutation&) = delete;
+  ScopedSchedulerMutation& operator=(const ScopedSchedulerMutation&) = delete;
+};
+
+}  // namespace tableau::check
+
+#endif  // SRC_CHECK_MUTANTS_H_

@@ -1,0 +1,418 @@
+#include "src/check/oracles.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/rt/hyperperiod.h"
+
+namespace tableau::check {
+namespace {
+
+// Stop collecting after this many violations: one divergence usually
+// cascades, and the first reports are the ones that matter.
+constexpr std::size_t kMaxViolations = 64;
+
+std::string At(TimeNs time, int cpu, VcpuId vcpu) {
+  std::ostringstream out;
+  out << "t=" << time << " cpu=" << cpu << " vcpu=" << vcpu << ": ";
+  return out.str();
+}
+
+}  // namespace
+
+SchedulerOracle::SchedulerOracle(OracleConfig config) : config_(std::move(config)) {
+  occupant_.assign(static_cast<std::size_t>(config_.num_cpus), kIdleVcpu);
+  state_.assign(config_.params.size(), State::kBlocked);
+  running_cpu_.assign(config_.params.size(), -1);
+  open_.assign(config_.params.size(), Interval{-1, -1, -1, false});
+  for (const faults::TimerFault& fault : config_.fault_plan.timer_faults) {
+    timer_slack_ = std::max(timer_slack_, fault.max_jitter + fault.coalesce_quantum);
+  }
+}
+
+void SchedulerOracle::AddViolation(std::string message) {
+  if (violations_.size() < kMaxViolations) {
+    violations_.push_back(std::move(message));
+  }
+}
+
+const VcpuParams& SchedulerOracle::ParamsOf(VcpuId vcpu) const {
+  return config_.params[static_cast<std::size_t>(vcpu)];
+}
+
+void SchedulerOracle::CloseInterval(VcpuId vcpu, TimeNs end) {
+  Interval& interval = open_[static_cast<std::size_t>(vcpu)];
+  if (interval.start < 0) {
+    return;
+  }
+  interval.end = end;
+  OnIntervalClosed(vcpu, interval);
+  interval = Interval{-1, -1, -1, false};
+}
+
+void SchedulerOracle::Consume(const TraceRecord& record) {
+  ++records_;
+  if (record.time < last_time_) {
+    AddViolation(At(record.time, record.cpu, record.vcpu) +
+                 "time went backwards (previous record at " + std::to_string(last_time_) +
+                 ")");
+  }
+  last_time_ = std::max(last_time_, record.time);
+
+  const bool has_vcpu =
+      record.vcpu != kIdleVcpu && static_cast<std::size_t>(record.vcpu) < state_.size();
+  const bool has_cpu =
+      record.cpu >= 0 && static_cast<std::size_t>(record.cpu) < occupant_.size();
+
+  switch (record.event) {
+    case TraceEvent::kWakeup: {
+      if (!has_vcpu) {
+        break;
+      }
+      if (state_[static_cast<std::size_t>(record.vcpu)] != State::kBlocked) {
+        AddViolation(At(record.time, record.cpu, record.vcpu) +
+                     "wakeup of a vCPU that is not blocked");
+      }
+      state_[static_cast<std::size_t>(record.vcpu)] = State::kRunnable;
+      break;
+    }
+    case TraceEvent::kBlock: {
+      if (!has_vcpu || !has_cpu) {
+        break;
+      }
+      if (occupant_[static_cast<std::size_t>(record.cpu)] != record.vcpu) {
+        AddViolation(At(record.time, record.cpu, record.vcpu) +
+                     "block of a vCPU that is not running on this CPU");
+      }
+      occupant_[static_cast<std::size_t>(record.cpu)] = kIdleVcpu;
+      state_[static_cast<std::size_t>(record.vcpu)] = State::kBlocked;
+      running_cpu_[static_cast<std::size_t>(record.vcpu)] = -1;
+      CloseInterval(record.vcpu, record.time);
+      break;
+    }
+    case TraceEvent::kDeschedule: {
+      if (!has_vcpu || !has_cpu) {
+        break;
+      }
+      if (occupant_[static_cast<std::size_t>(record.cpu)] != record.vcpu) {
+        AddViolation(At(record.time, record.cpu, record.vcpu) +
+                     "deschedule of a vCPU that is not running on this CPU");
+      }
+      occupant_[static_cast<std::size_t>(record.cpu)] = kIdleVcpu;
+      state_[static_cast<std::size_t>(record.vcpu)] = State::kRunnable;
+      running_cpu_[static_cast<std::size_t>(record.vcpu)] = -1;
+      CloseInterval(record.vcpu, record.time);
+      break;
+    }
+    case TraceEvent::kDispatch: {
+      if (!has_vcpu || !has_cpu) {
+        break;
+      }
+      const auto vcpu_index = static_cast<std::size_t>(record.vcpu);
+      const auto cpu_index = static_cast<std::size_t>(record.cpu);
+      if (occupant_[cpu_index] != kIdleVcpu) {
+        AddViolation(At(record.time, record.cpu, record.vcpu) +
+                     "dispatch onto a CPU still occupied by vCPU " +
+                     std::to_string(occupant_[cpu_index]));
+      }
+      if (state_[vcpu_index] == State::kBlocked) {
+        AddViolation(At(record.time, record.cpu, record.vcpu) +
+                     "dispatch of a blocked vCPU");
+      }
+      if (state_[vcpu_index] == State::kRunning) {
+        AddViolation(At(record.time, record.cpu, record.vcpu) +
+                     "dispatch of a vCPU already running on cpu " +
+                     std::to_string(running_cpu_[vcpu_index]));
+      }
+      occupant_[cpu_index] = record.vcpu;
+      state_[vcpu_index] = State::kRunning;
+      running_cpu_[vcpu_index] = record.cpu;
+      open_[vcpu_index] = Interval{record.time, -1, record.cpu, record.arg != 0};
+      OnDispatch(record);
+      break;
+    }
+    case TraceEvent::kIdle: {
+      if (has_cpu && occupant_[static_cast<std::size_t>(record.cpu)] != kIdleVcpu) {
+        AddViolation(At(record.time, record.cpu, record.vcpu) +
+                     "idle on a CPU still occupied by vCPU " +
+                     std::to_string(occupant_[static_cast<std::size_t>(record.cpu)]));
+      }
+      break;
+    }
+    case TraceEvent::kTableSwitch: {
+      OnTableSwitch(record);
+      break;
+    }
+  }
+}
+
+void SchedulerOracle::Finish(TimeNs end_time) {
+  for (std::size_t v = 0; v < open_.size(); ++v) {
+    CloseInterval(static_cast<VcpuId>(v), std::max(end_time, last_time_));
+  }
+}
+
+std::int64_t WindowedServiceCheck::Add(TimeNs start, TimeNs end) {
+  for (std::int64_t k = start / window_; k * window_ < end; ++k) {
+    const TimeNs lo = std::max(start, k * window_);
+    const TimeNs hi = std::min(end, (k + 1) * window_);
+    if (hi <= lo) {
+      continue;
+    }
+    TimeNs& total = totals_[k];
+    total += hi - lo;
+    if (total > bound_ && k != reported_) {
+      reported_ = k;
+      return k;
+    }
+  }
+  return -1;
+}
+
+TimeNs WindowedServiceCheck::WindowTotal(std::int64_t index) const {
+  const auto it = totals_.find(index);
+  return it == totals_.end() ? 0 : it->second;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Horizon oracle: the shared "no interval outlives the decision horizon"
+// check, parameterized by a per-scheduler bound, plus optional capped-window
+// accounting. Covers Credit, Credit2, and CFS.
+// ---------------------------------------------------------------------------
+class HorizonOracle : public SchedulerOracle {
+ public:
+  HorizonOracle(OracleConfig config, const char* name, TimeNs horizon,
+                TimeNs cap_window, TimeNs cap_refill_slack)
+      : SchedulerOracle(std::move(config)), name_(name), horizon_(horizon) {
+    if (cap_window > 0) {
+      for (std::size_t v = 0; v < config_.params.size(); ++v) {
+        const double cap = config_.params[v].cap;
+        if (cap <= 0) {
+          continue;
+        }
+        // Phase-agnostic deferrable-server bound: an aligned window overlaps
+        // at most two refill periods, so capped service in it never exceeds
+        // two refills plus one decision-horizon overshoot.
+        const auto bound = static_cast<TimeNs>(2 * cap * static_cast<double>(cap_window)) +
+                           cap_refill_slack + TimerSlack();
+        windows_.emplace(static_cast<VcpuId>(v),
+                         WindowedServiceCheck(cap_window, bound));
+      }
+    }
+  }
+
+ protected:
+  void OnIntervalClosed(VcpuId vcpu, const Interval& interval) override {
+    const TimeNs length = interval.end - interval.start;
+    if (length > horizon_ + TimerSlack()) {
+      std::ostringstream out;
+      out << name_ << ": vcpu " << vcpu << " service interval [" << interval.start
+          << ", " << interval.end << ") on cpu " << interval.cpu
+          << " outlives the decision horizon " << horizon_ << " + slack "
+          << TimerSlack();
+      AddViolation(out.str());
+    }
+    const auto it = windows_.find(vcpu);
+    if (it != windows_.end()) {
+      const std::int64_t bad = it->second.Add(interval.start, interval.end);
+      if (bad >= 0) {
+        std::ostringstream out;
+        out << name_ << ": capped vcpu " << vcpu << " received "
+            << it->second.WindowTotal(bad) << " ns of service in enforcement window "
+            << bad << " (bound " << it->second.bound() << ")";
+        AddViolation(out.str());
+      }
+    }
+  }
+
+ private:
+  const char* name_;
+  TimeNs horizon_;
+  std::map<VcpuId, WindowedServiceCheck> windows_;
+};
+
+// ---------------------------------------------------------------------------
+// RTDS oracle: derives each vCPU's (budget, period) from its reservation
+// exactly as the scheduler does (MapRequestToTask), then bounds intervals by
+// the budget and windowed service by two refills.
+// ---------------------------------------------------------------------------
+class RtdsOracle : public SchedulerOracle {
+ public:
+  explicit RtdsOracle(OracleConfig config) : SchedulerOracle(std::move(config)) {
+    for (std::size_t v = 0; v < config_.params.size(); ++v) {
+      VcpuRequest request;
+      request.vcpu = static_cast<VcpuId>(v);
+      request.utilization = config_.params[v].utilization;
+      request.latency_goal = config_.params[v].latency_goal;
+      const std::optional<TaskMapping> mapping = MapRequestToTask(request);
+      if (!mapping.has_value()) {
+        continue;
+      }
+      // RTDS floors every grant at the 100 us enforceability threshold, so
+      // both the per-interval and per-window bounds carry that floor.
+      const TimeNs grant = std::max(mapping->task.cost, kMinPeriodNs);
+      budgets_.emplace(request.vcpu, grant);
+      windows_.emplace(request.vcpu,
+                       WindowedServiceCheck(mapping->task.period,
+                                            2 * grant + kMinPeriodNs + TimerSlack()));
+    }
+  }
+
+ protected:
+  void OnIntervalClosed(VcpuId vcpu, const Interval& interval) override {
+    const auto budget = budgets_.find(vcpu);
+    if (budget == budgets_.end()) {
+      return;
+    }
+    const TimeNs length = interval.end - interval.start;
+    if (length > budget->second + TimerSlack()) {
+      std::ostringstream out;
+      out << "rtds: vcpu " << vcpu << " interval [" << interval.start << ", "
+          << interval.end << ") exceeds its server budget " << budget->second
+          << " + slack " << TimerSlack();
+      AddViolation(out.str());
+    }
+    const auto window = windows_.find(vcpu);
+    if (window != windows_.end()) {
+      const std::int64_t bad = window->second.Add(interval.start, interval.end);
+      if (bad >= 0) {
+        std::ostringstream out;
+        out << "rtds: vcpu " << vcpu << " received " << window->second.WindowTotal(bad)
+            << " ns in period window " << bad << " (bound " << window->second.bound()
+            << ")";
+        AddViolation(out.str());
+      }
+    }
+  }
+
+ private:
+  std::map<VcpuId, TimeNs> budgets_;
+  std::map<VcpuId, WindowedServiceCheck> windows_;
+};
+
+// ---------------------------------------------------------------------------
+// Tableau oracle: truly differential. Tracks the active table through
+// kTableSwitch generations and checks every dispatch against an independent
+// lookup at the dispatch instant.
+// ---------------------------------------------------------------------------
+class TableauOracle : public SchedulerOracle {
+ public:
+  explicit TableauOracle(OracleConfig config) : SchedulerOracle(std::move(config)) {
+    expected_end_.assign(static_cast<std::size_t>(config_.num_cpus), kTimeNever);
+  }
+
+ protected:
+  void OnTableSwitch(const TraceRecord& record) override {
+    const auto generation = static_cast<std::uint64_t>(record.arg);
+    if (generation <= seen_generation_ || generation > config_.tables.size()) {
+      std::ostringstream out;
+      out << "tableau: t=" << record.time << " switch to generation " << generation
+          << " (seen " << seen_generation_ << ", " << config_.tables.size()
+          << " tables installed)";
+      AddViolation(out.str());
+      return;
+    }
+    seen_generation_ = generation;
+  }
+
+  void OnDispatch(const TraceRecord& record) override {
+    const SchedulingTable* table = Active();
+    if (table == nullptr) {
+      return;
+    }
+    const TimeNs offset = record.time % table->length();
+    const LookupResult slot = table->Lookup(record.cpu, offset);
+    const TimeNs absolute_end = record.time - offset + slot.interval_end;
+    expected_end_[static_cast<std::size_t>(record.cpu)] = absolute_end + TimerSlack();
+
+    if (record.arg == 0) {
+      // First-level dispatch: must be exactly the table owner of this
+      // instant. This is the core differential check — the production
+      // dispatcher's slice-table lookup against our independent one.
+      if (slot.vcpu != record.vcpu) {
+        std::ostringstream out;
+        out << "tableau: t=" << record.time << " cpu=" << record.cpu
+            << " first-level dispatch of vcpu " << record.vcpu
+            << " but the table reserves this instant for vcpu " << slot.vcpu
+            << " (generation " << seen_generation_ << ")";
+        AddViolation(out.str());
+      }
+      return;
+    }
+
+    // Second-level dispatch.
+    if (config_.spec.capped) {
+      std::ostringstream out;
+      out << "tableau: t=" << record.time << " cpu=" << record.cpu
+          << " second-level dispatch of vcpu " << record.vcpu << " in capped mode";
+      AddViolation(out.str());
+    }
+    if (ParamsOf(record.vcpu).cap != 0.0) {
+      std::ostringstream out;
+      out << "tableau: t=" << record.time << " second-level dispatch of capped vcpu "
+          << record.vcpu;
+      AddViolation(out.str());
+    }
+    const std::vector<VcpuId>& locals =
+        table->cpu(record.cpu).local_vcpus;
+    if (std::find(locals.begin(), locals.end(), record.vcpu) == locals.end()) {
+      std::ostringstream out;
+      out << "tableau: t=" << record.time << " cpu=" << record.cpu
+          << " second-level dispatch of vcpu " << record.vcpu
+          << " which is not core-local";
+      AddViolation(out.str());
+    }
+  }
+
+  void OnIntervalClosed(VcpuId vcpu, const Interval& interval) override {
+    const TimeNs bound = expected_end_[static_cast<std::size_t>(interval.cpu)];
+    if (bound != kTimeNever && interval.end > bound) {
+      std::ostringstream out;
+      out << "tableau: vcpu " << vcpu << " ran to " << interval.end
+          << " on cpu " << interval.cpu << ", past its slot end bound " << bound;
+      AddViolation(out.str());
+    }
+  }
+
+ private:
+  const SchedulingTable* Active() const {
+    if (seen_generation_ == 0 || seen_generation_ > config_.tables.size()) {
+      return nullptr;
+    }
+    return config_.tables[seen_generation_ - 1].get();
+  }
+
+  // The adapter traces the first generation's kTableSwitch before the first
+  // dispatch, so starting at 0 ("no table") is safe: a dispatch before any
+  // switch record simply goes unchecked.
+  std::uint64_t seen_generation_ = 0;
+  std::vector<TimeNs> expected_end_;  // Per CPU, for the open interval.
+};
+
+}  // namespace
+
+std::unique_ptr<SchedulerOracle> MakeOracle(OracleConfig config) {
+  switch (config.spec.kind) {
+    case SchedKind::kCredit: {
+      const TimeNs timeslice = config.spec.credit_timeslice;
+      return std::unique_ptr<SchedulerOracle>(new HorizonOracle(
+          std::move(config), "credit", timeslice, 30 * kMillisecond, timeslice));
+    }
+    case SchedKind::kCredit2:
+      return std::unique_ptr<SchedulerOracle>(new HorizonOracle(
+          std::move(config), "credit2", 10 * kMillisecond, 0, 0));
+    case SchedKind::kCfs:
+      return std::unique_ptr<SchedulerOracle>(
+          new HorizonOracle(std::move(config), "cfs", 12 * kMillisecond,
+                            100 * kMillisecond, 12 * kMillisecond));
+    case SchedKind::kRtds:
+      return std::unique_ptr<SchedulerOracle>(new RtdsOracle(std::move(config)));
+    case SchedKind::kTableau:
+      return std::unique_ptr<SchedulerOracle>(new TableauOracle(std::move(config)));
+  }
+  return nullptr;
+}
+
+}  // namespace tableau::check

@@ -1,0 +1,142 @@
+// Differential scheduler oracles: small step-at-a-time reference models that
+// replay a machine's event trace and re-check, event by event, that the
+// production scheduler honored (a) the hypervisor dispatch state machine and
+// (b) its own policy's enforceable guarantees.
+//
+// The oracles are deliberately *sound, not complete*: every check is a
+// property any correct run must satisfy (with slack derived from the active
+// FaultPlan — timers only ever fire late, by at most max_jitter +
+// coalesce_quantum), so a reported divergence is always a real bug, while
+// some policy deviations (e.g. unfair but legal picks) pass. The Tableau
+// oracle is fully differential: it carries the installed tables and checks
+// every first-level dispatch against an independent table lookup at the
+// dispatch instant, every second-level dispatch against core-locality and
+// cap eligibility, and every service interval against the slot end.
+//
+// Generic state-machine checks (all schedulers):
+//  - dispatches only of runnable vCPUs, onto free CPUs, never concurrently
+//    on two CPUs;
+//  - wakeups only of blocked vCPUs; blocks/deschedules only of the vCPU
+//    actually running on that CPU;
+//  - monotone non-decreasing timestamps.
+//
+// Policy checks:
+//  - per-dispatch service intervals never exceed the scheduler's decision
+//    horizon (Credit timeslice, Credit2 max timeslice, CFS sched_latency,
+//    RTDS budget, Tableau slot end) plus timer-fault slack;
+//  - capped vCPUs never receive more than two refills' worth of service in
+//    any aligned enforcement window (phase-agnostic deferrable-server
+//    bound), again plus slack.
+#ifndef SRC_CHECK_ORACLES_H_
+#define SRC_CHECK_ORACLES_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/faults/fault_plan.h"
+#include "src/hypervisor/trace.h"
+#include "src/hypervisor/vcpu.h"
+#include "src/schedulers/factory.h"
+#include "src/table/scheduling_table.h"
+
+namespace tableau::check {
+
+struct OracleConfig {
+  SchedulerSpec spec;
+  int num_cpus = 0;
+  // Per-vCPU parameters, indexed by vCPU id (the oracle derives caps and
+  // RTDS reservations from these exactly as the schedulers do).
+  std::vector<VcpuParams> params;
+  // The run's fault plan; slack terms derive from it. Empty = zero slack.
+  faults::FaultPlan fault_plan;
+  // For Tableau: every installed table in installation order. Generation g
+  // (1-based, as traced by kTableSwitch) maps to tables[g - 1].
+  std::vector<std::shared_ptr<const SchedulingTable>> tables;
+};
+
+class SchedulerOracle {
+ public:
+  virtual ~SchedulerOracle() = default;
+
+  // Feeds one trace record, in chronological order.
+  void Consume(const TraceRecord& record);
+  // Closes still-open service intervals at the run horizon and runs final
+  // checks.
+  void Finish(TimeNs end_time);
+
+  const std::vector<std::string>& violations() const { return violations_; }
+  std::uint64_t records_consumed() const { return records_; }
+
+  // Registers a table installed after construction (runtime replan); its
+  // generation is its 1-based position in the accumulated table list.
+  void AddTable(std::shared_ptr<const SchedulingTable> table) {
+    config_.tables.push_back(std::move(table));
+  }
+
+ protected:
+  explicit SchedulerOracle(OracleConfig config);
+
+  struct Interval {
+    TimeNs start = 0;
+    TimeNs end = 0;
+    int cpu = -1;
+    bool second_level = false;
+  };
+
+  // Policy hooks.
+  virtual void OnDispatch(const TraceRecord& /*record*/) {}
+  virtual void OnIntervalClosed(VcpuId /*vcpu*/, const Interval& /*interval*/) {}
+  virtual void OnTableSwitch(const TraceRecord& /*record*/) {}
+
+  void AddViolation(std::string message);
+  // Latest a faulted timer can fire past its programmed time.
+  TimeNs TimerSlack() const { return timer_slack_; }
+  const VcpuParams& ParamsOf(VcpuId vcpu) const;
+
+  OracleConfig config_;
+
+ private:
+  enum class State { kBlocked, kRunnable, kRunning };
+
+  void CloseInterval(VcpuId vcpu, TimeNs end);
+
+  std::vector<std::string> violations_;
+  std::uint64_t records_ = 0;
+  TimeNs last_time_ = 0;
+  TimeNs timer_slack_ = 0;
+  std::vector<State> state_;          // Indexed by vCPU id.
+  std::vector<int> running_cpu_;      // Indexed by vCPU id; -1 if not running.
+  std::vector<VcpuId> occupant_;      // Indexed by CPU; kIdleVcpu if free.
+  std::vector<Interval> open_;        // Indexed by vCPU id (start < 0: none).
+};
+
+// Builds the oracle matching `config.spec.kind`.
+std::unique_ptr<SchedulerOracle> MakeOracle(OracleConfig config);
+
+// Shared helper for cap-style window accounting: accumulates per-vCPU
+// service into aligned windows of `window` ns and reports the first window
+// whose total exceeds `bound`.
+class WindowedServiceCheck {
+ public:
+  WindowedServiceCheck(TimeNs window, TimeNs bound) : window_(window), bound_(bound) {}
+
+  // Adds [start, end) of service; returns the index of the first violating
+  // window, or -1.
+  std::int64_t Add(TimeNs start, TimeNs end);
+  TimeNs WindowTotal(std::int64_t index) const;
+  TimeNs bound() const { return bound_; }
+
+ private:
+  TimeNs window_;
+  TimeNs bound_;
+  std::map<std::int64_t, TimeNs> totals_;
+  std::int64_t reported_ = -1;
+};
+
+}  // namespace tableau::check
+
+#endif  // SRC_CHECK_ORACLES_H_

@@ -1,0 +1,334 @@
+#include "src/check/table_verifier.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+namespace tableau::check {
+namespace {
+
+std::string Describe(const char* what, VcpuId vcpu, long long got, long long bound) {
+  std::ostringstream out;
+  out << what << " for vcpu " << vcpu << ": " << got << " vs bound " << bound;
+  return out.str();
+}
+
+// Structural re-check from first principles: ordering, bounds, no per-core
+// overlap, no idle-vCPU allocations, and (when coalescing applies) no
+// sub-threshold survivors.
+void CheckStructure(const SchedulingTable& table, const VerifyOptions& options,
+                    std::vector<std::string>* violations) {
+  const TimeNs length = table.length();
+  if (length <= 0) {
+    violations->push_back("table length is not positive");
+    return;
+  }
+  if (options.expected_length != 0 && length != options.expected_length) {
+    std::ostringstream out;
+    out << "table length " << length << " != expected hyperperiod "
+        << options.expected_length;
+    violations->push_back(out.str());
+  }
+  for (int c = 0; c < table.num_cpus(); ++c) {
+    const CpuTable& cpu = table.cpu(c);
+    TimeNs prev_end = 0;
+    for (std::size_t i = 0; i < cpu.allocations.size(); ++i) {
+      const Allocation& alloc = cpu.allocations[i];
+      std::ostringstream where;
+      where << "cpu " << c << " allocation " << i << " [" << alloc.start << ", "
+            << alloc.end << ") vcpu " << alloc.vcpu;
+      if (alloc.vcpu == kIdleVcpu) {
+        violations->push_back(where.str() + ": allocation for the idle vCPU");
+      }
+      if (alloc.start < 0 || alloc.end > length || alloc.start >= alloc.end) {
+        violations->push_back(where.str() + ": out of bounds or empty");
+        continue;
+      }
+      if (alloc.start < prev_end) {
+        violations->push_back(where.str() + ": overlaps the previous allocation");
+      }
+      prev_end = alloc.end;
+      if (options.coalesce_threshold > 0 &&
+          alloc.end - alloc.start < options.coalesce_threshold) {
+        violations->push_back(where.str() +
+                              ": sub-threshold allocation survived coalescing");
+      }
+    }
+  }
+}
+
+// The slice table must agree with the linear reference lookup everywhere.
+// Exhaustive agreement is implied by agreement at every discontinuity, so
+// sample each allocation edge (and one interior point) plus each gap.
+void CheckSliceAgreement(const SchedulingTable& table,
+                         std::vector<std::string>* violations) {
+  const TimeNs length = table.length();
+  for (int c = 0; c < table.num_cpus(); ++c) {
+    std::vector<TimeNs> offsets = {0, length - 1};
+    for (const Allocation& alloc : table.cpu(c).allocations) {
+      offsets.push_back(alloc.start);
+      offsets.push_back(alloc.start + (alloc.end - alloc.start) / 2);
+      offsets.push_back(alloc.end - 1);
+      if (alloc.end < length) {
+        offsets.push_back(alloc.end);
+      }
+      if (alloc.start > 0) {
+        offsets.push_back(alloc.start - 1);
+      }
+    }
+    for (const TimeNs offset : offsets) {
+      const LookupResult fast = table.Lookup(c, offset);
+      const LookupResult slow = table.LookupLinear(c, offset);
+      if (fast.vcpu != slow.vcpu || fast.interval_end != slow.interval_end) {
+        std::ostringstream out;
+        out << "cpu " << c << " offset " << offset << ": slice lookup (vcpu "
+            << fast.vcpu << ", end " << fast.interval_end
+            << ") disagrees with linear lookup (vcpu " << slow.vcpu << ", end "
+            << slow.interval_end << ")";
+        violations->push_back(out.str());
+      }
+    }
+  }
+}
+
+// Collects every allocation of one vCPU across all cores, sorted by start.
+std::vector<Allocation> IntervalsOf(const SchedulingTable& table, VcpuId vcpu) {
+  std::vector<Allocation> intervals;
+  for (int c = 0; c < table.num_cpus(); ++c) {
+    for (const Allocation& alloc : table.cpu(c).allocations) {
+      if (alloc.vcpu == vcpu) {
+        intervals.push_back(alloc);
+      }
+    }
+  }
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Allocation& a, const Allocation& b) { return a.start < b.start; });
+  return intervals;
+}
+
+// No vCPU may be allocated on two cores at the same instant (a vCPU is one
+// thread of execution). Checked across the whole table, for every vCPU.
+void CheckCrossCoreExclusion(const SchedulingTable& table,
+                             std::vector<std::string>* violations) {
+  struct Tagged {
+    TimeNs start;
+    TimeNs end;
+    int cpu;
+  };
+  std::map<VcpuId, std::vector<Tagged>> by_vcpu;
+  for (int c = 0; c < table.num_cpus(); ++c) {
+    for (const Allocation& alloc : table.cpu(c).allocations) {
+      by_vcpu[alloc.vcpu].push_back(Tagged{alloc.start, alloc.end, c});
+    }
+  }
+  for (auto& [vcpu, intervals] : by_vcpu) {
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Tagged& a, const Tagged& b) { return a.start < b.start; });
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      if (intervals[i].start < intervals[i - 1].end) {
+        std::ostringstream out;
+        out << "vcpu " << vcpu << " allocated concurrently on cpu "
+            << intervals[i - 1].cpu << " and cpu " << intervals[i].cpu << " at time "
+            << intervals[i].start;
+        violations->push_back(out.str());
+      }
+    }
+  }
+}
+
+// Supply received by the vCPU inside [window_start, window_end), from its
+// sorted interval list.
+TimeNs SupplyIn(const std::vector<Allocation>& intervals, TimeNs window_start,
+                TimeNs window_end) {
+  TimeNs supply = 0;
+  for (const Allocation& alloc : intervals) {
+    if (alloc.end <= window_start) {
+      continue;
+    }
+    if (alloc.start >= window_end) {
+      break;
+    }
+    supply += std::min(alloc.end, window_end) - std::max(alloc.start, window_start);
+  }
+  return supply;
+}
+
+// Longest cyclic gap in the vCPU's service across all cores.
+TimeNs MaxGap(const std::vector<Allocation>& intervals, TimeNs length) {
+  if (intervals.empty()) {
+    return length;
+  }
+  TimeNs worst = 0;
+  TimeNs covered_until = intervals.front().start;
+  TimeNs first_start = intervals.front().start;
+  for (const Allocation& alloc : intervals) {
+    if (alloc.start > covered_until) {
+      worst = std::max(worst, alloc.start - covered_until);
+    }
+    covered_until = std::max(covered_until, alloc.end);
+  }
+  // Wrap-around gap: from the last covered instant, through the table end,
+  // to the first allocation of the next round.
+  worst = std::max(worst, length - covered_until + first_start);
+  return worst;
+}
+
+void CheckContract(const SchedulingTable& table, const VcpuContract& contract,
+                   const VerifyOptions& options, std::vector<std::string>* violations) {
+  const TimeNs length = table.length();
+  const std::vector<Allocation> intervals = IntervalsOf(table, contract.vcpu);
+
+  if (contract.dedicated) {
+    TimeNs supply = 0;
+    for (const Allocation& alloc : intervals) {
+      supply += alloc.end - alloc.start;
+    }
+    if (supply != length) {
+      violations->push_back(Describe("dedicated vcpu does not own a full core",
+                                     contract.vcpu, supply, length));
+    }
+    return;
+  }
+
+  if (contract.period <= 0 || contract.cost <= 0) {
+    std::ostringstream out;
+    out << "vcpu " << contract.vcpu << ": malformed contract (C=" << contract.cost
+        << ", T=" << contract.period << ")";
+    violations->push_back(out.str());
+    return;
+  }
+  if (length % contract.period != 0) {
+    violations->push_back(Describe("period does not divide the table length",
+                                   contract.vcpu, contract.period, length));
+    return;
+  }
+
+  const TimeNs windows = length / contract.period;
+  const TimeNs donated = std::max<TimeNs>(contract.donated_ns, 0);
+
+  // Window supply: every aligned period window must carry the full cost,
+  // less what coalescing provably donated away; and the donation accounting
+  // must cover the summed shortfall exactly.
+  TimeNs total_shortfall = 0;
+  for (TimeNs k = 0; k < windows; ++k) {
+    const TimeNs window_start = k * contract.period;
+    const TimeNs supply = SupplyIn(intervals, window_start, window_start + contract.period);
+    if (supply < contract.cost - donated) {
+      std::ostringstream out;
+      out << "vcpu " << contract.vcpu << " window " << k << " [" << window_start << ", "
+          << window_start + contract.period << "): supply " << supply << " < C "
+          << contract.cost << " - donated " << donated;
+      violations->push_back(out.str());
+    }
+    total_shortfall += std::max<TimeNs>(0, contract.cost - supply);
+  }
+  if (total_shortfall > donated) {
+    violations->push_back(Describe("summed window shortfall exceeds the donation account",
+                                   contract.vcpu, total_shortfall, donated));
+  }
+
+  // Donation budget: coalescing removes sub-threshold slivers; a period
+  // window's job fragments into at most two boundary slivers, so more than
+  // 2 * threshold of donation per window means the planner shaved off whole
+  // jobs, not slivers.
+  if (options.coalesce_threshold > 0 &&
+      donated > windows * 2 * options.coalesce_threshold) {
+    violations->push_back(Describe("donation exceeds the coalescing sliver budget",
+                                   contract.vcpu, donated,
+                                   windows * 2 * options.coalesce_threshold));
+  }
+
+  // Blackout: 2(T - C) from the EDF supply-bound argument (paper Sec. 4),
+  // plus slack for coalescing — a dropped sliver merges the gaps on both of
+  // its sides, so the bound stretches by the donated time plus one
+  // threshold-sized sliver per adjacent gap.
+  const TimeNs blackout_bound = 2 * (contract.period - contract.cost) +
+                                (donated > 0 ? donated + 2 * options.coalesce_threshold : 0);
+  const TimeNs blackout = MaxGap(intervals, length);
+  if (blackout > blackout_bound) {
+    violations->push_back(
+        Describe("blackout exceeds 2(T - C) plus coalescing slack", contract.vcpu,
+                 blackout, blackout_bound));
+  }
+
+  // C=D split legality: the split flag must match the table, and each piece
+  // must be long enough to be enforceable. Cross-core exclusion (checked
+  // globally) covers the "one core at a time" half of the contract.
+  const std::vector<int> cpus = table.CpusOf(contract.vcpu);
+  if (contract.split && cpus.size() < 2) {
+    violations->push_back(Describe("split vcpu has allocations on fewer than two cores",
+                                   contract.vcpu, static_cast<long long>(cpus.size()), 2));
+  }
+  if (!contract.split && cpus.size() > 1) {
+    violations->push_back(
+        Describe("unsplit vcpu has allocations on more than one core", contract.vcpu,
+                 static_cast<long long>(cpus.size()), 1));
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> VerifyTable(const SchedulingTable& table,
+                                     const std::vector<VcpuContract>& contracts,
+                                     const VerifyOptions& options) {
+  std::vector<std::string> violations;
+  CheckStructure(table, options, &violations);
+  if (!violations.empty()) {
+    // Structure is broken; the contract checks below would chase ghosts.
+    return violations;
+  }
+  CheckSliceAgreement(table, &violations);
+  CheckCrossCoreExclusion(table, &violations);
+  for (const VcpuContract& contract : contracts) {
+    CheckContract(table, contract, options, &violations);
+  }
+  return violations;
+}
+
+std::vector<VcpuContract> ContractsOf(const PlanResult& plan) {
+  std::vector<VcpuContract> contracts;
+  contracts.reserve(plan.vcpus.size());
+  for (const VcpuPlan& vcpu : plan.vcpus) {
+    VcpuContract contract;
+    contract.vcpu = vcpu.vcpu;
+    contract.cost = vcpu.cost;
+    contract.period = vcpu.period;
+    contract.dedicated = vcpu.dedicated;
+    contract.split = vcpu.split;
+    contract.donated_ns = vcpu.donated_ns;
+    contracts.push_back(contract);
+  }
+  return contracts;
+}
+
+std::vector<std::string> VerifyPlan(const PlanResult& plan, const PlannerConfig& config) {
+  if (!plan.success) {
+    return {"plan is not successful"};
+  }
+  VerifyOptions options;
+  options.coalesce_threshold = config.coalesce_threshold;
+  options.split_granularity = config.split_granularity;
+  options.expected_length = config.hyperperiod;
+  return VerifyTable(plan.table, ContractsOf(plan), options);
+}
+
+void InstallPlannerVerification() {
+  SetPlanAuditHook([](const PlanResult& plan, const PlannerConfig& config) {
+    const std::vector<std::string> violations = VerifyPlan(plan, config);
+    if (violations.empty()) {
+      return;
+    }
+    std::fprintf(stderr,
+                 "TableVerifier: %zu reservation-contract violation(s) in a "
+                 "planner-produced table (%s, %zu vcpus):\n",
+                 violations.size(), PlanMethodName(plan.method), plan.vcpus.size());
+    for (const std::string& violation : violations) {
+      std::fprintf(stderr, "  - %s\n", violation.c_str());
+    }
+    std::abort();
+  });
+}
+
+}  // namespace tableau::check

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 
@@ -160,6 +161,19 @@ PlanResult Planner::PlanFull(const std::vector<VcpuRequest>& requests) const {
       return Fail(PlanFailure::kAdmission,
                   "vCPU " + std::to_string(request.vcpu) + ": unmappable reservation");
     }
+    // A budget below the coalesce threshold cannot be delivered: every one of
+    // its allocations is a sub-threshold sliver, so post-processing would
+    // donate the entire reservation away and the vCPU would starve despite a
+    // "successful" plan. Reject at admission; the stepwise latency-goal
+    // degradation (larger T => larger C) can rescue the request.
+    if (mapping->task.cost < config_.coalesce_threshold) {
+      return Fail(PlanFailure::kAdmission,
+                  "vCPU " + std::to_string(request.vcpu) + ": budget " +
+                      std::to_string(mapping->task.cost) +
+                      " ns below the coalesce threshold " +
+                      std::to_string(config_.coalesce_threshold) +
+                      " ns; the whole reservation would be coalesced away");
+    }
     tasks.push_back(mapping->task);
     VcpuPlan plan;
     plan.vcpu = request.vcpu;
@@ -194,7 +208,8 @@ PlanResult Planner::PlanFull(const std::vector<VcpuRequest>& requests) const {
     std::vector<std::size_t> shavable;
     for (std::size_t i = 0; i < tasks.size(); ++i) {
       const double exact = shared[i].utilization * static_cast<double>(tasks[i].period);
-      if (static_cast<double>(tasks[i].cost) > exact && tasks[i].cost > 1) {
+      if (static_cast<double>(tasks[i].cost) > exact &&
+          tasks[i].cost > config_.coalesce_threshold) {
         shavable.push_back(i);
       }
     }
@@ -611,7 +626,32 @@ PlanResult Planner::PlanDelta(const PlanResult& previous,
   return result;
 }
 
+namespace {
+std::mutex g_audit_mutex;
+PlanAuditHook g_audit_hook;
+}  // namespace
+
+void SetPlanAuditHook(PlanAuditHook hook) {
+  std::lock_guard<std::mutex> lock(g_audit_mutex);
+  g_audit_hook = std::move(hook);
+}
+
 PlanResult Planner::Solve(const PlanRequest& request) const {
+  PlanResult result = SolveImpl(request);
+  if (result.success) {
+    PlanAuditHook hook;
+    {
+      std::lock_guard<std::mutex> lock(g_audit_mutex);
+      hook = g_audit_hook;
+    }
+    if (hook) {
+      hook(result, config_);
+    }
+  }
+  return result;
+}
+
+PlanResult Planner::SolveImpl(const PlanRequest& request) const {
   if (config_.fault_injector != nullptr) {
     switch (config_.fault_injector->NextPlannerOutcome()) {
       case faults::FaultInjector::PlannerOutcome::kFail:

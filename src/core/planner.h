@@ -20,6 +20,7 @@
 #ifndef SRC_CORE_PLANNER_H_
 #define SRC_CORE_PLANNER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -168,6 +169,17 @@ struct PlanRequest {
   }
 };
 
+// Debug-mode audit hook: when set, every successful Planner::Solve — from
+// tests, benches, tools, and the harness alike — hands its PlanResult and the
+// planner's configuration to the hook before returning. The verification
+// subsystem (src/check/table_verifier.h) installs a hook that re-derives the
+// reservation contract and aborts on violation, turning every planner call in
+// the process into a property check. Pass nullptr to uninstall. The hook is
+// process-global and mutex-protected; it must be reentrant if planning runs
+// on several threads.
+using PlanAuditHook = std::function<void(const PlanResult&, const PlannerConfig&)>;
+void SetPlanAuditHook(PlanAuditHook hook);
+
 class Planner {
  public:
   explicit Planner(PlannerConfig config);
@@ -197,6 +209,10 @@ class Planner {
   const PlannerConfig& config() const { return config_; }
 
  private:
+  // Solve() minus the audit hook: injection draw, pipeline dispatch, and the
+  // degradation loop. Split out so the hook observes exactly one final
+  // result per Solve (degradation retries are internal).
+  PlanResult SolveImpl(const PlanRequest& request) const;
   // The actual pipelines, free of injection and degradation (Solve() owns
   // both). PlanDelta's fallbacks call PlanFull directly, so a single Solve
   // draws at most one injected outcome and degrades at most once.

@@ -1,0 +1,21 @@
+// Linked into the planner-facing test binaries: installs the TableVerifier
+// audit hook before any test runs, so every table the planner emits anywhere
+// in the suite is independently re-verified (and the process aborts with a
+// violation report if one fails the reservation contract).
+#include <gtest/gtest.h>
+
+#include "src/check/table_verifier.h"
+
+namespace tableau::check {
+namespace {
+
+class PlannerVerifyEnv : public ::testing::Environment {
+ public:
+  void SetUp() override { InstallPlannerVerification(); }
+};
+
+const ::testing::Environment* const kPlannerVerifyEnv =
+    ::testing::AddGlobalTestEnvironment(new PlannerVerifyEnv);
+
+}  // namespace
+}  // namespace tableau::check

@@ -1,0 +1,61 @@
+// Replays the committed reproducer corpus (tests/repro/*.txt) as fast
+// tier-1 property checks: every scenario that once surfaced a bug — or pins
+// a tricky regime (boost-heavy wakeups, blackout-window admission, C=D
+// splits, hyperperiod-boundary table switches, fault-heavy runs) — must now
+// run with zero verifier/oracle violations.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/check/scenario_fuzz.h"
+
+#ifndef TABLEAU_REPRO_DIR
+#error "TABLEAU_REPRO_DIR must point at the committed reproducer corpus"
+#endif
+
+namespace tableau::check {
+namespace {
+
+std::vector<std::filesystem::path> CorpusFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(TABLEAU_REPRO_DIR)) {
+    if (entry.path().extension() == ".txt") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(ReproCorpus, HasAtLeastFiveScenarios) {
+  EXPECT_GE(CorpusFiles().size(), 5u);
+}
+
+TEST(ReproCorpus, EveryReproducerReplaysClean) {
+  const std::vector<std::filesystem::path> files = CorpusFiles();
+  ASSERT_FALSE(files.empty());
+  for (const std::filesystem::path& path : files) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::ostringstream text;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line[0] == '#') {
+        continue;  // Leading comment records the original violation.
+      }
+      text << line << "\n";
+    }
+    const auto spec = ParseSpec(text.str());
+    ASSERT_TRUE(spec.has_value()) << path << ": malformed reproducer";
+    const CheckOutcome outcome = RunCheckedScenario(*spec);
+    EXPECT_TRUE(outcome.violations.empty())
+        << path << ": " << outcome.violations.front();
+  }
+}
+
+}  // namespace
+}  // namespace tableau::check

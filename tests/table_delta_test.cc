@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "src/common/rng.h"
 #include "src/core/planner.h"
 #include "src/table/table_delta.h"
 
@@ -55,6 +56,70 @@ TEST(TableDelta, MuchSmallerThanFullPushForLocalChange) {
   const SchedulingTable applied = ApplyDelta(base.table, delta);
   for (int cpu = 0; cpu < 12; ++cpu) {
     EXPECT_EQ(applied.cpu(cpu).allocations, next.table.cpu(cpu).allocations);
+  }
+}
+
+// Draws a random table with the given geometry: each core gets a random
+// number of non-overlapping, sorted allocations with random vcpus and gaps.
+SchedulingTable FuzzTable(Rng& rng, int num_cpus, TimeNs length) {
+  std::vector<std::vector<Allocation>> per_cpu(num_cpus);
+  for (int cpu = 0; cpu < num_cpus; ++cpu) {
+    TimeNs cursor = 0;
+    while (cursor < length) {
+      cursor += rng.UniformInt(0, length / 4);  // Maybe leave a gap.
+      const TimeNs start = cursor;
+      const TimeNs end = std::min<TimeNs>(length, start + rng.UniformInt(1, length / 3));
+      if (start >= end) {
+        break;
+      }
+      // Disjoint vcpu namespace per core keeps Validate()'s cross-core
+      // exclusion check satisfiable for arbitrary random draws.
+      per_cpu[cpu].push_back(
+          {cpu * 16 + static_cast<int>(rng.UniformInt(0, 15)), start, end});
+      cursor = end;
+    }
+  }
+  return SchedulingTable::Build(length, std::move(per_cpu));
+}
+
+// Property: for fuzzed same-geometry pairs (base, next), applying
+// SerializeDelta(base, next) to base reconstructs next byte-for-byte — the
+// applied table's serialization is identical to next's, and the dirty-core
+// count matches the number of cores whose allocation lists differ.
+TEST(TableDelta, FuzzedPairsRoundTripByteIdentical) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(seed);
+    const int num_cpus = static_cast<int>(rng.UniformInt(1, 8));
+    const TimeNs length = rng.UniformInt(100, 100000);
+    const SchedulingTable base = FuzzTable(rng, num_cpus, length);
+    const SchedulingTable next = FuzzTable(rng, num_cpus, length);
+
+    int expect_dirty = 0;
+    for (int cpu = 0; cpu < num_cpus; ++cpu) {
+      if (base.cpu(cpu).allocations != next.cpu(cpu).allocations) {
+        ++expect_dirty;
+      }
+    }
+
+    const auto delta = SerializeDelta(base, next);
+    EXPECT_EQ(DeltaDirtyCores(delta), expect_dirty) << "seed " << seed;
+    const SchedulingTable applied = ApplyDelta(base, delta);
+    EXPECT_EQ(applied.Validate(), "") << "seed " << seed;
+    EXPECT_EQ(applied.Serialize(), next.Serialize()) << "seed " << seed;
+  }
+}
+
+// Property: a delta applied to the table it was derived from is idempotent in
+// serialization terms even when base == next (the degenerate pair).
+TEST(TableDelta, FuzzedSelfDeltaIsEmptyAndByteStable) {
+  for (std::uint64_t seed = 1000; seed < 1100; ++seed) {
+    Rng rng(seed);
+    const int num_cpus = static_cast<int>(rng.UniformInt(1, 6));
+    const SchedulingTable base = FuzzTable(rng, num_cpus, rng.UniformInt(100, 50000));
+    const auto delta = SerializeDelta(base, base);
+    EXPECT_EQ(DeltaDirtyCores(delta), 0) << "seed " << seed;
+    const SchedulingTable applied = ApplyDelta(base, delta);
+    EXPECT_EQ(applied.Serialize(), base.Serialize()) << "seed " << seed;
   }
 }
 

@@ -1,0 +1,224 @@
+// tableau_checkctl: command-line front end for the verification subsystem
+// (src/check). Runs single fuzzed scenarios, seed-range fuzzing campaigns
+// with automatic shrinking, and replay of saved reproducers.
+//
+// Usage:
+//   tableau_checkctl run --seed N            one generated scenario, verbose
+//   tableau_checkctl fuzz --seeds A:B        seed range [A, B); exit 1 on any
+//       [--shrink] [--repro-dir DIR]         violation, optionally shrinking
+//                                            and writing reproducer files
+//   tableau_checkctl replay FILE...          replay saved reproducers
+//   tableau_checkctl selftest                prove the checkers catch planted
+//                                            scheduler mutations
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/check/mutants.h"
+#include "src/check/scenario_fuzz.h"
+#include "src/schedulers/factory.h"
+
+namespace {
+
+using tableau::SchedKind;
+using tableau::SchedKindName;
+using tableau::check::CategoryOf;
+using tableau::check::CheckOutcome;
+using tableau::check::FormatSpec;
+using tableau::check::GenerateSpec;
+using tableau::check::MutantKind;
+using tableau::check::ParseSpec;
+using tableau::check::RunCheckedScenario;
+using tableau::check::ScenarioSpec;
+using tableau::check::Shrink;
+using tableau::check::ShrinkResult;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tableau_checkctl run --seed N\n"
+               "       tableau_checkctl fuzz --seeds A:B [--shrink] "
+               "[--repro-dir DIR]\n"
+               "       tableau_checkctl replay FILE...\n"
+               "       tableau_checkctl selftest\n");
+  return 2;
+}
+
+void PrintOutcome(const ScenarioSpec& spec, const CheckOutcome& outcome) {
+  std::printf("scheduler=%s vcpus=%d duration=%lld ms records=%llu violations=%zu\n",
+              SchedKindName(spec.scheduler), spec.TotalVcpus(),
+              static_cast<long long>(spec.duration / tableau::kMillisecond),
+              static_cast<unsigned long long>(outcome.records),
+              outcome.violations.size());
+  for (const std::string& violation : outcome.violations) {
+    std::printf("  violation: %s\n", violation.c_str());
+  }
+}
+
+int RunCommand(std::uint64_t seed) {
+  const ScenarioSpec spec = GenerateSpec(seed);
+  std::printf("%s", FormatSpec(spec).c_str());
+  const CheckOutcome outcome = RunCheckedScenario(spec);
+  PrintOutcome(spec, outcome);
+  return outcome.violations.empty() ? 0 : 1;
+}
+
+int FuzzCommand(std::uint64_t begin, std::uint64_t end, bool shrink,
+                const std::string& repro_dir) {
+  int failures = 0;
+  for (std::uint64_t seed = begin; seed < end; ++seed) {
+    const ScenarioSpec spec = GenerateSpec(seed);
+    const CheckOutcome outcome = RunCheckedScenario(spec);
+    if (outcome.violations.empty()) {
+      continue;
+    }
+    ++failures;
+    std::printf("seed %llu: %zu violation(s), first: %s\n",
+                static_cast<unsigned long long>(seed), outcome.violations.size(),
+                outcome.violations.front().c_str());
+    ScenarioSpec repro = spec;
+    if (shrink) {
+      const ShrinkResult shrunk = Shrink(spec, CategoryOf(outcome.violations));
+      repro = shrunk.spec;
+      std::printf("  shrunk to %d vCPU(s) in %d run(s)\n", repro.TotalVcpus(),
+                  shrunk.runs);
+    }
+    if (!repro_dir.empty()) {
+      std::ostringstream path;
+      path << repro_dir << "/seed" << seed << ".txt";
+      std::ofstream out(path.str());
+      out << "# " << outcome.violations.front() << "\n" << FormatSpec(repro);
+      std::printf("  wrote %s\n", path.str().c_str());
+    } else {
+      std::printf("%s", FormatSpec(repro).c_str());
+    }
+  }
+  std::printf("fuzz: %llu seed(s), %d failing\n",
+              static_cast<unsigned long long>(end - begin), failures);
+  return failures == 0 ? 0 : 1;
+}
+
+int ReplayCommand(const std::vector<std::string>& paths) {
+  int failures = 0;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    std::string line;
+    // Skip leading comment lines (the recorded violation).
+    while (std::getline(in, line)) {
+      if (!line.empty() && line[0] == '#') continue;
+      text << line << "\n";
+    }
+    const auto spec = ParseSpec(text.str());
+    if (!spec) {
+      std::fprintf(stderr, "%s: malformed reproducer\n", path.c_str());
+      return 2;
+    }
+    std::printf("replay %s:\n", path.c_str());
+    const CheckOutcome outcome = RunCheckedScenario(*spec);
+    PrintOutcome(*spec, outcome);
+    if (!outcome.violations.empty()) {
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+// Plants each mutant into a Tableau scenario and demands the oracles notice:
+// a verification subsystem that can't catch a planted bug proves nothing.
+int SelftestCommand() {
+  ScenarioSpec spec = GenerateSpec(1);
+  spec.scheduler = SchedKind::kTableau;
+  spec.capped = true;
+  spec.replan_at = 0;
+  spec.planner_failure = 0.0;
+  spec.mutant_stride = 7;
+  int failures = 0;
+  for (MutantKind mutant : {MutantKind::kWrongVcpu, MutantKind::kOverrunSlice}) {
+    spec.mutant = mutant;
+    const CheckOutcome outcome = RunCheckedScenario(spec);
+    const bool caught = !outcome.violations.empty();
+    std::printf("mutant %s: %s\n", tableau::check::MutantKindName(mutant),
+                caught ? "caught" : "MISSED");
+    if (caught) {
+      std::printf("  first: %s\n", outcome.violations.front().c_str());
+    } else {
+      ++failures;
+    }
+  }
+  spec.mutant = MutantKind::kNone;
+  const CheckOutcome clean = RunCheckedScenario(spec);
+  std::printf("no mutant: %zu violation(s) (want 0)\n", clean.violations.size());
+  if (!clean.violations.empty()) {
+    std::printf("  first: %s\n", clean.violations.front().c_str());
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  if (command == "run") {
+    std::uint64_t seed = 1;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        seed = std::strtoull(argv[++i], nullptr, 10);
+      } else {
+        return Usage();
+      }
+    }
+    return RunCommand(seed);
+  }
+  if (command == "fuzz") {
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    bool shrink = false;
+    std::string repro_dir;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+        const std::string range = argv[++i];
+        const std::size_t colon = range.find(':');
+        if (colon == std::string::npos) {
+          return Usage();
+        }
+        begin = std::strtoull(range.substr(0, colon).c_str(), nullptr, 10);
+        end = std::strtoull(range.substr(colon + 1).c_str(), nullptr, 10);
+      } else if (std::strcmp(argv[i], "--shrink") == 0) {
+        shrink = true;
+      } else if (std::strcmp(argv[i], "--repro-dir") == 0 && i + 1 < argc) {
+        repro_dir = argv[++i];
+      } else {
+        return Usage();
+      }
+    }
+    if (end <= begin) {
+      return Usage();
+    }
+    return FuzzCommand(begin, end, shrink, repro_dir);
+  }
+  if (command == "replay") {
+    std::vector<std::string> paths;
+    for (int i = 2; i < argc; ++i) {
+      paths.push_back(argv[i]);
+    }
+    if (paths.empty()) {
+      return Usage();
+    }
+    return ReplayCommand(paths);
+  }
+  if (command == "selftest") {
+    return SelftestCommand();
+  }
+  return Usage();
+}
