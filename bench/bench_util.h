@@ -122,8 +122,11 @@ template <typename Result>
 std::vector<Result> RunSimulations(const std::vector<std::function<Result()>>& tasks) {
   std::vector<Result> results(tasks.size());
   ThreadPool pool(BenchThreads());
+  // Grain 1: cells are heavy and heterogeneous (scheduler x load grid), so
+  // per-cell stealing balances load better than coarse grains.
   pool.ParallelFor(tasks.size(),
-                   [&](std::size_t i) { results[i] = tasks[i](); });
+                   [&](std::size_t i) { results[i] = tasks[i](); },
+                   /*grain=*/1);
   return results;
 }
 

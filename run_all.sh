@@ -27,6 +27,10 @@ TABLEAU_VERIFY_TABLES=1 build-asan/bench/bench_fig4_table_size
 # the timer-wheel engine vs the legacy heap engine, parallel-harness timing).
 build/bench/bench_sim_engine
 
+# Bench smoke gate: on multi-core hosts the Fig 3 bench aborts if the
+# parallel planner is slower than the serial one at the largest VM count
+# (parallel.vms176.speedup < 1.0). Single-threaded hosts skip the gate.
+export TABLEAU_BENCH_GATE=1
 for b in build/bench/bench_*; do "$b"; done 2>&1 | tee bench_output.txt
 
 # Observability smoke: export a traced Fig. 5-style scenario as Perfetto

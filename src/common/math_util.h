@@ -48,6 +48,21 @@ constexpr std::int64_t RoundDown(std::int64_t value, std::int64_t step) {
   return (value / step) * step;
 }
 
+// Saturating addition for non-negative operands: a + b, capped at INT64_MAX.
+// Demand-bound accumulations use this so that pathological task sets (huge
+// hyperperiods x many tasks) saturate instead of wrapping negative — a
+// wrapped demand would make an over-loaded set look trivially schedulable.
+constexpr std::int64_t SatAdd(std::int64_t a, std::int64_t b) {
+  return a > INT64_MAX - b ? INT64_MAX : a + b;
+}
+
+// Saturating multiplication for non-negative operands: a * b, capped at
+// INT64_MAX.
+constexpr std::int64_t SatMul(std::int64_t a, std::int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  return a > INT64_MAX / b ? INT64_MAX : a * b;
+}
+
 // Computes floor(a * b / c) without intermediate overflow, for a, b, c >= 0.
 // Used for exact fluid-schedule accounting in the DP-Fair cluster scheduler.
 inline std::int64_t MulDivFloor(std::int64_t a, std::int64_t b, std::int64_t c) {

@@ -6,11 +6,22 @@
 namespace tableau {
 
 namespace {
+
 std::int64_t MonotonicNowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+// Worker identity for nested-call accounting: which pool (if any) owns the
+// current thread, and its execution slot there. Plain thread_local (not a
+// member) so non-worker threads cost nothing.
+struct ThreadSlot {
+  const void* pool = nullptr;
+  int slot = 0;
+};
+thread_local ThreadSlot t_slot;
+
 }  // namespace
 
 ThreadPool::ThreadPool(int num_threads)
@@ -34,18 +45,27 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+int ThreadPool::CurrentSlot() const {
+  return t_slot.pool == this ? t_slot.slot : 0;
+}
+
 void ThreadPool::RunJob(Job& job, int slot) {
   const auto s = static_cast<std::size_t>(slot);
   for (;;) {
-    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
-    if (i >= job.n) {
+    const std::size_t g = job.next_grain.fetch_add(1, std::memory_order_relaxed);
+    if (g >= job.num_grains) {
       return;
     }
+    const std::size_t begin = g * job.grain;
+    const std::size_t end = std::min(begin + job.grain, job.n);
+    const std::size_t count = end - begin;
     const std::int64_t start = MonotonicNowNs();
-    (*job.fn)(i);
+    for (std::size_t i = begin; i < end; ++i) {
+      (*job.fn)(i);
+    }
     slot_busy_ns_[s].fetch_add(MonotonicNowNs() - start, std::memory_order_relaxed);
-    slot_indices_[s].fetch_add(1, std::memory_order_relaxed);
-    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n) {
+    slot_indices_[s].fetch_add(count, std::memory_order_relaxed);
+    if (job.done.fetch_add(count, std::memory_order_acq_rel) + count == job.n) {
       // Lock-then-notify pairs with the caller's predicate re-check, so the
       // final wakeup cannot be lost between its check and its wait.
       std::lock_guard<std::mutex> lock(job.mu);
@@ -55,6 +75,8 @@ void ThreadPool::RunJob(Job& job, int slot) {
 }
 
 void ThreadPool::WorkerLoop(int slot) {
+  t_slot.pool = this;
+  t_slot.slot = slot;
   for (;;) {
     std::shared_ptr<Job> job;
     {
@@ -64,7 +86,7 @@ void ThreadPool::WorkerLoop(int slot) {
         return;  // Callers block until their jobs finish, so none are live.
       }
       job = jobs_.front();
-      if (job->next.load(std::memory_order_relaxed) >= job->n) {
+      if (job->next_grain.load(std::memory_order_relaxed) >= job->num_grains) {
         // Fully claimed: retire it so later jobs become visible.
         jobs_.pop_front();
         continue;
@@ -74,32 +96,58 @@ void ThreadPool::WorkerLoop(int slot) {
   }
 }
 
-void ThreadPool::ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn) {
+void ThreadPool::ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                             std::size_t grain) {
   if (n == 0) {
     return;
   }
-  if (num_threads_ <= 1 || n == 1) {
+  if (grain == 0) {
+    // Coarse default: ~4 grains per executor amortizes claim/accounting
+    // costs while leaving enough grains for stealing to balance load.
+    grain = std::max<std::size_t>(
+        1, (n + static_cast<std::size_t>(num_threads_) * 4 - 1) /
+               (static_cast<std::size_t>(num_threads_) * 4));
+  }
+  const std::size_t num_grains = (n + grain - 1) / grain;
+  const int slot = CurrentSlot();
+  if (num_threads_ <= 1 || num_grains == 1) {
+    // Single grain: run inline with no queue, lock, or wakeup. Billed to the
+    // caller's own slot, so nested calls from a worker attribute correctly.
+    const auto s = static_cast<std::size_t>(slot);
     const std::int64_t start = MonotonicNowNs();
     for (std::size_t i = 0; i < n; ++i) {
       fn(i);
     }
-    slot_busy_ns_[0].fetch_add(MonotonicNowNs() - start, std::memory_order_relaxed);
-    slot_indices_[0].fetch_add(n, std::memory_order_relaxed);
+    slot_busy_ns_[s].fetch_add(MonotonicNowNs() - start, std::memory_order_relaxed);
+    slot_indices_[s].fetch_add(n, std::memory_order_relaxed);
     return;
   }
 
   auto job = std::make_shared<Job>();
   job->fn = &fn;
   job->n = n;
+  job->grain = grain;
+  job->num_grains = num_grains;
   {
     std::lock_guard<std::mutex> lock(mu_);
     jobs_.push_back(job);
   }
-  work_cv_.notify_all();
+  // The caller immediately claims one grain itself, so at most num_grains - 1
+  // are available for workers: wake exactly that many (saturated at the
+  // worker count). A two-grain loop wakes one worker, not the whole pool.
+  const std::size_t idle_capacity = workers_.size();
+  const std::size_t wakeups = std::min(idle_capacity, num_grains - 1);
+  if (wakeups >= idle_capacity) {
+    work_cv_.notify_all();
+  } else {
+    for (std::size_t w = 0; w < wakeups; ++w) {
+      work_cv_.notify_one();
+    }
+  }
 
   // The caller is an executor too: the loop always completes even if every
   // worker is busy with other jobs.
-  RunJob(*job, 0);
+  RunJob(*job, slot);
   {
     std::unique_lock<std::mutex> lock(job->mu);
     job->cv.wait(lock, [&] { return job->done.load(std::memory_order_acquire) == n; });
@@ -127,14 +175,14 @@ ThreadPool::Stats ThreadPool::GetStats() const {
 }
 
 void ParallelFor(ThreadPool* pool, std::size_t n,
-                 const std::function<void(std::size_t)>& fn) {
+                 const std::function<void(std::size_t)>& fn, std::size_t grain) {
   if (pool == nullptr || pool->num_threads() <= 1) {
     for (std::size_t i = 0; i < n; ++i) {
       fn(i);
     }
     return;
   }
-  pool->ParallelFor(n, fn);
+  pool->ParallelFor(n, fn, grain);
 }
 
 }  // namespace tableau

@@ -13,6 +13,11 @@
 //   3. Concurrent callers: several threads may issue ParallelFor on the same
 //      pool simultaneously (PlanCache::GetOrPlan is thread-safe and shares
 //      one planner); jobs are queued and drained cooperatively.
+//   4. Cheap hand-off: indices are claimed in contiguous grains (not one by
+//      one) and submitting a job wakes only as many workers as there are
+//      grains left after the caller takes one — a loop with fewer grains
+//      than workers never pays a full notify_all broadcast, and a
+//      single-grain loop runs inline with no locking at all.
 #ifndef SRC_COMMON_THREAD_POOL_H_
 #define SRC_COMMON_THREAD_POOL_H_
 
@@ -47,13 +52,25 @@ class ThreadPool {
   // finished. fn must be safe to invoke concurrently for distinct indices
   // and must not throw (invariant violations abort via TABLEAU_CHECK, same
   // as on the serial path).
-  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+  //
+  // Indices are handed out in contiguous grains of `grain` indices each;
+  // grain == 0 picks a coarse default (~4 grains per thread) that amortizes
+  // claim and accounting costs for homogeneous loops. Pass grain == 1 when
+  // the per-index work is heavy and heterogeneous (per-index stealing load
+  // balance). The grain never affects the result, only scheduling.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                   std::size_t grain = 0);
 
-  // Cumulative per-execution-slot accounting: slot 0 is every thread that
-  // called ParallelFor, slots 1..num_threads-1 are the pool workers.
-  // `indices` counts loop indices executed by the slot, `busy_ns` wall time
-  // spent inside fn. Observability only — reading races benignly with
-  // running jobs.
+  // Execution slot of the calling thread for this pool: workers return their
+  // slot in [1, num_threads), every other thread 0. Nested ParallelFor calls
+  // issued from a worker bill their inline work to that worker's slot.
+  int CurrentSlot() const;
+
+  // Cumulative per-execution-slot accounting: slot 0 is every non-worker
+  // thread that called ParallelFor, slots 1..num_threads-1 are the pool
+  // workers. `indices` counts loop indices executed by the slot, `busy_ns`
+  // wall time spent inside fn (measured once per grain, not per index).
+  // Observability only — reading races benignly with running jobs.
   struct Stats {
     std::vector<std::uint64_t> indices;
     std::vector<std::int64_t> busy_ns;
@@ -64,14 +81,16 @@ class ThreadPool {
   struct Job {
     const std::function<void(std::size_t)>* fn = nullptr;
     std::size_t n = 0;
-    std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> done{0};
+    std::size_t grain = 1;
+    std::size_t num_grains = 0;
+    std::atomic<std::size_t> next_grain{0};
+    std::atomic<std::size_t> done{0};  // Completed indices; finished at n.
     std::mutex mu;
     std::condition_variable cv;  // Signaled when done reaches n.
   };
 
-  // Claims and runs indices of `job` until none remain, billing work to
-  // `slot` (0 = a calling thread, 1.. = pool worker).
+  // Claims and runs whole grains of `job` until none remain, billing work to
+  // `slot` (0 = a non-worker calling thread, 1.. = pool worker).
   void RunJob(Job& job, int slot);
   void WorkerLoop(int slot);
 
@@ -90,7 +109,7 @@ class ThreadPool {
 // null (or trivially sized), otherwise delegates to the pool. Lets call
 // sites stay agnostic of whether parallelism is configured.
 void ParallelFor(ThreadPool* pool, std::size_t n,
-                 const std::function<void(std::size_t)>& fn);
+                 const std::function<void(std::size_t)>& fn, std::size_t grain = 0);
 
 }  // namespace tableau
 

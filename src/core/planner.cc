@@ -11,6 +11,7 @@
 
 #include "src/common/check.h"
 #include "src/common/thread_pool.h"
+#include "src/rt/admission.h"
 #include "src/rt/cd_split.h"
 #include "src/rt/dpfair.h"
 #include "src/rt/edf_sim.h"
@@ -66,6 +67,11 @@ struct PhaseMetrics {
   obs::LatencyHistogram* plan_total = nullptr;
   obs::Counter* plans = nullptr;
   obs::Counter* incremental_plans = nullptr;
+  // Admission fast-path ladder: decisions resolved per rung.
+  obs::Counter* admission_utilization = nullptr;
+  obs::Counter* admission_density = nullptr;
+  obs::Counter* admission_qpa = nullptr;
+  obs::Counter* admission_simulation = nullptr;
 };
 
 PhaseMetrics ResolvePhaseMetrics(obs::MetricsRegistry* registry) {
@@ -81,7 +87,44 @@ PhaseMetrics ResolvePhaseMetrics(obs::MetricsRegistry* registry) {
   m.plan_total = registry->GetHistogram("planner.plan_total_ns");
   m.plans = registry->GetCounter("planner.plans");
   m.incremental_plans = registry->GetCounter("planner.incremental_plans");
+  m.admission_utilization = registry->GetCounter("planner.admission.utilization");
+  m.admission_density = registry->GetCounter("planner.admission.density");
+  m.admission_qpa = registry->GetCounter("planner.admission.qpa");
+  m.admission_simulation = registry->GetCounter("planner.admission.simulation");
   return m;
+}
+
+AdmissionBreakdown TallyToBreakdown(const AdmissionTally& tally) {
+  AdmissionBreakdown b;
+  b.utilization = tally.Count(AdmissionRung::kUtilization);
+  b.density = tally.Count(AdmissionRung::kDensity);
+  b.qpa = tally.Count(AdmissionRung::kQpa);
+  b.simulation = tally.Count(AdmissionRung::kSimulation);
+  return b;
+}
+
+// Folds a solve's ladder breakdown into the planner.admission.* counters.
+void ExportAdmissionMetrics(const PhaseMetrics& pm, const AdmissionBreakdown& b) {
+  if (pm.admission_utilization == nullptr) {
+    return;
+  }
+  pm.admission_utilization->Increment(b.utilization);
+  pm.admission_density->Increment(b.density);
+  pm.admission_qpa->Increment(b.qpa);
+  pm.admission_simulation->Increment(b.simulation);
+}
+
+// Accounting for a core's EDF table materialization: which ladder rung
+// already decided the set schedulable. kSimulation means only the simulation
+// itself (which runs regardless, to produce the table) could tell.
+void TallyCoreAdmission(const std::vector<PeriodicTask>& tasks, TimeNs hyperperiod,
+                        AdmissionTally& tally) {
+  if (const std::optional<AdmissionDecision> analytic =
+          AdmitCoreAnalytic(tasks, hyperperiod)) {
+    tally.Record(analytic->rung);
+  } else {
+    tally.Record(AdmissionRung::kSimulation);
+  }
 }
 
 // Publishes per-execution-slot pool accounting as gauges: slot 0 is the
@@ -117,6 +160,7 @@ PlanResult Planner::PlanFull(const std::vector<VcpuRequest>& requests) const {
   if (pm.plans != nullptr) {
     pm.plans->Increment();
   }
+  AdmissionTally admission_tally;
 
   // --- Validation ---
   std::set<VcpuId> seen;
@@ -227,10 +271,17 @@ PlanResult Planner::PlanFull(const std::vector<VcpuRequest>& requests) const {
       result.vcpus[i].blackout_bound = 2 * (tasks[i].period - tasks[i].cost);
     }
   }
+  // The machine-level capacity verdict is one utilization-rung admission
+  // decision, whichever way it goes.
+  admission_tally.Record(AdmissionRung::kUtilization);
   if (total_demand > static_cast<TimeNs>(shared_cores) * h) {
-    return Fail(PlanFailure::kAdmission,
-                "over-utilized: demand " + std::to_string(total_demand) + " ns > " +
-                std::to_string(shared_cores) + " cores x " + std::to_string(h) + " ns");
+    PlanResult rejected =
+        Fail(PlanFailure::kAdmission,
+             "over-utilized: demand " + std::to_string(total_demand) + " ns > " +
+                 std::to_string(shared_cores) + " cores x " + std::to_string(h) + " ns");
+    rejected.admission = TallyToBreakdown(admission_tally);
+    ExportAdmissionMetrics(pm, rejected.admission);
+    return rejected;
   }
 
   // --- Stage 1: partitioning; Stage 2: C=D semi-partitioning ---
@@ -299,7 +350,7 @@ PlanResult Planner::PlanFull(const std::vector<VcpuRequest>& requests) const {
     {
       PhaseTimer timer(pm.cd_split);
       semi = SemiPartition(tasks, shared_cores, h, config_.split_granularity,
-                           pool_.get());
+                           pool_.get(), &admission_tally);
     }
     if (semi.complete) {
       result.method = PlanMethod::kSemiPartitioned;
@@ -386,6 +437,12 @@ PlanResult Planner::PlanFull(const std::vector<VcpuRequest>& requests) const {
     if (core_tasks[core].empty()) {
       return;
     }
+    // On the partitioned path this is the core's admission decision; record
+    // which ladder rung could already settle it (semi-partitioned sets were
+    // admitted by the C=D probes, which tally their own decisions).
+    if (result.method == PlanMethod::kPartitioned) {
+      TallyCoreAdmission(core_tasks[core], h, admission_tally);
+    }
     // Recorded from whichever pool worker ran this core; the histogram is
     // thread-safe by construction.
     EdfSimResult sim;
@@ -437,6 +494,8 @@ PlanResult Planner::PlanFull(const std::vector<VcpuRequest>& requests) const {
     result.dirty_cores[static_cast<std::size_t>(c)] = c;
   }
   result.success = true;
+  result.admission = TallyToBreakdown(admission_tally);
+  ExportAdmissionMetrics(pm, result.admission);
   ExportPoolStats(config_.metrics, pool_.get());
   return result;
 }
@@ -473,6 +532,7 @@ PlanResult Planner::PlanDelta(const PlanResult& previous,
   if (pm.incremental_plans != nullptr) {
     pm.incremental_plans->Increment();
   }
+  AdmissionTally admission_tally;
 
   std::vector<std::vector<PeriodicTask>> core_tasks = previous.core_tasks;
   std::set<int> dirty;
@@ -530,6 +590,9 @@ PlanResult Planner::PlanDelta(const PlanResult& previous,
     if (best == -1) {
       return PlanFull(requests);  // Needs rebalancing or splitting: full replan.
     }
+    // Worst-fit placement admits the task by per-core demand alone: one
+    // utilization-rung decision (the fallback paths re-decide in PlanFull).
+    admission_tally.Record(AdmissionRung::kUtilization);
     core_tasks[static_cast<std::size_t>(best)].push_back(task);
     dirty.insert(best);
 
@@ -563,6 +626,8 @@ PlanResult Planner::PlanDelta(const PlanResult& previous,
                 if (core_tasks[core].empty()) {
                   return;
                 }
+                // Dirty-core re-admission: record the deciding ladder rung.
+                TallyCoreAdmission(core_tasks[core], h, admission_tally);
                 EdfSimResult sim;
                 {
                   PhaseTimer timer(pm.edf_core_sim);
@@ -622,6 +687,8 @@ PlanResult Planner::PlanDelta(const PlanResult& previous,
   result.requests = std::move(requests);
   result.dirty_cores.assign(dirty.begin(), dirty.end());
   result.success = true;
+  result.admission = TallyToBreakdown(admission_tally);
+  ExportAdmissionMetrics(pm, result.admission);
   ExportPoolStats(config_.metrics, pool_.get());
   return result;
 }
@@ -701,6 +768,11 @@ PlanResult Planner::SolveImpl(const PlanRequest& request) const {
       degradations->Increment();
     }
     PlanResult retry = PlanFull(relaxed);
+    // The final result's breakdown covers the whole solve, retries included.
+    retry.admission.utilization += result.admission.utilization;
+    retry.admission.density += result.admission.density;
+    retry.admission.qpa += result.admission.qpa;
+    retry.admission.simulation += result.admission.simulation;
     if (retry.success) {
       retry.degradation_steps = step;
       return retry;

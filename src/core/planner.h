@@ -117,10 +117,29 @@ enum class PlanFailure {
   kInjected,        // FaultInjector-injected failure or timeout.
 };
 
+// Per-solve admission fast-path breakdown: how many admission/schedulability
+// decisions the analytic ladder (src/rt/admission.h) resolved at each rung.
+// `utilization`, `density`, and `qpa` decisions cost a linear or
+// pseudo-polynomial analytic test; `simulation` decisions required a full
+// EDF table simulation. Mirrored into the planner.admission.* counters when
+// a metrics registry is configured.
+struct AdmissionBreakdown {
+  std::int64_t utilization = 0;
+  std::int64_t density = 0;
+  std::int64_t qpa = 0;
+  std::int64_t simulation = 0;
+
+  std::int64_t analytic() const { return utilization + density + qpa; }
+  std::int64_t total() const { return analytic() + simulation; }
+};
+
 struct PlanResult {
   bool success = false;
   std::string error;
   PlanFailure failure = PlanFailure::kNone;
+  // Which admission ladder rung decided each admission decision of this
+  // solve (degradation retries accumulate into the final result).
+  AdmissionBreakdown admission;
   // Latency-degradation steps Solve() applied before this plan succeeded
   // (0 = the original goals were met as requested).
   int degradation_steps = 0;

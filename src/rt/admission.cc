@@ -1,0 +1,89 @@
+#include "src/rt/admission.h"
+
+#include "src/common/check.h"
+#include "src/common/math_util.h"
+#include "src/rt/edf_sim.h"
+#include "src/rt/schedulability.h"
+
+namespace tableau {
+namespace {
+
+// Density-test epsilon: the long double sum of n <= a few dozen C/D ratios
+// carries at most ~n * 2^-63 relative error, so requiring sum <= 1 - 1e-12
+// leaves orders of magnitude of margin — a set whose exact density exceeds 1
+// can never be accepted here, it merely falls through to the next rung.
+constexpr long double kDensityMargin = 1e-12L;
+
+}  // namespace
+
+std::optional<AdmissionDecision> AdmitCoreAnalytic(
+    const std::vector<PeriodicTask>& tasks, TimeNs hyperperiod) {
+  if (tasks.empty()) {
+    return AdmissionDecision{true, AdmissionRung::kUtilization};
+  }
+
+  // Rung 1: utilization. Saturating demand accumulation (see SatAdd): an
+  // over-2^63 demand must read as "over capacity", not wrap negative.
+  TimeNs total = 0;
+  bool all_implicit = true;
+  bool any_offset = false;
+  for (const PeriodicTask& task : tasks) {
+    TABLEAU_CHECK(task.period > 0 && hyperperiod % task.period == 0);
+    total = SatAdd(total, SatMul(task.cost, hyperperiod / task.period));
+    all_implicit = all_implicit && task.offset == 0 && task.deadline == task.period;
+    any_offset = any_offset || task.offset != 0;
+  }
+  if (total > hyperperiod) {
+    // Exact necessary condition: no schedule can deliver more than the
+    // hyperperiod per core.
+    return AdmissionDecision{false, AdmissionRung::kUtilization};
+  }
+  if (all_implicit) {
+    // EDF on a uniprocessor schedules any implicit-deadline set with
+    // utilization <= 1 (Liu & Layland): the same rung decides both ways.
+    return AdmissionDecision{true, AdmissionRung::kUtilization};
+  }
+
+  // Rung 2: density. sum(C/D) <= 1 is sufficient for constrained deadlines
+  // under any release pattern (each job fits in its own scheduling window).
+  long double density = 0.0L;
+  for (const PeriodicTask& task : tasks) {
+    TABLEAU_CHECK(task.deadline > 0);
+    density += static_cast<long double>(task.cost) /
+               static_cast<long double>(task.deadline);
+  }
+  if (density <= 1.0L - kDensityMargin) {
+    return AdmissionDecision{true, AdmissionRung::kDensity};
+  }
+
+  // Rung 3: QPA on the synchronous transform (DemandBound ignores offsets).
+  // Synchronous release is the worst case, so an accept covers any offsets;
+  // for offset-free sets QPA is exact and a reject decides too.
+  if (QpaSchedulable(tasks, hyperperiod)) {
+    return AdmissionDecision{true, AdmissionRung::kQpa};
+  }
+  if (!any_offset) {
+    return AdmissionDecision{false, AdmissionRung::kQpa};
+  }
+
+  // Offsets may still save the set (e.g. disjoint C=D pieces): inconclusive.
+  return std::nullopt;
+}
+
+AdmissionDecision AdmitCore(const std::vector<PeriodicTask>& tasks, TimeNs hyperperiod,
+                            AdmissionTally* tally) {
+  AdmissionDecision decision;
+  if (const std::optional<AdmissionDecision> analytic =
+          AdmitCoreAnalytic(tasks, hyperperiod)) {
+    decision = *analytic;
+  } else {
+    decision = AdmissionDecision{EdfSchedulable(tasks, hyperperiod),
+                                 AdmissionRung::kSimulation};
+  }
+  if (tally != nullptr) {
+    tally->Record(decision.rung);
+  }
+  return decision;
+}
+
+}  // namespace tableau

@@ -34,11 +34,14 @@ std::vector<int> CoresBySpareCapacity(const std::vector<std::vector<PeriodicTask
   return cores;
 }
 
+// One schedulability probe of the split search: does `piece` fit on a core
+// with `core_tasks`? Decided by the analytic admission ladder when possible,
+// by exact EDF simulation otherwise — the verdict is identical either way.
 bool PieceSchedulable(const std::vector<PeriodicTask>& core_tasks, const PeriodicTask& piece,
-                      TimeNs hyperperiod) {
+                      TimeNs hyperperiod, AdmissionTally* tally) {
   std::vector<PeriodicTask> with_piece = core_tasks;
   with_piece.push_back(piece);
-  return EdfSchedulable(with_piece, hyperperiod);
+  return AdmitCore(with_piece, hyperperiod, tally).schedulable;
 }
 
 // How many levels of the bisection tree to evaluate speculatively per round:
@@ -56,7 +59,8 @@ int SpeculationDepth(ThreadPool* pool) {
 }  // namespace
 
 bool CdSplitTask(const PeriodicTask& task, std::vector<std::vector<PeriodicTask>>& core_tasks,
-                 TimeNs hyperperiod, TimeNs granularity, ThreadPool* pool) {
+                 TimeNs hyperperiod, TimeNs granularity, ThreadPool* pool,
+                 AdmissionTally* tally) {
   TABLEAU_CHECK(task.offset == 0 && task.deadline == task.period);
   TABLEAU_CHECK(granularity > 0);
 
@@ -95,7 +99,7 @@ bool CdSplitTask(const PeriodicTask& task, std::vector<std::vector<PeriodicTask>
         const std::size_t count = std::min(wave, order.size() - base);
         ParallelFor(pool, count, [&](std::size_t i) {
           const auto c = static_cast<std::size_t>(order[base + i]);
-          fits[i] = PieceSchedulable(tentative[c], final_piece, hyperperiod) ? 1 : 0;
+          fits[i] = PieceSchedulable(tentative[c], final_piece, hyperperiod, tally) ? 1 : 0;
         });
         for (std::size_t i = 0; i < count; ++i) {
           if (fits[i] != 0) {
@@ -133,7 +137,7 @@ bool CdSplitTask(const PeriodicTask& task, std::vector<std::vector<PeriodicTask>
       if (piece.offset + piece.deadline > piece.period) {
         return false;
       }
-      return PieceSchedulable(tentative[c], piece, hyperperiod);
+      return PieceSchedulable(tentative[c], piece, hyperperiod, tally);
     };
 
     if (!zero_laxity_ok(lo)) {
@@ -213,12 +217,12 @@ bool CdSplitTask(const PeriodicTask& task, std::vector<std::vector<PeriodicTask>
 
 SemiPartitionResult SemiPartition(const std::vector<PeriodicTask>& tasks, int num_cores,
                                   TimeNs hyperperiod, TimeNs granularity,
-                                  ThreadPool* pool) {
+                                  ThreadPool* pool, AdmissionTally* tally) {
   SemiPartitionResult result;
   PartitionResult partition = WorstFitDecreasing(tasks, num_cores, hyperperiod, pool);
   result.core_tasks = std::move(partition.core_tasks);
   for (const PeriodicTask& task : partition.unassigned) {
-    if (CdSplitTask(task, result.core_tasks, hyperperiod, granularity, pool)) {
+    if (CdSplitTask(task, result.core_tasks, hyperperiod, granularity, pool, tally)) {
       ++result.num_split_tasks;
     } else {
       result.unassigned.push_back(task);

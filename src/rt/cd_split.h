@@ -11,15 +11,19 @@
 // deadline T - offset, and is scheduled by plain EDF on its host core.
 //
 // The largest schedulable zero-laxity budget on a core is found by binary
-// search over multiples of the allocation granularity, using the exact EDF
-// table simulation as the schedulability test (fast here because the table
-// length is fixed, as the paper notes).
+// search over multiples of the allocation granularity. Each probe's
+// schedulability question goes through the analytic admission ladder
+// (src/rt/admission.h) — utilization, density, then QPA — and only falls
+// back to the exact EDF table simulation when the cheap tests are
+// inconclusive; the verdict is identical either way, so the chosen split is
+// exactly the one a simulation-only search would pick.
 #ifndef SRC_RT_CD_SPLIT_H_
 #define SRC_RT_CD_SPLIT_H_
 
 #include <vector>
 
 #include "src/common/time.h"
+#include "src/rt/admission.h"
 #include "src/rt/periodic_task.h"
 
 namespace tableau {
@@ -42,15 +46,18 @@ struct SemiPartitionResult {
 // size (the paper's 100 us enforceability threshold). A non-null `pool`
 // runs the per-core schedulability probes and the split-point search
 // concurrently; the probes it consumes are the exact sequence the serial
-// search would evaluate, so the resulting split is identical.
+// search would evaluate, so the resulting split is identical. A non-null
+// `tally` counts which admission rung decided each probe.
 bool CdSplitTask(const PeriodicTask& task, std::vector<std::vector<PeriodicTask>>& core_tasks,
-                 TimeNs hyperperiod, TimeNs granularity, ThreadPool* pool = nullptr);
+                 TimeNs hyperperiod, TimeNs granularity, ThreadPool* pool = nullptr,
+                 AdmissionTally* tally = nullptr);
 
 // Full semi-partitioning pipeline: worst-fit-decreasing partitioning followed
 // by C=D splitting of the leftovers.
 SemiPartitionResult SemiPartition(const std::vector<PeriodicTask>& tasks, int num_cores,
                                   TimeNs hyperperiod, TimeNs granularity,
-                                  ThreadPool* pool = nullptr);
+                                  ThreadPool* pool = nullptr,
+                                  AdmissionTally* tally = nullptr);
 
 }  // namespace tableau
 

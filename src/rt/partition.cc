@@ -8,20 +8,20 @@
 namespace tableau {
 namespace {
 
-// Below this core count a parallel candidate scan costs more in hand-off
-// latency than the scan itself; stay serial.
-constexpr int kMinCoresForParallelScan = 32;
+// Below this many candidate cores a parallel scan costs more in hand-off
+// latency than the whole scan itself (a linear pass over a load array):
+// scanning a few hundred cores takes well under a microsecond serially, so
+// only very large (fleet-scale) hosts benefit from chunking the scan.
+constexpr int kMinCoresForParallelScan = 256;
 
 // The serial worst-fit choice over [core_begin, core_end): the feasible core
 // with minimum load, lowest index breaking ties. Returns -1 if none fits.
-int BestCoreInRange(const std::vector<TimeNs>& load, TimeNs demand, int socket,
-                    int cores_per_socket, TimeNs hyperperiod, int core_begin,
-                    int core_end) {
+// Socket feasibility is resolved by the caller (the range already is the
+// socket's core range), so the scan body carries no affinity branch.
+int BestCoreInRange(const std::vector<TimeNs>& load, TimeNs demand, TimeNs hyperperiod,
+                    int core_begin, int core_end) {
   int best = -1;
   for (int core = core_begin; core < core_end; ++core) {
-    if (socket >= 0 && core / cores_per_socket != socket) {
-      continue;  // NUMA affinity constraint.
-    }
     const auto c = static_cast<std::size_t>(core);
     if (load[c] + demand > hyperperiod) {
       continue;
@@ -62,10 +62,9 @@ PartitionResult WorstFitDecreasingNuma(const std::vector<PeriodicTask>& tasks,
     return a.vcpu < b.vcpu;  // Deterministic order for equal demands.
   });
 
-  const bool parallel_scan =
-      pool != nullptr && pool->num_threads() > 1 && num_cores >= kMinCoresForParallelScan;
-  const int num_chunks = parallel_scan ? std::min(pool->num_threads(), num_cores) : 1;
-  std::vector<int> chunk_best(static_cast<std::size_t>(num_chunks));
+  const int max_chunks =
+      pool != nullptr && pool->num_threads() > 1 ? pool->num_threads() : 1;
+  std::vector<int> chunk_best(static_cast<std::size_t>(max_chunks));
 
   std::vector<TimeNs> load(static_cast<std::size_t>(num_cores), 0);
   for (const PeriodicTask& task : sorted) {
@@ -74,20 +73,31 @@ PartitionResult WorstFitDecreasingNuma(const std::vector<PeriodicTask>& tasks,
     if (const auto it = socket_of.find(task.vcpu); it != socket_of.end()) {
       socket = it->second;
     }
+    // A socket-constrained task only ever considers its socket's core range;
+    // off-socket cores are excluded up front rather than scanned and skipped.
+    const int scan_begin = socket >= 0 ? std::min(socket * cores_per_socket, num_cores) : 0;
+    const int scan_end =
+        socket >= 0 ? std::min((socket + 1) * cores_per_socket, num_cores) : num_cores;
+    const int scan_width = scan_end - scan_begin;
     int best = -1;
-    if (!parallel_scan) {
-      best = BestCoreInRange(load, demand, socket, cores_per_socket, hyperperiod, 0,
-                             num_cores);
+    if (scan_width < kMinCoresForParallelScan || max_chunks <= 1) {
+      best = BestCoreInRange(load, demand, hyperperiod, scan_begin, scan_end);
     } else {
-      // Each chunk evaluates a contiguous core range; the in-order reduction
+      // Each chunk evaluates a contiguous sub-range; the in-order reduction
       // reproduces the serial min-load / lowest-index choice exactly.
-      ParallelFor(pool, static_cast<std::size_t>(num_chunks), [&](std::size_t chunk) {
-        const int begin = static_cast<int>(chunk) * num_cores / num_chunks;
-        const int end = static_cast<int>(chunk + 1) * num_cores / num_chunks;
-        chunk_best[chunk] = BestCoreInRange(load, demand, socket, cores_per_socket,
-                                            hyperperiod, begin, end);
-      });
-      for (const int candidate : chunk_best) {
+      const int num_chunks = std::min(max_chunks, scan_width);
+      ParallelFor(pool, static_cast<std::size_t>(num_chunks),
+                  [&](std::size_t chunk) {
+                    const int begin =
+                        scan_begin + static_cast<int>(chunk) * scan_width / num_chunks;
+                    const int end = scan_begin +
+                                    static_cast<int>(chunk + 1) * scan_width / num_chunks;
+                    chunk_best[chunk] =
+                        BestCoreInRange(load, demand, hyperperiod, begin, end);
+                  },
+                  /*grain=*/1);
+      for (int k = 0; k < num_chunks; ++k) {
+        const int candidate = chunk_best[static_cast<std::size_t>(k)];
         if (candidate == -1) {
           continue;
         }

@@ -31,9 +31,10 @@ struct PartitionResult {
 
 // Partitions implicit-deadline tasks onto `num_cores` cores using worst-fit
 // decreasing. All task periods must divide `hyperperiod`. A non-null `pool`
-// parallelizes the per-task candidate-core scan; the assignment is
-// identical to the serial one (the reduction preserves the serial
-// min-load / lowest-index tie-break).
+// chunks the per-task candidate-core scan across workers, but only once the
+// scanned range is large enough (hundreds of cores) for the fan-out to beat
+// a serial linear pass; the assignment is always identical to the serial one
+// (the reduction preserves the serial min-load / lowest-index tie-break).
 PartitionResult WorstFitDecreasing(const std::vector<PeriodicTask>& tasks, int num_cores,
                                    TimeNs hyperperiod, ThreadPool* pool = nullptr);
 

@@ -3,14 +3,20 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/common/math_util.h"
 
 namespace tableau {
 
 TimeNs DemandBound(const std::vector<PeriodicTask>& tasks, TimeNs t) {
+  // Saturating accumulation: with large analysis intervals and many tasks the
+  // exact demand can exceed 2^63 ns. Saturation keeps the comparison
+  // `demand > t` correct (a saturated demand always exceeds any t), whereas
+  // wraparound would report a tiny or negative demand and wrongly admit.
   TimeNs demand = 0;
   for (const PeriodicTask& task : tasks) {
     if (t >= task.deadline) {
-      demand += ((t - task.deadline) / task.period + 1) * task.cost;
+      const TimeNs jobs = (t - task.deadline) / task.period + 1;
+      demand = SatAdd(demand, SatMul(jobs, task.cost));
     }
   }
   return demand;
@@ -21,7 +27,7 @@ bool DemandBoundSchedulable(const std::vector<PeriodicTask>& tasks, TimeNs hyper
   TimeNs total = 0;
   for (const PeriodicTask& task : tasks) {
     TABLEAU_CHECK(hyperperiod % task.period == 0);
-    total += task.DemandPerHyperperiod(hyperperiod);
+    total = SatAdd(total, SatMul(task.cost, hyperperiod / task.period));
   }
   if (total > hyperperiod) {
     return false;
@@ -31,6 +37,9 @@ bool DemandBoundSchedulable(const std::vector<PeriodicTask>& tasks, TimeNs hyper
   for (const PeriodicTask& task : tasks) {
     for (TimeNs d = task.deadline; d <= hyperperiod; d += task.period) {
       points.push_back(d);
+      if (d > hyperperiod - task.period) {
+        break;  // The next step would overflow for huge hyperperiods.
+      }
     }
   }
   std::sort(points.begin(), points.end());
@@ -70,7 +79,7 @@ bool QpaSchedulable(const std::vector<PeriodicTask>& tasks, TimeNs hyperperiod) 
   TimeNs min_deadline = kTimeNever;
   for (const PeriodicTask& task : tasks) {
     TABLEAU_CHECK(hyperperiod % task.period == 0);
-    total += task.DemandPerHyperperiod(hyperperiod);
+    total = SatAdd(total, SatMul(task.cost, hyperperiod / task.period));
     min_deadline = std::min(min_deadline, task.deadline);
   }
   if (total > hyperperiod) {
@@ -78,7 +87,8 @@ bool QpaSchedulable(const std::vector<PeriodicTask>& tasks, TimeNs hyperperiod) 
   }
   // Since every period divides the hyperperiod and total demand fits in it,
   // the hyperperiod bounds the analysis interval.
-  TimeNs t = LastDeadlineBefore(tasks, hyperperiod + 1);
+  TimeNs t = LastDeadlineBefore(
+      tasks, hyperperiod < kTimeNever ? hyperperiod + 1 : kTimeNever);
   while (t > min_deadline) {
     const TimeNs demand = DemandBound(tasks, t);
     if (demand > t) {

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "src/common/rng.h"
+#include "src/rt/admission.h"
 #include "src/rt/cd_split.h"
 #include "src/rt/dpfair.h"
 #include "src/rt/edf_sim.h"
@@ -341,6 +342,58 @@ TEST(Qpa, TrivialCases) {
   PeriodicTask other = PeriodicTask::Implicit(1, 30, 100);
   other.deadline = 55;
   EXPECT_FALSE(QpaSchedulable({tight, other}, 1000));
+}
+
+// ---------- Overflow hardening (saturating demand accumulation) ----------
+
+// Four half-scale giants: each task's per-hyperperiod demand fits in 63 bits
+// but their sum is 2^63, which used to wrap negative and read as "fits".
+std::vector<PeriodicTask> GiantTaskSet() {
+  std::vector<PeriodicTask> tasks;
+  for (int i = 0; i < 4; ++i) {
+    tasks.push_back(PeriodicTask::Implicit(i, TimeNs{1} << 61, TimeNs{1} << 61));
+  }
+  return tasks;
+}
+
+TEST(DemandBound, SaturatesInsteadOfWrapping) {
+  // At t = kTimeNever each task releases 3 jobs (demand 3 * 2^61); the
+  // accumulated total exceeds 2^63 and must clamp to kTimeNever, never go
+  // negative.
+  EXPECT_EQ(DemandBound(GiantTaskSet(), kTimeNever), kTimeNever);
+}
+
+TEST(DemandBound, SingleTaskProductSaturates) {
+  // jobs * cost alone overflows (3 jobs of 2^62 each): the per-task product
+  // must saturate before accumulation.
+  PeriodicTask heavy;
+  heavy.vcpu = 0;
+  heavy.cost = TimeNs{1} << 62;
+  heavy.period = TimeNs{1} << 61;
+  heavy.deadline = TimeNs{1} << 61;
+  EXPECT_EQ(DemandBound({heavy}, kTimeNever), kTimeNever);
+}
+
+TEST(Schedulability, OverflowingUtilizationRejectsNotAdmits) {
+  // Total demand 4 * 2^61 = 2^63 over a 2^61 hyperperiod: wildly over
+  // capacity. A wrapping total would be negative (i.e. "under capacity") and
+  // both tests would wrongly admit.
+  const TimeNs h = TimeNs{1} << 61;
+  EXPECT_FALSE(QpaSchedulable(GiantTaskSet(), h));
+  EXPECT_FALSE(DemandBoundSchedulable(GiantTaskSet(), h));
+}
+
+TEST(Schedulability, AdmissionLadderRejectsOverflowingSetAtUtilizationRung) {
+  const TimeNs h = TimeNs{1} << 61;
+  const AdmissionDecision decision = AdmitCore(GiantTaskSet(), h);
+  EXPECT_FALSE(decision.schedulable);
+  EXPECT_EQ(decision.rung, AdmissionRung::kUtilization);
+}
+
+TEST(Schedulability, QpaHandlesMaximalHyperperiod) {
+  // H == kTimeNever exercises the analysis-bound guard (H + 1 would
+  // overflow). One modest task: trivially schedulable.
+  EXPECT_TRUE(QpaSchedulable({PeriodicTask::Implicit(0, 1, kTimeNever)}, kTimeNever));
 }
 
 // ---------- Partitioning ----------
