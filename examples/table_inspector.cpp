@@ -104,7 +104,7 @@ int main(int argc, char** argv) {
       busy += alloc.Length();
     }
     std::printf("cpu%-2d: %3zu allocations, %4zu slices of %s, %5.1f%% reserved\n", cpu,
-                cpu_table.allocations.size(), cpu_table.slices.size(),
+                cpu_table.allocations.size(), cpu_table.num_slices(),
                 FormatDuration(cpu_table.slice_length).c_str(),
                 100.0 * static_cast<double>(busy) /
                     static_cast<double>(plan.table.length()));

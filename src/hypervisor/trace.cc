@@ -26,6 +26,10 @@ const char* TraceEventName(TraceEvent event) {
 
 TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity) {
   TABLEAU_CHECK(capacity_ > 0);
+  // The ring is a fixed arena sized once here: Record() appends into the
+  // reserved region until the ring fills and overwrites in place after, so
+  // the per-event path never touches the allocator (asserted by
+  // tests/alloc_steady_state_test.cc).
   ring_.reserve(capacity_);
 }
 
@@ -37,13 +41,15 @@ void TraceBuffer::Record(TimeNs time, TraceEvent event, int cpu, VcpuId vcpu,
   ++total_;
   const TraceRecord record{time, event, static_cast<std::int16_t>(cpu), vcpu, arg};
   if (ring_.size() < capacity_) {
-    ring_.push_back(record);
+    ring_.push_back(record);  // Within the reserved arena: never reallocates.
   } else {
     ring_[next_] = record;
     wrapped_ = true;
     ++dropped_;
   }
-  next_ = (next_ + 1) % capacity_;
+  if (++next_ == capacity_) {
+    next_ = 0;
+  }
 }
 
 std::size_t TraceBuffer::size() const { return ring_.size(); }
@@ -69,17 +75,26 @@ void TraceBuffer::ForEach(const std::function<void(const TraceRecord&)>& fn) con
 
 std::vector<TraceRecord> TraceBuffer::Query(const Filter& filter) const {
   std::vector<TraceRecord> result;
+  result.reserve(ring_.size());
+  // Hoist the filter-field decisions out of the per-record loop: each check
+  // below is a plain comparison against a pre-resolved local.
+  const bool match_event = filter.event.has_value();
+  const TraceEvent event = match_event ? *filter.event : TraceEvent::kDispatch;
+  const VcpuId vcpu = filter.vcpu;
+  const int cpu = filter.cpu;
+  const TimeNs from = filter.from;
+  const TimeNs to = filter.to;
   ForEach([&](const TraceRecord& record) {
-    if (filter.event.has_value() && record.event != *filter.event) {
+    if (match_event && record.event != event) {
       return;
     }
-    if (filter.vcpu != kIdleVcpu && record.vcpu != filter.vcpu) {
+    if (vcpu != kIdleVcpu && record.vcpu != vcpu) {
       return;
     }
-    if (filter.cpu != -1 && record.cpu != filter.cpu) {
+    if (cpu != -1 && record.cpu != cpu) {
       return;
     }
-    if (record.time < filter.from || record.time >= filter.to) {
+    if (record.time < from || record.time >= to) {
       return;
     }
     result.push_back(record);

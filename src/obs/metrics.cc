@@ -113,11 +113,18 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
         value.hist.sum = hist.Sum();
         value.hist.min = hist.Min();
         value.hist.max = hist.Max();
+        // Two passes: count occupied buckets, reserve exactly, then fill —
+        // one allocation per histogram instead of push_back growth.
+        int occupied = 0;
+        std::uint64_t counts[LatencyHistogram::kBuckets];
         for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
-          const std::uint64_t n =
-              hist.buckets_[i].load(std::memory_order_relaxed);
-          if (n > 0) {
-            value.hist.buckets.emplace_back(i, n);
+          counts[i] = hist.buckets_[i].load(std::memory_order_relaxed);
+          occupied += counts[i] > 0 ? 1 : 0;
+        }
+        value.hist.buckets.reserve(static_cast<std::size_t>(occupied));
+        for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+          if (counts[i] > 0) {
+            value.hist.buckets.emplace_back(i, counts[i]);
           }
         }
         break;
@@ -145,18 +152,27 @@ MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& since) const {
       case MetricKind::kHistogram: {
         value.hist.count -= std::min(value.hist.count, old.hist.count);
         value.hist.sum -= old.hist.sum;
-        std::map<int, std::uint64_t> merged(value.hist.buckets.begin(),
-                                            value.hist.buckets.end());
-        for (const auto& [index, n] : old.hist.buckets) {
-          auto& slot = merged[index];
-          slot -= std::min(slot, n);
-        }
-        value.hist.buckets.clear();
-        for (const auto& [index, n] : merged) {
-          if (n > 0) {
-            value.hist.buckets.emplace_back(index, n);
+        // Both bucket lists are ascending by index: subtract with a linear
+        // two-pointer merge (no per-bucket map nodes), dropping emptied
+        // buckets in place.
+        std::vector<std::pair<int, std::uint64_t>> merged;
+        merged.reserve(value.hist.buckets.size());
+        std::size_t oi = 0;
+        for (const auto& [index, n] : value.hist.buckets) {
+          while (oi < old.hist.buckets.size() &&
+                 old.hist.buckets[oi].first < index) {
+            ++oi;
+          }
+          std::uint64_t remaining = n;
+          if (oi < old.hist.buckets.size() &&
+              old.hist.buckets[oi].first == index) {
+            remaining -= std::min(remaining, old.hist.buckets[oi].second);
+          }
+          if (remaining > 0) {
+            merged.emplace_back(index, remaining);
           }
         }
+        value.hist.buckets = std::move(merged);
         // min/max are not invertible over an interval; keep the newer ones.
         break;
       }
@@ -192,11 +208,27 @@ void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
         }
         h.count += o.count;
         h.sum += o.sum;
-        std::map<int, std::uint64_t> merged(h.buckets.begin(), h.buckets.end());
-        for (const auto& [index, n] : o.buckets) {
-          merged[index] += n;
+        // Sorted-vector union (both ascending by index) — one reserve, no
+        // per-bucket map nodes.
+        std::vector<std::pair<int, std::uint64_t>> merged;
+        merged.reserve(h.buckets.size() + o.buckets.size());
+        std::size_t a = 0;
+        std::size_t b = 0;
+        while (a < h.buckets.size() || b < o.buckets.size()) {
+          if (b >= o.buckets.size() ||
+              (a < h.buckets.size() && h.buckets[a].first < o.buckets[b].first)) {
+            merged.push_back(h.buckets[a++]);
+          } else if (a >= h.buckets.size() ||
+                     o.buckets[b].first < h.buckets[a].first) {
+            merged.push_back(o.buckets[b++]);
+          } else {
+            merged.emplace_back(h.buckets[a].first,
+                                h.buckets[a].second + o.buckets[b].second);
+            ++a;
+            ++b;
+          }
         }
-        h.buckets.assign(merged.begin(), merged.end());
+        h.buckets = std::move(merged);
         break;
       }
     }

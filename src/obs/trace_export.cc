@@ -37,7 +37,12 @@ std::string TraceToPerfettoJson(const TraceBuffer& trace, int num_cpus,
   const auto tid_of = [](int cpu) { return cpu < 0 ? 0 : cpu + 1; };
 
   std::vector<std::string> events;
+  // Upper bound: each retained record emits at most one event string, plus
+  // one close-out slice per track at the end.
+  events.reserve(trace.size() + static_cast<std::size_t>(num_cpus) + 1);
   bool used_unplaced_track = false;
+  // Hoisted out of the per-record loop below.
+  const bool include_wakeups = options.include_wakeups;
 
   const auto emit_slice = [&](int cpu, const OpenSlice& slice, TimeNs end,
                               bool truncated_start, bool truncated_end) {
@@ -111,7 +116,7 @@ std::string TraceToPerfettoJson(const TraceBuffer& trace, int num_cpus,
         }
         break;
       case TraceEvent::kWakeup:
-        if (options.include_wakeups) {
+        if (include_wakeups) {
           emit_instant("wakeup " + vcpu_name(record.vcpu), record.time, cpu,
                        "");
         }
@@ -134,6 +139,7 @@ std::string TraceToPerfettoJson(const TraceBuffer& trace, int num_cpus,
 
   std::string out = "{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [\n";
   std::vector<std::string> metadata;
+  metadata.reserve(static_cast<std::size_t>(num_cpus) + 2);
   metadata.push_back(
       "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"args\": "
       "{\"name\": \"" + JsonEscape(options.process_name) + "\"}}");
@@ -148,6 +154,13 @@ std::string TraceToPerfettoJson(const TraceBuffer& trace, int num_cpus,
         std::to_string(cpu + 1) + ", \"args\": {\"name\": \"pCPU " +
         std::to_string(cpu) + "\"}}");
   }
+  std::size_t total = out.size() + 16;
+  for (const auto* group : {&metadata, &events}) {
+    for (const std::string& event : *group) {
+      total += event.size() + 6;  // indent + ",\n".
+    }
+  }
+  out.reserve(total);
   bool first = true;
   for (const auto* group : {&metadata, &events}) {
     for (const std::string& event : *group) {

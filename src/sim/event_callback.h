@@ -1,12 +1,16 @@
-// Small-buffer-optimized callable storage for pooled simulation events.
+// Small-buffer callable storage for pooled simulation events.
 //
 // The seed engine stored every event callback in a std::function, which
 // heap-allocates for any capture larger than the library's tiny inline
 // buffer — one malloc/free per simulated event on the hottest path in the
 // repo. Every callback the hypervisor, schedulers, and workloads schedule
 // captures a pointer plus at most a couple of scalars, so EventCallback
-// keeps a 56-byte inline buffer and only falls back to the heap for
-// oversized callables (e.g. a std::function passed through by tests).
+// keeps a 48-byte inline buffer and *no* heap fallback: an oversized
+// capture is a compile error at the Set() call site, which keeps the
+// schedule path allocation-free by construction (asserted end to end by
+// tests/alloc_steady_state_test.cc). Trivially destructible captures —
+// all of them in practice — skip the destructor thunk entirely, saving an
+// indirect call per fired event.
 //
 // EventCallback lives inside a pooled EventNode that never moves (the pool
 // is chunked), so it is deliberately neither copyable nor movable: Set()
@@ -23,7 +27,7 @@ namespace tableau {
 
 class EventCallback {
  public:
-  static constexpr std::size_t kInlineBytes = 56;
+  static constexpr std::size_t kInlineBytes = 48;
 
   EventCallback() = default;
   ~EventCallback() { Reset(); }
@@ -37,38 +41,36 @@ class EventCallback {
   void Set(F&& fn) {
     Reset();
     using T = std::decay_t<F>;
-    if constexpr (sizeof(T) <= kInlineBytes && alignof(T) <= alignof(std::max_align_t)) {
-      ::new (static_cast<void*>(inline_)) T(std::forward<F>(fn));
-      invoke_ = [](void* target) { (*static_cast<T*>(target))(); };
+    static_assert(sizeof(T) <= kInlineBytes,
+                  "event callback capture exceeds the inline buffer; shrink the "
+                  "capture (capture pointers, not values) instead of boxing it");
+    static_assert(alignof(T) <= 8, "event callback capture is over-aligned");
+    ::new (static_cast<void*>(inline_)) T(std::forward<F>(fn));
+    invoke_ = [](void* target) { (*static_cast<T*>(target))(); };
+    if constexpr (!std::is_trivially_destructible_v<T>) {
       destroy_ = [](void* target) { static_cast<T*>(target)->~T(); };
-    } else {
-      heap_ = new T(std::forward<F>(fn));
-      invoke_ = [](void* target) { (*static_cast<T*>(target))(); };
-      destroy_ = [](void* target) { delete static_cast<T*>(target); };
     }
   }
 
   // Invokes the stored callable. The callable may re-arm or cancel its own
   // event, but the node (and therefore this storage) stays alive for the
   // duration of the call — the pool defers reclamation of an active node.
-  void Invoke() { invoke_(Target()); }
+  void Invoke() { invoke_(static_cast<void*>(inline_)); }
 
   void Reset() {
     if (destroy_ != nullptr) {
-      destroy_(Target());
+      destroy_(static_cast<void*>(inline_));
+      destroy_ = nullptr;
     }
-    heap_ = nullptr;
     invoke_ = nullptr;
-    destroy_ = nullptr;
   }
 
  private:
-  void* Target() { return heap_ != nullptr ? heap_ : static_cast<void*>(inline_); }
-
-  alignas(std::max_align_t) unsigned char inline_[kInlineBytes];
-  void* heap_ = nullptr;
+  // The invoke pointer sits *before* the capture bytes so that it shares a
+  // cache line with the owning EventNode's header fields.
   void (*invoke_)(void*) = nullptr;
   void (*destroy_)(void*) = nullptr;
+  alignas(8) unsigned char inline_[kInlineBytes];
 };
 
 }  // namespace tableau

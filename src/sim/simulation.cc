@@ -42,8 +42,10 @@ std::int32_t Simulation::Resolve(EventId id) const {
 
 std::int32_t Simulation::AllocNode(bool persistent, TimeNs period) {
   if (free_head_ == kNil) {
+    TABLEAU_CHECK_MSG(chunks_.size() < kMaxChunks, "event pool ceiling reached");
     const std::int32_t first = static_cast<std::int32_t>(chunks_.size() * kChunkSize);
     chunks_.push_back(std::make_unique<EventNode[]>(kChunkSize));
+    chunk_table_[chunks_.size() - 1] = chunks_.back().get();
     for (std::int32_t i = static_cast<std::int32_t>(kChunkSize) - 1; i >= 0; --i) {
       EventNode& ref = NodeRef(first + i);
       ref.next = free_head_;
@@ -56,11 +58,10 @@ std::int32_t Simulation::AllocNode(bool persistent, TimeNs period) {
   ref.where = Where::kDormant;
   ref.persistent = persistent;
   ref.period = period;
-  ref.rearm_at = kTimeNever;
-  ref.kill = false;
-  ref.no_rearm = false;
-  ref.prev = kNil;
-  ref.next = kNil;
+  // rearm_at/kill/no_rearm are (re)initialized by PopAndRunNext before the
+  // callback runs and never read before then; prev/next are set when the
+  // node is linked into a wheel slot. Leaving them stale here keeps the
+  // allocation path to a handful of stores.
   ++live_nodes_;
   engine_stats_.peak_live_nodes = std::max(engine_stats_.peak_live_nodes, live_nodes_);
   return node;
@@ -71,7 +72,6 @@ void Simulation::FreeNode(std::int32_t node) {
   ref.fn.Reset();
   ++ref.generation;  // Invalidates every outstanding id/heap entry for this slot.
   ref.where = Where::kFree;
-  ref.prev = kNil;
   ref.next = free_head_;
   free_head_ = node;
   --live_nodes_;
@@ -100,13 +100,14 @@ void Simulation::Insert(std::int32_t node) {
   // Smallest level whose current rotation (256 slots above `shift`) still
   // contains `t`. Alignment — not distance — decides the level, so the slot
   // index is always at or ahead of the cursor and never wraps onto a slot
-  // the cursor has already passed.
-  for (int level = 0; level < kLevels; ++level) {
-    const int shift = ShiftOf(level);
-    if ((t >> (shift + kSlotBits)) == (base_ >> (shift + kSlotBits))) {
-      LinkWheel(node, level, static_cast<int>((t >> shift) & (kSlots - 1)));
-      return;
-    }
+  // the cursor has already passed. The level is the index of the highest
+  // differing slot-index byte of (t, base_) above the level-0 shift.
+  const std::uint64_t diff =
+      static_cast<std::uint64_t>(t ^ base_) >> kShift0;
+  const int level = (63 - __builtin_clzll(diff | 1)) >> 3;
+  if (level < kLevels) {
+    LinkWheel(node, level, static_cast<int>((t >> ShiftOf(level)) & (kSlots - 1)));
+    return;
   }
   ref.where = Where::kOverflow;
   HeapPush(overflow_, HeapEntry{t, ref.seq, IdOf(node)});
@@ -116,7 +117,7 @@ void Simulation::LinkWheel(std::int32_t node, int level, int slot) {
   EventNode& ref = NodeRef(node);
   ref.where = Where::kWheel;
   ref.level = static_cast<std::uint8_t>(level);
-  ref.slot = static_cast<std::uint16_t>(slot);
+  ref.slot = static_cast<std::uint8_t>(slot);
   ref.prev = kNil;
   ref.next = wheel_[level][slot];
   if (ref.next != kNil) {
@@ -193,20 +194,61 @@ int Simulation::FindOccupied(int level, int from) const {
   }
 }
 
-void Simulation::DrainSlotToNear(int slot) {
-  ++engine_stats_.slot_drains;
-  std::int32_t node = wheel_[0][slot];
-  wheel_[0][slot] = kNil;
-  occupied_[0][slot >> 6] &= ~(1ull << (slot & 63));
+void Simulation::DrainSlotToBatch(std::int32_t head) {
+  // A slot can never hold more events than there are live nodes, so one
+  // conditional reserve makes the fill loop bounds-check-free raw stores.
+  if (batch_.size() < live_nodes_) {
+    batch_.resize(live_nodes_);
+  }
+  batch_pos_ = 0;
+  batch_dirty_ = false;
+  BatchEntry* out = batch_.data();
+  std::size_t count = 0;
+  std::int32_t node = head;
   while (node != kNil) {
     EventNode& ref = NodeRef(node);
     const std::int32_t next = ref.next;
-    ref.prev = kNil;
-    ref.next = kNil;
-    ref.where = Where::kNear;
-    HeapPush(near_, HeapEntry{ref.time, ref.seq, IdOf(node)});
+    if (next != kNil) {
+      __builtin_prefetch(&NodeRef(next));
+    }
+    ref.where = Where::kBatch;
+    out[count++] = BatchEntry{ref.time, ref.seq, node};
     node = next;
   }
+  batch_end_ = count;
+  // The slot list is LIFO-linked; one sort restores global (time, seq) FIFO
+  // order for the whole slot instead of a heap push+pop per event. Slots
+  // hold a handful of events at production densities, where an inline
+  // insertion sort beats std::sort's dispatch overhead by a wide margin.
+  ++engine_stats_.batch_sorts;
+  if (count <= 16) {
+    for (std::size_t i = 1; i < count; ++i) {
+      const BatchEntry key = out[i];
+      std::size_t j = i;
+      while (j > 0 && EntryAfter(out[j - 1].time, out[j - 1].seq, key.time, key.seq)) {
+        out[j] = out[j - 1];
+        --j;
+      }
+      out[j] = key;
+    }
+    return;
+  }
+  std::sort(out, out + count, [](const BatchEntry& a, const BatchEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  });
+}
+
+void Simulation::StashAsBatch(std::int32_t node) {
+  EventNode& ref = NodeRef(node);
+  ref.where = Where::kBatch;
+  if (batch_.empty()) {
+    batch_.resize(1);
+  }
+  batch_pos_ = 0;
+  batch_end_ = 1;
+  batch_dirty_ = false;
+  batch_[0] = BatchEntry{ref.time, ref.seq, node};
 }
 
 void Simulation::CascadeSlot(int level, int slot) {
@@ -223,25 +265,42 @@ void Simulation::CascadeSlot(int level, int slot) {
   }
 }
 
-bool Simulation::AdvanceOnce() {
+std::int32_t Simulation::AdvanceOnce() {
   // Flush occupied cursor slots top-down first. When base_ crosses into a
-  // new level-k slot (level-0 drain jumps, cascade clamps), events already
-  // parked in that slot share the current low-level rotation with base_ and
-  // can precede anything inserted into the lower levels afterwards — they
-  // must be distributed down before any level-0 slot is drained.
-  for (int level = kLevels - 1; level >= 1; --level) {
-    const int cur = static_cast<int>((base_ >> ShiftOf(level)) & (kSlots - 1));
-    if ((occupied_[level][cur >> 6] >> (cur & 63)) & 1) {
-      CascadeSlot(level, cur);
+  // new level-k slot (level-0 drain jumps, cascade clamps, overflow reload),
+  // events already parked in that slot share the current low-level rotation
+  // with base_ and can precede anything inserted into the lower levels
+  // afterwards — they must be distributed down before any level-0 slot is
+  // drained. No insert ever targets the *current* cursor slot of a level
+  // >= 1 (such a time is in a lower level's rotation by alignment), so the
+  // flush only has work when base_ crossed a level-1-or-higher slot
+  // boundary since the last flush — skip it otherwise.
+  if (((base_ ^ flushed_base_) >> ShiftOf(1)) != 0) {
+    for (int level = kLevels - 1; level >= 1; --level) {
+      const int cur = static_cast<int>((base_ >> ShiftOf(level)) & (kSlots - 1));
+      if ((occupied_[level][cur >> 6] >> (cur & 63)) & 1) {
+        CascadeSlot(level, cur);
+      }
     }
   }
-  // Level 0: drain the next occupied slot of this rotation into near_.
+  flushed_base_ = base_;
+  // Level 0: drain the next occupied slot of this rotation.
   const int cur0 = static_cast<int>((base_ >> kShift0) & (kSlots - 1));
   int found = FindOccupied(0, cur0);
   if (found >= 0) {
-    DrainSlotToNear(found);
+    ++engine_stats_.slot_drains;
+    const std::int32_t head = wheel_[0][found];
+    wheel_[0][found] = kNil;
+    occupied_[0][found >> 6] &= ~(1ull << (found & 63));
     base_ = ((base_ >> kShift0) + (found - cur0) + 1) << kShift0;
-    return true;
+    if (NodeRef(head).next == kNil) {
+      // Single-event slot: hand the node straight to the caller — no batch
+      // traffic at all. Its `where` is stale (kWheel) for the instant until
+      // the caller executes or stashes it; no user code runs in between.
+      return head;
+    }
+    DrainSlotToBatch(head);
+    return kAdvanceProgress;
   }
   // Level-0 rotation exhausted: cascade the next occupied higher-level slot
   // down one level. base_ is clamped forward (never backward — the cursor
@@ -258,7 +317,7 @@ bool Simulation::AdvanceOnce() {
     const TimeNs slot_start = rotation_start + (static_cast<TimeNs>(found) << shift);
     base_ = std::max(base_, slot_start);
     CascadeSlot(level, found);
-    return true;
+    return kAdvanceProgress;
   }
   // Whole wheel empty: rebase onto the earliest live overflow event and pull
   // in everything that fits the new top-level rotation.
@@ -287,45 +346,107 @@ bool Simulation::AdvanceOnce() {
       HeapPop(overflow_);
       Insert(candidate);
     }
-    return true;
+    return kAdvanceProgress;
   }
-  return false;
+  return kAdvanceNone;
 }
 
 std::int32_t Simulation::PopNextLive(TimeNs limit) {
   while (true) {
-    // Drop stale near entries (node cancelled or re-armed since enqueued).
-    while (!near_.empty()) {
-      const HeapEntry& entry = near_.front();
-      const std::int32_t node = Resolve(entry.id);
-      if (node != kNil && NodeRef(node).where == Where::kNear &&
-          NodeRef(node).seq == entry.seq) {
-        break;
+    // Skip batch entries whose node was cancelled or re-armed since the
+    // drain (seq is never reused, so a seq match proves the entry is live).
+    // Unless batch_dirty_ is set no such operation has happened, and every
+    // unconsumed entry is known-live without touching its node.
+    std::size_t pos = batch_pos_;
+    const std::size_t end = batch_end_;
+    if (batch_dirty_) {
+      while (pos != end) {
+        const BatchEntry& entry = batch_[pos];
+        const EventNode& ref = NodeRef(entry.node);
+        if (ref.where == Where::kBatch && ref.seq == entry.seq) {
+          break;
+        }
+        ++pos;
       }
-      HeapPop(near_);
+      batch_pos_ = pos;
     }
-    if (!near_.empty() && near_.front().time < base_) {
-      // Everything still in the wheel/overflow is at or beyond base_, so
-      // nothing can precede — or tie and have a smaller seq than — this.
-      if (near_.front().time > limit) {
-        return kNil;
+    if (near_.empty()) {
+      // Hot path: the whole drained slot executes straight out of the batch
+      // array — no heap traffic at all.
+      if (pos != end) {
+        const BatchEntry& entry = batch_[pos];
+        if (entry.time > limit) {
+          return kNil;
+        }
+        ++batch_pos_;
+        return entry.node;
       }
-      const std::int32_t node = Resolve(near_.front().id);
-      HeapPop(near_);
-      return node;
+    } else {
+      // Drop stale near entries (node cancelled or re-armed since enqueued).
+      while (!near_.empty()) {
+        const HeapEntry& entry = near_.front();
+        const std::int32_t node = Resolve(entry.id);
+        if (node != kNil && NodeRef(node).where == Where::kNear &&
+            NodeRef(node).seq == entry.seq) {
+          break;
+        }
+        HeapPop(near_);
+      }
+      // Merge the batch head against the near heap by (time, seq). Both
+      // populations are strictly behind base_, while everything still in the
+      // wheel/overflow is at or beyond base_, so the smaller of the two
+      // heads is globally next.
+      const bool have_near = !near_.empty();
+      if (pos != end) {
+        const BatchEntry& entry = batch_[pos];
+        if (!have_near || !EntryAfter(entry.time, entry.seq, near_.front().time,
+                                      near_.front().seq)) {
+          if (entry.time > limit) {
+            return kNil;
+          }
+          ++batch_pos_;
+          return entry.node;
+        }
+      }
+      if (have_near && near_.front().time < base_) {
+        if (near_.front().time > limit) {
+          return kNil;
+        }
+        const std::int32_t node = Resolve(near_.front().id);
+        HeapPop(near_);
+        return node;
+      }
     }
-    if (!AdvanceOnce()) {
-      if (near_.empty() || near_.front().time > limit) {
-        return kNil;
+    const std::int32_t advanced = AdvanceOnce();
+    if (advanced >= 0) {
+      // Direct single-event drain. With near_ empty (the overwhelmingly
+      // common case) it is globally next; otherwise park it as a batch
+      // entry and merge on the next loop iteration.
+      if (near_.empty()) {
+        if (NodeRef(advanced).time > limit) {
+          StashAsBatch(advanced);
+          return kNil;
+        }
+        return advanced;
       }
-      const std::int32_t node = Resolve(near_.front().id);
-      HeapPop(near_);
-      return node;
+      StashAsBatch(advanced);
+      continue;
+    }
+    if (advanced == kAdvanceNone) {
+      if (!near_.empty()) {
+        if (near_.front().time > limit) {
+          return kNil;
+        }
+        const std::int32_t node = Resolve(near_.front().id);
+        HeapPop(near_);
+        return node;
+      }
+      return kNil;
     }
   }
 }
 
-bool Simulation::PopAndRunNext(TimeNs limit) {
+__attribute__((flatten)) bool Simulation::PopAndRunNext(TimeNs limit) {
   const std::int32_t node = PopNextLive(limit);
   if (node == kNil) {
     return false;
@@ -335,24 +456,51 @@ bool Simulation::PopAndRunNext(TimeNs limit) {
   EventNode& ref = NodeRef(node);
   now_ = ref.time;
   ref.where = Where::kActive;
-  ref.rearm_at = kTimeNever;
-  ref.kill = false;
-  ref.no_rearm = false;
-  active_ = node;
+  // A callback running a nested RunUntil would clobber the activation
+  // scratch, so save the enclosing activation's copy — but only when one
+  // exists (active_node_ != kNil). The top-level dispatch loop, which is
+  // all of the hot path, skips the five saves and five restores.
+  const bool nested = active_node_ != kNil;
+  std::int32_t saved_node = kNil;
+  bool saved_kill = false;
+  bool saved_no_rearm = false;
+  TimeNs saved_rearm_at = kTimeNever;
+  std::uint64_t saved_rearm_seq = 0;
+  if (nested) {
+    saved_node = active_node_;
+    saved_kill = active_kill_;
+    saved_no_rearm = active_no_rearm_;
+    saved_rearm_at = active_rearm_at_;
+    saved_rearm_seq = active_rearm_seq_;
+  }
+  active_node_ = node;
+  active_kill_ = false;
+  active_no_rearm_ = false;
+  active_rearm_at_ = kTimeNever;
   ++events_executed_;
   ref.fn.Invoke();
-  active_ = kNil;
+  const bool kill = active_kill_;
+  const bool no_rearm = active_no_rearm_;
+  const TimeNs rearm_at = active_rearm_at_;
+  const std::uint64_t rearm_seq = active_rearm_seq_;
+  active_node_ = saved_node;
+  if (nested) {
+    active_kill_ = saved_kill;
+    active_no_rearm_ = saved_no_rearm;
+    active_rearm_at_ = saved_rearm_at;
+    active_rearm_seq_ = saved_rearm_seq;
+  }
   // Disposition, in priority order: Cancel() from inside the callback wins;
   // then an explicit Arm() (seq was assigned at the Arm call, preserving
   // FIFO order relative to events scheduled after it); then Disarm(); then
   // the periodic auto re-arm; persistent timers go dormant; one-shots free.
-  if (ref.kill) {
+  if (kill) {
     FreeNode(node);
-  } else if (ref.rearm_at != kTimeNever) {
-    ref.time = ref.rearm_at;
-    ref.seq = ref.rearm_seq;
+  } else if (rearm_at != kTimeNever) {
+    ref.time = rearm_at;
+    ref.seq = rearm_seq;
     Insert(node);
-  } else if (ref.no_rearm) {
+  } else if (no_rearm) {
     if (ref.persistent) {
       ref.where = Where::kDormant;
     } else {
@@ -381,12 +529,17 @@ void Simulation::Arm(EventId id, TimeNs at) {
       // Mid-callback self re-arm: record the target and take the seq NOW so
       // ordering against events armed later in the same callback matches
       // the schedule-call order.
-      ref.rearm_at = at;
-      ref.rearm_seq = next_seq_++;
-      ref.no_rearm = false;
+      TABLEAU_CHECK_MSG(node == active_node_,
+                        "Arm() on an active event that is not the running one");
+      active_rearm_at_ = at;
+      active_rearm_seq_ = next_seq_++;
+      active_no_rearm_ = false;
       return;
     case Where::kWheel:
       UnlinkWheel(node);
+      break;
+    case Where::kBatch:
+      batch_dirty_ = true;  // The old batch entry goes stale (seq changes).
       break;
     case Where::kNear:
     case Where::kOverflow:
@@ -411,13 +564,18 @@ void Simulation::Disarm(EventId id) {
   EventNode& ref = NodeRef(node);
   switch (ref.where) {
     case Where::kActive:
-      ref.no_rearm = true;
-      ref.rearm_at = kTimeNever;
+      TABLEAU_CHECK_MSG(node == active_node_,
+                        "Disarm() on an active event that is not the running one");
+      active_no_rearm_ = true;
+      active_rearm_at_ = kTimeNever;
       return;
     case Where::kDormant:
       return;
     case Where::kWheel:
       UnlinkWheel(node);
+      break;
+    case Where::kBatch:
+      batch_dirty_ = true;  // Batch entry goes stale.
       break;
     case Where::kNear:
     case Where::kOverflow:
@@ -440,10 +598,15 @@ void Simulation::Cancel(EventId id) {
   EventNode& ref = NodeRef(node);
   switch (ref.where) {
     case Where::kActive:
-      ref.kill = true;
+      TABLEAU_CHECK_MSG(node == active_node_,
+                        "Cancel() on an active event that is not the running one");
+      active_kill_ = true;
       return;
     case Where::kWheel:
       UnlinkWheel(node);
+      break;
+    case Where::kBatch:
+      batch_dirty_ = true;  // Batch entry goes stale (generation bump).
       break;
     case Where::kDormant:
     case Where::kNear:
@@ -482,11 +645,32 @@ void Simulation::CheckInvariantsForTest() const {
       }
     }
   }
-  // Every heap-resident node must have exactly one live entry in its heap;
-  // a node with none would be stranded and fire late (or never).
+  // The unconsumed batch tail must be sorted by (time, seq) and strictly
+  // behind the cursor.
+  for (std::size_t i = batch_pos_; i + 1 < batch_end_; ++i) {
+    TABLEAU_CHECK_MSG(!EntryAfter(batch_[i].time, batch_[i].seq, batch_[i + 1].time,
+                                  batch_[i + 1].seq),
+                      "batch entries out of (time, seq) order at %zu", i);
+  }
+  for (std::size_t i = batch_pos_; i < batch_end_; ++i) {
+    TABLEAU_CHECK_MSG(batch_[i].time < base_, "batch entry at/after cursor");
+  }
+  // Every batch/heap-resident node must have exactly one live entry in its
+  // container; a node with none would be stranded and fire late (or never).
   const std::int32_t total = static_cast<std::int32_t>(chunks_.size() * kChunkSize);
   for (std::int32_t node = 0; node < total; ++node) {
     const EventNode& ref = NodeRef(node);
+    if (ref.where == Where::kBatch) {
+      int matches = 0;
+      for (std::size_t i = batch_pos_; i < batch_end_; ++i) {
+        if (batch_[i].node == node && batch_[i].seq == ref.seq) {
+          TABLEAU_CHECK_MSG(batch_[i].time == ref.time, "batch entry time desynced from node");
+          ++matches;
+        }
+      }
+      TABLEAU_CHECK_MSG(matches == 1, "node %d in batch has %d live entries", node, matches);
+      continue;
+    }
     if (ref.where != Where::kNear && ref.where != Where::kOverflow) {
       continue;
     }

@@ -5,19 +5,23 @@
 // resolution. Events at the same timestamp execute in scheduling (FIFO)
 // order, which keeps runs exactly deterministic.
 //
-// Engine design (see DESIGN.md "Event engine"):
+// Engine design (see DESIGN.md "Event engine" and "Simulation hot loop"):
 //  - Events live in a chunked slab pool with a free list; an EventId packs
 //    {generation, pool slot}, so cancellation is O(1) true deletion and a
 //    stale id (already fired, already cancelled, slot since reused) is
 //    detected by a generation mismatch instead of an unbounded tombstone
-//    set. Callbacks are stored inline in the node (EventCallback), so the
-//    schedule hot path performs no heap allocation.
+//    set. Callbacks are stored inline in the node (EventCallback) with no
+//    heap fallback, so the schedule hot path performs zero allocations.
 //  - Pending events sit in a 4-level hierarchical timer wheel (256 slots
 //    per level, 1024 ns level-0 slots, ~73 min horizon) with an overflow
-//    min-heap for events beyond the current top-level rotation. The wheel
-//    feeds a small "near" min-heap ordered by (time, seq) — seq is a
-//    monotonically increasing arm counter — which restores exact FIFO
-//    order among same-time events.
+//    min-heap for events beyond the current top-level rotation.
+//  - Dispatch is batched per level-0 slot: a whole slot is drained into a
+//    contiguous batch array, sorted once by (time, seq) — seq is a
+//    monotonically increasing arm counter, so the sort restores exact FIFO
+//    order among same-time events — and then executed by bumping an index.
+//    Only events that land behind the wheel cursor after the drain (rare:
+//    sub-slot re-arms, cascade stragglers) go through the small "near"
+//    min-heap, which is merged with the batch by (time, seq) on pop.
 //  - Persistent timers (CreateTimer / SchedulePeriodic / Arm / Disarm) let
 //    hot periodic work — scheduler accounting ticks, workload pacers, the
 //    per-CPU dispatch events — re-arm one pooled node instead of
@@ -118,7 +122,8 @@ class Simulation {
   // single-threaded and these never influence event order.
   struct EngineStats {
     std::uint64_t wheel_cascades = 0;    // Higher-level slots redistributed.
-    std::uint64_t slot_drains = 0;       // Level-0 slots drained into near_.
+    std::uint64_t slot_drains = 0;       // Level-0 slots drained into a batch.
+    std::uint64_t batch_sorts = 0;       // Drained slots that needed a sort (>1 event).
     std::uint64_t overflow_reloads = 0;  // Wheel rebases from the overflow heap.
     std::size_t peak_live_nodes = 0;     // High-water mark of live_events().
   };
@@ -133,7 +138,8 @@ class Simulation {
 
   // Test hook: walks the whole structure and aborts if an internal invariant
   // is broken (wheel node behind the cursor, bitmap out of sync with the
-  // slot lists, misfiled level/slot). O(pool + slots); call from tests only.
+  // slot lists, misfiled level/slot, batch entry desynced from its node).
+  // O(pool + slots); call from tests only.
   void CheckInvariantsForTest() const;
 
  private:
@@ -143,33 +149,41 @@ class Simulation {
   static constexpr int kShift0 = 10;                        // 1024 ns level-0 slots.
   static constexpr std::int32_t kNil = -1;
   static constexpr std::size_t kChunkSize = 256;
+  // Pool ceiling: kMaxChunks * kChunkSize live events. The flat chunk table
+  // below keeps node lookup to one dependent load; 256k simultaneous events
+  // is two orders of magnitude beyond any current scenario.
+  static constexpr std::size_t kMaxChunks = 1024;
 
   enum class Where : std::uint8_t {
     kFree,     // On the free list.
     kDormant,  // Allocated persistent timer, not queued.
     kWheel,    // Linked into a wheel slot (level_/slot_).
+    kBatch,    // Drained into the current execution batch.
     kNear,     // Tracked by an entry in near_.
     kOverflow, // Tracked by an entry in overflow_.
     kActive,   // Callback currently executing.
   };
 
-  struct EventNode {
+  // 128 bytes, cache-line aligned. The execute path (time, seq, links,
+  // where, period, the callback's invoke pointer, and the first capture
+  // bytes — every real callback captures one pointer) reads a single line.
+  // Per-activation scratch (mid-callback Arm/Disarm/Cancel) lives in the
+  // Simulation object instead: only one event is active at a time, and the
+  // owner's hot fields are already resident.
+  struct alignas(64) EventNode {
     TimeNs time = 0;
     std::uint64_t seq = 0;
-    TimeNs period = 0;           // > 0: auto re-arm at time + period.
-    TimeNs rearm_at = kTimeNever;  // Arm() during own callback.
-    std::uint64_t rearm_seq = 0;
     std::int32_t prev = kNil;    // Wheel slot list links; next doubles as
     std::int32_t next = kNil;    // the free-list link.
     std::uint32_t generation = 0;
     Where where = Where::kFree;
     bool persistent = false;
-    bool kill = false;           // Cancel() during own callback.
-    bool no_rearm = false;       // Disarm() during own callback.
     std::uint8_t level = 0;
-    std::uint16_t slot = 0;
+    std::uint8_t slot = 0;       // kSlots == 256: a slot index is one byte.
+    TimeNs period = 0;           // > 0: auto re-arm at time + period.
     EventCallback fn;
   };
+  static_assert(sizeof(EventNode) == 128, "EventNode outgrew two cache lines");
 
   // Heap entries carry their own sort key so a reclaimed node (generation
   // bumped, slot possibly reused) never has to be dereferenced for
@@ -180,6 +194,16 @@ class Simulation {
     EventId id;
   };
 
+  // Batch entries reference the node directly: within one batch's lifetime a
+  // pool slot cannot cycle back into Where::kBatch (a new drain only happens
+  // once the previous batch is exhausted), so `where == kBatch && seq ==
+  // entry.seq` is a complete staleness check — no generation resolve needed.
+  struct BatchEntry {
+    TimeNs time;
+    std::uint64_t seq;
+    std::int32_t node;
+  };
+
   static int ShiftOf(int level) { return kShift0 + kSlotBits * level; }
   EventId IdOf(std::int32_t node) const {
     return (static_cast<EventId>(NodeRef(node).generation) << 32) |
@@ -187,8 +211,8 @@ class Simulation {
   }
 
   EventNode& NodeRef(std::int32_t node) const {
-    return chunks_[static_cast<std::size_t>(node) / kChunkSize]
-                  [static_cast<std::size_t>(node) % kChunkSize];
+    return chunk_table_[static_cast<std::size_t>(node) / kChunkSize]
+                       [static_cast<std::size_t>(node) % kChunkSize];
   }
   // Resolves an id to its node index, or kNil if stale/invalid.
   std::int32_t Resolve(EventId id) const;
@@ -206,33 +230,62 @@ class Simulation {
   void HeapPush(std::vector<HeapEntry>& heap, const HeapEntry& entry);
   void HeapPop(std::vector<HeapEntry>& heap);
 
+  // AdvanceOnce return values below node indices: no pending content vs
+  // progress made (cascade, reload, or multi-event drain) — call again.
+  static constexpr std::int32_t kAdvanceNone = -1;
+  static constexpr std::int32_t kAdvanceProgress = -2;
+
   // Moves the wheel forward to the next occupied content: drains the next
-  // occupied level-0 slot into near_, cascades one higher-level slot, or
-  // reloads from the overflow heap. Returns false when nothing is pending
-  // outside near_.
-  bool AdvanceOnce();
+  // occupied level-0 slot, cascades one higher-level slot, or reloads from
+  // the overflow heap. A single-event slot — the common case at production
+  // densities — returns its node directly, bypassing the batch; multi-event
+  // slots fill batch_ and return kAdvanceProgress.
+  std::int32_t AdvanceOnce();
   int FindOccupied(int level, int from) const;
-  void DrainSlotToNear(int slot);
+  void DrainSlotToBatch(std::int32_t head);
+  // Re-parks a node produced by a direct single-event drain as the sole
+  // batch entry (limit overrun or pending near merge).
+  void StashAsBatch(std::int32_t node);
   void CascadeSlot(int level, int slot);
 
-  // Pops the next live event with time <= limit from near_ (advancing the
-  // wheel as needed); kNil if none.
+  // Pops the next live event with time <= limit from the batch/near merge
+  // (advancing the wheel as needed); kNil if none.
   std::int32_t PopNextLive(TimeNs limit);
   bool PopAndRunNext(TimeNs limit);
 
   TimeNs now_ = 0;
   TimeNs base_ = 0;  // Level-0-aligned; wheel/overflow events are >= base_.
+  TimeNs flushed_base_ = 0;  // base_ value at the last cursor-slot flush.
   std::uint64_t next_seq_ = 1;
+  // Scratch for the one currently-executing event (saved/restored around
+  // nested runs): a mid-callback Arm/Disarm/Cancel records its outcome here
+  // and PopAndRunNext applies it after the callback returns.
+  std::int32_t active_node_ = kNil;
+  bool active_kill_ = false;       // Cancel() during own callback.
+  bool active_no_rearm_ = false;   // Disarm() during own callback.
+  TimeNs active_rearm_at_ = kTimeNever;  // Arm() during own callback.
+  std::uint64_t active_rearm_seq_ = 0;
   std::uint64_t events_executed_ = 0;
   std::size_t live_nodes_ = 0;
   EngineStats engine_stats_;
-  std::int32_t active_ = kNil;
 
-  std::vector<std::unique_ptr<EventNode[]>> chunks_;
+  std::vector<std::unique_ptr<EventNode[]>> chunks_;  // Owns the pool chunks.
+  // Flat mirror of chunks_: NodeRef indexes this fixed array directly (one
+  // dependent load) instead of chasing through the vector's data pointer.
+  EventNode* chunk_table_[kMaxChunks] = {};
   std::int32_t free_head_ = kNil;
 
   std::int32_t wheel_[kLevels][kSlots];  // Slot list heads (kNil when empty).
   std::uint64_t occupied_[kLevels][kSlots / 64] = {};
+  // Current level-0 slot, sorted by (time, seq). The vector is a raw grow-only
+  // buffer: the live region is [batch_pos_, batch_end_), not [0, size()).
+  std::vector<BatchEntry> batch_;
+  std::size_t batch_pos_ = 0;
+  std::size_t batch_end_ = 0;
+  // Set when Cancel/Disarm/Arm touches a kBatch node: only then can an
+  // unconsumed batch entry be stale, so the pop fast path skips the
+  // per-entry node check entirely while the flag is clear.
+  bool batch_dirty_ = false;
   std::vector<HeapEntry> near_;
   std::vector<HeapEntry> overflow_;
 };

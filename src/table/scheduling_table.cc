@@ -33,6 +33,17 @@ T ReadAt(const std::vector<std::uint8_t>& in, std::size_t& pos) {
 
 SchedulingTable SchedulingTable::Build(TimeNs length,
                                        std::vector<std::vector<Allocation>> per_cpu) {
+  return BuildImpl(length, std::move(per_cpu), /*pow2_slices=*/true);
+}
+
+SchedulingTable SchedulingTable::BuildWithExactSlices(
+    TimeNs length, std::vector<std::vector<Allocation>> per_cpu) {
+  return BuildImpl(length, std::move(per_cpu), /*pow2_slices=*/false);
+}
+
+SchedulingTable SchedulingTable::BuildImpl(TimeNs length,
+                                           std::vector<std::vector<Allocation>> per_cpu,
+                                           bool pow2_slices) {
   TABLEAU_CHECK(length > 0);
   SchedulingTable table;
   table.length_ = length;
@@ -58,89 +69,88 @@ SchedulingTable SchedulingTable::Build(TimeNs length,
     }
     cpu.local_vcpus.assign(locals.begin(), locals.end());
 
-    // Slice table: slice length = shortest allocation on this pCPU, so each
-    // slice overlaps at most two allocations.
+    // Slice length: the shortest allocation keeps every slice overlapping at
+    // most two allocations; rounding down to a power of two preserves that
+    // (slices only shrink) and turns the lookup division into a shift, for
+    // at most 2x the slice count.
     cpu.slice_length = cpu.allocations.empty() ? length : min_len;
-    const std::size_t num_slices =
-        static_cast<std::size_t>(CeilDiv(length, cpu.slice_length));
-    cpu.slices.assign(num_slices, SliceEntry{});
-    std::size_t alloc_index = 0;
-    for (std::size_t s = 0; s < num_slices; ++s) {
-      const TimeNs slice_start = static_cast<TimeNs>(s) * cpu.slice_length;
-      const TimeNs slice_end = std::min(slice_start + cpu.slice_length, length);
-      // Advance past allocations that end at or before this slice.
-      while (alloc_index < cpu.allocations.size() &&
-             cpu.allocations[alloc_index].end <= slice_start) {
-        ++alloc_index;
-      }
-      SliceEntry& entry = cpu.slices[s];
-      if (alloc_index < cpu.allocations.size() &&
-          cpu.allocations[alloc_index].start < slice_end) {
-        entry.first = static_cast<std::int32_t>(alloc_index);
-        const std::size_t next = alloc_index + 1;
-        if (next < cpu.allocations.size() && cpu.allocations[next].start < slice_end) {
-          entry.second = static_cast<std::int32_t>(next);
-          // Invariant from the slice-length choice: no third overlap.
-          TABLEAU_CHECK(next + 1 >= cpu.allocations.size() ||
-                        cpu.allocations[next + 1].start >= slice_end);
-        }
-      }
+    if (pow2_slices) {
+      cpu.slice_length =
+          TimeNs{1} << (63 - __builtin_clzll(static_cast<std::uint64_t>(cpu.slice_length)));
     }
+    table.FinalizeCpu(cpu);
   }
   return table;
+}
+
+void SchedulingTable::FinalizeCpu(CpuTable& cpu) const {
+  TABLEAU_CHECK(cpu.slice_length > 0);
+  const auto len = static_cast<std::uint64_t>(cpu.slice_length);
+  cpu.slice_shift = (len & (len - 1)) == 0 ? __builtin_ctzll(len) : -1;
+
+  // Column-wise mirror of `allocations` with two sentinel rows: a lookup may
+  // advance one past its slice's floor allocation, and the idle tail peeks
+  // one further for the next boundary — both land on {length, length, idle}
+  // instead of needing bounds branches.
+  const std::size_t n = cpu.allocations.size();
+  cpu.alloc_start.resize(n + 2);
+  cpu.alloc_end.resize(n + 2);
+  cpu.alloc_vcpu.resize(n + 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    cpu.alloc_start[i] = cpu.allocations[i].start;
+    cpu.alloc_end[i] = cpu.allocations[i].end;
+    cpu.alloc_vcpu[i] = cpu.allocations[i].vcpu;
+  }
+  for (std::size_t i = n; i < n + 2; ++i) {
+    cpu.alloc_start[i] = length_;
+    cpu.alloc_end[i] = length_;
+    cpu.alloc_vcpu[i] = kIdleVcpu;
+  }
+
+  // slice_floor[s] = first allocation whose end is past the slice's start
+  // (== the slice's first overlapping allocation when one exists, else the
+  // next allocation after the slice, else the sentinel n).
+  const std::size_t num_slices = static_cast<std::size_t>(CeilDiv(length_, cpu.slice_length));
+  cpu.slice_floor.resize(num_slices);
+  std::size_t alloc_index = 0;
+  for (std::size_t s = 0; s < num_slices; ++s) {
+    const TimeNs slice_start = static_cast<TimeNs>(s) * cpu.slice_length;
+    const TimeNs slice_end = std::min(slice_start + cpu.slice_length, length_);
+    while (alloc_index < n && cpu.allocations[alloc_index].end <= slice_start) {
+      ++alloc_index;
+    }
+    cpu.slice_floor[s] = static_cast<std::int32_t>(alloc_index);
+    // Invariant from the slice-length choice: no third overlap.
+    TABLEAU_CHECK(alloc_index + 2 >= n || cpu.allocations[alloc_index + 2].start >= slice_end);
+  }
 }
 
 LookupResult SchedulingTable::Lookup(int cpu_index, TimeNs offset) const {
   TABLEAU_CHECK(offset >= 0 && offset < length_);
   const CpuTable& cpu = cpus_[static_cast<std::size_t>(cpu_index)];
-  LookupResult result;
   if (cpu.allocations.empty()) {
-    result.vcpu = kIdleVcpu;
-    result.interval_end = length_;
-    return result;
+    return LookupResult{kIdleVcpu, length_};
   }
-  const auto slice_index = static_cast<std::size_t>(offset / cpu.slice_length);
-  const SliceEntry& entry = cpu.slices[slice_index];
-
-  // Inspect the (at most two) candidate allocations.
-  for (const std::int32_t index : {entry.first, entry.second}) {
-    if (index < 0) {
-      break;
-    }
-    const Allocation& alloc = cpu.allocations[static_cast<std::size_t>(index)];
-    if (offset < alloc.start) {
-      // Idle gap before this allocation.
-      result.vcpu = kIdleVcpu;
-      result.interval_end = alloc.start;
-      return result;
-    }
-    if (offset < alloc.end) {
-      result.vcpu = alloc.vcpu;
-      result.interval_end = alloc.end;
-      return result;
-    }
+  const auto slice_index =
+      cpu.slice_shift >= 0
+          ? static_cast<std::size_t>(offset) >> cpu.slice_shift
+          : static_cast<std::size_t>(offset / cpu.slice_length);
+  // Two-candidate select over the SoA mirror, branch-free: the floor
+  // allocation serves unless the offset is past its end, in which case its
+  // successor serves (a slice never needs a third candidate, and the
+  // sentinel rows absorb the end-of-table cases).
+  const auto k0 = static_cast<std::size_t>(cpu.slice_floor[slice_index]);
+  const std::size_t k = k0 + static_cast<std::size_t>(offset >= cpu.alloc_end[k0]);
+  const TimeNs a_start = cpu.alloc_start[k];
+  const TimeNs a_end = cpu.alloc_end[k];
+  if (offset >= a_end) {
+    // Rare: both candidates end inside the slice and the offset is past them.
+    // By the slice invariant the next allocation starts at or after the slice
+    // end (sentinel start == length_ when there is none).
+    return LookupResult{kIdleVcpu, cpu.alloc_start[k + 1]};
   }
-  // Idle after the slice's allocations: next boundary is the next
-  // allocation's start, which (by the slice invariant) begins at or after the
-  // end of this slice; scan forward from the last candidate.
-  std::size_t next = 0;
-  if (entry.second >= 0) {
-    next = static_cast<std::size_t>(entry.second) + 1;
-  } else if (entry.first >= 0) {
-    next = static_cast<std::size_t>(entry.first) + 1;
-  } else {
-    // Slice fully idle: find the first allocation after this offset. The
-    // slice invariant guarantees the next allocation starts no earlier than
-    // the slice end, so a binary search stays O(log n) but is only reached
-    // when the current interval is idle (never in the reserved hot path).
-    const auto it = std::lower_bound(
-        cpu.allocations.begin(), cpu.allocations.end(), offset,
-        [](const Allocation& a, TimeNs t) { return a.start <= t; });
-    next = static_cast<std::size_t>(it - cpu.allocations.begin());
-  }
-  result.vcpu = kIdleVcpu;
-  result.interval_end = next < cpu.allocations.size() ? cpu.allocations[next].start : length_;
-  return result;
+  const bool served = offset >= a_start;
+  return LookupResult{served ? cpu.alloc_vcpu[k] : kIdleVcpu, served ? a_end : a_start};
 }
 
 LookupResult SchedulingTable::LookupLinear(int cpu_index, TimeNs offset) const {
@@ -225,19 +235,52 @@ std::string SchedulingTable::Validate() const {
       for (const Allocation& alloc : cpu.allocations) {
         min_len = std::min(min_len, alloc.Length());
       }
-      if (cpu.slice_length != min_len) {
-        return "cpu " + std::to_string(c) + ": slice length != shortest allocation";
+      // Power-of-two rounding may shorten slices but must never lengthen
+      // them past the shortest allocation (the two-overlap invariant).
+      if (cpu.slice_length <= 0 || cpu.slice_length > min_len) {
+        return "cpu " + std::to_string(c) + ": slice length exceeds shortest allocation";
       }
     }
-    // Every offset's slice lookup must agree with a linear scan.
-    for (std::size_t s = 0; s < cpu.slices.size(); ++s) {
-      const SliceEntry& entry = cpu.slices[s];
-      if (entry.second >= 0 && entry.first < 0) {
-        return "cpu " + std::to_string(c) + ": slice with second but no first";
+    const auto len = static_cast<std::uint64_t>(cpu.slice_length);
+    const std::int32_t want_shift =
+        (len != 0 && (len & (len - 1)) == 0) ? __builtin_ctzll(len) : -1;
+    if (cpu.slice_shift != want_shift) {
+      return "cpu " + std::to_string(c) + ": slice_shift inconsistent with slice_length";
+    }
+    if (cpu.slice_floor.size() !=
+        static_cast<std::size_t>(CeilDiv(length_, cpu.slice_length))) {
+      return "cpu " + std::to_string(c) + ": slice count != ceil(length / slice_length)";
+    }
+    // The SoA mirror must match the allocation records plus sentinels, and
+    // every slice floor must point at the first allocation ending past the
+    // slice start.
+    const std::size_t n = cpu.allocations.size();
+    if (cpu.alloc_start.size() != n + 2 || cpu.alloc_end.size() != n + 2 ||
+        cpu.alloc_vcpu.size() != n + 2) {
+      return "cpu " + std::to_string(c) + ": SoA mirror size mismatch";
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cpu.alloc_start[i] != cpu.allocations[i].start ||
+          cpu.alloc_end[i] != cpu.allocations[i].end ||
+          cpu.alloc_vcpu[i] != cpu.allocations[i].vcpu) {
+        return "cpu " + std::to_string(c) + ": SoA mirror desynced from allocations";
       }
-      if (entry.first >= 0 &&
-          static_cast<std::size_t>(entry.first) >= cpu.allocations.size()) {
-        return "cpu " + std::to_string(c) + ": slice index out of range";
+    }
+    for (std::size_t i = n; i < n + 2; ++i) {
+      if (cpu.alloc_start[i] != length_ || cpu.alloc_end[i] != length_ ||
+          cpu.alloc_vcpu[i] != kIdleVcpu) {
+        return "cpu " + std::to_string(c) + ": bad SoA sentinel row";
+      }
+    }
+    for (std::size_t s = 0; s < cpu.slice_floor.size(); ++s) {
+      const TimeNs slice_start = static_cast<TimeNs>(s) * cpu.slice_length;
+      std::size_t want = 0;
+      while (want < n && cpu.allocations[want].end <= slice_start) {
+        ++want;
+      }
+      if (cpu.slice_floor[s] != static_cast<std::int32_t>(want)) {
+        return "cpu " + std::to_string(c) + ": slice floor desynced at slice " +
+               std::to_string(s);
       }
     }
   }
@@ -279,16 +322,26 @@ std::vector<std::uint8_t> SchedulingTable::Serialize() const {
   for (const CpuTable& cpu : cpus_) {
     Append(out, static_cast<std::uint32_t>(cpu.allocations.size()));
     Append(out, cpu.slice_length);
-    Append(out, static_cast<std::uint32_t>(cpu.slices.size()));
+    Append(out, static_cast<std::uint32_t>(cpu.slice_floor.size()));
     Append(out, static_cast<std::uint32_t>(cpu.local_vcpus.size()));
     for (const Allocation& alloc : cpu.allocations) {
       Append(out, alloc.vcpu);
       Append(out, alloc.start);
       Append(out, alloc.end);
     }
-    for (const SliceEntry& slice : cpu.slices) {
-      Append(out, slice.first);
-      Append(out, slice.second);
+    // v1 wire format: per-slice {first, second} overlap indices (-1 when
+    // absent), derived from the floor encoding so old consumers keep parsing.
+    const auto n = static_cast<std::int32_t>(cpu.allocations.size());
+    for (std::size_t s = 0; s < cpu.slice_floor.size(); ++s) {
+      const TimeNs slice_end =
+          std::min(static_cast<TimeNs>(s + 1) * cpu.slice_length, length_);
+      const std::int32_t k = cpu.slice_floor[s];
+      const bool has_first = k < n && cpu.allocations[static_cast<std::size_t>(k)].start < slice_end;
+      const bool has_second =
+          has_first && k + 1 < n &&
+          cpu.allocations[static_cast<std::size_t>(k) + 1].start < slice_end;
+      Append(out, has_first ? k : std::int32_t{-1});
+      Append(out, has_second ? k + 1 : std::int32_t{-1});
     }
     for (const VcpuId vcpu : cpu.local_vcpus) {
       Append(out, vcpu);
@@ -316,15 +369,21 @@ SchedulingTable SchedulingTable::Deserialize(const std::vector<std::uint8_t>& by
       alloc.start = ReadAt<TimeNs>(bytes, pos);
       alloc.end = ReadAt<TimeNs>(bytes, pos);
     }
-    cpu.slices.resize(num_slices);
-    for (SliceEntry& slice : cpu.slices) {
-      slice.first = ReadAt<std::int32_t>(bytes, pos);
-      slice.second = ReadAt<std::int32_t>(bytes, pos);
+    // The per-slice {first, second} pairs are fully derivable from the
+    // allocations and slice length; consume and discard them, then rebuild
+    // the lookup structures in the SoA layout (this also upgrades old
+    // non-power-of-two blobs in place — they keep their slice geometry and
+    // take the division path).
+    for (std::uint32_t s = 0; s < num_slices; ++s) {
+      ReadAt<std::int32_t>(bytes, pos);
+      ReadAt<std::int32_t>(bytes, pos);
     }
     cpu.local_vcpus.resize(num_locals);
     for (VcpuId& vcpu : cpu.local_vcpus) {
       vcpu = ReadAt<VcpuId>(bytes, pos);
     }
+    table.FinalizeCpu(cpu);
+    TABLEAU_CHECK(cpu.slice_floor.size() == num_slices);
   }
   TABLEAU_CHECK(pos == bytes.size());
   return table;

@@ -20,21 +20,31 @@
 
 namespace tableau {
 
-// One fixed-length slice; indices into the pCPU's allocation array for the
-// (up to) two allocations overlapping the slice, or -1.
-struct SliceEntry {
-  std::int32_t first = -1;
-  std::int32_t second = -1;
-};
-
 // Per-pCPU portion of a scheduling table.
+//
+// The dispatcher-facing lookup state is struct-of-arrays: `slice_floor`
+// maps a slice index to the first allocation whose end lies beyond the
+// slice's start, and `alloc_start`/`alloc_end`/`alloc_vcpu` mirror
+// `allocations` column-wise with two sentinel rows ({length, length,
+// idle}) appended. A lookup reads one slice_floor cell and then at most
+// two SoA rows — no AoS padding, no -1 index checks, and the sentinel
+// rows make the candidate advance branch-free (see
+// SchedulingTable::Lookup). When `slice_length` is a power of two (every
+// freshly built table; see Build) `slice_shift` holds its log2 and the
+// slice index is a shift instead of a 64-bit division.
 struct CpuTable {
   std::vector<Allocation> allocations;  // Sorted by start, non-overlapping.
   TimeNs slice_length = 0;
-  std::vector<SliceEntry> slices;
+  std::int32_t slice_shift = -1;  // log2(slice_length), or -1 if not a power of two.
+  std::vector<std::int32_t> slice_floor;
+  std::vector<TimeNs> alloc_start;   // allocations[i].start, + 2 sentinels.
+  std::vector<TimeNs> alloc_end;     // allocations[i].end, + 2 sentinels.
+  std::vector<VcpuId> alloc_vcpu;    // allocations[i].vcpu, + 2 sentinels.
   // vCPUs eligible for second-level scheduling on this pCPU ("core-local"
   // vCPUs, Sec. 4). For split vCPUs this reflects the trailing-core policy.
   std::vector<VcpuId> local_vcpus;
+
+  std::size_t num_slices() const { return slice_floor.size(); }
 };
 
 // Result of a dispatcher lookup at a table offset.
@@ -50,8 +60,19 @@ class SchedulingTable {
  public:
   // Builds a table of the given length from per-CPU allocation lists
   // (unsorted input is sorted; overlap or bounds violations abort). Slice
-  // tables and local-vCPU lists are derived automatically.
+  // tables and local-vCPU lists are derived automatically. The slice length
+  // is the shortest allocation on the pCPU rounded *down* to a power of two,
+  // so lookups index with a shift; the rounding at most doubles the slice
+  // count (Fig. 4 table-size tradeoff) and preserves the at-most-two-overlaps
+  // invariant, since slices only get shorter.
   static SchedulingTable Build(TimeNs length, std::vector<std::vector<Allocation>> per_cpu);
+
+  // Test/ablation hook: same as Build but keeps the exact (possibly
+  // non-power-of-two) shortest-allocation slice length — the pre-SoA layout's
+  // geometry, exercising the division path in Lookup just like tables
+  // deserialized from older v1 blobs.
+  static SchedulingTable BuildWithExactSlices(TimeNs length,
+                                              std::vector<std::vector<Allocation>> per_cpu);
 
   TimeNs length() const { return length_; }
   int num_cpus() const { return static_cast<int>(cpus_.size()); }
@@ -85,6 +106,12 @@ class SchedulingTable {
   std::size_t SerializedSizeBytes() const;
 
  private:
+  static SchedulingTable BuildImpl(TimeNs length, std::vector<std::vector<Allocation>> per_cpu,
+                                   bool pow2_slices);
+  // Derives slice_shift, slice_floor, and the SoA allocation mirror from
+  // `allocations` and `slice_length` (used by Build and Deserialize).
+  void FinalizeCpu(CpuTable& cpu) const;
+
   TimeNs length_ = 0;
   std::vector<CpuTable> cpus_;
 };

@@ -1,0 +1,181 @@
+// ShardedSimulation: epoch-barrier semantics and the serial-equivalence
+// guarantee — per-shard event streams (and hence fingerprints over
+// (time, payload) sequences) are bit-identical whether the shards share one
+// serial engine, run on per-shard engines, or run on per-shard engines
+// concurrently.
+#include "src/sim/sharded_sim.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace tableau {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void Mix(std::uint64_t& fp, std::uint64_t v) { fp = (fp ^ v) * kFnvPrime; }
+
+std::uint64_t Lcg(std::uint64_t& state) {
+  state = state * 6364136223846793005ull + 1442695040888963407ull;
+  return state >> 16;
+}
+
+// A multi-core scenario: per-shard self-rearming timers with deterministic
+// pseudo-random periods, and a ring of cross-shard "IPIs" (every 8th fire
+// posts to the next shard with latency epoch + jitter). Each shard folds
+// its observed event sequence into an FNV fingerprint.
+struct Scenario {
+  struct Ctx {
+    Scenario* scenario = nullptr;
+    int shard = 0;
+    std::uint64_t rng = 0;
+    std::uint64_t fp = kFnvOffset;
+    std::uint64_t fires = 0;
+    std::uint64_t ipis = 0;
+    EventId timer = kInvalidEvent;
+  };
+
+  explicit Scenario(const ShardedSimulation::Options& options) : sim(options) {
+    ctxs.resize(static_cast<std::size_t>(options.num_shards));
+    for (int s = 0; s < options.num_shards; ++s) {
+      Ctx* ctx = &ctxs[static_cast<std::size_t>(s)];
+      ctx->scenario = this;
+      ctx->shard = s;
+      ctx->rng = 0x1234 + 77ull * static_cast<std::uint64_t>(s);
+      Simulation& engine = sim.shard(s);
+      ctx->timer = engine.CreateTimer([ctx] { Tick(ctx); });
+      engine.Arm(ctx->timer, 1 + static_cast<TimeNs>(Lcg(ctx->rng) % 5000));
+    }
+  }
+
+  static void Tick(Ctx* c) {
+    ShardedSimulation& sim = c->scenario->sim;
+    Simulation& engine = sim.shard(c->shard);
+    ++c->fires;
+    Mix(c->fp, static_cast<std::uint64_t>(engine.Now()));
+    Mix(c->fp, c->fires);
+    if (c->fires % 8 == 0) {
+      const int from = c->shard;
+      const int to = (c->shard + 1) % sim.num_shards();
+      Ctx* target = &c->scenario->ctxs[static_cast<std::size_t>(to)];
+      sim.Post(from, to,
+               sim.epoch_ns() + static_cast<TimeNs>(Lcg(c->rng) % 40000),
+               [target, from] {
+                 ++target->ipis;
+                 Mix(target->fp,
+                     static_cast<std::uint64_t>(
+                         target->scenario->sim.shard(target->shard).Now()));
+                 Mix(target->fp,
+                     0x9e3779b97f4a7c15ull ^ static_cast<std::uint64_t>(from));
+               });
+    }
+    engine.Arm(c->timer,
+               engine.Now() + 1 + static_cast<TimeNs>(Lcg(c->rng) % 20000));
+  }
+
+  std::vector<std::uint64_t> Fingerprints() const {
+    std::vector<std::uint64_t> fps;
+    fps.reserve(ctxs.size());
+    for (const Ctx& ctx : ctxs) {
+      fps.push_back(ctx.fp);
+    }
+    return fps;
+  }
+
+  std::uint64_t TotalIpis() const {
+    std::uint64_t total = 0;
+    for (const Ctx& ctx : ctxs) {
+      total += ctx.ipis;
+    }
+    return total;
+  }
+
+  ShardedSimulation sim;
+  std::vector<Ctx> ctxs;
+};
+
+constexpr TimeNs kHorizon = 20'000'000;  // 20 ms, 400 epochs of 50 us.
+
+ShardedSimulation::Options MakeOptions(bool sharded, bool parallel) {
+  ShardedSimulation::Options options;
+  options.num_shards = 4;
+  options.sharded = sharded;
+  options.parallel = parallel;
+  return options;
+}
+
+TEST(ShardedSim, SerialAndShardedFingerprintsMatch) {
+  Scenario serial(MakeOptions(/*sharded=*/false, /*parallel=*/false));
+  Scenario sharded(MakeOptions(/*sharded=*/true, /*parallel=*/false));
+  serial.sim.RunUntil(kHorizon);
+  sharded.sim.RunUntil(kHorizon);
+
+  EXPECT_GT(serial.TotalIpis(), 100u) << "scenario must exercise cross-shard traffic";
+  EXPECT_EQ(serial.TotalIpis(), sharded.TotalIpis());
+  EXPECT_EQ(serial.sim.events_executed(), sharded.sim.events_executed());
+  EXPECT_EQ(serial.Fingerprints(), sharded.Fingerprints());
+}
+
+TEST(ShardedSim, ParallelShardedMatchesSerial) {
+  Scenario serial(MakeOptions(/*sharded=*/false, /*parallel=*/false));
+  Scenario parallel(MakeOptions(/*sharded=*/true, /*parallel=*/true));
+  serial.sim.RunUntil(kHorizon);
+  parallel.sim.RunUntil(kHorizon);
+
+  EXPECT_EQ(serial.sim.events_executed(), parallel.sim.events_executed());
+  EXPECT_EQ(serial.Fingerprints(), parallel.Fingerprints());
+}
+
+TEST(ShardedSim, ShardedRunsAreReproducible) {
+  Scenario a(MakeOptions(/*sharded=*/true, /*parallel=*/false));
+  Scenario b(MakeOptions(/*sharded=*/true, /*parallel=*/false));
+  a.sim.RunUntil(kHorizon);
+  b.sim.RunUntil(kHorizon);
+  EXPECT_EQ(a.Fingerprints(), b.Fingerprints());
+}
+
+TEST(ShardedSim, SerialModeMultiplexesOntoOneEngine) {
+  ShardedSimulation serial(MakeOptions(false, false));
+  EXPECT_EQ(&serial.shard(0), &serial.shard(3));
+  ShardedSimulation sharded(MakeOptions(true, false));
+  EXPECT_NE(&sharded.shard(0), &sharded.shard(3));
+}
+
+TEST(ShardedSim, MessagePostedAtSetupArrivesAtExactDueTime) {
+  for (const bool sharded : {false, true}) {
+    ShardedSimulation::Options options = MakeOptions(sharded, false);
+    ShardedSimulation sim(options);
+    TimeNs arrived_at = -1;
+    sim.Post(0, 1, options.epoch_ns, [&sim, &arrived_at] {
+      arrived_at = sim.shard(1).Now();
+    });
+    sim.RunUntil(4 * options.epoch_ns);
+    EXPECT_EQ(arrived_at, options.epoch_ns) << "sharded=" << sharded;
+  }
+}
+
+TEST(ShardedSim, EpochBarriersAdvanceTheAgreedClock) {
+  ShardedSimulation sim(MakeOptions(true, false));
+  EXPECT_EQ(sim.Now(), 0);
+  sim.RunUntil(10 * sim.epoch_ns());
+  EXPECT_EQ(sim.Now(), 10 * sim.epoch_ns());
+  EXPECT_EQ(sim.epochs(), 10u);
+  // A partial epoch still completes at the requested horizon.
+  sim.RunUntil(10 * sim.epoch_ns() + sim.epoch_ns() / 2);
+  EXPECT_EQ(sim.Now(), 10 * sim.epoch_ns() + sim.epoch_ns() / 2);
+}
+
+TEST(ShardedSim, MessageDueSeveralEpochsOutIsDeliveredOnce) {
+  ShardedSimulation::Options options = MakeOptions(true, false);
+  ShardedSimulation sim(options);
+  int delivered = 0;
+  sim.Post(2, 0, 5 * options.epoch_ns + 123, [&delivered] { ++delivered; });
+  sim.RunUntil(20 * options.epoch_ns);
+  EXPECT_EQ(delivered, 1);
+}
+
+}  // namespace
+}  // namespace tableau

@@ -71,9 +71,23 @@ TEST(SchedulingTable, EmptyCpuIsAllIdle) {
   EXPECT_EQ(result.interval_end, 1000);
 }
 
-TEST(SchedulingTable, SliceLengthIsShortestAllocation) {
+TEST(SchedulingTable, SliceLengthIsShortestAllocationRoundedToPow2) {
   const SchedulingTable table = SimpleTable();
+  // Shortest allocation is 100 on both CPUs; slices round down to 64 so the
+  // lookup indexes with a shift.
+  EXPECT_EQ(table.cpu(0).slice_length, 64);
+  EXPECT_EQ(table.cpu(0).slice_shift, 6);
+  EXPECT_EQ(table.cpu(1).slice_length, 64);
+}
+
+TEST(SchedulingTable, ExactSlicesKeepShortestAllocationLength) {
+  std::vector<std::vector<Allocation>> per_cpu(2);
+  per_cpu[0] = {{0, 0, 100}, {1, 100, 250}, {0, 300, 400}};
+  per_cpu[1] = {{2, 50, 150}};
+  const SchedulingTable table = SchedulingTable::BuildWithExactSlices(400, std::move(per_cpu));
+  EXPECT_EQ(table.Validate(), "");
   EXPECT_EQ(table.cpu(0).slice_length, 100);  // Shortest of 100/150/100.
+  EXPECT_EQ(table.cpu(0).slice_shift, -1);    // 100 is not a power of two.
   EXPECT_EQ(table.cpu(1).slice_length, 100);
 }
 
@@ -120,6 +134,99 @@ TEST(SchedulingTable, SliceLookupAgreesWithLinearEverywhere) {
       ASSERT_EQ(fast.interval_end, slow.interval_end) << "offset " << offset;
     }
   }
+}
+
+// Property: the sliced lookup agrees with the linear-scan oracle on random
+// tables, probed at the hot-path edges — every slice boundary (one ns either
+// side), the table wrap (offset length-1, then 0), and inside idle gaps —
+// for both the power-of-two (shift) layout and the exact-slice (division)
+// layout that deserialized v1 blobs use.
+TEST(SchedulingTable, LookupMatchesLinearAtSliceEdgesBothLayouts) {
+  Rng rng(21);
+  for (int trial = 0; trial < 40; ++trial) {
+    const TimeNs length = rng.UniformInt(1000, 20000);
+    std::vector<Allocation> allocations;
+    TimeNs t = rng.UniformInt(0, 200);
+    VcpuId id = 0;
+    while (true) {
+      const TimeNs len = rng.UniformInt(60, 900);
+      if (t + len > length) {
+        break;
+      }
+      allocations.push_back(Allocation{id++ % 6, t, t + len});
+      t += len + rng.UniformInt(0, 250);
+    }
+    for (const bool pow2 : {true, false}) {
+      std::vector<std::vector<Allocation>> per_cpu = {allocations};
+      const SchedulingTable table =
+          pow2 ? SchedulingTable::Build(length, std::move(per_cpu))
+               : SchedulingTable::BuildWithExactSlices(length, std::move(per_cpu));
+      ASSERT_EQ(table.Validate(), "");
+      const TimeNs slice = table.cpu(0).slice_length;
+      std::vector<TimeNs> probes = {0, length - 1};
+      for (TimeNs edge = slice; edge < length; edge += slice) {
+        probes.push_back(edge - 1);
+        probes.push_back(edge);
+        if (edge + 1 < length) {
+          probes.push_back(edge + 1);
+        }
+      }
+      for (int extra = 0; extra < 64; ++extra) {
+        probes.push_back(rng.UniformInt(0, length - 1));
+      }
+      for (const TimeNs offset : probes) {
+        const LookupResult fast = table.Lookup(0, offset);
+        const LookupResult slow = table.LookupLinear(0, offset);
+        ASSERT_EQ(fast.vcpu, slow.vcpu)
+            << "offset " << offset << " pow2 " << pow2 << " trial " << trial;
+        ASSERT_EQ(fast.interval_end, slow.interval_end)
+            << "offset " << offset << " pow2 " << pow2 << " trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(SchedulingTable, LookupWrapsFromLastNanosecondToZero) {
+  // offset == length-1 must report an interval ending exactly at length so
+  // the dispatcher's next decision lands on offset 0 of the next cycle.
+  std::vector<std::vector<Allocation>> per_cpu(1);
+  per_cpu[0] = {{0, 0, 250}, {1, 750, 1000}};
+  const SchedulingTable table = SchedulingTable::Build(1000, std::move(per_cpu));
+  const LookupResult last = table.Lookup(0, 999);
+  EXPECT_EQ(last.vcpu, 1);
+  EXPECT_EQ(last.interval_end, 1000);
+  const LookupResult wrapped = table.Lookup(0, 0);
+  EXPECT_EQ(wrapped.vcpu, 0);
+  EXPECT_EQ(wrapped.interval_end, 250);
+}
+
+TEST(SchedulingTable, SingleSliceTableBothLayouts) {
+  // One allocation spanning the whole table -> a single slice (the slice
+  // length equals the table length), for both layouts.
+  for (const bool pow2 : {true, false}) {
+    std::vector<std::vector<Allocation>> per_cpu(1);
+    per_cpu[0] = {{3, 0, 1024}};  // 1024 is a power of two: 1 slice either way.
+    const SchedulingTable table =
+        pow2 ? SchedulingTable::Build(1024, std::move(per_cpu))
+             : SchedulingTable::BuildWithExactSlices(1024, std::move(per_cpu));
+    ASSERT_EQ(table.Validate(), "");
+    EXPECT_EQ(table.cpu(0).num_slices(), 1u);
+    for (const TimeNs offset : {TimeNs{0}, TimeNs{512}, TimeNs{1023}}) {
+      const LookupResult fast = table.Lookup(0, offset);
+      const LookupResult slow = table.LookupLinear(0, offset);
+      EXPECT_EQ(fast.vcpu, slow.vcpu);
+      EXPECT_EQ(fast.interval_end, slow.interval_end);
+    }
+  }
+  // Non-pow2 single-slice: allocation covers [0, 900) of a 900-long table.
+  std::vector<std::vector<Allocation>> odd(1);
+  odd[0] = {{1, 0, 900}};
+  const SchedulingTable table = SchedulingTable::BuildWithExactSlices(900, std::move(odd));
+  ASSERT_EQ(table.Validate(), "");
+  EXPECT_EQ(table.cpu(0).num_slices(), 1u);
+  EXPECT_EQ(table.cpu(0).slice_shift, -1);
+  EXPECT_EQ(table.Lookup(0, 899).vcpu, 1);
+  EXPECT_EQ(table.Lookup(0, 899).interval_end, 900);
 }
 
 TEST(SchedulingTable, CpusOf) {
@@ -224,8 +331,14 @@ TEST(SchedulingTable, SliceCountNeverExceedsCeil) {
   std::vector<std::vector<Allocation>> per_cpu(1);
   per_cpu[0] = {{0, 0, 300}, {1, 500, 800}};
   const SchedulingTable table = SchedulingTable::Build(1000, std::move(per_cpu));
-  EXPECT_EQ(table.cpu(0).slice_length, 300);
-  EXPECT_EQ(table.cpu(0).slices.size(), 4u);  // ceil(1000/300).
+  EXPECT_EQ(table.cpu(0).slice_length, 256);  // Pow2 floor of the shortest (300).
+  EXPECT_EQ(table.cpu(0).num_slices(), 4u);   // ceil(1000/256).
+
+  std::vector<std::vector<Allocation>> exact(1);
+  exact[0] = {{0, 0, 300}, {1, 500, 800}};
+  const SchedulingTable old_layout = SchedulingTable::BuildWithExactSlices(1000, std::move(exact));
+  EXPECT_EQ(old_layout.cpu(0).slice_length, 300);
+  EXPECT_EQ(old_layout.cpu(0).num_slices(), 4u);  // ceil(1000/300).
 }
 
 TEST(SchedulingTableDeathTest, BuildRejectsOverlap) {

@@ -1,11 +1,24 @@
 // Captures the golden trace fingerprints for the engine determinism test
-// (tests/engine_golden_test.cc). Run against the seed (binary-heap) engine
-// once; the printed constants are pinned in the test so the timer-wheel
-// engine can be checked for byte-identical event sequences.
+// (tests/engine_golden_test.cc). The printed constants are pinned in the
+// test so engine changes can be checked for byte-identical event sequences.
+//
+// Default mode prints the four fingerprints. `--update` additionally
+// rewrites the pinned constants in tests/engine_golden_test.cc in place —
+// the one-command flow for *intentionally* regenerating the goldens (e.g.
+// after a semantics-affecting scenario change), so perf PRs never hand-edit
+// hex constants. The diff still goes through review like any other change.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "src/workloads/stress.h"
+
+#ifndef TABLEAU_GOLDEN_TEST_PATH
+#define TABLEAU_GOLDEN_TEST_PATH "tests/engine_golden_test.cc"
+#endif
 
 using namespace tableau;
 using namespace tableau::bench;
@@ -51,16 +64,107 @@ std::uint64_t RunOne(SchedKind kind, bool capped) {
   return Fingerprint(scenario);
 }
 
+struct Golden {
+  const char* label;     // Human-readable, for the default print mode.
+  const char* anchor;    // Unique call-site text preceding the constant.
+  SchedKind kind;
+  bool capped;
+  std::uint64_t value = 0;
+};
+
+std::string HexConstant(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llxull",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+// Replaces the `0x<16 hex>ull` token following `anchor` in `text`. Returns
+// 1 if the constant changed, 0 if it already matched, -1 if the anchor or a
+// well-formed constant was not found.
+int RewriteConstant(std::string& text, const std::string& anchor,
+                    std::uint64_t value) {
+  const std::size_t at = text.find(anchor);
+  if (at == std::string::npos) {
+    return -1;
+  }
+  const std::size_t hex = text.find("0x", at + anchor.size());
+  constexpr std::size_t kTokenLength = 21;  // "0x" + 16 digits + "ull".
+  if (hex == std::string::npos ||
+      text.compare(hex + 18, 3, "ull") != 0) {
+    return -1;
+  }
+  const std::string replacement = HexConstant(value);
+  if (text.compare(hex, kTokenLength, replacement) == 0) {
+    return 0;
+  }
+  text.replace(hex, kTokenLength, replacement);
+  return 1;
+}
+
+int UpdateGoldenTest(Golden (&goldens)[4]) {
+  const char* path = TABLEAU_GOLDEN_TEST_PATH;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s for update\n", path);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  in.close();
+
+  int changed = 0;
+  for (const Golden& golden : goldens) {
+    const int result = RewriteConstant(text, golden.anchor, golden.value);
+    if (result < 0) {
+      std::fprintf(stderr, "anchor not found in %s: %s\n", path, golden.anchor);
+      return 1;
+    }
+    if (result > 0) {
+      std::printf("updated  %-16s -> %s\n", golden.label,
+                  HexConstant(golden.value).c_str());
+      ++changed;
+    }
+  }
+  if (changed == 0) {
+    std::printf("%s already up to date\n", path);
+    return 0;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  out << text;
+  std::printf("rewrote %d constant(s) in %s — rebuild and rerun "
+              "engine_golden_test to confirm\n",
+              changed, path);
+  return 0;
+}
+
 }  // namespace
 
-int main() {
-  std::printf("kCredit/capped   0x%016llxull\n",
-              static_cast<unsigned long long>(RunOne(SchedKind::kCredit, true)));
-  std::printf("kRtds/capped     0x%016llxull\n",
-              static_cast<unsigned long long>(RunOne(SchedKind::kRtds, true)));
-  std::printf("kTableau/capped  0x%016llxull\n",
-              static_cast<unsigned long long>(RunOne(SchedKind::kTableau, true)));
-  std::printf("kCredit/uncapped 0x%016llxull\n",
-              static_cast<unsigned long long>(RunOne(SchedKind::kCredit, false)));
-  return 0;
+int main(int argc, char** argv) {
+  const bool update = argc > 1 && std::strcmp(argv[1], "--update") == 0;
+  if (argc > 1 && !update) {
+    std::fprintf(stderr, "usage: %s [--update]\n", argv[0]);
+    return 2;
+  }
+
+  Golden goldens[4] = {
+      {"kCredit/capped", "RunOne(SchedKind::kCredit, /*capped=*/true), ",
+       SchedKind::kCredit, true},
+      {"kRtds/capped", "RunOne(SchedKind::kRtds, /*capped=*/true), ",
+       SchedKind::kRtds, true},
+      {"kTableau/capped", "RunOne(SchedKind::kTableau, /*capped=*/true), ",
+       SchedKind::kTableau, true},
+      {"kCredit/uncapped", "RunOne(SchedKind::kCredit, /*capped=*/false), ",
+       SchedKind::kCredit, false},
+  };
+  for (Golden& golden : goldens) {
+    golden.value = RunOne(golden.kind, golden.capped);
+    std::printf("%-16s %s\n", golden.label, HexConstant(golden.value).c_str());
+  }
+  return update ? UpdateGoldenTest(goldens) : 0;
 }

@@ -136,7 +136,7 @@ int CmdShow(const char* path) {
     }
     std::printf(
         "  cpu%-2d: %3zu allocations, %4zu slices x %s, %5.1f%% reserved, locals:",
-        cpu, cpu_table.allocations.size(), cpu_table.slices.size(),
+        cpu, cpu_table.allocations.size(), cpu_table.num_slices(),
         FormatDuration(cpu_table.slice_length).c_str(),
         100.0 * static_cast<double>(busy) / static_cast<double>(table.length()));
     for (const VcpuId vcpu : cpu_table.local_vcpus) {
