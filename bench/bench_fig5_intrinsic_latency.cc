@@ -11,8 +11,10 @@
 //  - uncapped with background: Credit degrades severely (up to 220 ms with
 //    I/O background); Tableau stays at <= 10 ms.
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
+#include "src/obs/telemetry.h"
 
 using namespace tableau;
 using namespace tableau::bench;
@@ -22,13 +24,42 @@ namespace {
 struct GapResult {
   double max_ms = 0;
   double jitter_ms = 0;  // Stddev of the service gaps (Welford).
+  // Machine-wide causal totals over the run, from the windowed telemetry:
+  // time runnable vCPUs spent descheduled by the table (blackout) vs late
+  // table switches (slip). The blackout total is the causal mass behind the
+  // gap maximum the figure reports.
+  double blackout_total_ms = 0;
+  double slip_total_ms = 0;
 };
+
+// Sum of one series' window sums in a merged snapshot (ns -> ms).
+double SeriesTotalMs(const obs::TimeSeriesSnapshot& snapshot, const std::string& name) {
+  const auto it = snapshot.series.find(name);
+  if (it == snapshot.series.end()) {
+    return 0;
+  }
+  std::int64_t total = 0;
+  for (const obs::TimeSeriesWindow& window : it->second.windows) {
+    total += window.sum;
+  }
+  return ToMs(total);
+}
 
 GapResult MeasureGaps(SchedKind kind, bool capped, Background bg, TimeNs duration) {
   ScenarioConfig config;
   config.scheduler = kind;
   config.capped = capped;
   Scenario scenario = BuildScenario(config);
+
+  // Machine-wide window series only: this bench has no request spans, so the
+  // telemetry contributes the per-pCPU/machine supply-side decomposition.
+  obs::Telemetry::Config telemetry_config;
+  telemetry_config.window_ns = 100 * kMillisecond;
+  telemetry_config.window_capacity = 256;
+  telemetry_config.max_vcpu_series = 0;
+  obs::Telemetry telemetry(telemetry_config);
+  AttachTelemetry(scenario, &telemetry);
+
   scenario.vantage->EnableInstrumentation();
   CpuHogWorkload loop(scenario.machine.get(), scenario.vantage);
   loop.Start(0);
@@ -37,8 +68,11 @@ GapResult MeasureGaps(SchedKind kind, bool capped, Background bg, TimeNs duratio
   scenario.machine->Start();
   scenario.machine->RunFor(duration);
   RecordScenarioMetrics(scenario);
+  const obs::TimeSeriesSnapshot series = telemetry.TimeSeries();
   return GapResult{ToMs(scenario.vantage->service_gaps().Max()),
-                   ToMs(static_cast<TimeNs>(scenario.vantage->service_gaps().StdDev()))};
+                   ToMs(static_cast<TimeNs>(scenario.vantage->service_gaps().StdDev())),
+                   SeriesTotalMs(series, "machine.blackout_ns"),
+                   SeriesTotalMs(series, "machine.slip_ns")};
 }
 
 const char* BgKey(Background bg) {
@@ -82,6 +116,12 @@ void RunScenario(const char* title, const char* prefix, bool capped,
       json.Add(std::string(prefix) + "." + SchedKindName(kinds[row]) + "." +
                    BgKey(bgs[col]) + ".jitter_ms",
                cell.jitter_ms);
+      json.Add(std::string(prefix) + "." + SchedKindName(kinds[row]) + "." +
+                   BgKey(bgs[col]) + ".blackout_total_ms",
+               cell.blackout_total_ms);
+      json.Add(std::string(prefix) + "." + SchedKindName(kinds[row]) + "." +
+                   BgKey(bgs[col]) + ".slip_total_ms",
+               cell.slip_total_ms);
     }
     std::printf("\n");
   }

@@ -18,6 +18,7 @@
 #include "src/common/thread_pool.h"
 #include "src/harness/scenario.h"
 #include "src/obs/metrics.h"
+#include "src/obs/timeseries.h"
 #include "src/workloads/guest.h"
 #include "src/workloads/stress.h"
 
@@ -167,6 +168,31 @@ inline void RecordRegistryMetrics(obs::MetricsRegistry& registry) {
   AccumulatedMetrics::Instance().Record(registry.Snapshot());
 }
 
+// Process-wide time-series accumulator, the windowed-telemetry counterpart
+// of AccumulatedMetrics: measurement cells record their telemetry windows
+// concurrently from RunSimulations workers; TimeSeriesSnapshot::Merge is
+// commutative/associative, so the merged result is independent of worker
+// interleaving and byte-identical to a serial run.
+struct AccumulatedTimeSeries {
+  std::mutex mu;
+  obs::TimeSeriesSnapshot merged;
+
+  static AccumulatedTimeSeries& Instance() {
+    static AccumulatedTimeSeries instance;
+    return instance;
+  }
+
+  void Record(const obs::TimeSeriesSnapshot& snapshot) {
+    std::lock_guard<std::mutex> lock(mu);
+    merged.Merge(snapshot);
+  }
+
+  obs::TimeSeriesSnapshot Get() {
+    std::lock_guard<std::mutex> lock(mu);
+    return merged;
+  }
+};
+
 // Accumulates scalar metrics and writes them as BENCH_<name>.json in the
 // working directory: a flat {"metric": value} object — a stable artifact
 // for tooling to diff across runs (see run_all.sh) — plus a "metrics" block
@@ -177,6 +203,13 @@ class BenchJson {
 
   void Add(const std::string& key, double value) {
     entries_.emplace_back(key, value);
+  }
+
+  // Embeds an already-serialized JSON value under `key` (e.g. a merged
+  // time-series snapshot or an attribution block). The caller guarantees
+  // `raw_json` is valid JSON; it is emitted verbatim.
+  void AddRawBlock(const std::string& key, std::string raw_json) {
+    raw_blocks_.emplace_back(key, std::move(raw_json));
   }
 
   void Write() const {
@@ -194,6 +227,9 @@ class BenchJson {
     const std::string metrics =
         AccumulatedMetrics::Instance().Get().ToJson(/*indent=*/2);
     std::fprintf(file, ",\n  \"metrics\": %s", metrics.c_str());
+    for (const auto& [key, raw] : raw_blocks_) {
+      std::fprintf(file, ",\n  \"%s\": %s", key.c_str(), raw.c_str());
+    }
     std::fprintf(file, "\n}\n");
     std::fclose(file);
   }
@@ -201,6 +237,7 @@ class BenchJson {
  private:
   std::string name_;
   std::vector<std::pair<std::string, double>> entries_;
+  std::vector<std::pair<std::string, std::string>> raw_blocks_;
 };
 
 }  // namespace tableau::bench

@@ -66,9 +66,10 @@ const SchedulingTable& TableauDispatcher::ActiveTable(TimeNs now) {
       }
       return *current_;
     }
+    last_switch_slip_ = now - switch_at_;
     if (m_table_switches_ != nullptr) {
       m_table_switches_->Increment();
-      m_switch_slip_ns_->Record(now - switch_at_);
+      m_switch_slip_ns_->Record(last_switch_slip_);
     }
     current_ = std::move(next_);
     next_ = nullptr;

@@ -115,6 +115,11 @@ class TableauDispatcher {
   // Lets callers detect promotions (e.g. to emit a table-switch trace event).
   std::uint64_t table_generation() const { return generation_; }
 
+  // Slip of the most recent promotion: how far past the promised switch_at_
+  // the promoting lookup arrived. Valid after a generation change; used by
+  // the telemetry layer to re-attribute waiting time to the late switch.
+  TimeNs last_switch_slip() const { return last_switch_slip_; }
+
   // Registers dispatcher metrics on `registry` (tableau.table_switches,
   // tableau.switch_slip_ns — the lag between the promised switch time and
   // the lookup that promoted it — and tableau.switch_rearms, switches pushed
@@ -146,6 +151,7 @@ class TableauDispatcher {
   std::shared_ptr<const SchedulingTable> next_;
   TimeNs switch_at_ = kTimeNever;
   std::uint64_t generation_ = 0;
+  TimeNs last_switch_slip_ = 0;
 
   std::map<VcpuId, VcpuTimeline> timelines_;  // For the active table.
   std::vector<SecondLevelState> second_level_;

@@ -2,6 +2,7 @@
 
 #include "src/common/check.h"
 #include "src/core/coschedule.h"
+#include "src/obs/telemetry.h"
 
 namespace tableau {
 namespace {
@@ -88,6 +89,15 @@ Scenario BuildScenario(const ScenarioConfig& config) {
     tableau->PushTable(std::make_shared<SchedulingTable>(scenario.plan.table));
   }
   return scenario;
+}
+
+void AttachTelemetry(Scenario& scenario, obs::Telemetry* telemetry) {
+  TABLEAU_CHECK(scenario.machine != nullptr && telemetry != nullptr);
+  for (const Vcpu* vcpu : scenario.vcpus) {
+    telemetry->SetVcpuName(vcpu->id(), vcpu->params().name);
+  }
+  telemetry->SetVmOf(scenario.vm_of);
+  scenario.machine->AttachTelemetry(telemetry);
 }
 
 Scenario BuildVmScenario(const ScenarioConfig& config, const std::vector<VmSpec>& vms) {

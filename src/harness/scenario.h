@@ -85,6 +85,13 @@ struct VmSpec {
 // co-scheduling pass when possible.
 Scenario BuildVmScenario(const ScenarioConfig& config, const std::vector<VmSpec>& vms);
 
+// Wires a telemetry instance into a built scenario: copies the scenario's
+// vCPU names and VM grouping into the telemetry (so exported series and SLO
+// verdicts use "vm3"-style names) and attaches it to the machine. Call
+// before the machine starts; `telemetry` must outlive the machine. The
+// telemetry is a pure observer — attaching it does not change the schedule.
+void AttachTelemetry(Scenario& scenario, obs::Telemetry* telemetry);
+
 }  // namespace tableau
 
 #endif  // SRC_HARNESS_SCENARIO_H_

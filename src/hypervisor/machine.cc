@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/telemetry.h"
+
 namespace tableau {
 
 Machine::Machine(MachineConfig config, std::unique_ptr<VcpuScheduler> scheduler)
@@ -59,13 +61,43 @@ TimeNs Machine::PerturbFire(TimeNs at) {
 }
 
 void Machine::RunFor(TimeNs duration) {
-  sim_.RunUntil(sim_.Now() + duration);
+  const TimeNs target = sim_.Now() + duration;
+  if (telemetry_ != nullptr) {
+    // Cadence sampling: chunk the advance at telemetry window boundaries.
+    // RunUntil executes exactly the events due up to its horizon and then
+    // sets the clock to it, so chunking is behavior-neutral — the same
+    // events fire at the same times whether telemetry is attached or not.
+    TimeNs boundary = telemetry_->NextBoundaryAfter(sim_.Now());
+    while (boundary < target) {
+      sim_.RunUntil(boundary);
+      SampleCadence(boundary);
+      boundary += telemetry_->window_ns();
+    }
+  }
+  sim_.RunUntil(target);
   for (CpuId cpu = 0; cpu < config_.num_cpus; ++cpu) {
     SettleService(cpu);
   }
 }
 
+void Machine::SampleCadence(TimeNs at) {
+  int waiting = 0;
+  int running = 0;
+  for (const auto& vcpu : vcpus_) {
+    if (vcpu->state_ == VcpuState::kRunnable) {
+      ++waiting;
+    } else if (vcpu->state_ == VcpuState::kRunning) {
+      ++running;
+    }
+  }
+  telemetry_->OnCadenceSample(at, waiting, running);
+}
+
 void Machine::Start() {
+  if (telemetry_ != nullptr && !telemetry_->bound()) {
+    telemetry_->Bind(config_.num_cpus, static_cast<int>(vcpus_.size()),
+                     scheduler_->table_driven(), sim_.Now());
+  }
   scheduler_->Start();
   for (CpuId cpu = 0; cpu < config_.num_cpus; ++cpu) {
     sim_.Arm(cpu_[static_cast<std::size_t>(cpu)].resched_timer, sim_.Now());
@@ -145,6 +177,9 @@ void Machine::SettleService(CpuId cpu) {
     if (vcpu->remaining_burst_ != kTimeNever) {
       vcpu->remaining_burst_ = std::max<TimeNs>(0, vcpu->remaining_burst_ - served);
     }
+    if (telemetry_ != nullptr) {
+      telemetry_->OnServiceRange(vcpu->id(), cpu, now - served, now);
+    }
   }
   vcpu->service_start_ = std::max(vcpu->service_start_, now);
   // Scheduler accounting (credits, budgets) burns assigned *wall* time, as
@@ -167,6 +202,9 @@ void Machine::Wake(VcpuId id) {
   vcpu->wake_time_ = sim_.Now();
   vcpu->woke_since_dispatch_ = true;
   trace_.Record(sim_.Now(), TraceEvent::kWakeup, vcpu->last_cpu_, vcpu->id());
+  if (telemetry_ != nullptr) {
+    telemetry_->OnWakeup(vcpu->id(), sim_.Now());
+  }
   // Wakeups are processed on the vCPU's last CPU (where the event-channel
   // interrupt lands); the charged cost lands there as overhead debt.
   const CpuId processing = vcpu->last_cpu_ == kNoCpu ? 0 : vcpu->last_cpu_;
@@ -197,6 +235,9 @@ void Machine::Block(Vcpu* vcpu) {
   vcpu->last_cpu_ = cpu;
   vcpu->last_service_end_ = sim_.Now();
   trace_.Record(sim_.Now(), TraceEvent::kBlock, cpu, vcpu->id());
+  if (telemetry_ != nullptr) {
+    telemetry_->OnBlock(vcpu->id(), sim_.Now());
+  }
   state.current = nullptr;
   sim_.Disarm(state.pending);
   state.pending = kInvalidEvent;
@@ -223,6 +264,9 @@ void Machine::Reschedule(CpuId cpu, DeschedReason reason) {
     state.current = nullptr;
     trace_.Record(now, TraceEvent::kDeschedule, cpu, prev->id(),
                   static_cast<std::int64_t>(reason));
+    if (telemetry_ != nullptr) {
+      telemetry_->OnDeschedule(prev->id(), now);
+    }
     TraceOp(SchedOp::kMigrate, cpu, [&] { scheduler_->OnDeschedule(prev, cpu, reason); });
   }
 
@@ -295,6 +339,9 @@ void Machine::Reschedule(CpuId cpu, DeschedReason reason) {
   next->dispatch_count_++;
   trace_.Record(now, TraceEvent::kDispatch, cpu, next->id(),
                 decision.second_level ? 1 : 0);
+  if (telemetry_ != nullptr) {
+    telemetry_->OnDispatch(next->id(), now);
+  }
 
   TimeNs event_time = decision.until;
   if (next->remaining_burst_ != kTimeNever) {
@@ -352,6 +399,9 @@ void Machine::OnCpuEvent(CpuId cpu) {
 }
 
 obs::MetricsSnapshot Machine::SnapshotMetrics() {
+  if (telemetry_ != nullptr) {
+    telemetry_->PublishMetrics(&metrics_);
+  }
   TimeNs busy = 0;
   TimeNs overhead = 0;
   for (const CpuState& state : cpu_) {

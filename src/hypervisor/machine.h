@@ -22,6 +22,10 @@
 #include "src/obs/metrics.h"
 #include "src/sim/simulation.h"
 
+namespace tableau::obs {
+class Telemetry;
+}  // namespace tableau::obs
+
 namespace tableau {
 
 struct MachineConfig {
@@ -113,6 +117,14 @@ class Machine {
   // are pure observers and never perturb the simulation.
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  // Attaches the windowed telemetry bundle (not owned; must outlive the
+  // machine). Call before Start(): Start() binds it to the machine's
+  // CPU/vCPU counts and the scheduler's table_driven() classification. Like
+  // metrics and traces, telemetry is a pure observer — hooks never schedule
+  // simulation events, so runs are bit-identical with or without it.
+  void AttachTelemetry(obs::Telemetry* telemetry) { telemetry_ = telemetry; }
+  obs::Telemetry* telemetry() { return telemetry_; }
   // Publishes end-of-run gauges (busy/overhead totals, engine internals,
   // trace accounting) into the registry, then snapshots it.
   obs::MetricsSnapshot SnapshotMetrics();
@@ -150,6 +162,9 @@ class Machine {
 
   void Reschedule(CpuId cpu, DeschedReason reason);
   void OnCpuEvent(CpuId cpu);
+  // Telemetry cadence sample at a window boundary (instantaneous vCPU-state
+  // counts); pure read of machine state.
+  void SampleCadence(TimeNs at);
   // Timer-fault hook: the fire time the injector lets the timer see (>= at).
   TimeNs PerturbFire(TimeNs at);
   // Credits service from service_start_ to now and advances service_start_.
@@ -161,6 +176,7 @@ class Machine {
   MachineConfig config_;
   Simulation sim_;
   faults::FaultInjector* fault_injector_ = nullptr;
+  obs::Telemetry* telemetry_ = nullptr;
   std::unique_ptr<VcpuScheduler> scheduler_;
   std::vector<std::unique_ptr<Vcpu>> vcpus_;
   std::vector<CpuState> cpu_;

@@ -73,6 +73,11 @@ class VcpuScheduler {
   // starts. Schedulers set up periodic timers (accounting ticks) here.
   virtual void Start() {}
 
+  // True for table-driven schedulers (Tableau): runnable-but-descheduled
+  // time is a table *blackout* rather than work-conserving preemption. The
+  // telemetry layer uses this to classify attribution (src/obs/attribution.h).
+  virtual bool table_driven() const { return false; }
+
  protected:
   Machine* machine_ = nullptr;
 };

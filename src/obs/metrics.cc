@@ -46,12 +46,74 @@ std::int64_t HistogramValue::Percentile(double q) const {
       std::ceil(q * static_cast<double>(count)));
   std::uint64_t seen = 0;
   for (const auto& [index, bucket_count] : buckets) {
-    seen += bucket_count;
-    if (seen >= rank) {
-      return std::min(LatencyHistogram::BucketUpperEdge(index), max);
+    if (seen + bucket_count >= rank) {
+      // Interpolate by rank within the winning bucket: the rank-th sample of
+      // `bucket_count` spread uniformly over [lower, upper]. fraction is in
+      // (0, 1], so a full-bucket rank lands on the upper edge (the old
+      // convention) and the result is never below the bucket's lower edge.
+      // Clamping to the exact [min, max] keeps degenerate cases (single
+      // sample, extreme quantiles) exact; the residual error is bounded by
+      // the winning bucket's width (upper - lower < true value for log2
+      // buckets).
+      const std::int64_t lower =
+          index == 0 ? 0 : std::int64_t{1} << (index - 1);
+      const std::int64_t upper = LatencyHistogram::BucketUpperEdge(index);
+      const double fraction = static_cast<double>(rank - seen) /
+                              static_cast<double>(bucket_count);
+      const auto value = static_cast<std::int64_t>(
+          static_cast<double>(lower) +
+          (static_cast<double>(upper) - static_cast<double>(lower)) * fraction);
+      return std::clamp(value, min, max);
     }
+    seen += bucket_count;
   }
   return max;
+}
+
+std::string CsvEscapeField(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) {
+    return field;
+  }
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+std::vector<std::string> SplitCsvRow(const std::string& row) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const char c = row[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < row.size() && row[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"' && field.empty()) {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
 }
 
 MetricsRegistry::Entry& MetricsRegistry::FindOrCreate(const std::string& name,
@@ -320,7 +382,7 @@ std::string MetricsSnapshot::ToCsv() const {
   for (const auto& [name, value] : values) {
     out += MetricKindName(value.kind);
     out += ",";
-    out += name;
+    out += CsvEscapeField(name);
     switch (value.kind) {
       case MetricKind::kCounter:
         out += ",,,,,,,," + std::to_string(value.counter);

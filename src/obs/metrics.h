@@ -40,6 +40,15 @@ enum class MetricKind { kCounter, kGauge, kHistogram };
 
 const char* MetricKindName(MetricKind kind);
 
+// RFC 4180 field quoting: a field containing a comma, double quote, or
+// newline is wrapped in double quotes with embedded quotes doubled; any
+// other field passes through unchanged.
+std::string CsvEscapeField(const std::string& field);
+
+// Splits one CSV row (without its trailing newline) back into fields,
+// undoing CsvEscapeField — the round-trip inverse used by the CSV tests.
+std::vector<std::string> SplitCsvRow(const std::string& row);
+
 // Monotonic integer counter.
 class Counter {
  public:
@@ -144,7 +153,11 @@ struct HistogramValue {
   double Mean() const {
     return count == 0 ? 0 : static_cast<double>(sum) / static_cast<double>(count);
   }
-  // Approximate quantile from the bucket counts (upper-edge convention);
+  // Approximate quantile from the bucket counts, linearly interpolated by
+  // rank within the winning bucket and clamped to the exact [min, max]. The
+  // error is at most the winning bucket's width — for log2 buckets, less
+  // than the true value itself (relative error < 100%, typically far less;
+  // exact whenever the winning bucket is degenerate or holds min or max).
   // q >= 1 returns the exact maximum.
   std::int64_t Percentile(double q) const;
 

@@ -1,0 +1,89 @@
+#include "src/obs/slo.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace tableau::obs {
+
+void SloTracker::Bind(int num_vms, SloConfig config) {
+  TABLEAU_CHECK(vms_.empty());
+  TABLEAU_CHECK(config.window_ns > 0);
+  TABLEAU_CHECK(config.burst_streak_windows > 0);
+  config_ = config;
+  vms_.resize(static_cast<std::size_t>(num_vms));
+}
+
+bool SloTracker::OverBudget(std::uint64_t requests,
+                            std::uint64_t misses) const {
+  if (requests == 0) {
+    return false;  // An empty window cannot burn budget.
+  }
+  return static_cast<double>(misses) >
+         config_.miss_budget * static_cast<double>(requests);
+}
+
+void SloTracker::CloseWindow(VmState& vm) const {
+  vm.windows_closed += 1;
+  if (OverBudget(vm.window_requests, vm.window_misses)) {
+    vm.windows_over_budget += 1;
+    vm.streak += 1;
+    vm.longest_streak = std::max(vm.longest_streak, vm.streak);
+  } else {
+    vm.streak = 0;
+  }
+  vm.window_requests = 0;
+  vm.window_misses = 0;
+}
+
+void SloTracker::Record(int vm_id, TimeNs at, TimeNs latency_ns) {
+  VmState& vm = vms_[static_cast<std::size_t>(vm_id)];
+  const std::int64_t window = at / config_.window_ns;
+  if (vm.window < 0) {
+    vm.window = window;
+  } else if (window > vm.window) {
+    CloseWindow(vm);
+    if (window > vm.window + 1) {
+      vm.streak = 0;  // Empty gap windows are in-budget by definition.
+    }
+    vm.window = window;
+  }
+  vm.requests += 1;
+  vm.window_requests += 1;
+  if (latency_ns > config_.target_latency_ns) {
+    vm.misses += 1;
+    vm.window_misses += 1;
+  }
+}
+
+SloVerdict SloTracker::VerdictFor(int vm_id) const {
+  VmState vm = vms_[static_cast<std::size_t>(vm_id)];  // Copy: const view.
+  if (vm.window >= 0) {
+    CloseWindow(vm);  // Evaluate the open window as if it closed now.
+  }
+  SloVerdict verdict;
+  verdict.requests = vm.requests;
+  verdict.misses = vm.misses;
+  verdict.attainment =
+      vm.requests == 0
+          ? 1.0
+          : 1.0 - static_cast<double>(vm.misses) /
+                      static_cast<double>(vm.requests);
+  verdict.slo_met = verdict.attainment >= config_.target_quantile;
+  verdict.burn_rate =
+      vm.requests == 0 || config_.miss_budget <= 0
+          ? 0.0
+          : (static_cast<double>(vm.misses) /
+             static_cast<double>(vm.requests)) /
+                config_.miss_budget;
+  verdict.windows_closed = vm.windows_closed;
+  verdict.windows_over_budget = vm.windows_over_budget;
+  verdict.current_streak = vm.streak;
+  verdict.longest_streak = vm.longest_streak;
+  verdict.burst_detected =
+      vm.longest_streak >=
+      static_cast<std::uint64_t>(config_.burst_streak_windows);
+  return verdict;
+}
+
+}  // namespace tableau::obs

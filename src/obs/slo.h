@@ -1,0 +1,86 @@
+// Per-VM SLO tracking: a latency target plus quantile ("99% of requests
+// under 10 ms"), evaluated both cumulatively (attainment, miss-budget burn
+// rate) and per deterministic sim-time window (miss streaks → burst
+// detection). Recording is zero-allocation after Bind and never touches the
+// simulation engine — like the rest of the telemetry layer it is a pure
+// observer (DESIGN.md "Telemetry & SLO tracking").
+//
+// Window semantics: requests land in window floor(at / window_ns). When a
+// request arrives in a later window, every window since the last one closes;
+// a closed window with miss_fraction > miss_budget extends the current
+// over-budget streak, one within budget (including an empty gap window)
+// resets it. A streak reaching burst_streak_windows flags a burst.
+#ifndef SRC_OBS_SLO_H_
+#define SRC_OBS_SLO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace tableau::obs {
+
+struct SloConfig {
+  TimeNs target_latency_ns = 10 * kMillisecond;
+  // Required fraction of requests at or under target: attainment >=
+  // target_quantile means the SLO is met (p<quantile> <= target).
+  double target_quantile = 0.99;
+  // Per-window allowed miss fraction; windows above it burn the budget and
+  // feed the streak detector.
+  double miss_budget = 0.01;
+  int burst_streak_windows = 3;
+  TimeNs window_ns = 10 * kMillisecond;
+};
+
+struct SloVerdict {
+  std::uint64_t requests = 0;
+  std::uint64_t misses = 0;
+  double attainment = 1.0;   // Fraction of requests at or under target.
+  bool slo_met = true;       // attainment >= target_quantile.
+  double burn_rate = 0.0;    // (miss fraction) / miss_budget; >1 = burning.
+  std::uint64_t windows_closed = 0;
+  std::uint64_t windows_over_budget = 0;
+  std::uint64_t current_streak = 0;
+  std::uint64_t longest_streak = 0;
+  bool burst_detected = false;  // longest_streak >= burst_streak_windows.
+};
+
+class SloTracker {
+ public:
+  // Allocates per-VM state (the only allocation).
+  void Bind(int num_vms, SloConfig config);
+  bool bound() const { return !vms_.empty(); }
+  int num_vms() const { return static_cast<int>(vms_.size()); }
+  const SloConfig& config() const { return config_; }
+
+  // Hot path: classifies one completed request against the target and rolls
+  // the window machinery forward to the window containing `at`.
+  void Record(int vm, TimeNs at, TimeNs latency_ns);
+
+  // Cumulative verdict including the still-open window (evaluated as if it
+  // closed now). Const — snapshotting does not perturb the tracker.
+  SloVerdict VerdictFor(int vm) const;
+
+ private:
+  struct VmState {
+    std::uint64_t requests = 0;
+    std::uint64_t misses = 0;
+    std::int64_t window = -1;  // Open window index; -1 = none yet.
+    std::uint64_t window_requests = 0;
+    std::uint64_t window_misses = 0;
+    std::uint64_t windows_closed = 0;
+    std::uint64_t windows_over_budget = 0;
+    std::uint64_t streak = 0;
+    std::uint64_t longest_streak = 0;
+  };
+
+  bool OverBudget(std::uint64_t requests, std::uint64_t misses) const;
+  void CloseWindow(VmState& vm) const;
+
+  SloConfig config_;
+  std::vector<VmState> vms_;
+};
+
+}  // namespace tableau::obs
+
+#endif  // SRC_OBS_SLO_H_

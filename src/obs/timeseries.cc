@@ -1,0 +1,257 @@
+#include "src/obs/timeseries.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+
+namespace tableau::obs {
+
+const char* TimeSeriesSnapshot::SchemaVersion() { return "1.0"; }
+
+TimeSeriesRecorder::TimeSeriesRecorder(Options options) : options_(options) {
+  TABLEAU_CHECK(options_.window_ns > 0);
+  TABLEAU_CHECK(options_.window_capacity > 0);
+}
+
+TimeSeriesRecorder::SeriesId TimeSeriesRecorder::DefineSeries(std::string name) {
+  Series series;
+  series.name = std::move(name);
+  series.ring.resize(static_cast<std::size_t>(options_.window_capacity));
+  series_.push_back(std::move(series));
+  return static_cast<SeriesId>(series_.size()) - 1;
+}
+
+TimeSeriesWindow* TimeSeriesRecorder::SlotFor(Series& series, std::int64_t w) {
+  const auto capacity = static_cast<std::int64_t>(series.ring.size());
+  const auto slot = [&](std::int64_t index) -> TimeSeriesWindow& {
+    return series.ring[static_cast<std::size_t>(index % capacity)];
+  };
+  if (series.newest < 0) {
+    series.oldest = w;
+    series.newest = w;
+    slot(w) = TimeSeriesWindow{w * options_.window_ns, 0, 0, 0, 0};
+    return &slot(w);
+  }
+  if (w > series.newest) {
+    // Open the intervening windows (bounded by the ring capacity: anything
+    // older than w - capacity + 1 is evicted wholesale, never touched).
+    const std::int64_t new_oldest = std::max(series.oldest, w - capacity + 1);
+    if (new_oldest > series.oldest) {
+      // Windows [oldest, min(newest, new_oldest - 1)] had been opened and
+      // are now lost to the ring.
+      const std::int64_t evicted =
+          std::min(series.newest, new_oldest - 1) - series.oldest + 1;
+      series.dropped_windows += static_cast<std::uint64_t>(evicted);
+      series.oldest = new_oldest;
+    }
+    for (std::int64_t k = std::max(series.newest + 1, new_oldest); k <= w; ++k) {
+      slot(k) = TimeSeriesWindow{k * options_.window_ns, 0, 0, 0, 0};
+    }
+    series.newest = w;
+    return &slot(w);
+  }
+  if (w < series.oldest) {
+    ++series.late_samples;
+    return nullptr;
+  }
+  return &slot(w);
+}
+
+void TimeSeriesRecorder::Observe(SeriesId series, TimeNs at, std::int64_t value) {
+  if (!enabled_ || series == kNoSeries) {
+    return;
+  }
+  Series& s = series_[static_cast<std::size_t>(series)];
+  TimeSeriesWindow* window = SlotFor(s, at / options_.window_ns);
+  if (window == nullptr) {
+    return;
+  }
+  window->min = window->count == 0 ? value : std::min(window->min, value);
+  window->max = window->count == 0 ? value : std::max(window->max, value);
+  window->count += 1;
+  window->sum += value;
+}
+
+void TimeSeriesRecorder::AddRange(SeriesId series, TimeNs from, TimeNs to) {
+  if (!enabled_ || series == kNoSeries || to <= from) {
+    return;
+  }
+  Series& s = series_[static_cast<std::size_t>(series)];
+  const TimeNs W = options_.window_ns;
+  const std::int64_t last = (to - 1) / W;
+  // Clamp the walk to the ring capacity: older windows would be evicted by
+  // the time the walk reaches `last` anyway, so account them as late.
+  std::int64_t first = from / W;
+  const auto capacity = static_cast<std::int64_t>(s.ring.size());
+  if (last - first + 1 > capacity) {
+    s.late_samples += static_cast<std::uint64_t>(last - first + 1 - capacity);
+    first = last - capacity + 1;
+  }
+  for (std::int64_t w = first; w <= last; ++w) {
+    TimeSeriesWindow* window = SlotFor(s, w);
+    if (window == nullptr) {
+      continue;
+    }
+    const TimeNs overlap =
+        std::min(to, (w + 1) * W) - std::max(from, w * W);
+    window->min = window->count == 0 ? overlap : std::min(window->min, overlap);
+    window->max = window->count == 0 ? overlap : std::max(window->max, overlap);
+    window->count += 1;
+    window->sum += overlap;
+  }
+}
+
+TimeSeriesSnapshot TimeSeriesRecorder::Snapshot() const {
+  TimeSeriesSnapshot snapshot;
+  snapshot.window_ns = options_.window_ns;
+  for (const Series& series : series_) {
+    TimeSeriesData data;
+    data.dropped_windows = series.dropped_windows;
+    data.late_samples = series.late_samples;
+    if (series.newest >= 0) {
+      const auto capacity = static_cast<std::int64_t>(series.ring.size());
+      data.windows.reserve(
+          static_cast<std::size_t>(series.newest - series.oldest + 1));
+      for (std::int64_t w = series.oldest; w <= series.newest; ++w) {
+        data.windows.push_back(
+            series.ring[static_cast<std::size_t>(w % capacity)]);
+      }
+    }
+    snapshot.series.emplace(series.name, std::move(data));
+  }
+  return snapshot;
+}
+
+namespace {
+
+// Returns the existing entry for `name`, or nullptr after inserting a fresh
+// copy of `incoming` (nothing left to combine).
+TimeSeriesData* FindOrInsert(std::map<std::string, TimeSeriesData>& series,
+                             const std::string& name,
+                             const TimeSeriesData& incoming) {
+  const auto it = series.find(name);
+  if (it == series.end()) {
+    series.emplace(name, incoming);
+    return nullptr;
+  }
+  return &it->second;
+}
+
+}  // namespace
+
+void TimeSeriesSnapshot::Merge(const TimeSeriesSnapshot& other) {
+  if (window_ns == 0) {
+    window_ns = other.window_ns;
+  }
+  if (other.series.empty()) {
+    return;
+  }
+  TABLEAU_CHECK_MSG(other.window_ns == window_ns,
+                    "merging time series with mismatched cadence (%lld vs %lld)",
+                    static_cast<long long>(other.window_ns),
+                    static_cast<long long>(window_ns));
+  for (const auto& [name, incoming] : other.series) {
+    TimeSeriesData* const it = FindOrInsert(series, name, incoming);
+    if (it == nullptr) {
+      continue;  // Fresh copy inserted.
+    }
+    TimeSeriesData& mine = *it;
+    mine.dropped_windows += incoming.dropped_windows;
+    mine.late_samples += incoming.late_samples;
+    // Two-pointer merge by window start: both lists are ascending, the
+    // result is ascending and independent of merge order (+ and min/max
+    // commute and associate).
+    std::vector<TimeSeriesWindow> merged;
+    merged.reserve(mine.windows.size() + incoming.windows.size());
+    std::size_t a = 0;
+    std::size_t b = 0;
+    while (a < mine.windows.size() || b < incoming.windows.size()) {
+      if (b >= incoming.windows.size() ||
+          (a < mine.windows.size() &&
+           mine.windows[a].start < incoming.windows[b].start)) {
+        merged.push_back(mine.windows[a++]);
+      } else if (a >= mine.windows.size() ||
+                 incoming.windows[b].start < mine.windows[a].start) {
+        merged.push_back(incoming.windows[b++]);
+      } else {
+        TimeSeriesWindow window = mine.windows[a++];
+        const TimeSeriesWindow& in = incoming.windows[b++];
+        if (in.count > 0) {
+          window.min = window.count == 0 ? in.min : std::min(window.min, in.min);
+          window.max = window.count == 0 ? in.max : std::max(window.max, in.max);
+        }
+        window.count += in.count;
+        window.sum += in.sum;
+        merged.push_back(window);
+      }
+    }
+    mine.windows = std::move(merged);
+  }
+}
+
+namespace {
+
+std::string Pad(int indent) {
+  return std::string(static_cast<std::size_t>(indent), ' ');
+}
+
+}  // namespace
+
+std::string TimeSeriesSnapshot::ToJson(int indent) const {
+  const std::string p0 = Pad(indent);
+  const std::string p1 = Pad(indent + 2);
+  const std::string p2 = Pad(indent + 4);
+  std::string out = "{\n";
+  out += p1 + "\"schema_version\": \"" + SchemaVersion() + "\",\n";
+  out += p1 + "\"window_ns\": " + std::to_string(window_ns) + ",\n";
+  out += p1 + "\"series\": {";
+  bool first = true;
+  for (const auto& [name, data] : series) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += p2 + "\"" + JsonEscape(name) + "\": {\"dropped_windows\": " +
+           std::to_string(data.dropped_windows) + ", \"late_samples\": " +
+           std::to_string(data.late_samples) + ", \"windows\": [";
+    bool first_window = true;
+    for (const TimeSeriesWindow& window : data.windows) {
+      if (!first_window) {
+        out += ", ";
+      }
+      first_window = false;
+      out += "[" + std::to_string(window.start) + ", " +
+             std::to_string(window.count) + ", " + std::to_string(window.sum) +
+             ", " + std::to_string(window.count == 0 ? 0 : window.min) + ", " +
+             std::to_string(window.count == 0 ? 0 : window.max) + "]";
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n" + p1 + "}\n";
+  out += p0 + "}";
+  return out;
+}
+
+std::string TimeSeriesSnapshot::ToCsv() const {
+  std::string out = "series,window_start_ns,count,sum,min,max,mean\n";
+  char mean[64];
+  for (const auto& [name, data] : series) {
+    const std::string escaped = CsvEscapeField(name);
+    for (const TimeSeriesWindow& window : data.windows) {
+      std::snprintf(mean, sizeof(mean), "%.6g",
+                    window.count == 0
+                        ? 0.0
+                        : static_cast<double>(window.sum) /
+                              static_cast<double>(window.count));
+      out += escaped + "," + std::to_string(window.start) + "," +
+             std::to_string(window.count) + "," + std::to_string(window.sum) +
+             "," + std::to_string(window.count == 0 ? 0 : window.min) + "," +
+             std::to_string(window.count == 0 ? 0 : window.max) + "," + mean +
+             "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace tableau::obs

@@ -1,0 +1,136 @@
+// Windowed time-series recording: fixed-capacity, zero-allocation ring
+// windows sampled on the deterministic simulation clock.
+//
+// A TimeSeriesRecorder owns a set of named series. Each series is a ring of
+// `window_capacity` aggregation windows of `window_ns` simulated time each;
+// window w covers [w * window_ns, (w + 1) * window_ns). Recording into a
+// window past the newest opens the intervening windows (bounded by the ring
+// capacity) and evicts the oldest; evictions are counted, never silently
+// lost. The hot path (Observe / AddRange) performs no heap allocation — the
+// rings are sized once, at DefineSeries time — and never touches the
+// simulation engine, so recording is a pure observer: traces are
+// bit-identical with a recorder attached or not (see DESIGN.md "Telemetry &
+// SLO tracking").
+//
+// Snapshots are plain data. TimeSeriesSnapshot::Merge aligns windows by
+// start time and adds counts/sums (min/max combine accordingly), which is
+// commutative and associative — merging per-shard or per-bench-thread
+// snapshots in any order yields bit-identical results.
+#ifndef SRC_OBS_TIMESERIES_H_
+#define SRC_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace tableau::obs {
+
+// One aggregation window of one series.
+struct TimeSeriesWindow {
+  TimeNs start = 0;  // Inclusive window start, a multiple of window_ns.
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;  // Meaningful only when count > 0.
+  std::int64_t max = 0;
+
+  bool operator==(const TimeSeriesWindow&) const = default;
+};
+
+// Snapshot of one series: retained windows ascending by start, plus loss
+// accounting (windows evicted from the ring, samples older than the ring).
+struct TimeSeriesData {
+  std::uint64_t dropped_windows = 0;
+  std::uint64_t late_samples = 0;
+  std::vector<TimeSeriesWindow> windows;
+
+  bool operator==(const TimeSeriesData&) const = default;
+};
+
+struct TimeSeriesSnapshot {
+  // Versioned like MetricsSnapshot (see DESIGN.md "Versioned JSON schema").
+  static const char* SchemaVersion();  // "1.0"
+
+  TimeNs window_ns = 0;
+  std::map<std::string, TimeSeriesData> series;
+
+  bool empty() const { return series.empty(); }
+
+  // Order-independent aggregation: series union by name; windows with equal
+  // start add count/sum and combine min/max; loss counters add. Both
+  // snapshots must agree on window_ns (empty snapshots adopt the other's).
+  void Merge(const TimeSeriesSnapshot& other);
+
+  // {"schema_version": "1.0", "window_ns": N, "series": {name:
+  // {"dropped_windows": N, "late_samples": N, "windows":
+  // [[start, count, sum, min, max], ...]}}}.
+  std::string ToJson(int indent = 0) const;
+  // One row per (series, window): series,window_start_ns,count,sum,min,max,
+  // mean. Series names are CSV-escaped (see CsvEscapeField).
+  std::string ToCsv() const;
+
+  bool operator==(const TimeSeriesSnapshot&) const = default;
+};
+
+class TimeSeriesRecorder {
+ public:
+  struct Options {
+    TimeNs window_ns = 10 * kMillisecond;
+    int window_capacity = 256;
+  };
+
+  using SeriesId = int;
+  static constexpr SeriesId kNoSeries = -1;
+
+  explicit TimeSeriesRecorder(Options options);
+
+  TimeNs window_ns() const { return options_.window_ns; }
+  int window_capacity() const { return options_.window_capacity; }
+  int num_series() const { return static_cast<int>(series_.size()); }
+
+  // Recording is on by default; disabling turns the hot paths into cheap
+  // no-ops (retained windows stay readable).
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  // Registers a series and sizes its ring. Setup-time only (allocates);
+  // returns a dense id for the hot-path calls below.
+  SeriesId DefineSeries(std::string name);
+
+  // --- Hot path: zero allocation ---
+
+  // Adds one sample to the window containing `at`.
+  void Observe(SeriesId series, TimeNs at, std::int64_t value);
+
+  // Spreads the duration [from, to) across the windows it overlaps: each
+  // touched window gains one sample whose value is the overlap in ns. The
+  // canonical way to window service/wait intervals exactly, independent of
+  // where the interval's endpoints fall.
+  void AddRange(SeriesId series, TimeNs from, TimeNs to);
+
+  TimeSeriesSnapshot Snapshot() const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<TimeSeriesWindow> ring;  // Indexed by window_index % capacity.
+    std::int64_t oldest = 0;   // Oldest retained window index.
+    std::int64_t newest = -1;  // Newest opened window index; -1 = empty.
+    std::uint64_t dropped_windows = 0;
+    std::uint64_t late_samples = 0;
+  };
+
+  // Opens (and if needed evicts up to) window index `w`; returns its slot,
+  // or nullptr for a sample older than the retained range.
+  TimeSeriesWindow* SlotFor(Series& series, std::int64_t w);
+
+  Options options_;
+  bool enabled_ = true;
+  std::vector<Series> series_;
+};
+
+}  // namespace tableau::obs
+
+#endif  // SRC_OBS_TIMESERIES_H_

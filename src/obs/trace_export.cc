@@ -21,6 +21,7 @@ struct OpenSlice {
   TimeNs start = 0;
   VcpuId vcpu = kIdleVcpu;
   bool second_level = false;
+  std::int64_t flow_id = 0;  // Nonzero: wake→service flow ends with this slice.
 };
 
 }  // namespace
@@ -43,6 +44,30 @@ std::string TraceToPerfettoJson(const TraceBuffer& trace, int num_cpus,
   bool used_unplaced_track = false;
   // Hoisted out of the per-record loop below.
   const bool include_wakeups = options.include_wakeups;
+  const bool include_flows = options.include_flows;
+
+  // Wake→service flows: vCPU -> flow id opened at the wakeup ("s") and
+  // still awaiting its first dispatch ("t"). The earliest pending wakeup
+  // wins; the flow finishes ("f", binding point "e") where that service
+  // slice closes.
+  std::map<VcpuId, std::int64_t> pending_flow;
+  std::int64_t next_flow_id = 1;
+  const auto emit_flow = [&](char phase, std::int64_t id, TimeNs time,
+                             int cpu) {
+    std::string event = std::string("{\"name\": \"wake latency\", \"cat\": "
+                                    "\"latency\", \"ph\": \"") +
+                        phase + "\", \"id\": " + std::to_string(id) +
+                        ", \"ts\": " + Micros(time) + ", \"pid\": 1, \"tid\": ";
+    event += std::to_string(cpu < 0 ? 0 : cpu + 1);
+    if (phase == 'f') {
+      event += ", \"bp\": \"e\"";
+    }
+    event += "}";
+    if (cpu < 0) {
+      used_unplaced_track = true;
+    }
+    events.push_back(std::move(event));
+  };
 
   const auto emit_slice = [&](int cpu, const OpenSlice& slice, TimeNs end,
                               bool truncated_start, bool truncated_end) {
@@ -58,6 +83,9 @@ std::string TraceToPerfettoJson(const TraceBuffer& trace, int num_cpus,
                      Micros(slice.start) + ", \"dur\": " +
                      Micros(end - slice.start) + ", \"pid\": 1, \"tid\": " +
                      std::to_string(tid_of(cpu)) + ", \"args\": " + args + "}");
+    if (slice.flow_id != 0) {
+      emit_flow('f', slice.flow_id, end, cpu);
+    }
   };
   const auto emit_instant = [&](const std::string& name, TimeNs time, int cpu,
                                 const std::string& args) {
@@ -97,6 +125,14 @@ std::string TraceToPerfettoJson(const TraceBuffer& trace, int num_cpus,
         }
         open[slot] = OpenSlice{true, record.time, record.vcpu,
                                record.arg != 0};
+        if (include_flows) {
+          const auto it = pending_flow.find(record.vcpu);
+          if (it != pending_flow.end()) {
+            open[slot].flow_id = it->second;
+            emit_flow('t', it->second, record.time, cpu);
+            pending_flow.erase(it);
+          }
+        }
         break;
       case TraceEvent::kDeschedule:
       case TraceEvent::kBlock:
@@ -119,6 +155,12 @@ std::string TraceToPerfettoJson(const TraceBuffer& trace, int num_cpus,
         if (include_wakeups) {
           emit_instant("wakeup " + vcpu_name(record.vcpu), record.time, cpu,
                        "");
+        }
+        if (include_flows &&
+            pending_flow.find(record.vcpu) == pending_flow.end()) {
+          const std::int64_t id = next_flow_id++;
+          pending_flow.emplace(record.vcpu, id);
+          emit_flow('s', id, record.time, cpu);
         }
         break;
       case TraceEvent::kTableSwitch:
@@ -218,6 +260,12 @@ bool ValidatePerfettoJson(const std::string& json, std::string* error) {
     const JsonValue* ts = event.Find("ts");
     if (ts == nullptr || !ts->is_number()) {
       return fail(where + " has no numeric ts");
+    }
+    if (phase == 's' || phase == 't' || phase == 'f') {
+      const JsonValue* id = event.Find("id");
+      if (id == nullptr || !(id->is_number() || id->is_string())) {
+        return fail(where + " (flow event) has no id");
+      }
     }
     if (phase == 'X') {
       const JsonValue* dur = event.Find("dur");

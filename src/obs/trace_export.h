@@ -17,6 +17,12 @@ struct PerfettoExportOptions {
   std::string process_name = "tableau-sim";
   // Emit "i" instant events for kWakeup records (dense; off for huge traces).
   bool include_wakeups = true;
+  // Emit flow events ("s"/"t"/"f") linking each wakeup instant to the first
+  // service slice that follows it: "s" at the wakeup, "t" at the dispatch,
+  // "f" (binding point "e") where that slice closes — rendering wakeup→
+  // service latency as an arrow in the Perfetto UI. Off by default so
+  // existing exports are byte-stable.
+  bool include_flows = false;
   // Optional display names per vCPU; unnamed vCPUs render as "vCPU <id>".
   std::map<VcpuId, std::string> vcpu_names;
 };
@@ -32,7 +38,8 @@ std::string TraceToPerfettoJson(const TraceBuffer& trace, int num_cpus,
 // Minimal schema check for a document produced above (also accepts any
 // structurally valid trace_event JSON): top-level object with a
 // "traceEvents" array whose entries carry a string "ph" plus the fields that
-// phase requires ("X" needs name/ts/dur, "i" needs name/ts, "M" needs name).
+// phase requires ("X" needs name/ts/dur, "i" needs name/ts, "M" needs name,
+// flow phases "s"/"t"/"f" need an "id").
 // On failure returns false and, when `error` is non-null, a one-line reason.
 bool ValidatePerfettoJson(const std::string& json, std::string* error);
 

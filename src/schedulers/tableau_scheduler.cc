@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/obs/telemetry.h"
 
 namespace tableau {
 
@@ -50,6 +51,10 @@ Decision TableauScheduler::PickNext(CpuId cpu) {
     seen_generation_ = dispatcher_->table_generation();
     machine_->trace().Record(now, TraceEvent::kTableSwitch, cpu, kIdleVcpu,
                              static_cast<std::int64_t>(seen_generation_));
+    if (machine_->telemetry() != nullptr) {
+      machine_->telemetry()->OnTableSwitch(now,
+                                           dispatcher_->last_switch_slip());
+    }
   }
   // The slot-end timer is reprogrammed on every decision.
   machine_->AddOpCost(costs.timer_program);

@@ -35,6 +35,7 @@ class TableauScheduler : public VcpuScheduler {
   void OnBlock(Vcpu* vcpu, CpuId cpu) override;
   void OnDeschedule(Vcpu* vcpu, CpuId cpu, DeschedReason reason) override;
   void OnServiceAccrued(Vcpu* vcpu, CpuId cpu, TimeNs amount) override;
+  bool table_driven() const override { return true; }
 
  private:
   // Whether a vCPU may take part in second-level scheduling.

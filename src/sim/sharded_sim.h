@@ -37,6 +37,7 @@
 
 #include "src/common/check.h"
 #include "src/common/time.h"
+#include "src/obs/timeseries.h"
 #include "src/sim/simulation.h"
 
 namespace tableau {
@@ -90,6 +91,20 @@ class ShardedSimulation {
   // Barriers completed so far (observability / bench).
   std::uint64_t epochs() const { return epochs_; }
 
+  // Registers `recorder` as `shard`'s telemetry sink. Each shard records
+  // into its own recorder (no cross-thread contention during parallel
+  // epochs); MergedTimeSeries() combines them after the run. Not owned;
+  // must outlive this object.
+  void AttachShardRecorder(int shard, obs::TimeSeriesRecorder* recorder);
+  obs::TimeSeriesRecorder* shard_recorder(int shard) const;
+
+  // Deterministic merge of all attached shard recorders' snapshots.
+  // TimeSeriesSnapshot::Merge is commutative and associative (per-window
+  // count/sum adds, min/max folds), so the result is bit-identical
+  // regardless of shard order, thread interleaving, or serial vs sharded
+  // execution (asserted by tests).
+  obs::TimeSeriesSnapshot MergedTimeSeries() const;
+
  private:
   struct Message {
     TimeNs due;
@@ -109,6 +124,7 @@ class ShardedSimulation {
   // barrier merges them deterministically.
   std::vector<std::vector<Message>> outbox_;
   std::vector<std::uint64_t> next_seq_;
+  std::vector<obs::TimeSeriesRecorder*> shard_recorders_;
   TimeNs barrier_ = 0;
   std::uint64_t epochs_ = 0;
 };

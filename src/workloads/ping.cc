@@ -5,6 +5,13 @@ namespace tableau {
 PingTraffic::PingTraffic(Machine* machine, WorkQueueGuest* guest, Config config)
     : machine_(machine), guest_(guest), config_(config), rng_(config.seed) {}
 
+void PingTraffic::AttachTelemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  // Sized for the realistic in-flight high-water mark; pings beyond it
+  // simply go unspanned (counted in span_overflows_).
+  marks_.assign(1024, MarkSlot{});
+}
+
 void PingTraffic::Start(TimeNs at) {
   for (int thread = 0; thread < config_.threads; ++thread) {
     send_timers_.push_back(machine_->sim().CreateTimer([this, thread] { SendOne(thread); }));
@@ -33,12 +40,39 @@ void PingTraffic::SendOne(int thread) {
 }
 
 void PingTraffic::OnArrival(TimeNs sent_at) {
+  // Span the request from its guest arrival; the echo's wire legs (request
+  // in, reply out) become the span's network component at completion.
+  int slot = -1;
+  if (telemetry_ != nullptr) {
+    const int size = static_cast<int>(marks_.size());
+    for (int probe = 0; probe < size; ++probe) {
+      const int idx = (next_mark_ + probe) % size;
+      if (!marks_[static_cast<std::size_t>(idx)].live) {
+        slot = idx;
+        break;
+      }
+    }
+    if (slot >= 0) {
+      MarkSlot& mark = marks_[static_cast<std::size_t>(slot)];
+      mark.mark = telemetry_->BeginRequest(guest_->vcpu()->id(), machine_->Now());
+      mark.live = true;
+      next_mark_ = slot + 1;
+    } else {
+      ++span_overflows_;
+    }
+  }
   // ICMP echoes are handled in the guest kernel, ahead of user-level work.
-  guest_->PostUrgent(config_.per_ping_cpu, [this, sent_at](TimeNs done) {
+  guest_->PostUrgent(config_.per_ping_cpu, [this, sent_at, slot](TimeNs done) {
     // Echo reply traverses the network back to the client.
     const TimeNs rtt = (done + config_.network_delay) - sent_at;
     latencies_.Record(rtt);
     --outstanding_;
+    if (slot >= 0) {
+      MarkSlot& mark = marks_[static_cast<std::size_t>(slot)];
+      telemetry_->EndRequest(guest_->vcpu()->id(), mark.mark, done,
+                             rtt - (done - mark.mark.at));
+      mark.live = false;
+    }
   });
 }
 

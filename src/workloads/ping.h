@@ -9,10 +9,12 @@
 #ifndef SRC_WORKLOADS_PING_H_
 #define SRC_WORKLOADS_PING_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/common/rng.h"
 #include "src/hypervisor/machine.h"
+#include "src/obs/telemetry.h"
 #include "src/stats/histogram.h"
 #include "src/workloads/guest.h"
 
@@ -35,8 +37,16 @@ class PingTraffic {
 
   void Start(TimeNs at);
 
+  // Attaches request-span telemetry (optional; call before Start). Each ping
+  // becomes one span from guest arrival to echo completion; the two wire
+  // legs are reported as the network component, so the span's attribution
+  // components sum to exactly the recorded round-trip time.
+  void AttachTelemetry(obs::Telemetry* telemetry);
+
   const Histogram& latencies() const { return latencies_; }
   int outstanding() const { return outstanding_; }
+  // Spans skipped because more pings were in flight than the mark ring holds.
+  std::uint64_t span_overflows() const { return span_overflows_; }
 
  private:
   // Arms the thread's send timer after a random spacing (if pings remain).
@@ -53,6 +63,17 @@ class PingTraffic {
   std::vector<EventId> send_timers_;  // One persistent send timer per thread.
   std::vector<int> remaining_;
   int outstanding_ = 0;
+
+  // Request-span marks for in-flight pings, preallocated at Start so the
+  // per-ping path never grows a container.
+  struct MarkSlot {
+    obs::Telemetry::RequestMark mark;
+    bool live = false;
+  };
+  obs::Telemetry* telemetry_ = nullptr;
+  std::vector<MarkSlot> marks_;
+  int next_mark_ = 0;
+  std::uint64_t span_overflows_ = 0;
 };
 
 }  // namespace tableau

@@ -15,7 +15,12 @@ WebServerWorkload::WebServerWorkload(Machine* machine, Vcpu* vcpu, Config config
 
 void WebServerWorkload::RequestArrived(TimeNs intended) {
   ++accepted_;
-  queue_.push_back(Request{intended, config_.file_bytes});
+  Request request{intended, config_.file_bytes};
+  if (telemetry_ != nullptr) {
+    request.mark = telemetry_->BeginRequest(vcpu_->id(), machine_->Now());
+    request.tracked = true;
+  }
+  queue_.push_back(request);
   if (phase_ == Phase::kIdle) {
     BeginFront();
   }
@@ -89,8 +94,16 @@ void WebServerWorkload::FinishFront() {
   ++completed_;
   // The response is complete when its last byte is on the wire and has
   // crossed back to the client.
-  const TimeNs done = nic_.DrainCompleteTime(machine_->Now()) + config_.network_delay;
+  const TimeNs now = machine_->Now();
+  const TimeNs done = nic_.DrainCompleteTime(now) + config_.network_delay;
   latencies_.Record(done - request.intended);
+  if (request.tracked) {
+    // Network component: the client->server leg before the span opened plus
+    // the wire drain + return leg after the last chunk was handed off — so
+    // the components sum to exactly (done - intended).
+    telemetry_->EndRequest(vcpu_->id(), request.mark, now,
+                           (done - now) + (request.mark.at - request.intended));
+  }
 
   if (!queue_.empty()) {
     phase_ = Phase::kBase;

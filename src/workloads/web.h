@@ -17,6 +17,7 @@
 
 #include "src/hypervisor/machine.h"
 #include "src/net/virtual_nic.h"
+#include "src/obs/telemetry.h"
 #include "src/stats/histogram.h"
 
 namespace tableau {
@@ -47,6 +48,12 @@ class WebServerWorkload {
   // send time (the latency baseline, per wrk2).
   void RequestArrived(TimeNs intended);
 
+  // Attaches request-span telemetry (optional). Each request becomes one
+  // span from server arrival to last-byte completion; the client->server
+  // delay and the trailing wire drain are reported as the network component,
+  // so span components sum to exactly the recorded (done - intended) latency.
+  void AttachTelemetry(obs::Telemetry* telemetry) { telemetry_ = telemetry; }
+
   const Histogram& latencies() const { return latencies_; }
   std::uint64_t completed() const { return completed_; }
   std::uint64_t accepted() const { return accepted_; }
@@ -58,6 +65,8 @@ class WebServerWorkload {
   struct Request {
     TimeNs intended;
     std::int64_t remaining;
+    obs::Telemetry::RequestMark mark;
+    bool tracked = false;
   };
 
   void BeginFront();
@@ -77,6 +86,7 @@ class WebServerWorkload {
   Histogram latencies_;
   std::uint64_t completed_ = 0;
   std::uint64_t accepted_ = 0;
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 // wrk2-style constant-rate open-loop request generator.

@@ -18,6 +18,7 @@
 #include "gtest/gtest.h"
 #include "src/hypervisor/trace.h"
 #include "src/obs/metrics.h"
+#include "src/obs/telemetry.h"
 #include "src/sim/simulation.h"
 
 namespace {
@@ -249,6 +250,62 @@ TEST(AllocSteadyState, InstrumentedChurnIsAllocationFreePerEvent) {
   for (const EventId id : ctx.actors) {
     sim.Cancel(id);
   }
+}
+
+TEST(AllocSteadyState, TelemetryRecordingHotPathIsAllocationFree) {
+  // The full telemetry bundle (windowed rings + attributor + SLO tracker +
+  // per-VM histograms): everything is sized at Bind, so the recording hooks
+  // — the ones Machine drives once per dispatch cycle — must be
+  // allocation-free, including ring eviction when samples advance past the
+  // retained windows.
+  obs::Telemetry::Config config;
+  config.window_ns = kMillisecond;
+  config.window_capacity = 32;
+  obs::Telemetry telemetry(config);
+  telemetry.Bind(/*num_cpus=*/2, /*num_vcpus=*/4, /*table_driven=*/true,
+                 /*start=*/0);
+
+  std::uint64_t rng = 11;
+  const auto next = [&rng] {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return rng >> 16;
+  };
+
+  // Warm-up pass, then the measured pass: same mix, later times.
+  const auto churn = [&](TimeNs base, int rounds) {
+    TimeNs now = base;
+    for (int i = 0; i < rounds; ++i) {
+      const int vcpu = static_cast<int>(next() % 4);
+      const obs::Telemetry::RequestMark mark = telemetry.BeginRequest(vcpu, now);
+      telemetry.OnWakeup(vcpu, now);
+      now += 1 + static_cast<TimeNs>(next() % 200000);
+      telemetry.OnDispatch(vcpu, now);
+      now += 1 + static_cast<TimeNs>(next() % 300000);
+      telemetry.OnServiceRange(vcpu, static_cast<int>(next() % 2),
+                               now - 50000, now);
+      if (next() % 4 == 0) {
+        telemetry.OnDeschedule(vcpu, now);
+        now += 1 + static_cast<TimeNs>(next() % 100000);
+        telemetry.OnTableSwitch(now, static_cast<TimeNs>(next() % 20000));
+        telemetry.OnDispatch(vcpu, now);
+      }
+      telemetry.OnBlock(vcpu, now);
+      telemetry.EndRequest(vcpu, mark, now,
+                           static_cast<TimeNs>(next() % 100000));
+      if (i % 16 == 0) {
+        telemetry.OnCadenceSample(now, static_cast<int>(next() % 4),
+                                  static_cast<int>(next() % 2));
+      }
+    }
+    return now;
+  };
+
+  const TimeNs resume = churn(0, 2000);
+  const std::uint64_t allocs_before = AllocationCount();
+  churn(resume, 20000);
+  EXPECT_EQ(AllocationCount() - allocs_before, 0u)
+      << "telemetry recording hot path allocated";
+  EXPECT_GT(telemetry.RequestLatencyHistogram(3).count, 0u);
 }
 
 }  // namespace

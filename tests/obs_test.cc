@@ -369,5 +369,204 @@ TEST(TraceExport, MetricsCollectionDoesNotPerturbSimulation) {
             without_metrics.machine->sim().events_executed());
 }
 
+// --- Percentile refinement: rank interpolation within the winning bucket ---
+
+obs::HistogramValue HistOf(std::initializer_list<std::int64_t> samples) {
+  MetricsRegistry registry;
+  LatencyHistogram* hist = registry.GetHistogram("h");
+  for (const std::int64_t sample : samples) {
+    hist->Record(sample);
+  }
+  return registry.Snapshot().values.at("h").hist;
+}
+
+TEST(HistogramPercentile, SingleSampleIsExactAtEveryQuantile) {
+  const obs::HistogramValue h = HistOf({100});
+  // Interpolation alone would report a point inside bucket [64, 127]; the
+  // [min, max] clamp makes the degenerate case exact.
+  EXPECT_EQ(h.Percentile(0.01), 100);
+  EXPECT_EQ(h.Percentile(0.5), 100);
+  EXPECT_EQ(h.Percentile(0.99), 100);
+  EXPECT_EQ(h.Percentile(1.0), 100);
+}
+
+TEST(HistogramPercentile, SmallSamplePinnedValues) {
+  const obs::HistogramValue h = HistOf({0, 1, 1000});
+  // rank(ceil(0.5*3)) = 2 -> bucket index 1 (value 1), degenerate => exact.
+  EXPECT_EQ(h.Percentile(0.5), 1);
+  // rank 3 -> bucket of 1000 ([512, 1023]); clamped to max = 1000.
+  EXPECT_EQ(h.Percentile(0.99), 1000);
+  EXPECT_EQ(h.Percentile(0.0), 0);   // rank clamps to 1 -> min.
+  EXPECT_EQ(h.Percentile(2.0), 1000);  // q >= 1 returns the exact max.
+}
+
+TEST(HistogramPercentile, InterpolationMovesWithRankInsideBucket) {
+  // 64 samples, all landing in bucket [64, 127]. The interpolated estimate
+  // must be monotone in q and bounded by the bucket (error <= bucket width).
+  MetricsRegistry registry;
+  LatencyHistogram* hist = registry.GetHistogram("h");
+  for (int i = 0; i < 64; ++i) {
+    hist->Record(64 + i);
+  }
+  const obs::HistogramValue h = registry.Snapshot().values.at("h").hist;
+  const std::int64_t p25 = h.Percentile(0.25);
+  const std::int64_t p50 = h.Percentile(0.5);
+  const std::int64_t p75 = h.Percentile(0.75);
+  EXPECT_LT(p25, p50);
+  EXPECT_LT(p50, p75);
+  EXPECT_GE(p25, h.min);
+  EXPECT_LE(p75, h.max);
+  // True p50 is 95-96; the winning bucket is [64, 127] so the estimate may
+  // be off by at most that width.
+  EXPECT_NEAR(static_cast<double>(p50), 95.5, 64.0);
+}
+
+// --- CSV escaping: names with commas/quotes survive a round trip ---
+
+TEST(CsvEscape, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(obs::CsvEscapeField("plain.name"), "plain.name");
+  EXPECT_EQ(obs::CsvEscapeField("a,b"), "\"a,b\"");
+  EXPECT_EQ(obs::CsvEscapeField("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(obs::CsvEscapeField("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvEscape, SplitCsvRowInvertsEscaping) {
+  const std::vector<std::string> fields = {"plain", "with,comma", "with \"quote\"",
+                                           "", "both,\"x\""};
+  std::string row;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) {
+      row += ",";
+    }
+    row += obs::CsvEscapeField(fields[i]);
+  }
+  EXPECT_EQ(obs::SplitCsvRow(row), fields);
+}
+
+TEST(MetricsSnapshot, ToCsvEscapesAwkwardMetricNames) {
+  MetricsRegistry registry;
+  registry.GetCounter("weird,\"name\"")->Increment(7);
+  registry.GetCounter("normal.name")->Increment(1);
+  const std::string csv = registry.Snapshot().ToCsv();
+
+  // Re-parse every row; the awkward name must come back verbatim.
+  bool found = false;
+  std::size_t start = 0;
+  while (start < csv.size()) {
+    std::size_t end = csv.find('\n', start);
+    if (end == std::string::npos) {
+      end = csv.size();
+    }
+    const std::vector<std::string> fields =
+        obs::SplitCsvRow(csv.substr(start, end - start));
+    if (fields.size() > 1 && fields[1] == "weird,\"name\"") {
+      found = true;
+    }
+    start = end + 1;
+  }
+  EXPECT_TRUE(found) << csv;
+}
+
+// --- Merge/Delta edge cases ---
+
+TEST(MetricsSnapshot, MergeWithEmptySnapshotsIsIdentity) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Increment(3);
+  registry.GetHistogram("h")->Record(10);
+  const MetricsSnapshot base = registry.Snapshot();
+
+  MetricsSnapshot left;  // empty + X == X
+  left.Merge(base);
+  EXPECT_EQ(left, base);
+
+  MetricsSnapshot right = base;  // X + empty == X
+  right.Merge(MetricsSnapshot{});
+  EXPECT_EQ(right, base);
+
+  MetricsSnapshot both;  // empty + empty == empty
+  both.Merge(MetricsSnapshot{});
+  EXPECT_TRUE(both.values.empty());
+}
+
+TEST(MetricsSnapshot, MergeDisjointSetsIsUnion) {
+  MetricsRegistry a;
+  a.GetCounter("only_a")->Increment(1);
+  MetricsRegistry b;
+  b.GetGauge("only_b")->Set(2.0);
+
+  MetricsSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.values.size(), 2u);
+  EXPECT_EQ(merged.values.at("only_a").counter, 1);
+  EXPECT_DOUBLE_EQ(merged.values.at("only_b").gauge, 2.0);
+}
+
+TEST(MetricsSnapshot, MergeKindConflictKeepsFirstRegistration) {
+  MetricsRegistry a;
+  a.GetCounter("x")->Increment(5);
+  MetricsRegistry b;
+  b.GetGauge("x")->Set(99.0);
+
+  MetricsSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.values.at("x").kind, obs::MetricKind::kCounter);
+  EXPECT_EQ(merged.values.at("x").counter, 5);
+}
+
+TEST(MetricsSnapshot, MergeIsAssociativeAndCommutativeUnderShardReordering) {
+  // Three "shards" with overlapping metrics; every merge order must agree.
+  MetricsRegistry shard0;
+  shard0.GetCounter("c")->Increment(1);
+  shard0.GetHistogram("h")->Record(8);
+  shard0.GetGauge("g")->Set(1.0);
+  MetricsRegistry shard1;
+  shard1.GetCounter("c")->Increment(2);
+  shard1.GetHistogram("h")->Record(600);
+  MetricsRegistry shard2;
+  shard2.GetGauge("g")->Set(4.0);
+  shard2.GetHistogram("h")->Record(8);
+  const MetricsSnapshot s0 = shard0.Snapshot();
+  const MetricsSnapshot s1 = shard1.Snapshot();
+  const MetricsSnapshot s2 = shard2.Snapshot();
+
+  MetricsSnapshot forward = s0;
+  forward.Merge(s1);
+  forward.Merge(s2);
+
+  MetricsSnapshot reversed = s2;
+  reversed.Merge(s1);
+  reversed.Merge(s0);
+
+  MetricsSnapshot grouped = s1;  // (s1 + s2) folded into s0's copy.
+  grouped.Merge(s2);
+  MetricsSnapshot outer = s0;
+  outer.Merge(grouped);
+
+  EXPECT_EQ(forward, reversed);
+  EXPECT_EQ(forward, outer);
+  EXPECT_EQ(forward.values.at("c").counter, 3);
+  EXPECT_DOUBLE_EQ(forward.values.at("g").gauge, 4.0);
+  EXPECT_EQ(forward.values.at("h").hist.count, 3u);
+}
+
+TEST(MetricsSnapshot, DeltaAgainstEmptyAndDisjointBaselines) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Increment(9);
+  const MetricsSnapshot now = registry.Snapshot();
+
+  // Empty baseline: delta is the snapshot itself.
+  EXPECT_EQ(now.Delta(MetricsSnapshot{}), now);
+
+  // Disjoint baseline: nothing to subtract.
+  MetricsRegistry other;
+  other.GetCounter("unrelated")->Increment(100);
+  EXPECT_EQ(now.Delta(other.Snapshot()).values.at("c").counter, 9);
+
+  // Kind conflict in the baseline: left untouched.
+  MetricsRegistry conflicting;
+  conflicting.GetGauge("c")->Set(5.0);
+  EXPECT_EQ(now.Delta(conflicting.Snapshot()).values.at("c").counter, 9);
+}
+
 }  // namespace
 }  // namespace tableau

@@ -1,0 +1,300 @@
+// tableau_obsctl: run one scenario with the windowed telemetry layer
+// attached and render its output — per-VM SLO verdicts, causal latency
+// attribution, windowed time series (JSON/CSV), and a Perfetto trace with
+// wakeup->dispatch flow events.
+//
+// Usage:
+//   tableau_obsctl [--scheduler credit|credit2|rtds|tableau|cfs]
+//                  [--cpus N] [--seconds S] [--capped|--uncapped]
+//                  [--window-ms W] [--slo-ms L]
+//                  [--json FILE] [--csv FILE] [--trace FILE]
+//                  [--validate] [--check-determinism]
+//
+// --check-determinism re-runs the identical scenario with telemetry disabled
+// and fails if the trace fingerprint differs: the telemetry layer must be a
+// pure observer (no simulation events, no feedback into scheduling).
+// --validate schema-checks the emitted Perfetto JSON (including the flow
+// events) and fails the process on nonconformance.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/obs/telemetry.h"
+#include "src/obs/trace_export.h"
+#include "src/workloads/guest.h"
+#include "src/workloads/ping.h"
+
+using namespace tableau;
+using namespace tableau::bench;
+
+namespace {
+
+struct Options {
+  SchedKind scheduler = SchedKind::kTableau;
+  int cpus = 4;
+  double seconds = 0.5;
+  bool capped = true;
+  double window_ms = 10;
+  double slo_ms = 10;
+  std::string json_out;
+  std::string csv_out;
+  std::string trace_out;
+  bool validate = false;
+  bool check_determinism = false;
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--scheduler credit|credit2|rtds|tableau|cfs] [--cpus N]\n"
+               "          [--seconds S] [--capped|--uncapped] [--window-ms W]\n"
+               "          [--slo-ms L] [--json FILE] [--csv FILE] [--trace FILE]\n"
+               "          [--validate] [--check-determinism]\n",
+               argv0);
+  std::exit(2);
+}
+
+// Everything one run produces; the scenario owns the machine, the rest are
+// the telemetry products. Workloads are kept alive alongside the scenario.
+struct RunResult {
+  Scenario scenario;
+  std::unique_ptr<obs::Telemetry> telemetry;
+  std::unique_ptr<WorkQueueGuest> vantage_guest;
+  std::unique_ptr<SystemNoiseWorkload> vantage_noise;
+  std::unique_ptr<PingTraffic> ping;
+  BackgroundWorkloads background;
+};
+
+// A Fig. 6-style cell: ping traffic into the vantage VM, system noise on the
+// vantage, I/O-intensive stress in every other VM.
+RunResult RunScenario(const Options& options, bool telemetry_enabled) {
+  RunResult run;
+  ScenarioConfig config;
+  config.scheduler = options.scheduler;
+  config.capped = options.capped;
+  config.guest_cpus = options.cpus;
+  config.cores_per_socket = options.cpus >= 2 ? options.cpus / 2 : 1;
+  run.scenario = BuildScenario(config);
+  run.scenario.machine->trace().set_enabled(true);
+
+  obs::Telemetry::Config telemetry_config;
+  telemetry_config.window_ns = static_cast<TimeNs>(options.window_ms * kMillisecond);
+  telemetry_config.slo.target_latency_ns =
+      static_cast<TimeNs>(options.slo_ms * kMillisecond);
+  run.telemetry = std::make_unique<obs::Telemetry>(telemetry_config);
+  run.telemetry->set_enabled(telemetry_enabled);
+  AttachTelemetry(run.scenario, run.telemetry.get());
+
+  run.vantage_guest = std::make_unique<WorkQueueGuest>(run.scenario.machine.get(),
+                                                       run.scenario.vantage);
+  SystemNoiseWorkload::Config noise_config;
+  noise_config.seed = 1;
+  run.vantage_noise = std::make_unique<SystemNoiseWorkload>(
+      run.scenario.machine.get(), run.vantage_guest.get(), noise_config);
+  run.vantage_noise->Start(0);
+  AttachBackground(run.scenario, Background::kIo, 1, run.background);
+
+  PingTraffic::Config ping_config;
+  ping_config.threads = 4;
+  ping_config.pings_per_thread = 1 << 20;  // Bounded by the horizon, not count.
+  ping_config.max_spacing = 10 * kMillisecond;
+  run.ping = std::make_unique<PingTraffic>(run.scenario.machine.get(),
+                                           run.vantage_guest.get(), ping_config);
+  run.ping->AttachTelemetry(run.telemetry.get());
+  run.ping->Start(0);
+
+  run.scenario.machine->Start();
+  run.scenario.machine->RunFor(static_cast<TimeNs>(options.seconds * kSecond));
+  return run;
+}
+
+// FNV-1a over every retained trace record plus the engine event count — the
+// same fingerprint golden/engine tests pin.
+std::uint64_t TraceFingerprint(const Scenario& scenario) {
+  std::uint64_t hash = 1469598103934665603ull;
+  auto mix = [&hash](std::uint64_t value) {
+    hash ^= value;
+    hash *= 1099511628211ull;
+  };
+  scenario.machine->trace().ForEach([&](const TraceRecord& record) {
+    mix(static_cast<std::uint64_t>(record.time));
+    mix(static_cast<std::uint64_t>(record.event));
+    mix(static_cast<std::uint64_t>(record.cpu));
+    mix(static_cast<std::uint64_t>(record.vcpu));
+    mix(static_cast<std::uint64_t>(record.arg));
+  });
+  mix(scenario.machine->trace().total_recorded());
+  mix(scenario.machine->sim().events_executed());
+  return hash;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), file);
+  std::fclose(file);
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), content.size());
+  return true;
+}
+
+void PrintSummary(const RunResult& run) {
+  const obs::Telemetry& telemetry = *run.telemetry;
+  std::printf("\n--- SLO verdicts (target p%g <= %.3f ms, budget %.2f%%) ---\n",
+              telemetry.slo().config().target_quantile * 100,
+              ToMs(telemetry.slo().config().target_latency_ns),
+              telemetry.slo().config().miss_budget * 100);
+  std::printf("%-8s %9s %7s %11s %8s %9s %7s %6s\n", "vm", "requests", "misses",
+              "attainment", "met", "burnrate", "streak", "burst");
+  for (int vm = 0; vm < telemetry.num_vms(); ++vm) {
+    const obs::SloVerdict v = telemetry.slo().VerdictFor(vm);
+    if (v.requests == 0) {
+      continue;
+    }
+    std::printf("vm%-6d %9llu %7llu %10.4f%% %8s %9.3f %7d %6s\n", vm,
+                static_cast<unsigned long long>(v.requests),
+                static_cast<unsigned long long>(v.misses), v.attainment * 100,
+                v.slo_met ? "yes" : "NO", v.burn_rate, v.longest_streak,
+                v.burst_detected ? "YES" : "no");
+  }
+
+  std::printf("\n--- causal latency attribution (mean ms per request) ---\n");
+  std::printf("%-8s %9s", "vm", "latency");
+  for (int c = 0; c < obs::kNumLatencyComponents; ++c) {
+    std::printf(" %11s",
+                obs::LatencyComponentName(static_cast<obs::LatencyComponent>(c)));
+  }
+  std::printf("\n");
+  for (int vm = 0; vm < telemetry.num_vms(); ++vm) {
+    const obs::HistogramValue latency = telemetry.RequestLatencyHistogram(vm);
+    if (latency.count == 0) {
+      continue;
+    }
+    std::printf("vm%-6d %9.3f", vm, ToMs(static_cast<TimeNs>(latency.Mean())));
+    for (int c = 0; c < obs::kNumLatencyComponents; ++c) {
+      const obs::HistogramValue h =
+          telemetry.AttributionHistogram(vm, static_cast<obs::LatencyComponent>(c));
+      std::printf(" %11.4f", ToMs(static_cast<TimeNs>(h.Mean())));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const auto NextValue = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--scheduler") == 0) {
+      const std::optional<SchedKind> kind = SchedKindFromName(NextValue());
+      if (!kind.has_value()) {
+        Usage(argv[0]);
+      }
+      options.scheduler = *kind;
+    } else if (std::strcmp(arg, "--cpus") == 0) {
+      options.cpus = std::atoi(NextValue());
+      if (options.cpus < 1) {
+        Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--seconds") == 0) {
+      options.seconds = std::atof(NextValue());
+      if (options.seconds <= 0) {
+        Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--capped") == 0) {
+      options.capped = true;
+    } else if (std::strcmp(arg, "--uncapped") == 0) {
+      options.capped = false;
+    } else if (std::strcmp(arg, "--window-ms") == 0) {
+      options.window_ms = std::atof(NextValue());
+      if (options.window_ms <= 0) {
+        Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--slo-ms") == 0) {
+      options.slo_ms = std::atof(NextValue());
+      if (options.slo_ms <= 0) {
+        Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--json") == 0) {
+      options.json_out = NextValue();
+    } else if (std::strcmp(arg, "--csv") == 0) {
+      options.csv_out = NextValue();
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      options.trace_out = NextValue();
+    } else if (std::strcmp(arg, "--validate") == 0) {
+      options.validate = true;
+    } else if (std::strcmp(arg, "--check-determinism") == 0) {
+      options.check_determinism = true;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+
+  const RunResult run = RunScenario(options, /*telemetry_enabled=*/true);
+  PrintSummary(run);
+
+  if (!options.json_out.empty() &&
+      !WriteFile(options.json_out, run.telemetry->ToJson() + "\n")) {
+    return 1;
+  }
+  if (!options.csv_out.empty() &&
+      !WriteFile(options.csv_out, run.telemetry->TimeSeries().ToCsv())) {
+    return 1;
+  }
+
+  if (!options.trace_out.empty() || options.validate) {
+    obs::PerfettoExportOptions export_options;
+    export_options.process_name =
+        std::string("tableau-obs/") + SchedKindName(options.scheduler);
+    export_options.include_flows = true;
+    for (const Vcpu* vcpu : run.scenario.vcpus) {
+      export_options.vcpu_names[vcpu->id()] = vcpu->params().name;
+    }
+    const std::string trace_json = obs::TraceToPerfettoJson(
+        run.scenario.machine->trace(), run.scenario.machine->num_cpus(),
+        export_options);
+    if (options.validate) {
+      std::string error;
+      if (!obs::ValidatePerfettoJson(trace_json, &error)) {
+        std::fprintf(stderr, "FAIL: emitted Perfetto JSON invalid: %s\n",
+                     error.c_str());
+        return 1;
+      }
+      std::printf("validate: OK (%zu bytes, flow events on)\n", trace_json.size());
+    }
+    if (!options.trace_out.empty() && !WriteFile(options.trace_out, trace_json)) {
+      return 1;
+    }
+  }
+
+  if (options.check_determinism) {
+    const std::uint64_t with_telemetry = TraceFingerprint(run.scenario);
+    const RunResult replay = RunScenario(options, /*telemetry_enabled=*/false);
+    const std::uint64_t without_telemetry = TraceFingerprint(replay.scenario);
+    if (with_telemetry != without_telemetry) {
+      std::fprintf(stderr,
+                   "FAIL: telemetry-enabled trace fingerprint 0x%016llx differs "
+                   "from telemetry-disabled 0x%016llx\n",
+                   static_cast<unsigned long long>(with_telemetry),
+                   static_cast<unsigned long long>(without_telemetry));
+      return 1;
+    }
+    std::printf(
+        "\ncheck-determinism: OK (fingerprint 0x%016llx, telemetry on == off)\n",
+        static_cast<unsigned long long>(with_telemetry));
+  }
+  return 0;
+}
