@@ -20,7 +20,7 @@ double MaxGapMs(SchedKind kind, bool capped, Background bg, TimeNs duration) {
   config.capped = capped;
   Scenario scenario = BuildScenario(config);
   scenario.vantage->EnableInstrumentation();
-  CpuHogWorkload loop(scenario.machine.get(), scenario.vantage);
+  CpuHogWorkload loop(scenario.machine, scenario.vantage);
   loop.Start(0);
   BackgroundWorkloads background;
   AttachBackground(scenario, bg, 1, background);
@@ -59,11 +59,11 @@ int main() {
       Scenario scenario = BuildScenario(config);
       WebServerWorkload::Config web_config;
       web_config.file_bytes = 1 << 10;
-      WebServerWorkload server(scenario.machine.get(), scenario.vantage, web_config);
+      WebServerWorkload server(scenario.machine, scenario.vantage, web_config);
       OpenLoopClient::Config client_config;
       client_config.requests_per_sec = rate;
       client_config.duration = duration / 2;
-      OpenLoopClient client(scenario.machine.get(), &server, client_config);
+      OpenLoopClient client(scenario.machine, &server, client_config);
       client.Start(0);
       BackgroundWorkloads background;
       AttachBackground(scenario, Background::kIoHeavy, 1, background);

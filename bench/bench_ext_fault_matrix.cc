@@ -72,7 +72,7 @@ FaultCell MeasureCell(SchedKind kind, bool capped, double intensity, TimeNs dura
   Scenario scenario = BuildScenario(config);
   scenario.machine->trace().set_enabled(true);
   scenario.vantage->EnableInstrumentation();
-  CpuHogWorkload loop(scenario.machine.get(), scenario.vantage);
+  CpuHogWorkload loop(scenario.machine, scenario.vantage);
   loop.Start(0);
   BackgroundWorkloads background;
   AttachBackground(scenario, Background::kIoHeavy, 1, background);
@@ -145,7 +145,7 @@ void RunPlannerFaults(TimeNs duration, BenchJson& json) {
 
   PlannerConfig planner_config;
   planner_config.num_cpus = config.guest_cpus;
-  planner_config.fault_injector = scenario.injector.get();
+  planner_config.fault_injector = scenario.injector;
   planner_config.max_latency_degradations = config.max_latency_degradations;
   const Planner planner(planner_config);
   ReplanController controller(&planner, ReplanController::Config{});

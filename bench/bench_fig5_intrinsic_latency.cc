@@ -61,7 +61,7 @@ GapResult MeasureGaps(SchedKind kind, bool capped, Background bg, TimeNs duratio
   AttachTelemetry(scenario, &telemetry);
 
   scenario.vantage->EnableInstrumentation();
-  CpuHogWorkload loop(scenario.machine.get(), scenario.vantage);
+  CpuHogWorkload loop(scenario.machine, scenario.vantage);
   loop.Start(0);
   BackgroundWorkloads background;
   AttachBackground(scenario, bg, 1, background);

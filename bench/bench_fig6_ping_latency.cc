@@ -64,48 +64,33 @@ PingResult MeasurePing(SchedKind kind, bool capped, Background bg, int pings_per
   AttachTelemetry(scenario, &telemetry);
 
   // The vantage VM hosts the echo responder plus system-process noise.
-  WorkQueueGuest vantage_guest(scenario.machine.get(), scenario.vantage);
+  WorkQueueGuest vantage_guest(scenario.machine, scenario.vantage);
   SystemNoiseWorkload::Config noise_config;
   noise_config.min_interval = 15 * kMillisecond;
   noise_config.max_interval = 45 * kMillisecond;
   noise_config.min_burst = 3 * kMillisecond;
   noise_config.max_burst = 8 * kMillisecond;
   noise_config.seed = 1;
-  SystemNoiseWorkload vantage_noise(scenario.machine.get(), &vantage_guest, noise_config);
+  SystemNoiseWorkload vantage_noise(scenario.machine, &vantage_guest, noise_config);
   vantage_noise.Start(0);
 
   // Background VMs: system-process noise always (idle VMs "still require
   // CPU time occasionally for system processes"), plus the selected stress
   // workload. The fully CPU-bound hog subsumes any noise.
   BackgroundWorkloads background;
-  std::vector<std::unique_ptr<WorkQueueGuest>> guests;
-  std::vector<std::unique_ptr<SystemNoiseWorkload>> noises;
-  std::vector<std::unique_ptr<StressIoWorkload>> io_stress;
+  VmNoiseWorkloads vm_noise;
   if (bg == Background::kCpu) {
     AttachBackground(scenario, bg, 1, background);
   } else {
-    for (std::size_t i = 1; i < scenario.vcpus.size(); ++i) {
-      guests.push_back(std::make_unique<WorkQueueGuest>(scenario.machine.get(),
-                                                        scenario.vcpus[i]));
-      noise_config.seed = i + 1;
-      noises.push_back(std::make_unique<SystemNoiseWorkload>(
-          scenario.machine.get(), guests.back().get(), noise_config));
-      noises.back()->Start(0);
-      if (bg == Background::kIo) {
-        StressIoWorkload::Config stress_config;
-        stress_config.seed = i + 1;
-        io_stress.push_back(std::make_unique<StressIoWorkload>(
-            scenario.machine.get(), guests.back().get(), stress_config));
-        io_stress.back()->Start(0);
-      }
-    }
+    AttachVmNoise(scenario, 1, noise_config, /*with_io=*/bg == Background::kIo,
+                  vm_noise);
   }
 
   PingTraffic::Config ping_config;
   ping_config.threads = 8;
   ping_config.pings_per_thread = pings_per_thread;
   ping_config.max_spacing = 20 * kMillisecond;
-  PingTraffic ping(scenario.machine.get(), &vantage_guest, ping_config);
+  PingTraffic ping(scenario.machine, &vantage_guest, ping_config);
   ping.AttachTelemetry(&telemetry);
   ping.Start(0);
 

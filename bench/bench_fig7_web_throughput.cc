@@ -61,12 +61,12 @@ WebPoint MeasureWeb(SchedKind kind, bool capped, std::int64_t file_bytes, double
 
   WebServerWorkload::Config web_config;
   web_config.file_bytes = file_bytes;
-  WebServerWorkload server(scenario.machine.get(), scenario.vantage, web_config);
+  WebServerWorkload server(scenario.machine, scenario.vantage, web_config);
   server.AttachTelemetry(&telemetry);
   OpenLoopClient::Config client_config;
   client_config.requests_per_sec = rate;
   client_config.duration = duration;
-  OpenLoopClient client(scenario.machine.get(), &server, client_config);
+  OpenLoopClient client(scenario.machine, &server, client_config);
   client.Start(0);
 
   BackgroundWorkloads background;

@@ -34,11 +34,11 @@ WebPoint MeasureWeb(SchedKind kind, bool capped, double rate, TimeNs duration) {
   Scenario scenario = BuildScenario(config);
   WebServerWorkload::Config web_config;
   web_config.file_bytes = 100 << 10;
-  WebServerWorkload server(scenario.machine.get(), scenario.vantage, web_config);
+  WebServerWorkload server(scenario.machine, scenario.vantage, web_config);
   OpenLoopClient::Config client_config;
   client_config.requests_per_sec = rate;
   client_config.duration = duration;
-  OpenLoopClient client(scenario.machine.get(), &server, client_config);
+  OpenLoopClient client(scenario.machine, &server, client_config);
   client.Start(0);
   BackgroundWorkloads background;
   AttachBackground(scenario, Background::kCpu, 1, background);

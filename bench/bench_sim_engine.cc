@@ -304,14 +304,16 @@ struct ShardedBench {
       Shard* target = &bench->shards[static_cast<std::size_t>(to)];
       ShardedBench* owner = bench;
       ++shard.posts;
-      bench->sim.Post(actor->shard, to,
-                      bench->sim.epoch_ns() +
-                          static_cast<TimeNs>(shard.churn.Next() % 100000),
-                      [owner, target, to] {
-                        ++target->churn.fired;
-                        Mix(target->fp, static_cast<std::uint64_t>(
-                                            owner->sim.shard(to).Now()));
-                      });
+      const auto posted =
+          bench->sim.Post(actor->shard, to,
+                          bench->sim.epoch_ns() +
+                              static_cast<TimeNs>(shard.churn.Next() % 100000),
+                          [owner, target, to] {
+                            ++target->churn.fired;
+                            Mix(target->fp, static_cast<std::uint64_t>(
+                                                owner->sim.shard(to).Now()));
+                          });
+      TABLEAU_CHECK(posted.ok());
     }
   }
 
@@ -355,7 +357,7 @@ std::uint64_t HarnessCell(SchedKind kind, bool capped, TimeNs duration) {
   config.capped = capped;
   Scenario scenario = BuildScenario(config);
   scenario.vantage->EnableInstrumentation();
-  CpuHogWorkload loop(scenario.machine.get(), scenario.vantage);
+  CpuHogWorkload loop(scenario.machine, scenario.vantage);
   loop.Start(0);
   BackgroundWorkloads background;
   AttachBackground(scenario, Background::kIo, 1, background);

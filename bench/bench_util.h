@@ -17,6 +17,7 @@
 #include "src/check/table_verifier.h"
 #include "src/common/thread_pool.h"
 #include "src/harness/scenario.h"
+#include "src/harness/workloads.h"
 #include "src/obs/metrics.h"
 #include "src/obs/timeseries.h"
 #include "src/workloads/guest.h"
@@ -48,54 +49,9 @@ inline TimeNs MeasureDuration(TimeNs default_duration) {
   return default_duration;
 }
 
-enum class Background { kNone, kIo, kIoHeavy, kCpu };
-
-inline const char* BackgroundName(Background bg) {
-  switch (bg) {
-    case Background::kNone:
-      return "none";
-    case Background::kIo:
-      return "I/O";
-    case Background::kIoHeavy:
-      return "I/O";
-    case Background::kCpu:
-      return "CPU";
-  }
-  return "?";
-}
-
-// Attaches the selected background workload to vCPUs [first, end).
-struct BackgroundWorkloads {
-  std::vector<std::unique_ptr<StressIoWorkload>> io;
-  std::vector<std::unique_ptr<CpuHogWorkload>> cpu;
-};
-
-inline void AttachBackground(Scenario& scenario, Background kind, std::size_t first,
-                             BackgroundWorkloads& out) {
-  for (std::size_t i = first; i < scenario.vcpus.size(); ++i) {
-    switch (kind) {
-      case Background::kNone:
-        break;
-      case Background::kIo:
-      case Background::kIoHeavy: {
-        StressIoWorkload::Config config;
-        if (kind == Background::kIoHeavy) {
-          config = StressIoWorkload::Config::Heavy();
-        }
-        config.seed = i + 1;
-        out.io.push_back(std::make_unique<StressIoWorkload>(scenario.machine.get(),
-                                                            scenario.vcpus[i], config));
-        out.io.back()->Start(0);
-        break;
-      }
-      case Background::kCpu:
-        out.cpu.push_back(
-            std::make_unique<CpuHogWorkload>(scenario.machine.get(), scenario.vcpus[i]));
-        out.cpu.back()->Start(0);
-        break;
-    }
-  }
-}
+// Background / BackgroundWorkloads / AttachBackground / AttachVmNoise moved
+// to the public harness API (src/harness/workloads.h, namespace tableau);
+// included above so existing bench call sites resolve unchanged.
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());

@@ -38,14 +38,14 @@ Row Measure(SchedKind kind, bool capped, TimeNs sla) {
   std::vector<std::unique_ptr<SystemNoiseWorkload>> noise;
   for (std::size_t i = 0; i < scenario.vcpus.size(); ++i) {
     guests.push_back(
-        std::make_unique<WorkQueueGuest>(scenario.machine.get(), scenario.vcpus[i]));
+        std::make_unique<WorkQueueGuest>(scenario.machine, scenario.vcpus[i]));
     SystemNoiseWorkload::Config noise_config;
     noise_config.min_interval = 15 * kMillisecond;
     noise_config.max_interval = 45 * kMillisecond;
     noise_config.min_burst = 3 * kMillisecond;
     noise_config.max_burst = 8 * kMillisecond;
     noise_config.seed = i + 1;
-    noise.push_back(std::make_unique<SystemNoiseWorkload>(scenario.machine.get(),
+    noise.push_back(std::make_unique<SystemNoiseWorkload>(scenario.machine,
                                                           guests.back().get(),
                                                           noise_config));
     noise.back()->Start(0);
@@ -55,7 +55,7 @@ Row Measure(SchedKind kind, bool capped, TimeNs sla) {
   ping_config.threads = 8;
   ping_config.pings_per_thread = 400;
   ping_config.max_spacing = 20 * kMillisecond;
-  PingTraffic ping(scenario.machine.get(), guests.front().get(), ping_config);
+  PingTraffic ping(scenario.machine, guests.front().get(), ping_config);
   ping.Start(0);
 
   scenario.machine->Start();

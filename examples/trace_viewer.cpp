@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < scenario.vcpus.size(); ++i) {
     StressIoWorkload::Config stress_config;
     stress_config.seed = i + 1;
-    stress.push_back(std::make_unique<StressIoWorkload>(scenario.machine.get(),
+    stress.push_back(std::make_unique<StressIoWorkload>(scenario.machine,
                                                         scenario.vcpus[i], stress_config));
     stress.back()->Start(0);
   }

@@ -38,3 +38,11 @@ for b in build/bench/bench_*; do "$b"; done 2>&1 | tee bench_output.txt
 # simulation (metrics-on and metrics-off traces must be bit-identical).
 build/tools/tableau_tracedump --scheduler tableau --cpus 2 --seconds 0.2 \
     --validate --check-determinism --out tableau.perfetto.json
+
+# Fleet smoke: a small deterministic multi-host run — serial, sharded,
+# sharded-parallel, and repeat executions must produce byte-identical
+# fingerprints and merged metrics (exits nonzero otherwise). The full
+# 64-host BENCH_fleet.json artifact comes from the bench loop above.
+build/tools/tableau_fleetctl run --hosts 4 --cpus 4 --slots 2 --vms 8 \
+    --surge-vms 1 --surge-at-ms 100 --surge-factor 6 --seconds 0.5 \
+    --check-determinism

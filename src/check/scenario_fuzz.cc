@@ -360,7 +360,7 @@ CheckOutcome RunCheckedScenario(const ScenarioSpec& spec) {
     switch (vm.workload) {
       case WorkloadKind::kHog:
         hogs.push_back(
-            std::make_unique<CpuHogWorkload>(scenario.machine.get(), vcpu));
+            std::make_unique<CpuHogWorkload>(scenario.machine, vcpu));
         hogs.back()->Start(0);
         break;
       case WorkloadKind::kStress:
@@ -371,30 +371,30 @@ CheckOutcome RunCheckedScenario(const ScenarioSpec& spec) {
         }
         stress_config.seed = workload_seed;
         stress.push_back(std::make_unique<StressIoWorkload>(
-            scenario.machine.get(), vcpu, stress_config));
+            scenario.machine, vcpu, stress_config));
         stress.back()->Start(0);
         break;
       }
       case WorkloadKind::kNoise: {
         guests.push_back(
-            std::make_unique<WorkQueueGuest>(scenario.machine.get(), vcpu));
+            std::make_unique<WorkQueueGuest>(scenario.machine, vcpu));
         SystemNoiseWorkload::Config noise_config;
         noise_config.seed = workload_seed;
         noise.push_back(std::make_unique<SystemNoiseWorkload>(
-            scenario.machine.get(), guests.back().get(), noise_config));
+            scenario.machine, guests.back().get(), noise_config));
         noise.back()->Start(0);
         break;
       }
       case WorkloadKind::kPing: {
         guests.push_back(
-            std::make_unique<WorkQueueGuest>(scenario.machine.get(), vcpu));
+            std::make_unique<WorkQueueGuest>(scenario.machine, vcpu));
         PingTraffic::Config ping_config;
         ping_config.threads = 2;
         ping_config.pings_per_thread = 200;
         ping_config.max_spacing = 8 * kMillisecond;
         ping_config.seed = workload_seed;
         pings.push_back(std::make_unique<PingTraffic>(
-            scenario.machine.get(), guests.back().get(), ping_config));
+            scenario.machine, guests.back().get(), ping_config));
         pings.back()->Start(0);
         break;
       }
@@ -446,7 +446,7 @@ CheckOutcome RunCheckedScenario(const ScenarioSpec& spec) {
     if (!replanned && now >= spec.replan_at) {
       if (!controller) {
         PlannerConfig replan_config = verify_config;
-        replan_config.fault_injector = scenario.injector.get();
+        replan_config.fault_injector = scenario.injector;
         replan_config.metrics = &scenario.machine->metrics();
         replanner.emplace(replan_config);
         controller.emplace(&*replanner, ReplanController::Config{});

@@ -74,17 +74,20 @@ struct PhaseMetrics {
   obs::Counter* admission_simulation = nullptr;
 };
 
-PhaseMetrics ResolvePhaseMetrics(obs::MetricsRegistry* registry) {
+PhaseMetrics ResolvePhaseMetrics(obs::MetricsRegistry* registry,
+                                 bool wall_timings) {
   PhaseMetrics m;
   if (registry == nullptr) {
     return m;
   }
-  m.partition = registry->GetHistogram("planner.partition_ns");
-  m.edf_core_sim = registry->GetHistogram("planner.edf_core_sim_ns");
-  m.cd_split = registry->GetHistogram("planner.cd_split_ns");
-  m.cluster = registry->GetHistogram("planner.cluster_ns");
-  m.coalesce = registry->GetHistogram("planner.coalesce_ns");
-  m.plan_total = registry->GetHistogram("planner.plan_total_ns");
+  if (wall_timings) {
+    m.partition = registry->GetHistogram("planner.partition_ns");
+    m.edf_core_sim = registry->GetHistogram("planner.edf_core_sim_ns");
+    m.cd_split = registry->GetHistogram("planner.cd_split_ns");
+    m.cluster = registry->GetHistogram("planner.cluster_ns");
+    m.coalesce = registry->GetHistogram("planner.coalesce_ns");
+    m.plan_total = registry->GetHistogram("planner.plan_total_ns");
+  }
   m.plans = registry->GetCounter("planner.plans");
   m.incremental_plans = registry->GetCounter("planner.incremental_plans");
   m.admission_utilization = registry->GetCounter("planner.admission.utilization");
@@ -155,7 +158,7 @@ Planner::Planner(PlannerConfig config) : config_(config) {
 
 PlanResult Planner::PlanFull(const std::vector<VcpuRequest>& requests) const {
   const TimeNs h = config_.hyperperiod;
-  const PhaseMetrics pm = ResolvePhaseMetrics(config_.metrics);
+  const PhaseMetrics pm = ResolvePhaseMetrics(config_.metrics, config_.wall_timings);
   PhaseTimer total_timer(pm.plan_total);
   if (pm.plans != nullptr) {
     pm.plans->Increment();
@@ -496,7 +499,9 @@ PlanResult Planner::PlanFull(const std::vector<VcpuRequest>& requests) const {
   result.success = true;
   result.admission = TallyToBreakdown(admission_tally);
   ExportAdmissionMetrics(pm, result.admission);
-  ExportPoolStats(config_.metrics, pool_.get());
+  if (config_.wall_timings) {
+    ExportPoolStats(config_.metrics, pool_.get());
+  }
   return result;
 }
 
@@ -527,7 +532,7 @@ PlanResult Planner::PlanDelta(const PlanResult& previous,
   }
   // Instrumented only past this point: the fallback paths above land in
   // Plan(), which carries its own timers (avoids double-counting plan_total).
-  const PhaseMetrics pm = ResolvePhaseMetrics(config_.metrics);
+  const PhaseMetrics pm = ResolvePhaseMetrics(config_.metrics, config_.wall_timings);
   PhaseTimer total_timer(pm.plan_total);
   if (pm.incremental_plans != nullptr) {
     pm.incremental_plans->Increment();
@@ -689,7 +694,9 @@ PlanResult Planner::PlanDelta(const PlanResult& previous,
   result.success = true;
   result.admission = TallyToBreakdown(admission_tally);
   ExportAdmissionMetrics(pm, result.admission);
-  ExportPoolStats(config_.metrics, pool_.get());
+  if (config_.wall_timings) {
+    ExportPoolStats(config_.metrics, pool_.get());
+  }
   return result;
 }
 

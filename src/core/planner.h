@@ -58,6 +58,11 @@ struct PlannerConfig {
   // pipeline stage, plus per-worker pool gauges). Not owned; must outlive the
   // planner. Null disables instrumentation entirely.
   obs::MetricsRegistry* metrics = nullptr;
+  // When false, the registry above receives only the deterministic planner
+  // counters (plans, admission ladder) — the wall-clock phase histograms and
+  // pool gauges are skipped. Fleet hosts use this so merged fleet metrics
+  // are byte-identical across runs and execution modes.
+  bool wall_timings = true;
   // Optional fault injector (not owned; must outlive the planner). Solve()
   // draws one planner outcome per call; injected failures/timeouts surface
   // as PlanFailure::kInjected results for the caller's degradation policy.

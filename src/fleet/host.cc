@@ -1,0 +1,168 @@
+#include "src/fleet/host.h"
+
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace tableau::fleet {
+
+Host::Host(const HostConfig& config) : config_(config) {
+  if (!config_.fault_plan.empty()) {
+    injector_ = std::make_unique<faults::FaultInjector>(config_.fault_plan);
+  }
+
+  SchedulerSpec spec;
+  spec.kind = config_.scheduler;
+  spec.capped = config_.capped;
+  spec.credit_timeslice = config_.credit_timeslice;
+  spec.switch_slip_tolerance = config_.switch_slip_tolerance;
+  MadeScheduler made = MakeScheduler(spec);
+  tableau_ = made.tableau;
+
+  MachineConfig machine_config;
+  machine_config.num_cpus = config_.num_cpus;
+  machine_config.cores_per_socket = config_.cores_per_socket;
+  machine_config.costs = config_.costs;
+  machine_config.engine = config_.engine;
+  machine_config.report_engine_stats = config_.report_engine_stats;
+  machine_ = std::make_unique<Machine>(machine_config, std::move(made.scheduler));
+  if (injector_ != nullptr) {
+    machine_->SetFaultInjector(injector_.get());
+  }
+
+  if (config_.slots_per_core > 0) {
+    const int num_slots = config_.num_cpus * config_.slots_per_core;
+    slots_.reserve(static_cast<std::size_t>(num_slots));
+    for (int s = 0; s < num_slots; ++s) {
+      VcpuParams params;
+      params.weight = 256;
+      params.name = "h" + std::to_string(config_.index) + ".s" + std::to_string(s);
+      Slot slot;
+      slot.vcpu = machine_->AddVcpu(params);
+      slot.guest = std::make_unique<WorkQueueGuest>(machine_.get(), slot.vcpu);
+      slots_.push_back(std::move(slot));
+    }
+    if (config_.attach_telemetry) {
+      telemetry_ = std::make_unique<obs::Telemetry>(config_.telemetry);
+      std::vector<int> vm_of;
+      for (int s = 0; s < num_slots; ++s) {
+        telemetry_->SetVcpuName(s, slots_[static_cast<std::size_t>(s)].vcpu->params().name);
+        vm_of.push_back(s);  // One slot = one VM for per-host SLO gauges.
+      }
+      telemetry_->SetVmOf(std::move(vm_of));
+      machine_->AttachTelemetry(telemetry_.get());
+    }
+    if (tableau_ != nullptr) {
+      tableau_->PushTable(EmptyTable());
+    }
+  }
+}
+
+std::shared_ptr<SchedulingTable> Host::EmptyTable() const {
+  // Placeholder table for a host with no admitted VM (Machine::Start needs a
+  // table installed). Its round is kept one kMinPeriodNs, not a hyperperiod:
+  // the dispatcher engages a pushed table at the *current* table's round wrap
+  // ("two rounds out"), so a short empty round makes the first admission's
+  // table live within ~2 * kMinPeriodNs instead of two hyperperiods.
+  return std::make_shared<SchedulingTable>(SchedulingTable::Build(
+      kMinPeriodNs,
+      std::vector<std::vector<Allocation>>(static_cast<std::size_t>(config_.num_cpus))));
+}
+
+PlannerConfig Host::planner_config() const {
+  PlannerConfig planner_config;
+  planner_config.num_cpus = config_.num_cpus;
+  planner_config.cores_per_socket = config_.cores_per_socket;
+  planner_config.metrics = &machine_->metrics();
+  // Deterministic counters only: wall-clock phase histograms would make
+  // merged fleet metrics differ across runs and execution modes.
+  planner_config.wall_timings = false;
+  planner_config.fault_injector = injector_.get();
+  planner_config.max_latency_degradations = config_.max_latency_degradations;
+  return planner_config;
+}
+
+int Host::free_slots() const {
+  int free = 0;
+  for (const Slot& slot : slots_) {
+    if (!slot.occupied) {
+      ++free;
+    }
+  }
+  return free;
+}
+
+bool Host::Replan(std::vector<VcpuRequest> added, std::vector<VcpuId> departed) {
+  if (tableau_ == nullptr) {
+    return true;  // Non-Tableau hosts have no table to maintain.
+  }
+  if (planner_ == nullptr) {
+    planner_ = std::make_unique<Planner>(planner_config());
+  }
+  PlanRequest request;
+  if (plan_.success) {
+    request = PlanRequest::Delta(plan_, std::move(added), std::move(departed));
+  } else {
+    TABLEAU_CHECK(departed.empty());
+    request = PlanRequest::Full(std::move(added));
+  }
+  // Injected planner failures surface as a failed admission (the control
+  // plane keeps the VM pending); retrying is the caller's policy.
+  PlanResult next = planner_->Solve(request);
+  if (!next.success) {
+    return false;
+  }
+  plan_ = std::move(next);
+  tableau_->PushTable(std::make_shared<SchedulingTable>(plan_.table));
+  return true;
+}
+
+int Host::AdmitVm(double utilization, TimeNs latency_goal) {
+  int slot = -1;
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    if (!slots_[s].occupied) {
+      slot = static_cast<int>(s);
+      break;
+    }
+  }
+  if (slot < 0) {
+    return -1;
+  }
+  Slot& state = slots_[static_cast<std::size_t>(slot)];
+  VcpuRequest request;
+  request.vcpu = state.vcpu->id();
+  request.utilization = utilization;
+  request.latency_goal = latency_goal;
+  if (!Replan({request}, {})) {
+    return -1;
+  }
+  state.occupied = true;
+  state.utilization = utilization;
+  committed_ += utilization;
+  return slot;
+}
+
+void Host::RemoveVm(int slot) {
+  Slot& state = slots_[static_cast<std::size_t>(slot)];
+  TABLEAU_CHECK(state.occupied);
+  if (tableau_ != nullptr) {
+    TABLEAU_CHECK(plan_.success);
+    if (plan_.requests.size() == 1) {
+      // Last VM out: no delta target remains; reset to the empty table.
+      plan_ = PlanResult{};
+      tableau_->PushTable(EmptyTable());
+    } else {
+      TABLEAU_CHECK_MSG(Replan({}, {state.vcpu->id()}),
+                        "host %d: departure replan failed for vCPU %d",
+                        config_.index, state.vcpu->id());
+    }
+  }
+  state.occupied = false;
+  committed_ -= state.utilization;
+  state.utilization = 0;
+}
+
+obs::MetricsSnapshot Host::SnapshotMetrics() { return machine_->SnapshotMetrics(); }
+
+}  // namespace tableau::fleet

@@ -1,0 +1,142 @@
+// fleet::Host: one simulated machine of a multi-host fleet behind a single
+// handle (api_redesign). The host owns the full per-box wiring that
+// harness::Scenario used to assemble by hand — fault injector, scheduler,
+// machine, optional windowed telemetry, planner, current Tableau plan — and
+// adds the slot-pool VM model the fleet control plane admits into:
+//
+//  - A fixed pool of `num_cpus * slots_per_core` single-vCPU slots is
+//    created up front, all blocked and absent from the scheduling table, so
+//    telemetry binding stays static while VMs arrive and depart at runtime.
+//  - AdmitVm() assigns the lowest free slot and replans the Tableau table
+//    through Planner::Solve's delta path (Sec. 7.1 incremental
+//    re-computation); RemoveVm() replans with the vCPU departed and frees
+//    the slot for reuse.
+//
+// A host runs either on its own discrete-event engine (standalone /
+// classic single-host mode) or on an engine supplied by a
+// ShardedSimulation shard (fleet mode) — see MachineConfig::engine.
+#ifndef SRC_FLEET_HOST_H_
+#define SRC_FLEET_HOST_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/planner.h"
+#include "src/faults/fault_plan.h"
+#include "src/hypervisor/machine.h"
+#include "src/obs/telemetry.h"
+#include "src/schedulers/factory.h"
+#include "src/schedulers/tableau_scheduler.h"
+#include "src/workloads/guest.h"
+
+namespace tableau::fleet {
+
+struct HostConfig {
+  // Position of this host in the cluster (names, shard index).
+  int index = 0;
+  int num_cpus = 16;
+  int cores_per_socket = 8;
+  // vCPU slots pre-created per core. 0 = no slot pool: the owner adds
+  // vCPUs itself through machine() (the single-host harness path).
+  int slots_per_core = 4;
+  SchedKind scheduler = SchedKind::kTableau;
+  // Capped mode (no second-level scheduler) is the fleet default: only
+  // table-backed slots ever run, so an empty slot is truly idle.
+  bool capped = true;
+  TimeNs credit_timeslice = 5 * kMillisecond;
+  TimeNs switch_slip_tolerance = kTimeNever;
+  int max_latency_degradations = 0;
+  OverheadCosts costs;
+  // Deterministic fault injection; empty builds no injector.
+  faults::FaultPlan fault_plan;
+  // External engine (a ShardedSimulation shard); null = machine-owned.
+  Simulation* engine = nullptr;
+  // See MachineConfig::report_engine_stats. Fleet hosts sharing a serial
+  // engine must turn this off so snapshots are execution-mode-independent.
+  bool report_engine_stats = true;
+  // Windowed telemetry for the slot pool (SLO gauges drive the control
+  // plane's overload detection). Off = the owner attaches telemetry itself.
+  bool attach_telemetry = true;
+  obs::Telemetry::Config telemetry;
+};
+
+class Host {
+ public:
+  explicit Host(const HostConfig& config);
+
+  const HostConfig& config() const { return config_; }
+  int index() const { return config_.index; }
+  Machine& machine() { return *machine_; }
+  TableauScheduler* tableau() { return tableau_; }
+  faults::FaultInjector* fault_injector() { return injector_.get(); }
+  obs::Telemetry* telemetry() { return telemetry_.get(); }
+
+  // Planner configuration for this host (machine metrics, fault injector,
+  // degradation policy). The harness and the verification oracles construct
+  // Planners from it; AdmitVm/RemoveVm use it internally.
+  PlannerConfig planner_config() const;
+  // Current Tableau plan (success == false until the first admission).
+  const PlanResult& plan() const { return plan_; }
+
+  // --- Slot-pool VM admission (fleet mode; requires slots_per_core > 0) ---
+
+  int num_slots() const { return static_cast<int>(slots_.size()); }
+  int free_slots() const;
+  // Sum of admitted reservations' utilization, the control plane's
+  // bin-packing weight.
+  double committed() const { return committed_; }
+
+  // Admits a VM reservation into the lowest free slot: replans the table
+  // with the slot's vCPU added (delta path once a plan exists) and pushes
+  // the new table through the time-synchronized switch protocol. Returns
+  // the slot index, or -1 if no slot is free or planning failed (host
+  // state unchanged). Call at a cluster barrier or from this host's shard.
+  int AdmitVm(double utilization, TimeNs latency_goal);
+
+  // Removes the VM in `slot`: replans with the vCPU departed and frees the
+  // slot. The caller must have drained the slot's guest work first.
+  void RemoveVm(int slot);
+
+  bool slot_occupied(int slot) const {
+    return slots_[static_cast<std::size_t>(slot)].occupied;
+  }
+  Vcpu* slot_vcpu(int slot) {
+    return slots_[static_cast<std::size_t>(slot)].vcpu;
+  }
+  WorkQueueGuest* slot_guest(int slot) {
+    return slots_[static_cast<std::size_t>(slot)].guest.get();
+  }
+
+  // End-of-run metrics snapshot (telemetry SLO gauges included).
+  obs::MetricsSnapshot SnapshotMetrics();
+
+ private:
+  struct Slot {
+    Vcpu* vcpu = nullptr;
+    std::unique_ptr<WorkQueueGuest> guest;
+    bool occupied = false;
+    double utilization = 0;
+  };
+
+  // Replans with `added`/`departed` against the current plan and pushes the
+  // result. Returns false (plan unchanged) on failure.
+  bool Replan(std::vector<VcpuRequest> added, std::vector<VcpuId> departed);
+  // Short all-idle placeholder table (installed before the first admission
+  // and after the last departure).
+  std::shared_ptr<SchedulingTable> EmptyTable() const;
+
+  HostConfig config_;
+  // Injector outlives the machine (machine holds a raw pointer).
+  std::unique_ptr<faults::FaultInjector> injector_;
+  std::unique_ptr<Machine> machine_;
+  TableauScheduler* tableau_ = nullptr;
+  std::unique_ptr<obs::Telemetry> telemetry_;
+  std::unique_ptr<Planner> planner_;
+  PlanResult plan_;
+  std::vector<Slot> slots_;
+  double committed_ = 0;
+};
+
+}  // namespace tableau::fleet
+
+#endif  // SRC_FLEET_HOST_H_

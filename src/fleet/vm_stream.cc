@@ -1,0 +1,94 @@
+#include "src/fleet/vm_stream.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace tableau::fleet {
+namespace {
+
+inline void Mix(std::uint64_t& fp, std::uint64_t value) {
+  fp = (fp ^ value) * 1099511628211ull;
+}
+
+}  // namespace
+
+TimeNs VmStream::Intended(std::uint64_t k) const {
+  return anchor_ + static_cast<TimeNs>(k) * period_;
+}
+
+void VmStream::Activate(Machine* machine, WorkQueueGuest* guest,
+                        obs::Telemetry* telemetry, int slot, TimeNs at) {
+  TABLEAU_CHECK(machine != nullptr && guest != nullptr);
+  machine_ = machine;
+  guest_ = guest;
+  telemetry_ = telemetry;
+  slot_ = slot;
+  if (!anchored_) {
+    anchored_ = true;
+    anchor_ = at;
+    period_ = static_cast<TimeNs>(static_cast<double>(kSecond) / spec_.requests_per_sec);
+    TABLEAU_CHECK(period_ > 0);
+  }
+  paused_ = false;
+  // One persistent pacer per placement, on the current host's engine.
+  pacer_ = machine_->sim().CreateTimer([this] { OnTick(); });
+  machine_->sim().Arm(pacer_, std::max(at, machine_->Now()));
+}
+
+void VmStream::Pause() {
+  paused_ = true;
+  if (machine_ != nullptr && pacer_ != kInvalidEvent) {
+    machine_->sim().Disarm(pacer_);
+    pacer_ = kInvalidEvent;
+  }
+}
+
+void VmStream::OnTick() {
+  if (paused_) {
+    return;
+  }
+  const TimeNs now = machine_->Now();
+  // Catch up the grid: after a migration several intended times are in the
+  // past; each still gets exactly one request (posted back-to-back into the
+  // guest FIFO), so downtime becomes latency, not lost spans.
+  while (Intended(next_k_) <= now) {
+    PostRequest(next_k_);
+    ++next_k_;
+  }
+  machine_->sim().Arm(pacer_, Intended(next_k_));
+}
+
+void VmStream::PostRequest(std::uint64_t k) {
+  const TimeNs intended = Intended(k);
+  TimeNs service = spec_.service_ns;
+  if (intended >= spec_.surge_at) {
+    service = static_cast<TimeNs>(static_cast<double>(service) * spec_.surge_factor);
+  }
+  obs::Telemetry::RequestMark mark;
+  if (telemetry_ != nullptr) {
+    mark = telemetry_->BeginRequest(slot_, intended);
+  }
+  ++posted_;
+  ++outstanding_;
+  obs::Telemetry* telemetry = telemetry_;
+  const int slot = slot_;
+  guest_->Post(service, [this, k, intended, mark, telemetry, slot](TimeNs done) {
+    const TimeNs latency = done - intended;
+    if (telemetry != nullptr) {
+      // Report against the slot the request ran on, even if the stream has
+      // since been rebound to another host.
+      telemetry->EndRequest(slot, mark, done, /*network_extra_ns=*/0);
+    }
+    ++completed_;
+    --outstanding_;
+    if (latency > spec_.latency_goal) {
+      ++misses_;
+    }
+    max_latency_ = std::max(max_latency_, latency);
+    Mix(fp_, k);
+    Mix(fp_, static_cast<std::uint64_t>(latency));
+  });
+}
+
+}  // namespace tableau::fleet

@@ -1,0 +1,99 @@
+// VmStream: one fleet VM's workload — a wrk2-style constant-rate open-loop
+// request stream (latency measured from the *intended* arrival grid, so
+// Coordinated Omission cannot hide queueing or migration downtime) executed
+// on whichever host slot the control plane currently places the VM on.
+//
+// The stream follows the VM across a live migration: Pause() stops new
+// arrivals on the source (in-flight FIFO work keeps running until drained),
+// Activate() rebinds to the destination slot and catches up the arrival
+// grid — every grid point k gets exactly one request, so no request span is
+// lost across the drain, and the downtime shows up as tail latency on the
+// caught-up requests instead of disappearing.
+#ifndef SRC_FLEET_VM_STREAM_H_
+#define SRC_FLEET_VM_STREAM_H_
+
+#include <cstdint>
+
+#include "src/common/time.h"
+#include "src/hypervisor/machine.h"
+#include "src/obs/telemetry.h"
+#include "src/workloads/guest.h"
+
+namespace tableau::fleet {
+
+// One VM's reservation and workload shape in the cluster's arrival stream.
+struct VmReservation {
+  int vm = 0;  // Fleet-global VM id.
+  double utilization = 0.25;
+  TimeNs latency_goal = 20 * kMillisecond;
+  // Open-loop request stream: constant-rate grid, fixed CPU per request.
+  double requests_per_sec = 200;
+  TimeNs service_ns = 500 * kMicrosecond;
+  // When the VM enters the cluster's admission queue.
+  TimeNs arrival = 0;
+  // Scripted overload: requests intended at or after surge_at cost
+  // service_ns * surge_factor, driving the VM's SLO burn past its
+  // reservation and triggering the control plane's migration path.
+  TimeNs surge_at = kTimeNever;
+  double surge_factor = 1.0;
+};
+
+class VmStream {
+ public:
+  explicit VmStream(const VmReservation& spec) : spec_(spec) {}
+
+  const VmReservation& spec() const { return spec_; }
+
+  // Binds the stream to a host slot and starts (or resumes) the arrival
+  // grid at `at`. The first activation anchors the grid; later activations
+  // (after a migration) keep the anchor and catch up overdue grid points.
+  // Call from the destination shard's event context or at a barrier.
+  void Activate(Machine* machine, WorkQueueGuest* guest, obs::Telemetry* telemetry,
+                int slot, TimeNs at);
+
+  // Stops new arrivals (drain begins). In-flight requests keep running;
+  // Drained() turns true once the last completion lands.
+  void Pause();
+
+  bool active() const { return !paused_ && machine_ != nullptr; }
+  bool Drained() const { return outstanding_ == 0; }
+
+  // --- Fleet-level SLO accounting (follows the VM across hosts) ---
+  std::uint64_t posted() const { return posted_; }
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t misses() const { return misses_; }  // latency > latency_goal.
+  // Next unposted grid index; posted() == next_k once caught up, so the
+  // grid has no holes (span-conservation invariant).
+  std::uint64_t next_k() const { return next_k_; }
+  TimeNs max_latency() const { return max_latency_; }
+  // FNV-1a over every completion's (k, latency) in completion order —
+  // the per-VM determinism fingerprint.
+  std::uint64_t fingerprint() const { return fp_; }
+
+ private:
+  TimeNs Intended(std::uint64_t k) const;
+  void OnTick();
+  void PostRequest(std::uint64_t k);
+
+  VmReservation spec_;
+  Machine* machine_ = nullptr;
+  WorkQueueGuest* guest_ = nullptr;
+  obs::Telemetry* telemetry_ = nullptr;
+  int slot_ = -1;
+  EventId pacer_ = kInvalidEvent;
+  bool anchored_ = false;
+  bool paused_ = true;
+  TimeNs anchor_ = 0;
+  TimeNs period_ = 0;
+  std::uint64_t next_k_ = 0;
+  std::uint64_t posted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t outstanding_ = 0;
+  TimeNs max_latency_ = 0;
+  std::uint64_t fp_ = 1469598103934665603ull;
+};
+
+}  // namespace tableau::fleet
+
+#endif  // SRC_FLEET_VM_STREAM_H_

@@ -1,0 +1,58 @@
+#include "src/harness/fleet_scenario.h"
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace tableau {
+
+fleet::ClusterConfig BuildFleetConfig(const FleetScenarioConfig& config) {
+  TABLEAU_CHECK(config.num_hosts >= 1 && config.num_vms >= 0);
+  fleet::ClusterConfig cluster;
+  cluster.num_hosts = config.num_hosts;
+  cluster.sim.epoch_ns = config.epoch_ns;
+  cluster.sim.sharded = config.sharded;
+  cluster.sim.parallel = config.parallel;
+  cluster.sim.num_threads = config.num_threads;
+  cluster.control_period = config.control_period;
+  cluster.placement = config.placement;
+  cluster.max_committed = config.max_committed;
+  cluster.migrate_burn_threshold = config.migrate_burn_threshold;
+  cluster.min_requests_before_migration = config.min_requests_before_migration;
+
+  cluster.host.num_cpus = config.cpus_per_host;
+  cluster.host.cores_per_socket = config.cores_per_socket;
+  cluster.host.slots_per_core = config.slots_per_core;
+  // SLO windows align with control ticks: the cadence sample at each
+  // barrier closes exactly one telemetry window, so the burn-rate gauges
+  // the control plane reads are fresh and mode-independent.
+  cluster.host.telemetry.window_ns = config.control_period;
+  cluster.host.telemetry.slo.window_ns = config.control_period;
+  cluster.host.telemetry.slo.target_latency_ns = config.latency_goal;
+  // A fleet host has hundreds of slots; skip per-vCPU series (the per-VM
+  // SLO gauges and machine-wide series carry the signal).
+  cluster.host.telemetry.max_vcpu_series = 0;
+
+  // Arrival jitter is the only random input, drawn from one seeded stream
+  // in vm order — identical across execution modes by construction.
+  Rng rng(config.seed);
+  cluster.vms.reserve(static_cast<std::size_t>(config.num_vms));
+  for (int vm = 0; vm < config.num_vms; ++vm) {
+    fleet::VmReservation spec;
+    spec.vm = vm;
+    spec.utilization = config.utilization;
+    spec.latency_goal = config.latency_goal;
+    spec.requests_per_sec = config.requests_per_sec;
+    spec.service_ns = config.service_ns;
+    if (config.arrival_spread > 0) {
+      spec.arrival = rng.UniformInt(0, config.arrival_spread);
+    }
+    if (vm < config.surge_vms) {
+      spec.surge_at = config.surge_at;
+      spec.surge_factor = config.surge_factor;
+    }
+    cluster.vms.push_back(spec);
+  }
+  return cluster;
+}
+
+}  // namespace tableau

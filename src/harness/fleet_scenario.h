@@ -1,0 +1,58 @@
+// Fleet experiment construction: maps a compact experiment description
+// (host shape x VM reservation stream) onto a fleet::ClusterConfig. Shared
+// by bench_fleet, the tableau_fleetctl CLI, and the fleet tests so the
+// 64-host determinism scenario is one definition, not three copies.
+#ifndef SRC_HARNESS_FLEET_SCENARIO_H_
+#define SRC_HARNESS_FLEET_SCENARIO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fleet/cluster.h"
+
+namespace tableau {
+
+struct FleetScenarioConfig {
+  // --- Fleet shape ---
+  int num_hosts = 4;
+  int cpus_per_host = 16;
+  int cores_per_socket = 8;
+  int slots_per_core = 4;
+  // --- Execution mode (determinism: results are byte-identical across all
+  // combinations; see ShardedSimulation) ---
+  bool sharded = false;
+  bool parallel = false;
+  int num_threads = 0;
+  TimeNs epoch_ns = 50'000;
+  // --- Control plane ---
+  TimeNs control_period = 10 * kMillisecond;
+  fleet::PlacementPolicy placement = fleet::PlacementPolicy::kWorstFit;
+  double max_committed = 0.9;
+  double migrate_burn_threshold = 1.5;
+  std::uint64_t min_requests_before_migration = 50;
+  // --- VM reservation stream (open-loop constant-rate clients) ---
+  int num_vms = 64;
+  double utilization = 0.25;
+  TimeNs latency_goal = 20 * kMillisecond;
+  double requests_per_sec = 200;
+  TimeNs service_ns = 500 * kMicrosecond;
+  // Arrivals staggered deterministically (seeded Rng) over [0, spread].
+  // 0 = all VMs arrive at time zero.
+  TimeNs arrival_spread = 0;
+  std::uint64_t seed = 1;
+  // Scripted overload: the first `surge_vms` VMs multiply their service
+  // demand by surge_factor from surge_at on — the trigger for the control
+  // plane's overload detection and live migration.
+  int surge_vms = 0;
+  TimeNs surge_at = kTimeNever;
+  double surge_factor = 1.0;
+};
+
+// Builds the full cluster configuration: per-host telemetry windows aligned
+// with the control period (SLO gauges sampled at tick barriers) and the VM
+// reservation list derived from the stream parameters above.
+fleet::ClusterConfig BuildFleetConfig(const FleetScenarioConfig& config);
+
+}  // namespace tableau
+
+#endif  // SRC_HARNESS_FLEET_SCENARIO_H_

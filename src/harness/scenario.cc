@@ -25,42 +25,51 @@ PlanResult SolveInitialPlan(const Planner& planner, std::vector<VcpuRequest> req
   return plan;
 }
 
+// The harness' planner view of the scenario. Deliberately leaves
+// cores_per_socket at its flat default: the paper's evaluation plans the
+// box as a flat core set (NUMA-affine placement is the fleet hosts'
+// opt-in), and the golden traces pin the flat layout.
 PlannerConfig ScenarioPlannerConfig(const ScenarioConfig& config,
                                     const Scenario& scenario) {
   PlannerConfig planner_config;
   planner_config.num_cpus = config.guest_cpus;
   planner_config.metrics = &scenario.machine->metrics();
-  planner_config.fault_injector = scenario.injector.get();
+  planner_config.fault_injector = scenario.injector;
   planner_config.max_latency_degradations = config.max_latency_degradations;
   return planner_config;
 }
 
 }  // namespace
 
+fleet::HostConfig HostConfigFrom(const ScenarioConfig& config) {
+  fleet::HostConfig host;
+  host.num_cpus = config.guest_cpus;
+  host.cores_per_socket = config.cores_per_socket;
+  host.slots_per_core = 0;  // The harness adds its own vCPU grid.
+  host.scheduler = config.scheduler;
+  host.capped = config.capped;
+  host.credit_timeslice = config.credit_timeslice;
+  host.switch_slip_tolerance = config.switch_slip_tolerance;
+  host.max_latency_degradations = config.max_latency_degradations;
+  host.costs = config.costs;
+  host.fault_plan = config.fault_plan;
+  host.attach_telemetry = false;
+  return host;
+}
+
 Scenario BuildScenario(const ScenarioConfig& config) {
   Scenario scenario;
-  if (!config.fault_plan.empty()) {
-    scenario.injector = std::make_unique<faults::FaultInjector>(config.fault_plan);
-  }
-
-  SchedulerSpec spec;
-  spec.kind = config.scheduler;
-  spec.capped = config.capped;
-  spec.credit_timeslice = config.credit_timeslice;
-  spec.switch_slip_tolerance = config.switch_slip_tolerance;
-  MadeScheduler made = MakeScheduler(spec);
-  TableauScheduler* tableau = made.tableau;
-
-  MachineConfig machine_config;
-  machine_config.num_cpus = config.guest_cpus;
-  machine_config.cores_per_socket = config.cores_per_socket;
-  machine_config.costs = config.costs;
-  scenario.machine =
-      std::make_unique<Machine>(machine_config, std::move(made.scheduler));
-  scenario.tableau = tableau;
-  if (scenario.injector != nullptr) {
-    scenario.machine->SetFaultInjector(scenario.injector.get());
-  }
+  // A one-host serial cluster: shard 0 is a plain dedicated engine, so the
+  // machine behaves exactly as with an owned engine (golden traces pin it).
+  fleet::ClusterConfig cluster_config;
+  cluster_config.num_hosts = 1;
+  cluster_config.host = HostConfigFrom(config);
+  scenario.cluster = std::make_unique<fleet::Cluster>(cluster_config);
+  scenario.host = &scenario.cluster->host(0);
+  scenario.machine = &scenario.host->machine();
+  scenario.tableau = scenario.host->tableau();
+  scenario.injector = scenario.host->fault_injector();
+  TableauScheduler* tableau = scenario.tableau;
 
   const int num_vms = config.guest_cpus * config.vms_per_core;
   for (int i = 0; i < num_vms; ++i) {

@@ -18,6 +18,7 @@
 
 #include "src/core/planner.h"
 #include "src/faults/fault_plan.h"
+#include "src/fleet/cluster.h"
 #include "src/hypervisor/machine.h"
 #include "src/schedulers/factory.h"
 #include "src/schedulers/tableau_scheduler.h"
@@ -50,13 +51,21 @@ struct ScenarioConfig {
   int max_latency_degradations = 0;
 };
 
+// A single-host experiment, expressed as a one-host fleet::Cluster
+// (api_redesign: the fleet Host/Cluster API is the only way to build a
+// simulated box; the classic harness is the size-1 special case). The
+// cluster owns the host, which owns the fault injector, scheduler, and
+// machine; `host`, `machine`, `tableau`, and `injector` are non-owning
+// views into it that stay valid as the Scenario moves.
 struct Scenario {
-  // Owned fault injector driving machine + planner hooks; null when
-  // fault_plan is empty. Declared before the machine so it outlives it.
-  std::unique_ptr<faults::FaultInjector> injector;
-  std::unique_ptr<Machine> machine;
+  std::unique_ptr<fleet::Cluster> cluster;
+  fleet::Host* host = nullptr;
+  Machine* machine = nullptr;
   // Owned by the machine; null unless scheduler == kTableau.
   TableauScheduler* tableau = nullptr;
+  // Fault injector driving machine + planner hooks; null when fault_plan
+  // is empty.
+  faults::FaultInjector* injector = nullptr;
   std::vector<Vcpu*> vcpus;
   // vCPU 0, used as the measurement vantage point.
   Vcpu* vantage = nullptr;
@@ -65,6 +74,13 @@ struct Scenario {
   // Sec. 2). vm_of[vcpu id] = VM index. Single-vCPU VMs in BuildScenario.
   std::vector<int> vm_of;
 };
+
+// Maps a single-host scenario config onto the fleet host configuration the
+// harness builds its cluster from: no slot pool (the harness adds vCPUs
+// itself) and no host-owned telemetry (AttachTelemetry wires an external
+// instance). Shared with tools that want a fleet host shaped like the
+// classic experiment box.
+fleet::HostConfig HostConfigFrom(const ScenarioConfig& config);
 
 // Builds the machine, vCPUs, and (for Tableau) the scheduling table.
 Scenario BuildScenario(const ScenarioConfig& config);

@@ -21,19 +21,18 @@ ShardedSimulation::ShardedSimulation(const Options& options)
   next_seq_.assign(static_cast<std::size_t>(options_.num_shards), 1);
 }
 
-void ShardedSimulation::Post(int from_shard, int to_shard, TimeNs delay,
-                             std::function<void()> fn) {
+ShardedSimulation::PostResult ShardedSimulation::Post(
+    int from_shard, int to_shard, TimeNs delay, std::function<void()> fn) {
   TABLEAU_CHECK(from_shard >= 0 && from_shard < options_.num_shards);
   TABLEAU_CHECK(to_shard >= 0 && to_shard < options_.num_shards);
-  TABLEAU_CHECK_MSG(delay >= options_.epoch_ns,
-                    "cross-shard delay %lld < epoch %lld breaks the sharding "
-                    "contract",
-                    static_cast<long long>(delay),
-                    static_cast<long long>(options_.epoch_ns));
+  if (delay < options_.epoch_ns) {
+    return PostResult{PostResult::Status::kTooEarly, options_.epoch_ns};
+  }
   const auto sender = static_cast<std::size_t>(from_shard);
   outbox_[sender].push_back(Message{shard(from_shard).Now() + delay,
                                     from_shard, next_seq_[sender]++, to_shard,
                                     std::move(fn)});
+  return PostResult{};
 }
 
 void ShardedSimulation::DeliverPending() {
@@ -76,14 +75,27 @@ void ShardedSimulation::RunEpoch(TimeNs epoch_end) {
     return;
   }
   // Shards are causally independent within an epoch (see header), so the
-  // engines may run concurrently; the barrier is the join.
+  // engines may run concurrently; the barrier is the join. With a bounded
+  // worker count the engines are split into contiguous ranges, one per
+  // worker, each range run serially — the partition only changes which
+  // thread hosts which engine, never the per-engine event order.
+  std::size_t workers_wanted = options_.num_threads > 0
+                                   ? static_cast<std::size_t>(options_.num_threads)
+                                   : engines_.size();
+  workers_wanted = std::min(workers_wanted, engines_.size());
+  const std::size_t per_worker =
+      (engines_.size() + workers_wanted - 1) / workers_wanted;
   std::vector<std::thread> workers;
-  workers.reserve(engines_.size() - 1);
-  for (std::size_t i = 1; i < engines_.size(); ++i) {
-    workers.emplace_back(
-        [engine = engines_[i].get(), epoch_end] { engine->RunUntil(epoch_end); });
+  workers.reserve(workers_wanted - 1);
+  const auto run_range = [this, epoch_end](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end && i < engines_.size(); ++i) {
+      engines_[i]->RunUntil(epoch_end);
+    }
+  };
+  for (std::size_t w = 1; w < workers_wanted; ++w) {
+    workers.emplace_back(run_range, w * per_worker, (w + 1) * per_worker);
   }
-  engines_[0]->RunUntil(epoch_end);
+  run_range(0, per_worker);
   for (std::thread& worker : workers) {
     worker.join();
   }

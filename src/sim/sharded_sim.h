@@ -55,6 +55,27 @@ class ShardedSimulation {
     bool sharded = false;
     // Run shard engines on threads within each epoch (requires sharded).
     bool parallel = false;
+    // Worker threads for parallel epochs (<= 0: one thread per shard).
+    // Shards are partitioned into contiguous ranges, one range per worker,
+    // and each worker runs its range serially — purely an execution-cost
+    // knob; the epoch barrier and message merge are unchanged, so results
+    // are byte-identical for any thread count (tests/fleet_test.cc).
+    int num_threads = 0;
+  };
+
+  // Outcome of a cross-shard Post. The sharding contract requires the
+  // message latency to be at least one epoch (so delivery stays behind the
+  // receiving shard's clock); a too-early post is *rejected*, not adjusted,
+  // and the caller decides whether to re-post with `required_delay` or treat
+  // the attempt as a policy error. External control planes (src/fleet) probe
+  // this result instead of learning the rule via assert.
+  struct PostResult {
+    enum class Status { kAccepted, kTooEarly };
+    Status status = Status::kAccepted;
+    // Minimum delay that would have been accepted (== epoch_ns); only
+    // meaningful when status == kTooEarly.
+    TimeNs required_delay = 0;
+    bool ok() const { return status == Status::kAccepted; }
   };
 
   explicit ShardedSimulation(const Options& options);
@@ -74,12 +95,14 @@ class ShardedSimulation {
   TimeNs Now() const { return barrier_; }
 
   // Posts `fn` to run on `to_shard` at `delay` ns after `from_shard`'s
-  // current local time. `delay` must be >= epoch_ns: that is the sharding
-  // contract that keeps delivery behind the receiving shard's clock.
-  // Delivery order among messages due at the same instant is
+  // current local time. `delay` must be >= epoch_ns — the sharding contract
+  // that keeps delivery behind the receiving shard's clock; a shorter delay
+  // returns PostResult{kTooEarly, epoch_ns} and enqueues nothing (`fn` is
+  // dropped). Shard indices out of range are a programming error and still
+  // abort. Delivery order among messages due at the same instant is
   // (sender shard, send seq) — deterministic and mode-independent.
-  void Post(int from_shard, int to_shard, TimeNs delay,
-            std::function<void()> fn);
+  [[nodiscard]] PostResult Post(int from_shard, int to_shard, TimeNs delay,
+                                std::function<void()> fn);
 
   // Advances all shards to `until` in epoch steps, delivering cross-shard
   // messages at each barrier.

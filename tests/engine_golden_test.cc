@@ -13,9 +13,6 @@
 namespace tableau {
 namespace {
 
-using bench::AttachBackground;
-using bench::Background;
-using bench::BackgroundWorkloads;
 
 // FNV-1a over every retained trace record plus the run's aggregate counters.
 std::uint64_t Fingerprint(const Scenario& scenario) {
@@ -47,7 +44,7 @@ std::uint64_t RunOne(SchedKind kind, bool capped) {
   Scenario scenario = BuildScenario(config);
   scenario.machine->trace().set_enabled(true);
   scenario.vantage->EnableInstrumentation();
-  CpuHogWorkload loop(scenario.machine.get(), scenario.vantage);
+  CpuHogWorkload loop(scenario.machine, scenario.vantage);
   loop.Start(0);
   BackgroundWorkloads background;
   AttachBackground(scenario, Background::kIo, 1, background);

@@ -169,13 +169,13 @@ TEST(FaultInjector, PlannerOutcomeSplitsOneRoll) {
 std::uint64_t RunAndFingerprint(const ScenarioConfig& config, TimeNs duration) {
   Scenario scenario = BuildScenario(config);
   scenario.machine->trace().set_enabled(true);
-  CpuHogWorkload hog(scenario.machine.get(), scenario.vantage);
+  CpuHogWorkload hog(scenario.machine, scenario.vantage);
   hog.Start(0);
   std::vector<std::unique_ptr<StressIoWorkload>> io;
   for (std::size_t i = 1; i < scenario.vcpus.size(); ++i) {
     StressIoWorkload::Config io_config;
     io_config.seed = i + 1;
-    io.push_back(std::make_unique<StressIoWorkload>(scenario.machine.get(),
+    io.push_back(std::make_unique<StressIoWorkload>(scenario.machine,
                                                     scenario.vcpus[i], io_config));
     io.back()->Start(0);
   }

@@ -52,7 +52,7 @@ TEST_P(SchedulerFuzz, RandomWorkloadMixObeysInvariants) {
     switch (rng.UniformInt(0, 3)) {
       case 0:
         hogs.push_back(
-            std::make_unique<CpuHogWorkload>(scenario.machine.get(), scenario.vcpus[i]));
+            std::make_unique<CpuHogWorkload>(scenario.machine, scenario.vcpus[i]));
         hogs.back()->Start(0);
         break;
       case 1: {
@@ -62,29 +62,29 @@ TEST_P(SchedulerFuzz, RandomWorkloadMixObeysInvariants) {
         }
         stress_config.seed = param.seed * 1000 + i;
         stress.push_back(std::make_unique<StressIoWorkload>(
-            scenario.machine.get(), scenario.vcpus[i], stress_config));
+            scenario.machine, scenario.vcpus[i], stress_config));
         stress.back()->Start(0);
         break;
       }
       case 2: {
-        guests.push_back(std::make_unique<WorkQueueGuest>(scenario.machine.get(),
+        guests.push_back(std::make_unique<WorkQueueGuest>(scenario.machine,
                                                           scenario.vcpus[i]));
         SystemNoiseWorkload::Config noise_config;
         noise_config.seed = param.seed * 1000 + i;
         noise.push_back(std::make_unique<SystemNoiseWorkload>(
-            scenario.machine.get(), guests.back().get(), noise_config));
+            scenario.machine, guests.back().get(), noise_config));
         noise.back()->Start(0);
         break;
       }
       default: {
-        guests.push_back(std::make_unique<WorkQueueGuest>(scenario.machine.get(),
+        guests.push_back(std::make_unique<WorkQueueGuest>(scenario.machine,
                                                           scenario.vcpus[i]));
         PingTraffic::Config ping_config;
         ping_config.threads = 2;
         ping_config.pings_per_thread = 200;
         ping_config.max_spacing = 8 * kMillisecond;
         ping_config.seed = param.seed * 1000 + i;
-        pings.push_back(std::make_unique<PingTraffic>(scenario.machine.get(),
+        pings.push_back(std::make_unique<PingTraffic>(scenario.machine,
                                                       guests.back().get(), ping_config));
         pings.back()->Start(0);
         break;

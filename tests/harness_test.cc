@@ -115,7 +115,7 @@ TEST(Harness, GangVmImprovesPhaseThroughput) {
     }
     GangWorkload::Config gang_config;
     gang_config.phase_cpu = 500 * kMicrosecond;
-    GangWorkload workload(scenario.machine.get(),
+    GangWorkload workload(scenario.machine,
                           {scenario.vcpus[0], scenario.vcpus[1]}, gang_config);
     workload.Start(0);
     scenario.machine->Start();

@@ -29,7 +29,7 @@ void AttachStress(Scenario& scenario, std::vector<std::unique_ptr<StressIoWorklo
   for (std::size_t i = first_vcpu; i < scenario.vcpus.size(); ++i) {
     StressIoWorkload::Config config;
     config.seed = i + 1;
-    out.push_back(std::make_unique<StressIoWorkload>(scenario.machine.get(),
+    out.push_back(std::make_unique<StressIoWorkload>(scenario.machine,
                                                      scenario.vcpus[i], config));
     out.back()->Start(0);
   }
@@ -82,7 +82,7 @@ TEST(Integration, TableauCappedVantageBoundedDelayUnderIoStress) {
   // of background workload.
   Scenario scenario = BuildScenario(SmallConfig(SchedKind::kTableau, /*capped=*/true));
   scenario.vantage->EnableInstrumentation();
-  CpuHogWorkload vantage_loop(scenario.machine.get(), scenario.vantage);
+  CpuHogWorkload vantage_loop(scenario.machine, scenario.vantage);
   vantage_loop.Start(0);
   std::vector<std::unique_ptr<StressIoWorkload>> stress;
   AttachStress(scenario, stress, 1);
@@ -99,7 +99,7 @@ TEST(Integration, TableauUncappedVantageUsesSecondLevel) {
   // VM's execution were made by the level-2 round-robin scheduler" when the
   // vantage VM is busy and background VMs block frequently.
   Scenario scenario = BuildScenario(SmallConfig(SchedKind::kTableau, /*capped=*/false));
-  CpuHogWorkload vantage_loop(scenario.machine.get(), scenario.vantage);
+  CpuHogWorkload vantage_loop(scenario.machine, scenario.vantage);
   vantage_loop.Start(0);
   std::vector<std::unique_ptr<StressIoWorkload>> stress;
   AttachStress(scenario, stress, 1);
@@ -118,7 +118,7 @@ TEST(Integration, CreditCappedDelaysExceedTableau) {
   for (const SchedKind kind : {SchedKind::kCredit, SchedKind::kTableau}) {
     Scenario scenario = BuildScenario(SmallConfig(kind, /*capped=*/true));
     scenario.vantage->EnableInstrumentation();
-    CpuHogWorkload vantage_loop(scenario.machine.get(), scenario.vantage);
+    CpuHogWorkload vantage_loop(scenario.machine, scenario.vantage);
     vantage_loop.Start(0);
     std::vector<std::unique_ptr<StressIoWorkload>> stress;
     AttachStress(scenario, stress, 1);
@@ -163,7 +163,7 @@ TEST(Integration, PingLatencyCappedScenario) {
     std::vector<std::unique_ptr<WorkQueueGuest>> guests;
     std::vector<std::unique_ptr<SystemNoiseWorkload>> noise;
     for (std::size_t i = 0; i < scenario.vcpus.size(); ++i) {
-      guests.push_back(std::make_unique<WorkQueueGuest>(scenario.machine.get(),
+      guests.push_back(std::make_unique<WorkQueueGuest>(scenario.machine,
                                                         scenario.vcpus[i]));
       SystemNoiseWorkload::Config noise_config;
       noise_config.min_interval = 20 * kMillisecond;
@@ -172,14 +172,14 @@ TEST(Integration, PingLatencyCappedScenario) {
       noise_config.max_burst = 6 * kMillisecond;
       noise_config.seed = i + 1;
       noise.push_back(std::make_unique<SystemNoiseWorkload>(
-          scenario.machine.get(), guests.back().get(), noise_config));
+          scenario.machine, guests.back().get(), noise_config));
       noise.back()->Start(0);
     }
     PingTraffic::Config ping_config;
     ping_config.threads = 4;
     ping_config.pings_per_thread = 500;
     ping_config.max_spacing = 10 * kMillisecond;
-    PingTraffic ping(scenario.machine.get(), guests.front().get(), ping_config);
+    PingTraffic ping(scenario.machine, guests.front().get(), ping_config);
     ping.Start(0);
     scenario.machine->Start();
     scenario.machine->RunFor(8 * kSecond);
@@ -210,11 +210,11 @@ TEST(Integration, WebServerSlaThroughputTableauVsRtds) {
       Scenario scenario = BuildScenario(config);
       WebServerWorkload::Config web_config;
       web_config.file_bytes = 1024;
-      WebServerWorkload server(scenario.machine.get(), scenario.vantage, web_config);
+      WebServerWorkload server(scenario.machine, scenario.vantage, web_config);
       OpenLoopClient::Config client_config;
       client_config.requests_per_sec = rate;
       client_config.duration = 3 * kSecond;
-      OpenLoopClient client(scenario.machine.get(), &server, client_config);
+      OpenLoopClient client(scenario.machine, &server, client_config);
       client.Start(0);
       std::vector<std::unique_ptr<StressIoWorkload>> stress;
       AttachStress(scenario, stress, 1);
@@ -239,7 +239,7 @@ TEST(Integration, CappedSharesMatchReservationAcrossSchedulers) {
     Scenario scenario = BuildScenario(SmallConfig(kind, /*capped=*/true));
     std::vector<std::unique_ptr<CpuHogWorkload>> hogs;
     for (Vcpu* vcpu : scenario.vcpus) {
-      hogs.push_back(std::make_unique<CpuHogWorkload>(scenario.machine.get(), vcpu));
+      hogs.push_back(std::make_unique<CpuHogWorkload>(scenario.machine, vcpu));
       hogs.back()->Start(0);
     }
     scenario.machine->Start();
@@ -257,7 +257,7 @@ TEST(Integration, UncappedWorkConservationAcrossSchedulers) {
   for (const SchedKind kind :
        {SchedKind::kCredit, SchedKind::kCredit2, SchedKind::kTableau}) {
     Scenario scenario = BuildScenario(SmallConfig(kind, /*capped=*/false));
-    CpuHogWorkload hog(scenario.machine.get(), scenario.vantage);
+    CpuHogWorkload hog(scenario.machine, scenario.vantage);
     hog.Start(0);
     scenario.machine->Start();
     scenario.machine->RunFor(2 * kSecond);

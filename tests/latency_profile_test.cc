@@ -84,12 +84,12 @@ TEST(LatencyProfile, PredictsSimulatedPingLatency) {
   Scenario scenario = BuildScenario(config);
   const LatencyProfile profile = AnalyzeWakeupLatency(scenario.plan.table, 0);
 
-  WorkQueueGuest guest(scenario.machine.get(), scenario.vantage);
+  WorkQueueGuest guest(scenario.machine, scenario.vantage);
   PingTraffic::Config ping_config;
   ping_config.threads = 8;
   ping_config.pings_per_thread = 800;
   ping_config.max_spacing = 10 * kMillisecond;
-  PingTraffic ping(scenario.machine.get(), &guest, ping_config);
+  PingTraffic ping(scenario.machine, &guest, ping_config);
   ping.Start(0);
   scenario.machine->Start();
   scenario.machine->RunFor(6 * kSecond);

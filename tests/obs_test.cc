@@ -311,10 +311,10 @@ Scenario RunTracedScenario(bool metrics_enabled) {
   scenario.machine->metrics().set_enabled(metrics_enabled);
   scenario.machine->trace().set_enabled(true);
   scenario.vantage->EnableInstrumentation();
-  CpuHogWorkload loop(scenario.machine.get(), scenario.vantage);
+  CpuHogWorkload loop(scenario.machine, scenario.vantage);
   loop.Start(0);
-  bench::BackgroundWorkloads background;
-  bench::AttachBackground(scenario, bench::Background::kIo, 1, background);
+  BackgroundWorkloads background;
+  AttachBackground(scenario, Background::kIo, 1, background);
   scenario.machine->Start();
   scenario.machine->RunFor(100 * kMillisecond);
   return scenario;

@@ -61,16 +61,17 @@ struct Scenario {
       const int from = c->shard;
       const int to = (c->shard + 1) % sim.num_shards();
       Ctx* target = &c->scenario->ctxs[static_cast<std::size_t>(to)];
-      sim.Post(from, to,
-               sim.epoch_ns() + static_cast<TimeNs>(Lcg(c->rng) % 40000),
-               [target, from] {
-                 ++target->ipis;
-                 Mix(target->fp,
-                     static_cast<std::uint64_t>(
-                         target->scenario->sim.shard(target->shard).Now()));
-                 Mix(target->fp,
-                     0x9e3779b97f4a7c15ull ^ static_cast<std::uint64_t>(from));
-               });
+      const ShardedSimulation::PostResult posted = sim.Post(
+          from, to, sim.epoch_ns() + static_cast<TimeNs>(Lcg(c->rng) % 40000),
+          [target, from] {
+            ++target->ipis;
+            Mix(target->fp,
+                static_cast<std::uint64_t>(
+                    target->scenario->sim.shard(target->shard).Now()));
+            Mix(target->fp,
+                0x9e3779b97f4a7c15ull ^ static_cast<std::uint64_t>(from));
+          });
+      TABLEAU_CHECK(posted.ok());
     }
     engine.Arm(c->timer,
                engine.Now() + 1 + static_cast<TimeNs>(Lcg(c->rng) % 20000));
@@ -149,9 +150,9 @@ TEST(ShardedSim, MessagePostedAtSetupArrivesAtExactDueTime) {
     ShardedSimulation::Options options = MakeOptions(sharded, false);
     ShardedSimulation sim(options);
     TimeNs arrived_at = -1;
-    sim.Post(0, 1, options.epoch_ns, [&sim, &arrived_at] {
-      arrived_at = sim.shard(1).Now();
-    });
+    ASSERT_TRUE(sim.Post(0, 1, options.epoch_ns, [&sim, &arrived_at] {
+                     arrived_at = sim.shard(1).Now();
+                   }).ok());
     sim.RunUntil(4 * options.epoch_ns);
     EXPECT_EQ(arrived_at, options.epoch_ns) << "sharded=" << sharded;
   }
@@ -168,11 +169,31 @@ TEST(ShardedSim, EpochBarriersAdvanceTheAgreedClock) {
   EXPECT_EQ(sim.Now(), 10 * sim.epoch_ns() + sim.epoch_ns() / 2);
 }
 
+TEST(ShardedSim, PostBelowEpochIsRejectedWithRequiredDelay) {
+  ShardedSimulation::Options options = MakeOptions(true, false);
+  ShardedSimulation sim(options);
+  int delivered = 0;
+  const ShardedSimulation::PostResult rejected =
+      sim.Post(0, 1, options.epoch_ns - 1, [&delivered] { ++delivered; });
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status, ShardedSimulation::PostResult::Status::kTooEarly);
+  EXPECT_EQ(rejected.required_delay, options.epoch_ns);
+  // The rejected message was dropped, not deferred: nothing fires, and a
+  // re-post at the advertised minimum delay is accepted and delivered.
+  ASSERT_TRUE(
+      sim.Post(0, 1, rejected.required_delay, [&delivered] { ++delivered; })
+          .ok());
+  sim.RunUntil(4 * options.epoch_ns);
+  EXPECT_EQ(delivered, 1);
+}
+
 TEST(ShardedSim, MessageDueSeveralEpochsOutIsDeliveredOnce) {
   ShardedSimulation::Options options = MakeOptions(true, false);
   ShardedSimulation sim(options);
   int delivered = 0;
-  sim.Post(2, 0, 5 * options.epoch_ns + 123, [&delivered] { ++delivered; });
+  ASSERT_TRUE(
+      sim.Post(2, 0, 5 * options.epoch_ns + 123, [&delivered] { ++delivered; })
+          .ok());
   sim.RunUntil(20 * options.epoch_ns);
   EXPECT_EQ(delivered, 1);
 }

@@ -343,7 +343,7 @@ struct TelemetryRun {
   std::unique_ptr<Telemetry> telemetry;
   std::unique_ptr<WorkQueueGuest> guest;
   std::unique_ptr<PingTraffic> ping;
-  bench::BackgroundWorkloads background;
+  BackgroundWorkloads background;
   std::uint64_t spans_checked = 0;
   std::uint64_t span_mismatches = 0;
 };
@@ -383,19 +383,19 @@ TelemetryRun RunPingScenario(SchedKind kind, bool with_telemetry,
         });
   }
 
-  run.guest = std::make_unique<WorkQueueGuest>(run.scenario.machine.get(),
+  run.guest = std::make_unique<WorkQueueGuest>(run.scenario.machine,
                                                run.scenario.vantage);
   PingTraffic::Config ping_config;
   ping_config.threads = 4;
   ping_config.pings_per_thread = 200;
   ping_config.max_spacing = 4 * kMillisecond;
-  run.ping = std::make_unique<PingTraffic>(run.scenario.machine.get(),
+  run.ping = std::make_unique<PingTraffic>(run.scenario.machine,
                                            run.guest.get(), ping_config);
   if (with_telemetry) {
     run.ping->AttachTelemetry(run.telemetry.get());
   }
   run.ping->Start(0);
-  bench::AttachBackground(run.scenario, bench::Background::kIo, 1, run.background);
+  AttachBackground(run.scenario, Background::kIo, 1, run.background);
 
   run.scenario.machine->Start();
   run.scenario.machine->RunFor(kRunFor);

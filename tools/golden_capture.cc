@@ -55,7 +55,7 @@ std::uint64_t RunOne(SchedKind kind, bool capped) {
   Scenario scenario = BuildScenario(config);
   scenario.machine->trace().set_enabled(true);
   scenario.vantage->EnableInstrumentation();
-  CpuHogWorkload loop(scenario.machine.get(), scenario.vantage);
+  CpuHogWorkload loop(scenario.machine, scenario.vantage);
   loop.Start(0);
   BackgroundWorkloads background;
   AttachBackground(scenario, Background::kIo, 1, background);

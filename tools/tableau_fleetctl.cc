@@ -1,0 +1,263 @@
+// tableau_fleetctl: command-line front end to the fleet simulation — run a
+// multi-host cluster with the placement/migration control plane, describe
+// the resulting placement, or assert execution-mode determinism.
+//
+// Usage:
+//   tableau_fleetctl run      [options]   Run and print the fleet summary.
+//   tableau_fleetctl describe [options]   Run, then print per-host placement
+//                                         and every VM's control-plane state.
+//   Options:
+//     --hosts N --cpus N --cores-per-socket K --slots N   fleet shape
+//     --vms N --utilization U --rps R --service-us S      reservation stream
+//     --latency-goal-ms L --arrival-spread-ms A
+//     --surge-vms N --surge-at-ms T --surge-factor F      scripted overload
+//     --first-fit                                         packing policy
+//     --seconds S --seed S
+//     --sharded [--parallel [--threads T]]                execution mode
+//     --json FILE                                         metrics snapshot out
+//     --check-determinism   re-run serial + sharded-parallel + repeat and
+//                           fail unless fingerprints and merged metrics are
+//                           byte-identical (exit 1 on violation)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/harness/fleet_scenario.h"
+
+using namespace tableau;
+
+namespace {
+
+struct Options {
+  FleetScenarioConfig fleet;
+  double seconds = 0.5;
+  bool check_determinism = false;
+  bool describe = false;
+  std::string json_out;
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s run|describe [--hosts N] [--cpus N] [--cores-per-socket K]\n"
+               "          [--slots N] [--vms N] [--utilization U] [--rps R]\n"
+               "          [--service-us S] [--latency-goal-ms L] [--arrival-spread-ms A]\n"
+               "          [--surge-vms N] [--surge-at-ms T] [--surge-factor F]\n"
+               "          [--first-fit] [--seconds S] [--seed S] [--sharded]\n"
+               "          [--parallel] [--threads T] [--json FILE] [--check-determinism]\n",
+               argv0);
+  std::exit(2);
+}
+
+Options Parse(int argc, char** argv) {
+  Options options;
+  if (argc < 2) {
+    Usage(argv[0]);
+  }
+  if (std::strcmp(argv[1], "run") == 0) {
+    options.describe = false;
+  } else if (std::strcmp(argv[1], "describe") == 0) {
+    options.describe = true;
+  } else {
+    Usage(argv[0]);
+  }
+  FleetScenarioConfig& fleet = options.fleet;
+  for (int arg = 2; arg < argc; ++arg) {
+    const char* current = argv[arg];
+    auto value = [&]() -> const char* {
+      if (arg + 1 >= argc) {
+        Usage(argv[0]);
+      }
+      return argv[++arg];
+    };
+    if (std::strcmp(current, "--hosts") == 0) {
+      fleet.num_hosts = std::atoi(value());
+    } else if (std::strcmp(current, "--cpus") == 0) {
+      fleet.cpus_per_host = std::atoi(value());
+    } else if (std::strcmp(current, "--cores-per-socket") == 0) {
+      fleet.cores_per_socket = std::atoi(value());
+    } else if (std::strcmp(current, "--slots") == 0) {
+      fleet.slots_per_core = std::atoi(value());
+    } else if (std::strcmp(current, "--vms") == 0) {
+      fleet.num_vms = std::atoi(value());
+    } else if (std::strcmp(current, "--utilization") == 0) {
+      fleet.utilization = std::atof(value());
+    } else if (std::strcmp(current, "--rps") == 0) {
+      fleet.requests_per_sec = std::atof(value());
+    } else if (std::strcmp(current, "--service-us") == 0) {
+      fleet.service_ns = static_cast<TimeNs>(std::atof(value()) * kMicrosecond);
+    } else if (std::strcmp(current, "--latency-goal-ms") == 0) {
+      fleet.latency_goal = static_cast<TimeNs>(std::atof(value()) * kMillisecond);
+    } else if (std::strcmp(current, "--arrival-spread-ms") == 0) {
+      fleet.arrival_spread = static_cast<TimeNs>(std::atof(value()) * kMillisecond);
+    } else if (std::strcmp(current, "--surge-vms") == 0) {
+      fleet.surge_vms = std::atoi(value());
+    } else if (std::strcmp(current, "--surge-at-ms") == 0) {
+      fleet.surge_at = static_cast<TimeNs>(std::atof(value()) * kMillisecond);
+    } else if (std::strcmp(current, "--surge-factor") == 0) {
+      fleet.surge_factor = std::atof(value());
+    } else if (std::strcmp(current, "--first-fit") == 0) {
+      fleet.placement = fleet::PlacementPolicy::kFirstFit;
+    } else if (std::strcmp(current, "--seconds") == 0) {
+      options.seconds = std::atof(value());
+    } else if (std::strcmp(current, "--seed") == 0) {
+      fleet.seed = static_cast<std::uint64_t>(std::atoll(value()));
+    } else if (std::strcmp(current, "--sharded") == 0) {
+      fleet.sharded = true;
+    } else if (std::strcmp(current, "--parallel") == 0) {
+      fleet.sharded = true;
+      fleet.parallel = true;
+    } else if (std::strcmp(current, "--threads") == 0) {
+      fleet.num_threads = std::atoi(value());
+    } else if (std::strcmp(current, "--json") == 0) {
+      options.json_out = value();
+    } else if (std::strcmp(current, "--check-determinism") == 0) {
+      options.check_determinism = true;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  return options;
+}
+
+struct FleetRun {
+  std::uint64_t fingerprint = 0;
+  std::string metrics_json;
+  fleet::Cluster::SloSummary slo;
+  int migrations = 0;
+};
+
+FleetRun Execute(const FleetScenarioConfig& config, TimeNs duration) {
+  fleet::Cluster cluster(BuildFleetConfig(config));
+  cluster.Start();
+  cluster.RunUntil(duration);
+  FleetRun run;
+  run.fingerprint = cluster.Fingerprint();
+  run.metrics_json = cluster.MergedMetrics().ToJson(/*indent=*/2);
+  run.slo = cluster.Slo();
+  run.migrations = static_cast<int>(cluster.migrations().size());
+  return run;
+}
+
+void PrintSummary(const fleet::Cluster& cluster) {
+  const fleet::Cluster::SloSummary slo = cluster.Slo();
+  std::printf("fleet: %d hosts, %d VMs admitted, %d rejected, %zu migrations\n",
+              cluster.num_hosts(), slo.vms_admitted, slo.vms_rejected,
+              cluster.migrations().size());
+  std::printf("slo:   %llu requests, %llu misses, attainment %.4f%% (worst VM %.4f%%)\n",
+              static_cast<unsigned long long>(slo.requests),
+              static_cast<unsigned long long>(slo.misses), 100.0 * slo.attainment,
+              100.0 * slo.worst_vm_attainment);
+  std::printf("fingerprint: %016llx\n",
+              static_cast<unsigned long long>(cluster.Fingerprint()));
+}
+
+const char* StatusName(fleet::Cluster::VmState::Status status) {
+  switch (status) {
+    case fleet::Cluster::VmState::Status::kPending:
+      return "pending";
+    case fleet::Cluster::VmState::Status::kActive:
+      return "active";
+    case fleet::Cluster::VmState::Status::kDraining:
+      return "draining";
+    case fleet::Cluster::VmState::Status::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+void Describe(fleet::Cluster& cluster, const FleetScenarioConfig& config) {
+  for (int h = 0; h < cluster.num_hosts(); ++h) {
+    fleet::Host& host = cluster.host(h);
+    std::printf("host %-3d %2d pCPUs, %3d/%3d slots free, committed %5.2f cores",
+                h, host.config().num_cpus, host.free_slots(), host.num_slots(),
+                host.committed());
+    if (host.plan().success) {
+      std::printf(", table: %s, %zu reservations",
+                  PlanMethodName(host.plan().method), host.plan().requests.size());
+    } else {
+      std::printf(", table: empty");
+    }
+    std::printf("\n");
+  }
+  for (int vm = 0; vm < config.num_vms; ++vm) {
+    const fleet::Cluster::VmState& state = cluster.vm_state(vm);
+    const fleet::VmStream& stream = cluster.stream(vm);
+    std::printf(
+        "vm %-4d %-8s host %-3d slot %-3d migrations %d  posted %llu completed "
+        "%llu misses %llu\n",
+        vm, StatusName(state.status), state.host, state.slot, state.migrations,
+        static_cast<unsigned long long>(stream.posted()),
+        static_cast<unsigned long long>(stream.completed()),
+        static_cast<unsigned long long>(stream.misses()));
+  }
+}
+
+int CheckDeterminism(const Options& options, TimeNs duration) {
+  struct Mode {
+    const char* name;
+    bool sharded;
+    bool parallel;
+  };
+  const std::vector<Mode> modes = {
+      {"serial", false, false},
+      {"sharded", true, false},
+      {"parallel", true, true},
+      {"repeat", false, false},
+  };
+  std::vector<FleetRun> runs;
+  for (const Mode& mode : modes) {
+    FleetScenarioConfig config = options.fleet;
+    config.sharded = mode.sharded;
+    config.parallel = mode.parallel;
+    if (mode.parallel && config.num_threads <= 0) {
+      config.num_threads = 2;
+    }
+    runs.push_back(Execute(config, duration));
+    std::printf("%-10s fingerprint %016llx  requests %llu  migrations %d\n",
+                mode.name, static_cast<unsigned long long>(runs.back().fingerprint),
+                static_cast<unsigned long long>(runs.back().slo.requests),
+                runs.back().migrations);
+  }
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    if (runs[i].fingerprint != runs[0].fingerprint ||
+        runs[i].metrics_json != runs[0].metrics_json) {
+      std::fprintf(stderr, "determinism violation: %s differs from serial\n",
+                   modes[i].name);
+      return 1;
+    }
+  }
+  std::printf("determinism: ok (fingerprints and merged metrics identical)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = Parse(argc, argv);
+  const TimeNs duration = static_cast<TimeNs>(options.seconds * kSecond);
+
+  if (options.check_determinism) {
+    return CheckDeterminism(options, duration);
+  }
+
+  fleet::Cluster cluster(BuildFleetConfig(options.fleet));
+  cluster.Start();
+  cluster.RunUntil(duration);
+  PrintSummary(cluster);
+  if (options.describe) {
+    Describe(cluster, options.fleet);
+  }
+  if (!options.json_out.empty()) {
+    std::ofstream out(options.json_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", options.json_out.c_str());
+      return 1;
+    }
+    out << cluster.MergedMetrics().ToJson(/*indent=*/2) << "\n";
+    std::printf("wrote merged metrics to %s\n", options.json_out.c_str());
+  }
+  return 0;
+}

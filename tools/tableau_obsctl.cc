@@ -89,12 +89,12 @@ RunResult RunScenario(const Options& options, bool telemetry_enabled) {
   run.telemetry->set_enabled(telemetry_enabled);
   AttachTelemetry(run.scenario, run.telemetry.get());
 
-  run.vantage_guest = std::make_unique<WorkQueueGuest>(run.scenario.machine.get(),
+  run.vantage_guest = std::make_unique<WorkQueueGuest>(run.scenario.machine,
                                                        run.scenario.vantage);
   SystemNoiseWorkload::Config noise_config;
   noise_config.seed = 1;
   run.vantage_noise = std::make_unique<SystemNoiseWorkload>(
-      run.scenario.machine.get(), run.vantage_guest.get(), noise_config);
+      run.scenario.machine, run.vantage_guest.get(), noise_config);
   run.vantage_noise->Start(0);
   AttachBackground(run.scenario, Background::kIo, 1, run.background);
 
@@ -102,7 +102,7 @@ RunResult RunScenario(const Options& options, bool telemetry_enabled) {
   ping_config.threads = 4;
   ping_config.pings_per_thread = 1 << 20;  // Bounded by the horizon, not count.
   ping_config.max_spacing = 10 * kMillisecond;
-  run.ping = std::make_unique<PingTraffic>(run.scenario.machine.get(),
+  run.ping = std::make_unique<PingTraffic>(run.scenario.machine,
                                            run.vantage_guest.get(), ping_config);
   run.ping->AttachTelemetry(run.telemetry.get());
   run.ping->Start(0);

@@ -1,7 +1,10 @@
 // tableau_planctl: command-line front end to the Tableau planner — the
 // standalone analog of the paper's dom0 userspace planner daemon. It plans
-// configurations, writes tables in the binary "hypercall" format the
-// dispatcher consumes, and inspects existing table files.
+// configurations through the redesigned single entry point
+// (Planner::Solve(PlanRequest), the same funnel the harness and the fleet
+// control plane use), writes tables in the binary "hypercall" format the
+// dispatcher consumes, and inspects existing table files. For multi-host
+// placement and migration, see tableau_fleetctl.
 //
 // Usage:
 //   tableau_planctl plan --cpus N [--cores-per-socket K] [--peephole]

@@ -59,7 +59,7 @@ Scenario RunScenario(const Options& options, bool metrics_enabled) {
   scenario.vantage->EnableInstrumentation();
   // Workloads must outlive the run but not the scenario; keep them static-free
   // by running inside this scope.
-  CpuHogWorkload loop(scenario.machine.get(), scenario.vantage);
+  CpuHogWorkload loop(scenario.machine, scenario.vantage);
   loop.Start(0);
   BackgroundWorkloads background;
   AttachBackground(scenario, Background::kIo, 1, background);
