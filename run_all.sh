@@ -46,3 +46,11 @@ build/tools/tableau_tracedump --scheduler tableau --cpus 2 --seconds 0.2 \
 build/tools/tableau_fleetctl run --hosts 4 --cpus 4 --slots 2 --vms 8 \
     --surge-vms 1 --surge-at-ms 100 --surge-factor 6 --seconds 0.5 \
     --check-determinism
+
+# Adaptive reservations smoke: the elastic control loop must stay
+# execution-mode deterministic, and the elastic-vs-static acceptance bench
+# reruns with the TableVerifier auditing every table the resize loop
+# installs (the bench loop above already produced BENCH_adaptive.json and
+# gated elastic >= static packing at no SLO cost).
+build/tools/tableau_adaptctl run --seconds 3 --vms 16 --check-determinism
+TABLEAU_VERIFY_TABLES=1 build/bench/bench_adaptive

@@ -1,0 +1,154 @@
+#include "src/adapt/controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace tableau::adapt {
+
+AdaptiveController::AdaptiveController(PolicyConfig config) : config_(config) {
+  TABLEAU_CHECK(config_.headroom >= 1.0);
+  TABLEAU_CHECK(config_.quantize > 0);
+  TABLEAU_CHECK(config_.grow_deadband >= 0 && config_.shrink_deadband >= 0);
+  TABLEAU_CHECK(config_.cooldown_windows >= 0);
+  TABLEAU_CHECK(config_.saturation_growth >= 1.0);
+}
+
+AdaptiveController::VmState& AdaptiveController::StateOf(int vm) {
+  TABLEAU_CHECK(vm >= 0 && static_cast<std::size_t>(vm) < vms_.size());
+  return vms_[static_cast<std::size_t>(vm)];
+}
+
+const AdaptiveController::VmState& AdaptiveController::StateOf(int vm) const {
+  TABLEAU_CHECK(vm >= 0 && static_cast<std::size_t>(vm) < vms_.size());
+  return vms_[static_cast<std::size_t>(vm)];
+}
+
+void AdaptiveController::BindVm(int vm, double initial_utilization,
+                                const VmLimits& limits) {
+  TABLEAU_CHECK(vm >= 0);
+  if (static_cast<std::size_t>(vm) >= vms_.size()) {
+    vms_.resize(static_cast<std::size_t>(vm) + 1);
+  }
+  VmState& state = vms_[static_cast<std::size_t>(vm)];
+  TABLEAU_CHECK_MSG(!state.bound, "vm %d already bound", vm);
+  TABLEAU_CHECK(limits.min_utilization > 0 &&
+                limits.min_utilization <= limits.max_utilization);
+  state.bound = true;
+  state.reservation = initial_utilization;
+  state.limits = limits;
+  state.cooldown_left = 0;
+  state.predictor = DemandPredictor(config_.predictor);
+}
+
+void AdaptiveController::UnbindVm(int vm) {
+  VmState& state = StateOf(vm);
+  TABLEAU_CHECK(state.bound);
+  state = VmState{};
+}
+
+bool AdaptiveController::bound(int vm) const {
+  return vm >= 0 && static_cast<std::size_t>(vm) < vms_.size() &&
+         vms_[static_cast<std::size_t>(vm)].bound;
+}
+
+double AdaptiveController::reservation(int vm) const {
+  return StateOf(vm).reservation;
+}
+
+const VmLimits& AdaptiveController::limits(int vm) const {
+  return StateOf(vm).limits;
+}
+
+AdaptiveController::Decision AdaptiveController::ObserveWindow(
+    int vm, bool has_data, double supply_fraction, double demand_fraction) {
+  VmState& state = StateOf(vm);
+  TABLEAU_CHECK(state.bound);
+  ++counters_.observations;
+
+  Decision decision;
+  if (!has_data) {
+    // An idle window is not evidence of zero demand — the VM may simply be
+    // between requests. Hold, and leave the predictor untouched so the
+    // retained quantiles still describe the VM when traffic returns.
+    ++counters_.no_data;
+    ++counters_.holds;
+    decision.no_data = true;
+    return decision;
+  }
+
+  state.predictor.Observe(std::max(supply_fraction, 0.0));
+  decision.saturated = demand_fraction >= config_.saturation_threshold;
+  if (decision.saturated) {
+    ++counters_.saturated;
+  }
+  if (state.cooldown_left > 0) {
+    --state.cooldown_left;
+    ++counters_.cooldown_holds;
+    ++counters_.holds;
+    return decision;
+  }
+
+  double target = state.predictor.Predict().demand * config_.headroom;
+  if (decision.saturated) {
+    // Supply saturated the window, so the fit only sees the ceiling; probe
+    // upward multiplicatively until the backlog drains.
+    target = std::max(target, state.reservation * config_.saturation_growth);
+  }
+  // Shrink floor: never below the demand the VM has recently demonstrated.
+  target = std::max(target, state.predictor.Quantile(config_.floor_quantile));
+  target = std::clamp(target, state.limits.min_utilization,
+                      state.limits.max_utilization);
+  // Quantize up to the grid, then re-clamp (the ceil can overshoot max).
+  target = std::ceil(target / config_.quantize - 1e-9) * config_.quantize;
+  target = std::clamp(target, state.limits.min_utilization,
+                      state.limits.max_utilization);
+
+  if (target > state.reservation + config_.grow_deadband) {
+    ++counters_.grows;
+    decision.action = Action::kGrow;
+    decision.target = target;
+  } else if (target < state.reservation - config_.shrink_deadband) {
+    ++counters_.shrinks;
+    decision.action = Action::kShrink;
+    decision.target = target;
+  } else {
+    ++counters_.holds;
+  }
+  return decision;
+}
+
+void AdaptiveController::CommitResize(int vm, double utilization) {
+  VmState& state = StateOf(vm);
+  TABLEAU_CHECK(state.bound);
+  state.reservation = utilization;
+  state.cooldown_left = config_.cooldown_windows;
+  ++counters_.commits;
+}
+
+void AdaptiveController::RejectResize(int vm) {
+  VmState& state = StateOf(vm);
+  TABLEAU_CHECK(state.bound);
+  // A failed install also cools down: the planner said no, and hammering it
+  // every window would fight the ReplanController's backoff.
+  state.cooldown_left = config_.cooldown_windows;
+  ++counters_.rejects;
+}
+
+void AdaptiveController::PublishMetrics(obs::MetricsRegistry* registry) const {
+  const auto set = [registry](const char* name, std::uint64_t value) {
+    registry->GetGauge(name)->Set(static_cast<double>(value));
+  };
+  set("adapt.observations", counters_.observations);
+  set("adapt.no_data", counters_.no_data);
+  set("adapt.saturated", counters_.saturated);
+  set("adapt.holds", counters_.holds);
+  set("adapt.cooldown_holds", counters_.cooldown_holds);
+  set("adapt.grows", counters_.grows);
+  set("adapt.shrinks", counters_.shrinks);
+  set("adapt.resizes_installed", counters_.commits);
+  set("adapt.resizes_rejected", counters_.rejects);
+}
+
+}  // namespace tableau::adapt

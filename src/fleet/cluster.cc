@@ -94,6 +94,32 @@ void Cluster::ControlTick(TimeNs now) {
   CompleteDrains(now);
   DetectOverloads(now);
   AdmitArrivals(now);
+  AdaptReservations(now);
+}
+
+void Cluster::AdaptReservations(TimeNs now) {
+  // Controller ticks after admission, in host order: the telemetry window
+  // views were closed by the cadence samples at this same barrier, so the
+  // inputs — and therefore every resize — are execution-mode-independent.
+  for (auto& host : hosts_) {
+    resizes_ += static_cast<std::uint64_t>(host->AdaptTick(now));
+  }
+  // Packing-density sample: how much of the fleet's core capacity the live
+  // reservations hold after this tick's resizes.
+  double committed = 0;
+  double cores = 0;
+  for (const auto& host : hosts_) {
+    committed += host->committed();
+    cores += static_cast<double>(host->config().num_cpus);
+  }
+  committed_fraction_sum_ += cores > 0 ? committed / cores : 0;
+  ++committed_samples_;
+}
+
+double Cluster::AvgCommittedFraction() const {
+  return committed_samples_ == 0
+             ? 0
+             : committed_fraction_sum_ / static_cast<double>(committed_samples_);
 }
 
 void Cluster::PostToHost(int from_host, int to_host, TimeNs delay,
@@ -322,6 +348,7 @@ std::uint64_t Cluster::Fingerprint() const {
     Mix(fp, machine.schedule_invocations());
   }
   Mix(fp, static_cast<std::uint64_t>(migrations_.size()));
+  Mix(fp, resizes_);
   return fp;
 }
 

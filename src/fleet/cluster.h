@@ -129,11 +129,20 @@ class Cluster {
   const std::vector<MigrationRecord>& migrations() const { return migrations_; }
   std::uint64_t control_ticks() const { return control_ticks_; }
 
+  // --- Adaptive reservations (host.adaptive) ---
+  // Total controller-issued resizes installed across all hosts.
+  std::uint64_t resizes() const { return resizes_; }
+  // Mean of (fleet committed utilization / fleet core count) sampled at
+  // every control tick after the adapt phase — the packing-density metric
+  // bench_adaptive compares elastic vs static on.
+  double AvgCommittedFraction() const;
+
  private:
   void ControlTick(TimeNs now);
   void CompleteDrains(TimeNs now);
   void DetectOverloads(TimeNs now);
   void AdmitArrivals(TimeNs now);
+  void AdaptReservations(TimeNs now);
   // Best host for `utilization` under the placement policy, or -1.
   // `exclude` skips one host (migration source).
   int PickHost(double utilization, int exclude) const;
@@ -154,6 +163,9 @@ class Cluster {
   std::vector<MigrationRecord> draining_;  // In-flight (drain phase).
   TimeNs next_tick_ = 0;
   std::uint64_t control_ticks_ = 0;
+  std::uint64_t resizes_ = 0;
+  double committed_fraction_sum_ = 0;
+  std::uint64_t committed_samples_ = 0;
   bool started_ = false;
 };
 

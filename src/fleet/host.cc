@@ -57,6 +57,9 @@ Host::Host(const HostConfig& config) : config_(config) {
       tableau_->PushTable(EmptyTable());
     }
   }
+  if (config_.adaptive) {
+    adaptive_ = std::make_unique<adapt::AdaptiveController>(config_.adapt_policy);
+  }
 }
 
 std::shared_ptr<SchedulingTable> Host::EmptyTable() const {
@@ -140,6 +143,13 @@ int Host::AdmitVm(double utilization, TimeNs latency_goal) {
   state.occupied = true;
   state.utilization = utilization;
   committed_ += utilization;
+  if (adaptive_ != nullptr) {
+    adapt::VmLimits limits;
+    limits.min_utilization = config_.adapt_min_utilization;
+    limits.max_utilization = config_.adapt_max_utilization;
+    limits.latency_goal = latency_goal;
+    adaptive_->BindVm(slot, utilization, limits);
+  }
   return slot;
 }
 
@@ -161,8 +171,94 @@ void Host::RemoveVm(int slot) {
   state.occupied = false;
   committed_ -= state.utilization;
   state.utilization = 0;
+  if (adaptive_ != nullptr) {
+    adaptive_->UnbindVm(slot);
+  }
 }
 
-obs::MetricsSnapshot Host::SnapshotMetrics() { return machine_->SnapshotMetrics(); }
+int Host::ResizeVms(const std::vector<ResizeRequest>& resizes, TimeNs now) {
+  if (resizes.empty() || tableau_ == nullptr) {
+    return 0;
+  }
+  TABLEAU_CHECK(plan_.success);  // Resizes only exist for admitted VMs.
+  if (planner_ == nullptr) {
+    planner_ = std::make_unique<Planner>(planner_config());
+  }
+  if (replan_ == nullptr) {
+    replan_ = std::make_unique<ReplanController>(planner_.get(),
+                                                 ReplanController::Config{});
+    replan_->AttachMetrics(&machine_->metrics());
+  }
+  // One delta solve for the whole batch: every resized vCPU departs and
+  // re-enters with its new (U, L) request.
+  std::vector<VcpuRequest> added;
+  std::vector<VcpuId> departed;
+  added.reserve(resizes.size());
+  departed.reserve(resizes.size());
+  for (const ResizeRequest& resize : resizes) {
+    Slot& state = slots_[static_cast<std::size_t>(resize.slot)];
+    TABLEAU_CHECK(state.occupied);
+    VcpuRequest request;
+    request.vcpu = state.vcpu->id();
+    request.utilization = resize.utilization;
+    request.latency_goal = adaptive_ != nullptr && adaptive_->bound(resize.slot)
+                               ? adaptive_->limits(resize.slot).latency_goal
+                               : config_.telemetry.slo.target_latency_ns;
+    added.push_back(request);
+    departed.push_back(state.vcpu->id());
+  }
+  const ReplanController::Outcome outcome = replan_->TryReplan(
+      PlanRequest::Delta(plan_, std::move(added), std::move(departed)), now);
+  if (!outcome.installed) {
+    // Backoff-suppressed or failed: keep the previous table (graceful
+    // degradation) and tell the controller so it cools down.
+    if (adaptive_ != nullptr) {
+      for (const ResizeRequest& resize : resizes) {
+        adaptive_->RejectResize(resize.slot);
+      }
+    }
+    return 0;
+  }
+  plan_ = outcome.plan;
+  tableau_->PushTable(std::make_shared<SchedulingTable>(plan_.table));
+  for (const ResizeRequest& resize : resizes) {
+    Slot& state = slots_[static_cast<std::size_t>(resize.slot)];
+    committed_ += resize.utilization - state.utilization;
+    state.utilization = resize.utilization;
+    if (adaptive_ != nullptr) {
+      adaptive_->CommitResize(resize.slot, resize.utilization);
+    }
+  }
+  return static_cast<int>(resizes.size());
+}
+
+int Host::AdaptTick(TimeNs now) {
+  if (adaptive_ == nullptr || telemetry_ == nullptr || !plan_.success) {
+    return 0;
+  }
+  const double window = static_cast<double>(config_.telemetry.window_ns);
+  std::vector<ResizeRequest> pending;
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    const int slot = static_cast<int>(s);
+    if (!slots_[s].occupied || !adaptive_->bound(slot)) {
+      continue;
+    }
+    const obs::Telemetry::VcpuWindowView& view = telemetry_->LastWindowView(slot);
+    const adapt::AdaptiveController::Decision decision = adaptive_->ObserveWindow(
+        slot, view.has_data, static_cast<double>(view.supply_ns) / window,
+        static_cast<double>(view.demand_ns) / window);
+    if (decision.action != adapt::AdaptiveController::Action::kHold) {
+      pending.push_back(ResizeRequest{slot, decision.target});
+    }
+  }
+  return ResizeVms(pending, now);
+}
+
+obs::MetricsSnapshot Host::SnapshotMetrics() {
+  if (adaptive_ != nullptr) {
+    adaptive_->PublishMetrics(&machine_->metrics());
+  }
+  return machine_->SnapshotMetrics();
+}
 
 }  // namespace tableau::fleet

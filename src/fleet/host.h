@@ -21,7 +21,9 @@
 #include <memory>
 #include <vector>
 
+#include "src/adapt/controller.h"
 #include "src/core/planner.h"
+#include "src/core/replan.h"
 #include "src/faults/fault_plan.h"
 #include "src/hypervisor/machine.h"
 #include "src/obs/telemetry.h"
@@ -58,6 +60,16 @@ struct HostConfig {
   // plane's overload detection). Off = the owner attaches telemetry itself.
   bool attach_telemetry = true;
   obs::Telemetry::Config telemetry;
+  // Closed-loop adaptive reservations (src/adapt): when on, every admitted
+  // VM is bound to an AdaptiveController and AdaptTick() — called by the
+  // cluster at control barriers — resizes reservations through the
+  // planner's delta path under ReplanController backoff. Off by default:
+  // a detached controller leaves the host byte-identical to PR 9.
+  bool adaptive = false;
+  adapt::PolicyConfig adapt_policy;
+  // Per-VM resize clamps handed to the controller at admission.
+  double adapt_min_utilization = 1.0 / 32;
+  double adapt_max_utilization = 1.0;
 };
 
 class Host {
@@ -97,6 +109,26 @@ class Host {
   // slot. The caller must have drained the slot's guest work first.
   void RemoveVm(int slot);
 
+  // --- Adaptive reservations (config().adaptive) ---
+
+  adapt::AdaptiveController* adaptive() { return adaptive_.get(); }
+
+  // One controller tick at a deterministic barrier: reads every occupied
+  // slot's last telemetry window view, feeds the controller, and applies
+  // the non-hold decisions through ResizeVms. Returns resizes installed.
+  int AdaptTick(TimeNs now);
+
+  struct ResizeRequest {
+    int slot = -1;
+    double utilization = 0;
+  };
+  // Applies a batch of reservation resizes as ONE delta solve (departed =
+  // resized vCPUs, added = their new requests) under ReplanController
+  // backoff; a failure (or a still-open backoff window) keeps the previous
+  // table for the whole batch. Reports CommitResize/RejectResize back to
+  // the controller. Returns the number of resizes installed (all or none).
+  int ResizeVms(const std::vector<ResizeRequest>& resizes, TimeNs now);
+
   bool slot_occupied(int slot) const {
     return slots_[static_cast<std::size_t>(slot)].occupied;
   }
@@ -132,6 +164,10 @@ class Host {
   TableauScheduler* tableau_ = nullptr;
   std::unique_ptr<obs::Telemetry> telemetry_;
   std::unique_ptr<Planner> planner_;
+  // Backoff wrapper for controller-issued resizes (lazily built with the
+  // planner; replan.* metrics live in the machine registry).
+  std::unique_ptr<ReplanController> replan_;
+  std::unique_ptr<adapt::AdaptiveController> adaptive_;
   PlanResult plan_;
   std::vector<Slot> slots_;
   double committed_ = 0;

@@ -61,10 +61,20 @@ void VmStream::OnTick() {
 
 void VmStream::PostRequest(std::uint64_t k) {
   const TimeNs intended = Intended(k);
-  TimeNs service = spec_.service_ns;
-  if (intended >= spec_.surge_at) {
-    service = static_cast<TimeNs>(static_cast<double>(service) * spec_.surge_factor);
+  double cost = static_cast<double>(spec_.service_ns);
+  if (spec_.shape == DemandShape::kDiurnal && spec_.shape_period > 0) {
+    // Triangle wave over the intended-arrival clock: position in the period
+    // maps to a multiplier ramping shape_min -> shape_max -> shape_min.
+    const TimeNs pos = (intended + spec_.shape_phase) % spec_.shape_period;
+    const double frac =
+        static_cast<double>(pos) / static_cast<double>(spec_.shape_period);
+    const double tri = frac < 0.5 ? 2.0 * frac : 2.0 * (1.0 - frac);
+    cost *= spec_.shape_min + (spec_.shape_max - spec_.shape_min) * tri;
   }
+  if (intended >= spec_.surge_at && intended < spec_.surge_until) {
+    cost *= spec_.surge_factor;
+  }
+  const TimeNs service = static_cast<TimeNs>(cost);
   obs::Telemetry::RequestMark mark;
   if (telemetry_ != nullptr) {
     mark = telemetry_->BeginRequest(slot_, intended);

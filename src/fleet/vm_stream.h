@@ -21,6 +21,17 @@
 
 namespace tableau::fleet {
 
+// Time-varying per-request cost profile. Cost is a pure function of the
+// request's *intended* arrival time, so the demand curve is identical in
+// every execution mode and across migrations.
+enum class DemandShape {
+  kConstant,
+  // Triangle wave: the service-cost multiplier ramps shape_min -> shape_max
+  // over half of shape_period and back, phase-shifted by shape_phase. The
+  // deterministic stand-in for diurnal tenant load.
+  kDiurnal,
+};
+
 // One VM's reservation and workload shape in the cluster's arrival stream.
 struct VmReservation {
   int vm = 0;  // Fleet-global VM id.
@@ -31,11 +42,19 @@ struct VmReservation {
   TimeNs service_ns = 500 * kMicrosecond;
   // When the VM enters the cluster's admission queue.
   TimeNs arrival = 0;
-  // Scripted overload: requests intended at or after surge_at cost
-  // service_ns * surge_factor, driving the VM's SLO burn past its
-  // reservation and triggering the control plane's migration path.
+  // Scripted overload: requests intended in [surge_at, surge_until) cost
+  // service_ns * surge_factor — an open-ended surge (the default) drives
+  // the migration path; a bounded one models a flash crowd the adaptive
+  // controller must absorb and then give back.
   TimeNs surge_at = kTimeNever;
+  TimeNs surge_until = kTimeNever;
   double surge_factor = 1.0;
+  // Demand shape multiplier stacked under the surge factor.
+  DemandShape shape = DemandShape::kConstant;
+  TimeNs shape_period = kSecond;
+  TimeNs shape_phase = 0;
+  double shape_min = 1.0;
+  double shape_max = 1.0;
 };
 
 class VmStream {

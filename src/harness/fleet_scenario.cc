@@ -16,6 +16,7 @@ fleet::ClusterConfig BuildFleetConfig(const FleetScenarioConfig& config) {
   cluster.control_period = config.control_period;
   cluster.placement = config.placement;
   cluster.max_committed = config.max_committed;
+  cluster.admission_latency = config.admission_latency;
   cluster.migrate_burn_threshold = config.migrate_burn_threshold;
   cluster.min_requests_before_migration = config.min_requests_before_migration;
 
@@ -29,8 +30,14 @@ fleet::ClusterConfig BuildFleetConfig(const FleetScenarioConfig& config) {
   cluster.host.telemetry.slo.window_ns = config.control_period;
   cluster.host.telemetry.slo.target_latency_ns = config.latency_goal;
   // A fleet host has hundreds of slots; skip per-vCPU series (the per-VM
-  // SLO gauges and machine-wide series carry the signal).
+  // SLO gauges and machine-wide series carry the signal; the adaptive
+  // controller's window views come from the attributor, not the recorder).
   cluster.host.telemetry.max_vcpu_series = 0;
+  cluster.host.max_latency_degradations = config.max_latency_degradations;
+  cluster.host.adaptive = config.adaptive;
+  cluster.host.adapt_policy = config.adapt_policy;
+  cluster.host.adapt_min_utilization = config.adapt_min_utilization;
+  cluster.host.adapt_max_utilization = config.adapt_max_utilization;
 
   // Arrival jitter is the only random input, drawn from one seeded stream
   // in vm order — identical across execution modes by construction.
@@ -48,7 +55,16 @@ fleet::ClusterConfig BuildFleetConfig(const FleetScenarioConfig& config) {
     }
     if (vm < config.surge_vms) {
       spec.surge_at = config.surge_at;
+      spec.surge_until = config.surge_until;
       spec.surge_factor = config.surge_factor;
+    }
+    spec.shape = config.shape;
+    spec.shape_period = config.shape_period;
+    spec.shape_min = config.shape_min;
+    spec.shape_max = config.shape_max;
+    if (config.stagger_phases && config.num_vms > 0) {
+      spec.shape_phase = static_cast<TimeNs>(
+          (static_cast<__int128>(config.shape_period) * vm) / config.num_vms);
     }
     cluster.vms.push_back(spec);
   }

@@ -28,6 +28,12 @@ struct FleetScenarioConfig {
   TimeNs control_period = 10 * kMillisecond;
   fleet::PlacementPolicy placement = fleet::PlacementPolicy::kWorstFit;
   double max_committed = 0.9;
+  // Placement-decision-to-activation delay (the placement RPC plus guest
+  // boot). Scenarios that admit VMs mid-run should keep this at or above
+  // two table rounds (~2 * kHyperperiodNs): a pushed table engages at the
+  // current table's round wrap, so a shorter delay has the stream posting
+  // requests before the VM's slices are live (capped hosts leave it dark).
+  TimeNs admission_latency = 200 * kMicrosecond;
   double migrate_burn_threshold = 1.5;
   std::uint64_t min_requests_before_migration = 50;
   // --- VM reservation stream (open-loop constant-rate clients) ---
@@ -41,11 +47,27 @@ struct FleetScenarioConfig {
   TimeNs arrival_spread = 0;
   std::uint64_t seed = 1;
   // Scripted overload: the first `surge_vms` VMs multiply their service
-  // demand by surge_factor from surge_at on — the trigger for the control
-  // plane's overload detection and live migration.
+  // demand by surge_factor over [surge_at, surge_until) — open-ended by
+  // default (the migration trigger); bounded = a flash crowd.
   int surge_vms = 0;
   TimeNs surge_at = kTimeNever;
+  TimeNs surge_until = kTimeNever;
   double surge_factor = 1.0;
+  // --- Demand shape (diurnal load for the adaptive experiments) ---
+  fleet::DemandShape shape = fleet::DemandShape::kConstant;
+  TimeNs shape_period = 800 * kMillisecond;
+  double shape_min = 1.0;
+  double shape_max = 1.0;
+  // Spread VM phases evenly across the period so the fleet-wide aggregate
+  // stays near the diurnal mean while each VM still swings full-range.
+  bool stagger_phases = false;
+  // --- Closed-loop adaptive reservations (src/adapt) ---
+  bool adaptive = false;
+  adapt::PolicyConfig adapt_policy;
+  double adapt_min_utilization = 1.0 / 32;
+  double adapt_max_utilization = 1.0;
+  // Graceful degradation budget for overloaded resizes (PR 4 machinery).
+  int max_latency_degradations = 0;
 };
 
 // Builds the full cluster configuration: per-host telemetry windows aligned

@@ -83,6 +83,12 @@ void Telemetry::Bind(int num_cpus, int num_vcpus, bool table_driven,
   machine_waiting_ = recorder_->DefineSeries(prefix + "machine.runnable_waiting");
   machine_running_ = recorder_->DefineSeries(prefix + "machine.running");
 
+  view_prev_totals_.resize(static_cast<std::size_t>(num_vcpus));
+  for (int v = 0; v < num_vcpus; ++v) {
+    view_prev_totals_[static_cast<std::size_t>(v)] = attributor_.TotalsAt(v, start);
+  }
+  window_views_.resize(static_cast<std::size_t>(num_vcpus));
+
   attribution_hists_.resize(static_cast<std::size_t>(num_vms_));
   latency_hists_.resize(static_cast<std::size_t>(num_vms_));
 }
@@ -171,6 +177,23 @@ void Telemetry::OnCadenceSample(TimeNs at, int runnable_waiting, int running) {
   }
   recorder_->Observe(machine_waiting_, at, runnable_waiting);
   recorder_->Observe(machine_running_, at, running);
+  if (at <= last_view_at_) {
+    return;  // Re-sample of the same boundary: the views are already closed.
+  }
+  last_view_at_ = at;
+  for (int v = 0; v < attributor_.num_vcpus(); ++v) {
+    const LatencyBreakdown totals = attributor_.TotalsAt(v, at);
+    const LatencyBreakdown delta =
+        totals - view_prev_totals_[static_cast<std::size_t>(v)];
+    view_prev_totals_[static_cast<std::size_t>(v)] = totals;
+    VcpuWindowView& view = window_views_[static_cast<std::size_t>(v)];
+    view.supply_ns = delta[LatencyComponent::kService];
+    view.demand_ns = view.supply_ns + delta[LatencyComponent::kWakeQueue] +
+                     delta[LatencyComponent::kPreempt] +
+                     delta[LatencyComponent::kBlackout] +
+                     delta[LatencyComponent::kSwitchSlip];
+    view.has_data = view.demand_ns > 0;
+  }
 }
 
 Telemetry::RequestMark Telemetry::BeginRequest(int vcpu, TimeNs at) const {

@@ -88,8 +88,24 @@ class Telemetry {
   // waiting vCPU's current wait to kSwitchSlip.
   void OnTableSwitch(TimeNs now, TimeNs slip);
   // Deterministic cadence sample taken by Machine::RunFor at every window
-  // boundary: instantaneous runnable-waiting and running vCPU counts.
+  // boundary: instantaneous runnable-waiting and running vCPU counts. Also
+  // closes the per-vCPU window views below (idempotent per boundary).
   void OnCadenceSample(TimeNs at, int runnable_waiting, int running);
+
+  // Per-vCPU view of the telemetry window that closed at the last cadence
+  // sample, computed from LatencyAttributor::TotalsAt deltas so it is exact
+  // even for a starved vCPU whose waiting interval has not settled into the
+  // recorder yet. has_data == false means the vCPU saw no runnable or
+  // running time at all in the window ("no data", distinct from zero
+  // demand) — the adaptive controller's hold signal.
+  struct VcpuWindowView {
+    bool has_data = false;
+    TimeNs demand_ns = 0;  // Service + wake-queue + preempt + blackout + slip.
+    TimeNs supply_ns = 0;  // Service actually granted.
+  };
+  const VcpuWindowView& LastWindowView(int vcpu) const {
+    return window_views_[static_cast<std::size_t>(vcpu)];
+  }
 
   // First window boundary strictly after `t` (Machine::RunFor chunking).
   TimeNs NextBoundaryAfter(TimeNs t) const {
@@ -144,6 +160,11 @@ class Telemetry {
   SloTracker slo_;
 
   std::vector<VcpuSeries> vcpu_series_;
+  // Window-view state: cumulative totals at the previous cadence sample and
+  // the view of the last closed window, per vCPU.
+  std::vector<LatencyBreakdown> view_prev_totals_;
+  std::vector<VcpuWindowView> window_views_;
+  TimeNs last_view_at_ = -1;
   std::vector<TimeSeriesRecorder::SeriesId> cpu_busy_series_;
   TimeSeriesRecorder::SeriesId machine_queue_ = TimeSeriesRecorder::kNoSeries;
   TimeSeriesRecorder::SeriesId machine_preempt_ =

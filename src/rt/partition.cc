@@ -49,10 +49,17 @@ PartitionResult WorstFitDecreasingNuma(const std::vector<PeriodicTask>& tasks,
                                        const std::map<VcpuId, int>& socket_of,
                                        int num_cores, int cores_per_socket,
                                        TimeNs hyperperiod, ThreadPool* pool) {
-  TABLEAU_CHECK(num_cores > 0);
+  TABLEAU_CHECK(num_cores >= 0);
   TABLEAU_CHECK(cores_per_socket > 0);
   PartitionResult result;
   result.core_tasks.resize(static_cast<std::size_t>(num_cores));
+  if (tasks.empty()) {
+    // Nothing to place (e.g. every vCPU landed on a dedicated core): an
+    // empty assignment is trivially complete, even over zero shared cores.
+    result.complete = true;
+    return result;
+  }
+  TABLEAU_CHECK(num_cores > 0);
 
   std::vector<PeriodicTask> sorted = tasks;
   std::sort(sorted.begin(), sorted.end(), [&](const PeriodicTask& a, const PeriodicTask& b) {

@@ -35,6 +35,7 @@ struct FleetRun {
   std::string metrics_json;
   fleet::Cluster::SloSummary slo;
   int migrations = 0;
+  std::uint64_t resizes = 0;
 };
 
 FleetRun RunFleet(FleetScenarioConfig config, TimeNs duration) {
@@ -46,6 +47,7 @@ FleetRun RunFleet(FleetScenarioConfig config, TimeNs duration) {
   run.metrics_json = cluster.MergedMetrics().ToJson();
   run.slo = cluster.Slo();
   run.migrations = static_cast<int>(cluster.migrations().size());
+  run.resizes = cluster.resizes();
   return run;
 }
 
@@ -87,6 +89,72 @@ TEST(FleetDeterminismTest, IdenticalAcrossExecutionModes) {
   const FleetRun repeat = RunFleet(base, duration);
   EXPECT_EQ(repeat.fingerprint, serial.fingerprint);
   EXPECT_EQ(repeat.metrics_json, serial.metrics_json);
+}
+
+TEST(FleetDeterminismTest, AdaptiveLoopIdenticalAcrossExecutionModes) {
+  // Closed-loop adaptive reservations under diurnal per-VM demand: the
+  // controller ticks at cluster barriers only, so the resize sequence — and
+  // with it the full fleet fingerprint and merged metrics — must stay
+  // byte-identical across serial, sharded, and parallel execution.
+  FleetScenarioConfig base = SmallFleet();
+  base.shape = fleet::DemandShape::kDiurnal;
+  base.shape_period = 200 * kMillisecond;
+  base.shape_min = 0.2;
+  base.shape_max = 1.6;
+  base.stagger_phases = true;
+  base.adaptive = true;
+  const TimeNs duration = 600 * kMillisecond;
+
+  const FleetRun serial = RunFleet(base, duration);
+  EXPECT_GT(serial.slo.requests, 0u);
+  // The loop actually actuated: a detached controller would make this test
+  // vacuously identical to the static determinism test above.
+  EXPECT_GT(serial.resizes, 0u);
+
+  std::vector<FleetScenarioConfig> modes;
+  {
+    FleetScenarioConfig sharded = base;
+    sharded.sharded = true;
+    modes.push_back(sharded);
+    for (const int threads : {1, 2, 4}) {
+      FleetScenarioConfig parallel = base;
+      parallel.sharded = true;
+      parallel.parallel = true;
+      parallel.num_threads = threads;
+      modes.push_back(parallel);
+    }
+  }
+  for (const FleetScenarioConfig& mode : modes) {
+    const FleetRun run = RunFleet(mode, duration);
+    EXPECT_EQ(run.resizes, serial.resizes)
+        << "sharded=" << mode.sharded << " parallel=" << mode.parallel
+        << " threads=" << mode.num_threads;
+    EXPECT_EQ(run.fingerprint, serial.fingerprint)
+        << "sharded=" << mode.sharded << " parallel=" << mode.parallel
+        << " threads=" << mode.num_threads;
+    EXPECT_EQ(run.metrics_json, serial.metrics_json)
+        << "sharded=" << mode.sharded << " parallel=" << mode.parallel
+        << " threads=" << mode.num_threads;
+  }
+
+  const FleetRun repeat = RunFleet(base, duration);
+  EXPECT_EQ(repeat.fingerprint, serial.fingerprint);
+  EXPECT_EQ(repeat.metrics_json, serial.metrics_json);
+
+  // Every host's final table — after an arbitrary number of controller
+  // resizes — still satisfies the admitted reservations' contracts.
+  fleet::Cluster cluster(BuildFleetConfig(base));
+  cluster.Start();
+  cluster.RunUntil(duration);
+  for (int h = 0; h < base.num_hosts; ++h) {
+    fleet::Host& host = cluster.host(h);
+    if (!host.plan().success) {
+      continue;
+    }
+    const std::vector<std::string> violations =
+        check::VerifyPlan(host.plan(), host.planner_config());
+    EXPECT_TRUE(violations.empty()) << "host " << h << ": " << violations.front();
+  }
 }
 
 TEST(FleetPlacementTest, WorstFitSpreadsFirstFitPacks) {

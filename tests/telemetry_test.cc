@@ -94,6 +94,48 @@ TEST(TimeSeriesRecorder, RingEvictsOldWindowsAndCountsLateSamples) {
   EXPECT_EQ(recorder.Snapshot().series.at("s").late_samples, 1u);
 }
 
+TEST(TimeSeriesRecorder, DataAtDistinguishesNoDataFromZero) {
+  // Pinned regression: a window with no samples must read as an explicit
+  // "no data" (nullptr), never as a window claiming value 0.0 — the
+  // adaptive reservation controller would otherwise shrink a briefly-idle
+  // VM to its floor on the strength of silence.
+  TimeSeriesRecorder recorder({/*window_ns=*/100, /*window_capacity=*/4});
+  const auto id = recorder.DefineSeries("s");
+
+  // Before any sample: nothing is retained anywhere.
+  EXPECT_EQ(recorder.DataAt(id, 0), nullptr);
+  EXPECT_EQ(recorder.DataAt(id, 250), nullptr);
+
+  recorder.Observe(id, 10, 5);    // Window 0.
+  recorder.Observe(id, 210, 0);   // Window 2: a real sample of value zero.
+
+  // Window 0 has data; any time inside it resolves to the same window.
+  const obs::TimeSeriesWindow* w0 = recorder.DataAt(id, 99);
+  ASSERT_NE(w0, nullptr);
+  EXPECT_EQ(w0->start, 0);
+  EXPECT_EQ(w0->sum, 5);
+
+  // Window 1 sits between two sampled windows and was opened by the ring
+  // advance — but holds zero samples, so it is "no data", not 0.0.
+  EXPECT_EQ(recorder.DataAt(id, 150), nullptr);
+
+  // A genuine zero-valued sample is data: count 1, sum 0 — distinguishable
+  // from the nullptr above.
+  const obs::TimeSeriesWindow* w2 = recorder.DataAt(id, 210);
+  ASSERT_NE(w2, nullptr);
+  EXPECT_EQ(w2->count, 1u);
+  EXPECT_EQ(w2->sum, 0);
+
+  // Future windows (never opened) and evicted windows are both no-data.
+  EXPECT_EQ(recorder.DataAt(id, 1000), nullptr);
+  recorder.Observe(id, 950, 2);  // Window 9 evicts everything before 6.
+  EXPECT_EQ(recorder.DataAt(id, 10), nullptr);
+
+  // Invalid series / negative time never fault.
+  EXPECT_EQ(recorder.DataAt(TimeSeriesRecorder::kNoSeries, 10), nullptr);
+  EXPECT_EQ(recorder.DataAt(id, -5), nullptr);
+}
+
 TEST(TimeSeriesSnapshot, MergeIsOrderIndependent) {
   TimeSeriesRecorder a({/*window_ns=*/100, /*window_capacity=*/8});
   const auto ida = a.DefineSeries("shared");

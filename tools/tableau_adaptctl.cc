@@ -1,0 +1,381 @@
+// tableau_adaptctl: command-line front end to the closed-loop adaptive
+// reservation controller — run an elastic fleet scenario and print the
+// controller's actions, describe every VM's final reservation, replay a
+// property-test reproducer, or assert execution-mode determinism.
+//
+// Usage:
+//   tableau_adaptctl run      [options]   Run and print the adaptive summary.
+//   tableau_adaptctl describe [options]   Run, then print per-host packing
+//                                         and every VM's reservation.
+//   tableau_adaptctl replay FILE          Replay a tests/repro/adapt/
+//                                         reproducer through the property
+//                                         harness (exit 1 on any violation).
+//   Options:
+//     --hosts N --cpus N --cores-per-socket K --slots N   fleet shape
+//     --vms N --utilization U --rps R --service-us S      reservation stream
+//     --latency-goal-ms L --window-ms W                   SLO goal, control tick
+//     --shape-period-ms P --shape-min F --shape-max F     diurnal demand
+//     --surge-vms N --surge-at-ms T --surge-until-ms T    flash crowd
+//     --surge-factor F
+//     --headroom H --cooldown N --quantize Q              controller policy
+//     --min-utilization U --max-utilization U             per-VM clamps
+//     --static                                            controller off
+//     --seconds S --seed S
+//     --sharded [--parallel [--threads T]]                execution mode
+//     --json FILE                                         metrics snapshot out
+//     --check-determinism   re-run serial + sharded + parallel + repeat and
+//                           fail unless fingerprints, merged metrics, and
+//                           resize counts are byte-identical (exit 1)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/check/adapt_fuzz.h"
+#include "src/harness/fleet_scenario.h"
+
+using namespace tableau;
+
+namespace {
+
+struct Options {
+  FleetScenarioConfig fleet;
+  double seconds = 10.0;
+  bool check_determinism = false;
+  bool describe = false;
+  std::string json_out;
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s run|describe [--hosts N] [--cpus N] [--cores-per-socket K]\n"
+               "          [--slots N] [--vms N] [--utilization U] [--rps R]\n"
+               "          [--service-us S] [--latency-goal-ms L] [--window-ms W]\n"
+               "          [--shape-period-ms P] [--shape-min F] [--shape-max F]\n"
+               "          [--surge-vms N] [--surge-at-ms T] [--surge-until-ms T]\n"
+               "          [--surge-factor F] [--headroom H] [--cooldown N]\n"
+               "          [--quantize Q] [--min-utilization U] [--max-utilization U]\n"
+               "          [--static] [--seconds S] [--seed S] [--sharded]\n"
+               "          [--parallel] [--threads T] [--json FILE]\n"
+               "          [--check-determinism]\n"
+               "       %s replay FILE\n",
+               argv0, argv0);
+  std::exit(2);
+}
+
+// Defaults mirror bench_adaptive's elastic diurnal arm: a fleet whose
+// admission cap binds before its slot pool, staggered diurnal demand, and a
+// control cadence of at least two table rounds so every resize engages
+// before the next tick can supersede it.
+FleetScenarioConfig DefaultScenario() {
+  FleetScenarioConfig config;
+  config.num_hosts = 4;
+  config.cpus_per_host = 8;
+  config.cores_per_socket = 4;
+  config.slots_per_core = 2;
+  config.control_period = 210 * kMillisecond;
+  config.admission_latency = 210 * kMillisecond;
+  config.migrate_burn_threshold = 1e9;
+  config.num_vms = 56;
+  config.utilization = 0.5;
+  config.latency_goal = 40 * kMillisecond;
+  config.requests_per_sec = 400;
+  config.service_ns = 1000 * kMicrosecond;
+  config.shape = fleet::DemandShape::kDiurnal;
+  config.shape_period = 8000 * kMillisecond;
+  config.shape_min = 0.2;
+  config.shape_max = 0.8;
+  config.stagger_phases = true;
+  config.adaptive = true;
+  config.adapt_policy.cooldown_windows = 2;
+  config.seed = 1;
+  return config;
+}
+
+int Replay(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path);
+    return 2;
+  }
+  std::ostringstream text;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '#') {
+      continue;  // Reproducer header comments (category, provenance).
+    }
+    text << line << "\n";
+  }
+  const std::optional<check::AdaptScenarioSpec> spec = check::ParseAdaptSpec(text.str());
+  if (!spec.has_value()) {
+    std::fprintf(stderr, "parse error: %s is not a valid adapt scenario spec\n", path);
+    return 2;
+  }
+  const check::AdaptCheckOutcome outcome = check::RunAdaptScenario(*spec);
+  std::printf("replayed %s: %d resizes, %zu violations\n", path, outcome.resizes,
+              outcome.violations.size());
+  for (const std::string& entry : outcome.resize_log) {
+    std::printf("  resize %s\n", entry.c_str());
+  }
+  for (const std::string& violation : outcome.violations) {
+    std::printf("  VIOLATION %s\n", violation.c_str());
+  }
+  return outcome.violations.empty() ? 0 : 1;
+}
+
+Options Parse(int argc, char** argv) {
+  Options options;
+  options.fleet = DefaultScenario();
+  if (argc < 2) {
+    Usage(argv[0]);
+  }
+  if (std::strcmp(argv[1], "run") == 0) {
+    options.describe = false;
+  } else if (std::strcmp(argv[1], "describe") == 0) {
+    options.describe = true;
+  } else {
+    Usage(argv[0]);
+  }
+  FleetScenarioConfig& fleet = options.fleet;
+  for (int arg = 2; arg < argc; ++arg) {
+    const char* current = argv[arg];
+    auto value = [&]() -> const char* {
+      if (arg + 1 >= argc) {
+        Usage(argv[0]);
+      }
+      return argv[++arg];
+    };
+    if (std::strcmp(current, "--hosts") == 0) {
+      fleet.num_hosts = std::atoi(value());
+    } else if (std::strcmp(current, "--cpus") == 0) {
+      fleet.cpus_per_host = std::atoi(value());
+    } else if (std::strcmp(current, "--cores-per-socket") == 0) {
+      fleet.cores_per_socket = std::atoi(value());
+    } else if (std::strcmp(current, "--slots") == 0) {
+      fleet.slots_per_core = std::atoi(value());
+    } else if (std::strcmp(current, "--vms") == 0) {
+      fleet.num_vms = std::atoi(value());
+    } else if (std::strcmp(current, "--utilization") == 0) {
+      fleet.utilization = std::atof(value());
+    } else if (std::strcmp(current, "--rps") == 0) {
+      fleet.requests_per_sec = std::atof(value());
+    } else if (std::strcmp(current, "--service-us") == 0) {
+      fleet.service_ns = static_cast<TimeNs>(std::atof(value()) * kMicrosecond);
+    } else if (std::strcmp(current, "--latency-goal-ms") == 0) {
+      fleet.latency_goal = static_cast<TimeNs>(std::atof(value()) * kMillisecond);
+    } else if (std::strcmp(current, "--window-ms") == 0) {
+      fleet.control_period = static_cast<TimeNs>(std::atof(value()) * kMillisecond);
+    } else if (std::strcmp(current, "--shape-period-ms") == 0) {
+      fleet.shape_period = static_cast<TimeNs>(std::atof(value()) * kMillisecond);
+    } else if (std::strcmp(current, "--shape-min") == 0) {
+      fleet.shape_min = std::atof(value());
+    } else if (std::strcmp(current, "--shape-max") == 0) {
+      fleet.shape_max = std::atof(value());
+    } else if (std::strcmp(current, "--surge-vms") == 0) {
+      fleet.surge_vms = std::atoi(value());
+    } else if (std::strcmp(current, "--surge-at-ms") == 0) {
+      fleet.surge_at = static_cast<TimeNs>(std::atof(value()) * kMillisecond);
+    } else if (std::strcmp(current, "--surge-until-ms") == 0) {
+      fleet.surge_until = static_cast<TimeNs>(std::atof(value()) * kMillisecond);
+    } else if (std::strcmp(current, "--surge-factor") == 0) {
+      fleet.surge_factor = std::atof(value());
+    } else if (std::strcmp(current, "--headroom") == 0) {
+      fleet.adapt_policy.headroom = std::atof(value());
+    } else if (std::strcmp(current, "--cooldown") == 0) {
+      fleet.adapt_policy.cooldown_windows = std::atoi(value());
+    } else if (std::strcmp(current, "--quantize") == 0) {
+      fleet.adapt_policy.quantize = std::atof(value());
+    } else if (std::strcmp(current, "--min-utilization") == 0) {
+      fleet.adapt_min_utilization = std::atof(value());
+    } else if (std::strcmp(current, "--max-utilization") == 0) {
+      fleet.adapt_max_utilization = std::atof(value());
+    } else if (std::strcmp(current, "--static") == 0) {
+      fleet.adaptive = false;
+    } else if (std::strcmp(current, "--seconds") == 0) {
+      options.seconds = std::atof(value());
+    } else if (std::strcmp(current, "--seed") == 0) {
+      fleet.seed = static_cast<std::uint64_t>(std::atoll(value()));
+    } else if (std::strcmp(current, "--sharded") == 0) {
+      fleet.sharded = true;
+    } else if (std::strcmp(current, "--parallel") == 0) {
+      fleet.sharded = true;
+      fleet.parallel = true;
+    } else if (std::strcmp(current, "--threads") == 0) {
+      fleet.num_threads = std::atoi(value());
+    } else if (std::strcmp(current, "--json") == 0) {
+      options.json_out = value();
+    } else if (std::strcmp(current, "--check-determinism") == 0) {
+      options.check_determinism = true;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  return options;
+}
+
+struct AdaptRun {
+  std::uint64_t fingerprint = 0;
+  std::string metrics_json;
+  fleet::Cluster::SloSummary slo;
+  std::uint64_t resizes = 0;
+  double avg_committed = 0;
+  adapt::AdaptiveController::Counters totals;
+};
+
+AdaptRun Collect(fleet::Cluster& cluster) {
+  AdaptRun run;
+  run.fingerprint = cluster.Fingerprint();
+  run.metrics_json = cluster.MergedMetrics().ToJson(/*indent=*/2);
+  run.slo = cluster.Slo();
+  run.resizes = cluster.resizes();
+  run.avg_committed = cluster.AvgCommittedFraction();
+  for (int h = 0; h < cluster.num_hosts(); ++h) {
+    const adapt::AdaptiveController* controller = cluster.host(h).adaptive();
+    if (controller == nullptr) {
+      continue;
+    }
+    const adapt::AdaptiveController::Counters& counters = controller->counters();
+    run.totals.observations += counters.observations;
+    run.totals.no_data += counters.no_data;
+    run.totals.saturated += counters.saturated;
+    run.totals.holds += counters.holds;
+    run.totals.cooldown_holds += counters.cooldown_holds;
+    run.totals.grows += counters.grows;
+    run.totals.shrinks += counters.shrinks;
+    run.totals.commits += counters.commits;
+    run.totals.rejects += counters.rejects;
+  }
+  return run;
+}
+
+AdaptRun Execute(const FleetScenarioConfig& config, TimeNs duration) {
+  fleet::Cluster cluster(BuildFleetConfig(config));
+  cluster.Start();
+  cluster.RunUntil(duration);
+  return Collect(cluster);
+}
+
+void PrintSummary(const AdaptRun& run) {
+  std::printf("slo:     %llu requests, %llu misses, attainment %.4f%% (worst VM %.4f%%)\n",
+              static_cast<unsigned long long>(run.slo.requests),
+              static_cast<unsigned long long>(run.slo.misses), 100.0 * run.slo.attainment,
+              100.0 * run.slo.worst_vm_attainment);
+  std::printf("packing: %d admitted, %d rejected, avg committed fraction %.4f\n",
+              run.slo.vms_admitted, run.slo.vms_rejected, run.avg_committed);
+  std::printf(
+      "control: %llu resizes installed (%llu grows, %llu shrinks, %llu rejects), "
+      "%llu observations (%llu no-data, %llu saturated, %llu cooldown holds)\n",
+      static_cast<unsigned long long>(run.resizes),
+      static_cast<unsigned long long>(run.totals.grows),
+      static_cast<unsigned long long>(run.totals.shrinks),
+      static_cast<unsigned long long>(run.totals.rejects),
+      static_cast<unsigned long long>(run.totals.observations),
+      static_cast<unsigned long long>(run.totals.no_data),
+      static_cast<unsigned long long>(run.totals.saturated),
+      static_cast<unsigned long long>(run.totals.cooldown_holds));
+  std::printf("fingerprint: %016llx\n", static_cast<unsigned long long>(run.fingerprint));
+}
+
+void Describe(fleet::Cluster& cluster, const FleetScenarioConfig& config) {
+  for (int h = 0; h < cluster.num_hosts(); ++h) {
+    fleet::Host& host = cluster.host(h);
+    std::printf("host %-3d %2d pCPUs, %3d/%3d slots free, committed %5.2f cores\n", h,
+                host.config().num_cpus, host.free_slots(), host.num_slots(),
+                host.committed());
+  }
+  for (int vm = 0; vm < config.num_vms; ++vm) {
+    const fleet::Cluster::VmState& state = cluster.vm_state(vm);
+    if (state.status != fleet::Cluster::VmState::Status::kActive) {
+      std::printf("vm %-4d rejected\n", vm);
+      continue;
+    }
+    const adapt::AdaptiveController* controller = cluster.host(state.host).adaptive();
+    const double reservation = controller != nullptr && controller->bound(state.slot)
+                                   ? controller->reservation(state.slot)
+                                   : config.utilization;
+    const fleet::VmStream& stream = cluster.stream(vm);
+    std::printf("vm %-4d host %-3d slot %-3d reservation %.5f (admitted %.5f)  "
+                "completed %llu misses %llu\n",
+                vm, state.host, state.slot, reservation, config.utilization,
+                static_cast<unsigned long long>(stream.completed()),
+                static_cast<unsigned long long>(stream.misses()));
+  }
+}
+
+int CheckDeterminism(const Options& options, TimeNs duration) {
+  struct Mode {
+    const char* name;
+    bool sharded;
+    bool parallel;
+  };
+  const std::vector<Mode> modes = {
+      {"serial", false, false},
+      {"sharded", true, false},
+      {"parallel", true, true},
+      {"repeat", false, false},
+  };
+  std::vector<AdaptRun> runs;
+  for (const Mode& mode : modes) {
+    FleetScenarioConfig config = options.fleet;
+    config.sharded = mode.sharded;
+    config.parallel = mode.parallel;
+    if (mode.parallel && config.num_threads <= 0) {
+      config.num_threads = 2;
+    }
+    runs.push_back(Execute(config, duration));
+    std::printf("%-10s fingerprint %016llx  requests %llu  resizes %llu\n", mode.name,
+                static_cast<unsigned long long>(runs.back().fingerprint),
+                static_cast<unsigned long long>(runs.back().slo.requests),
+                static_cast<unsigned long long>(runs.back().resizes));
+  }
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    if (runs[i].fingerprint != runs[0].fingerprint ||
+        runs[i].metrics_json != runs[0].metrics_json ||
+        runs[i].resizes != runs[0].resizes) {
+      std::fprintf(stderr, "determinism violation: %s differs from serial\n",
+                   modes[i].name);
+      return 1;
+    }
+  }
+  std::printf("determinism: ok (fingerprints, merged metrics, resizes identical)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "replay") == 0) {
+    if (argc != 3) {
+      Usage(argv[0]);
+    }
+    return Replay(argv[2]);
+  }
+  const Options options = Parse(argc, argv);
+  const TimeNs duration = static_cast<TimeNs>(options.seconds * kSecond);
+
+  if (options.check_determinism) {
+    return CheckDeterminism(options, duration);
+  }
+
+  fleet::Cluster cluster(BuildFleetConfig(options.fleet));
+  cluster.Start();
+  cluster.RunUntil(duration);
+  const AdaptRun run = Collect(cluster);
+  PrintSummary(run);
+  if (options.describe) {
+    Describe(cluster, options.fleet);
+  }
+  if (!options.json_out.empty()) {
+    std::ofstream out(options.json_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", options.json_out.c_str());
+      return 1;
+    }
+    out << run.metrics_json << "\n";
+    std::printf("wrote merged metrics to %s\n", options.json_out.c_str());
+  }
+  return 0;
+}
